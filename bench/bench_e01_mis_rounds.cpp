@@ -1,0 +1,75 @@
+// E1 (Theorem 1.1): MIS in O(log log Delta) MPC rounds with O(n) words per
+// machine.
+//
+// Table rows: n sweep at fixed average degree, then a Delta sweep at fixed
+// n. The claim's shape: `rounds` grows ~additively when n (or Delta) is
+// squared; `peak_words_over_n` stays bounded by the configured constant.
+#include "bench_util.h"
+#include "core/mis_mpc.h"
+
+namespace {
+
+using namespace mpcg;
+using namespace mpcg::bench;
+
+void E01_RoundsVsN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = gnp_with_degree(n, 16.0, 1);
+  MisMpcOptions opt;
+  opt.seed = 1;
+  MisMpcResult r;
+  for (auto _ : state) {
+    r = mis_mpc(g, opt);
+    benchmark::DoNotOptimize(r.mis.size());
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["delta"] = static_cast<double>(g.max_degree());
+  state.counters["rounds"] = static_cast<double>(r.metrics.rounds);
+  state.counters["rank_phases"] = static_cast<double>(r.rank_phases);
+  state.counters["sparse_iters"] =
+      static_cast<double>(r.sparsified_iterations);
+  state.counters["loglog_delta"] =
+      log2log2(static_cast<double>(g.max_degree()));
+  state.counters["peak_words_over_n"] =
+      static_cast<double>(r.metrics.peak_storage_words) /
+      static_cast<double>(n);
+  state.counters["mis_size"] = static_cast<double>(r.mis.size());
+}
+BENCHMARK(E01_RoundsVsN)
+    ->Arg(1 << 12)
+    ->Arg(1 << 14)
+    ->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void E01_RoundsVsDelta(benchmark::State& state) {
+  const std::size_t n = 1 << 14;
+  const double degree = static_cast<double>(state.range(0));
+  const Graph g = gnp_with_degree(n, degree, 2);
+  MisMpcOptions opt;
+  opt.seed = 2;
+  MisMpcResult r;
+  for (auto _ : state) {
+    r = mis_mpc(g, opt);
+    benchmark::DoNotOptimize(r.mis.size());
+  }
+  state.counters["delta"] = static_cast<double>(g.max_degree());
+  state.counters["rounds"] = static_cast<double>(r.metrics.rounds);
+  state.counters["rank_phases"] = static_cast<double>(r.rank_phases);
+  state.counters["loglog_delta"] =
+      log2log2(static_cast<double>(g.max_degree()));
+  state.counters["peak_words_over_n"] =
+      static_cast<double>(r.metrics.peak_storage_words) /
+      static_cast<double>(n);
+}
+BENCHMARK(E01_RoundsVsDelta)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// E2 (Theorem 1.1 vs prior work): the round-compression figure.
+//
+// Fixed n, Delta sweep. Series: our rank phases + sparsified iterations
+// (O(log log Delta)), Luby's rounds (O(log n)), and the randomized-greedy
+// dependency depth (Theta(log n), [FN18/BFS12]) the compression collapses.
+// Shape to reproduce: ours << Luby ~ greedy-depth, with the gap widening
+// in Delta.
+#include "baselines/greedy_mis.h"
+#include "baselines/luby.h"
+#include "bench_util.h"
+#include "core/mis_mpc.h"
+#include "util/permutation.h"
+
+namespace {
+
+using namespace mpcg;
+using namespace mpcg::bench;
+
+void E02_OursVsLubyVsGreedyDepth(benchmark::State& state) {
+  const std::size_t n = 1 << 13;
+  const double degree = static_cast<double>(state.range(0));
+  const Graph g = gnp_with_degree(n, degree, 3);
+
+  MisMpcResult ours;
+  LubyResult luby;
+  std::size_t depth = 0;
+  for (auto _ : state) {
+    MisMpcOptions opt;
+    opt.seed = 3;
+    ours = mis_mpc(g, opt);
+    luby = luby_mis(g, 3);
+    Rng rng(3);
+    const auto perm = random_permutation(n, rng);
+    depth = greedy_dependency_depth(g, perm);
+    benchmark::DoNotOptimize(depth);
+  }
+  state.counters["delta"] = static_cast<double>(g.max_degree());
+  state.counters["ours_stages"] = static_cast<double>(
+      ours.rank_phases + ours.sparsified_iterations + 1);
+  state.counters["ours_engine_rounds"] =
+      static_cast<double>(ours.metrics.rounds);
+  state.counters["luby_rounds"] = static_cast<double>(luby.rounds);
+  state.counters["greedy_depth"] = static_cast<double>(depth);
+  state.counters["log2_n"] = std::log2(static_cast<double>(n));
+  state.counters["loglog_delta"] =
+      log2log2(static_cast<double>(g.max_degree()));
+}
+BENCHMARK(E02_OursVsLubyVsGreedyDepth)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// E3 (Lemma 3.1): after greedy has consumed ranks 1..r, the residual graph
+// has maximum degree O(n log n / r) — the paper's proof uses the explicit
+// constant 20.
+//
+// Figure series: measured residual max degree vs the bound, over a rank
+// sweep on two families. `bound_ratio` (measured / bound) must stay << 1.
+#include "baselines/greedy_mis.h"
+#include "bench_util.h"
+#include "util/permutation.h"
+
+namespace {
+
+using namespace mpcg;
+using namespace mpcg::bench;
+
+std::size_t residual_max_degree(const Graph& g, const GreedyMisTrace& trace,
+                                std::uint32_t rank) {
+  const auto residual = residual_vertices_after_rank(trace, rank);
+  std::vector<char> alive(g.num_vertices(), 0);
+  for (const VertexId v : residual) alive[v] = 1;
+  std::size_t best = 0;
+  for (const VertexId v : residual) {
+    std::size_t d = 0;
+    for (const Arc& a : g.arcs(v)) {
+      if (alive[a.to]) ++d;
+    }
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+void run(benchmark::State& state, const Graph& g, std::uint64_t seed) {
+  const std::size_t n = g.num_vertices();
+  const auto divisor = static_cast<std::size_t>(state.range(0));
+  const auto rank = static_cast<std::uint32_t>(n / divisor);
+
+  std::size_t measured = 0;
+  for (auto _ : state) {
+    Rng rng(seed);
+    const auto perm = random_permutation(n, rng);
+    const auto trace = greedy_mis_trace(g, perm);
+    measured = residual_max_degree(g, trace, rank);
+    benchmark::DoNotOptimize(measured);
+  }
+  const double bound = 20.0 * static_cast<double>(n) *
+                       std::log(static_cast<double>(n)) /
+                       static_cast<double>(rank);
+  state.counters["rank"] = static_cast<double>(rank);
+  state.counters["residual_max_deg"] = static_cast<double>(measured);
+  state.counters["lemma31_bound"] = bound;
+  state.counters["bound_ratio"] = static_cast<double>(measured) / bound;
+}
+
+void E03_ResidualDegree_Gnp(benchmark::State& state) {
+  run(state, gnp_with_degree(1 << 14, 32.0, 5), 5);
+}
+BENCHMARK(E03_ResidualDegree_Gnp)
+    ->Arg(256)
+    ->Arg(64)
+    ->Arg(16)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void E03_ResidualDegree_PowerLaw(benchmark::State& state) {
+  run(state, graph_family("power_law", 1 << 14, 5), 6);
+}
+BENCHMARK(E03_ResidualDegree_PowerLaw)
+    ->Arg(256)
+    ->Arg(64)
+    ->Arg(16)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

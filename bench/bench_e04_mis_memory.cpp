@@ -1,0 +1,65 @@
+// E4 (Section 3.3, Eq. (1) and the memory argument): every rank phase
+// gathers a window-induced subgraph of O(n) edges onto the leader, and peak
+// per-machine storage stays within the O(n)-word budget.
+//
+// Table rows: one per family. `max_window_edges_over_n` and
+// `peak_words_over_n` are the claims; both must be small constants.
+#include "bench_util.h"
+#include "core/mis_mpc.h"
+
+namespace {
+
+using namespace mpcg;
+using namespace mpcg::bench;
+
+void E04_MisMemory(benchmark::State& state, const char* family) {
+  const std::size_t n = 1 << 13;
+  const Graph g = graph_family(family, n, 7);
+  MisMpcOptions opt;
+  opt.seed = 7;
+  // A tight gather budget forces the rank-phase machinery to do the work
+  // (otherwise small inputs are swallowed by the final gather and the
+  // window-size claim is vacuously satisfied).
+  opt.gather_budget = n / 2;
+  opt.degree_switch = 8;
+  MisMpcResult r;
+  for (auto _ : state) {
+    r = mis_mpc(g, opt);
+    benchmark::DoNotOptimize(r.mis.size());
+  }
+  std::size_t max_window = 0;
+  for (const std::size_t e : r.window_edges_per_phase) {
+    max_window = std::max(max_window, e);
+  }
+  state.counters["n"] = static_cast<double>(g.num_vertices());
+  state.counters["m"] = static_cast<double>(g.num_edges());
+  state.counters["phases"] = static_cast<double>(r.rank_phases);
+  state.counters["max_window_edges_over_n"] =
+      static_cast<double>(max_window) / static_cast<double>(n);
+  state.counters["final_gather_edges_over_n"] =
+      static_cast<double>(r.final_gather_edges) / static_cast<double>(n);
+  state.counters["peak_words_over_n"] =
+      static_cast<double>(r.metrics.peak_storage_words) /
+      static_cast<double>(n);
+  state.counters["violations"] = static_cast<double>(r.metrics.violations);
+}
+
+void register_all() {
+  for (const char* family : family_names()) {
+    benchmark::RegisterBenchmark(
+        (std::string("E04_MisMemory/") + family).c_str(),
+        [family](benchmark::State& s) { E04_MisMemory(s, family); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

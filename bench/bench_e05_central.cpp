@@ -1,0 +1,91 @@
+// E5 (Lemma 4.1): the sequential `Central` algorithm terminates in
+// O(log n / eps) iterations; the frozen set is a (2+5eps)-approximate
+// vertex cover and the fractional weight is within (2+5eps) of nu(G).
+//
+// Table rows: n sweep for the iteration claim; family sweep (with exact
+// nu from blossom) for the approximation claims. `matching_factor` is
+// nu / W — the claim is matching_factor <= 2 + 5 eps.
+#include "baselines/blossom.h"
+#include "bench_util.h"
+#include "core/central.h"
+#include "graph/validation.h"
+
+namespace {
+
+using namespace mpcg;
+using namespace mpcg::bench;
+
+constexpr double kEps = 0.1;
+
+void E05_IterationsVsN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = gnp_with_degree(n, 12.0, 9);
+  CentralOptions opt;
+  opt.eps = kEps;
+  CentralResult r;
+  for (auto _ : state) {
+    r = central_fractional_matching(g, opt);
+    benchmark::DoNotOptimize(r.iterations);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["iterations"] = static_cast<double>(r.iterations);
+  state.counters["bound_log_over_eps"] =
+      std::log(static_cast<double>(n)) / -std::log1p(-kEps) + 3;
+  state.counters["cover_size"] = static_cast<double>(r.cover.size());
+}
+BENCHMARK(E05_IterationsVsN)
+    ->Arg(1 << 10)
+    ->Arg(1 << 12)
+    ->Arg(1 << 14)
+    ->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void E05_Approximation(benchmark::State& state, const char* family,
+                       bool random_thresholds) {
+  const Graph g = graph_family(family, 1 << 10, 11);
+  CentralOptions opt;
+  opt.eps = kEps;
+  opt.random_thresholds = random_thresholds;
+  opt.threshold_seed = 11;
+  CentralResult r;
+  for (auto _ : state) {
+    r = central_fractional_matching(g, opt);
+    benchmark::DoNotOptimize(r.x.data());
+  }
+  const double nu = static_cast<double>(maximum_matching_size(g));
+  const double w = fractional_weight(r.x);
+  state.counters["nu"] = nu;
+  state.counters["fractional_weight"] = w;
+  state.counters["matching_factor"] = w > 0 ? nu / w : 0.0;
+  state.counters["claimed_factor"] = 2.0 + 5.0 * kEps;
+  state.counters["cover_over_nu"] =
+      nu > 0 ? static_cast<double>(r.cover.size()) / nu : 0.0;
+  state.counters["iterations"] = static_cast<double>(r.iterations);
+}
+
+void register_all() {
+  for (const char* family : family_names()) {
+    for (const bool rnd : {false, true}) {
+      benchmark::RegisterBenchmark(
+          (std::string("E05_Approximation/") + family +
+           (rnd ? "/rand" : "/fixed"))
+              .c_str(),
+          [family, rnd](benchmark::State& s) {
+            E05_Approximation(s, family, rnd);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

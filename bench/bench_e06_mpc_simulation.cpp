@@ -1,0 +1,102 @@
+// E6 (Lemma 4.2): MPC-Simulation runs O(log log n) phases with O(n) words
+// per machine and yields a (2+50eps) fractional matching + vertex cover,
+// with at least |C|/3 of the cover at load >= 1-5eps.
+//
+// Table rows: n sweep (phase shape + memory) and family sweep at fixed n
+// (approximation, with exact nu). Shape: `phases` grows ~additively as n is
+// squared; `matching_factor` stays well under 2+50eps (claimed_factor);
+// `cover_heavy_fraction` >= 1/3.
+#include "baselines/blossom.h"
+#include "bench_util.h"
+#include "core/matching_mpc.h"
+#include "graph/validation.h"
+
+namespace {
+
+using namespace mpcg;
+using namespace mpcg::bench;
+
+constexpr double kEps = 0.1;
+
+MatchingMpcOptions opts(std::uint64_t seed) {
+  MatchingMpcOptions o;
+  o.eps = kEps;
+  o.seed = seed;
+  o.threshold_seed = seed + 1;
+  return o;
+}
+
+void E06_PhasesVsN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = gnp_with_degree(n, 16.0, 13);
+  MatchingMpcResult r;
+  for (auto _ : state) {
+    r = matching_mpc(g, opts(13));
+    benchmark::DoNotOptimize(r.x.data());
+  }
+  std::size_t max_local = 0;
+  for (const std::size_t e : r.max_local_edges_per_phase) {
+    max_local = std::max(max_local, e);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["phases"] = static_cast<double>(r.phases);
+  state.counters["loglog_n"] = log2log2(static_cast<double>(n));
+  state.counters["engine_rounds"] = static_cast<double>(r.metrics.rounds);
+  state.counters["tail_iterations"] = static_cast<double>(r.tail_iterations);
+  state.counters["max_local_edges_over_n"] =
+      static_cast<double>(max_local) / static_cast<double>(n);
+  state.counters["violations"] = static_cast<double>(r.metrics.violations);
+}
+BENCHMARK(E06_PhasesVsN)
+    ->Arg(1 << 10)
+    ->Arg(1 << 12)
+    ->Arg(1 << 14)
+    ->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void E06_Approximation(benchmark::State& state, const char* family) {
+  const Graph g = graph_family(family, 1 << 10, 17);
+  MatchingMpcResult r;
+  for (auto _ : state) {
+    r = matching_mpc(g, opts(17));
+    benchmark::DoNotOptimize(r.x.data());
+  }
+  const double nu = static_cast<double>(maximum_matching_size(g));
+  const double w = fractional_weight(r.x);
+  const auto loads = vertex_loads(g, r.x);
+  std::size_t heavy = 0;
+  for (const VertexId v : r.cover) {
+    if (loads[v] >= 1.0 - 5.0 * kEps) ++heavy;
+  }
+  state.counters["nu"] = nu;
+  state.counters["fractional_weight"] = w;
+  state.counters["matching_factor"] = w > 0 ? nu / w : 0.0;
+  state.counters["claimed_factor"] = 2.0 + 50.0 * kEps;
+  state.counters["cover_over_nu"] =
+      nu > 0 ? static_cast<double>(r.cover.size()) / nu : 0.0;
+  state.counters["cover_heavy_fraction"] =
+      r.cover.empty() ? 1.0
+                      : static_cast<double>(heavy) /
+                            static_cast<double>(r.cover.size());
+}
+
+void register_all() {
+  for (const char* family : family_names()) {
+    benchmark::RegisterBenchmark(
+        (std::string("E06_Approximation/") + family).c_str(),
+        [family](benchmark::State& s) { E06_Approximation(s, family); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

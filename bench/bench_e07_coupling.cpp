@@ -1,0 +1,140 @@
+// E7 (Lemmas 4.11 / 4.13 / 4.15): the coupling between MPC-Simulation and
+// Central-Rand. With a shared threshold stream, the local estimates y~
+// track the centralized loads y, and "bad" vertices (frozen in one process
+// but not the other) are rare.
+//
+// Figure series: per-iteration-bucket mean and p99 of |y - y~| over
+// vertices active in both processes, plus the overall bad-vertex fraction.
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/central.h"
+#include "core/matching_mpc.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace mpcg;
+using namespace mpcg::bench;
+
+constexpr double kEps = 0.1;
+constexpr std::size_t kN = 1 << 11;
+
+struct CoupledRun {
+  MatchingMpcResult sim;
+  CentralResult central;
+  Graph graph;
+};
+
+const CoupledRun& coupled_run() {
+  static const CoupledRun run = [] {
+    CoupledRun out;
+    out.graph = gnp_with_degree(kN, 24.0, 19);
+    MatchingMpcOptions mo;
+    mo.eps = kEps;
+    mo.seed = 19;
+    mo.threshold_seed = 20;
+    mo.record_trace = true;
+    out.sim = matching_mpc(out.graph, mo);
+    CentralOptions co;
+    co.eps = kEps;
+    co.random_thresholds = true;
+    co.threshold_seed = 20;
+    co.initial_edge_weight =
+        (1.0 - 2.0 * kEps) / static_cast<double>(kN);
+    co.record_trace = true;
+    out.central = central_fractional_matching(out.graph, co);
+    return out;
+  }();
+  return run;
+}
+
+void E07_DeviationByIteration(benchmark::State& state) {
+  const auto bucket_lo = static_cast<std::size_t>(state.range(0));
+  const auto bucket_hi = static_cast<std::size_t>(state.range(1));
+  const CoupledRun& run = coupled_run();
+
+  double sum = 0.0;
+  std::vector<double> devs;
+  for (auto _ : state) {
+    devs.clear();
+    const std::size_t horizon = std::min(
+        {run.sim.y_tilde_trace.size(), run.central.y_trace.size(),
+         bucket_hi});
+    for (std::size_t t = bucket_lo; t < horizon; ++t) {
+      for (VertexId v = 0; v < kN; ++v) {
+        const double y_tilde = run.sim.y_tilde_trace[t][v];
+        if (std::isnan(y_tilde)) continue;
+        if (run.central.freeze_iteration[v] < t) continue;
+        devs.push_back(std::abs(y_tilde - run.central.y_trace[t][v]));
+      }
+    }
+    for (const double d : devs) sum += d;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["iters_from"] = static_cast<double>(bucket_lo);
+  state.counters["iters_to"] = static_cast<double>(bucket_hi);
+  state.counters["samples"] = static_cast<double>(devs.size());
+  if (!devs.empty()) {
+    state.counters["mean_dev"] = mean_of(devs);
+    state.counters["p99_dev"] = quantile(devs, 0.99);
+    state.counters["max_dev"] = quantile(devs, 1.0);
+  }
+}
+BENCHMARK(E07_DeviationByIteration)
+    ->Args({0, 10})
+    ->Args({10, 25})
+    ->Args({25, 50})
+    ->Args({50, 100})
+    ->Args({100, 1000})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void E07_BadVertexFraction(benchmark::State& state) {
+  // A vertex is "bad" when the two coupled processes diverge materially on
+  // it: its freeze iterations differ by more than a couple of growth steps
+  // (exact ties are common early; small shifts are the benign estimate
+  // noise the random thresholds absorb — Lemma 4.11).
+  const CoupledRun& run = coupled_run();
+  std::size_t bad = 0;
+  std::size_t frozen_both = 0;
+  std::size_t one_sided = 0;
+  double total_gap = 0.0;
+  for (auto _ : state) {
+    bad = 0;
+    frozen_both = 0;
+    one_sided = 0;
+    total_gap = 0.0;
+    constexpr std::uint32_t kNever = MatchingMpcResult::kActive;
+    for (VertexId v = 0; v < kN; ++v) {
+      const auto fs = run.sim.freeze_iteration[v];
+      const auto fc = run.central.freeze_iteration[v];
+      if ((fs == kNever) != (fc == kNever)) {
+        ++one_sided;
+        continue;
+      }
+      if (fs == kNever) continue;  // frozen in neither (e.g. isolated)
+      ++frozen_both;
+      const double gap = std::abs(static_cast<double>(fs) -
+                                  static_cast<double>(fc));
+      total_gap += gap;
+      if (gap > 2.0) ++bad;
+    }
+    benchmark::DoNotOptimize(bad);
+  }
+  state.counters["vertices"] = static_cast<double>(kN);
+  state.counters["frozen_both"] = static_cast<double>(frozen_both);
+  state.counters["one_sided_fraction"] =
+      static_cast<double>(one_sided) / static_cast<double>(kN);
+  if (frozen_both > 0) {
+    state.counters["mean_freeze_gap"] =
+        total_gap / static_cast<double>(frozen_both);
+    state.counters["bad_fraction"] =
+        static_cast<double>(bad) / static_cast<double>(frozen_both);
+  }
+}
+BENCHMARK(E07_BadVertexFraction)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

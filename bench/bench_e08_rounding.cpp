@@ -1,0 +1,70 @@
+// E8 (Lemma 5.1): rounding the fractional matching yields an integral one
+// of size at least |C~|/50, with failure probability 2 exp(-|C~|/5000).
+//
+// Table rows: per family, statistics over 50 independent rounding seeds of
+// ratio50 = 50 |M| / |C~| (the claim is ratio50 >= 1) and the observed
+// failure rate (expected ~0).
+#include "bench_util.h"
+#include "core/matching_mpc.h"
+#include "core/rounding.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace mpcg;
+using namespace mpcg::bench;
+
+constexpr double kEps = 0.1;
+constexpr int kTrials = 50;
+
+void E08_Rounding(benchmark::State& state, const char* family) {
+  const Graph g = graph_family(family, 1 << 12, 23);
+  MatchingMpcOptions mo;
+  mo.eps = kEps;
+  mo.seed = 23;
+  const auto frac = matching_mpc(g, mo);
+  const auto candidates = heavy_vertices(g, frac.x, 1.0 - 5.0 * kEps);
+
+  Accumulator ratio50;
+  int failures = 0;
+  for (auto _ : state) {
+    for (int seed = 0; seed < kTrials; ++seed) {
+      const auto m = round_fractional_matching(
+          g, frac.x, candidates, static_cast<std::uint64_t>(seed));
+      if (candidates.empty()) continue;
+      const double r = 50.0 * static_cast<double>(m.size()) /
+                       static_cast<double>(candidates.size());
+      ratio50.add(r);
+      if (r < 1.0) ++failures;
+    }
+    benchmark::DoNotOptimize(failures);
+  }
+  state.counters["candidates"] = static_cast<double>(candidates.size());
+  if (ratio50.count() > 0) {
+    state.counters["ratio50_min"] = ratio50.min();
+    state.counters["ratio50_mean"] = ratio50.mean();
+    state.counters["ratio50_max"] = ratio50.max();
+  }
+  state.counters["failures"] = static_cast<double>(failures);
+  state.counters["trials"] = static_cast<double>(kTrials);
+}
+
+void register_all() {
+  for (const char* family : family_names()) {
+    benchmark::RegisterBenchmark(
+        (std::string("E08_Rounding/") + family).c_str(),
+        [family](benchmark::State& s) { E08_Rounding(s, family); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

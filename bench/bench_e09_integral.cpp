@@ -1,0 +1,85 @@
+// E9 (Theorem 1.2): integral (2+eps)-approximate maximum matching and
+// (2+eps)-approximate minimum vertex cover in O(log log n) rounds.
+//
+// Table rows: family sweep (exact nu via blossom) and n sweep for the
+// round shape. Claims: `matching_factor` = nu/|M| <= 2+eps;
+// `cover_over_nu` <= 2+50eps (|VC*| >= nu certifies the factor).
+#include "baselines/blossom.h"
+#include "bench_util.h"
+#include "core/integral_matching.h"
+
+namespace {
+
+using namespace mpcg;
+using namespace mpcg::bench;
+
+constexpr double kEps = 0.1;
+
+void E09_Approximation(benchmark::State& state, const char* family) {
+  const Graph g = graph_family(family, 1 << 10, 29);
+  IntegralMatchingOptions opt;
+  opt.eps = kEps;
+  opt.seed = 29;
+  IntegralMatchingResult r;
+  for (auto _ : state) {
+    r = integral_matching(g, opt);
+    benchmark::DoNotOptimize(r.matching.size());
+  }
+  const double nu = static_cast<double>(maximum_matching_size(g));
+  state.counters["nu"] = nu;
+  state.counters["matching_size"] = static_cast<double>(r.matching.size());
+  state.counters["matching_factor"] =
+      r.matching.empty() ? 0.0 : nu / static_cast<double>(r.matching.size());
+  state.counters["claimed_factor"] = 2.0 + kEps;
+  state.counters["cover_over_nu"] =
+      nu > 0 ? static_cast<double>(r.cover.size()) / nu : 0.0;
+  state.counters["a_path_size"] = static_cast<double>(r.a_path_size);
+  state.counters["small_path_size"] =
+      static_cast<double>(r.small_path_size);
+  state.counters["iterations_of_A"] = static_cast<double>(r.iterations);
+}
+
+void E09_RoundsVsN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = gnp_with_degree(n, 12.0, 31);
+  IntegralMatchingOptions opt;
+  opt.eps = kEps;
+  opt.seed = 31;
+  IntegralMatchingResult r;
+  for (auto _ : state) {
+    r = integral_matching(g, opt);
+    benchmark::DoNotOptimize(r.matching.size());
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["total_rounds"] = static_cast<double>(r.total_rounds);
+  state.counters["first_run_rounds"] =
+      static_cast<double>(r.first_run_rounds);
+  state.counters["loglog_n"] = log2log2(static_cast<double>(n));
+  state.counters["iterations_of_A"] = static_cast<double>(r.iterations);
+}
+BENCHMARK(E09_RoundsVsN)
+    ->Arg(1 << 10)
+    ->Arg(1 << 12)
+    ->Arg(1 << 14)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void register_all() {
+  for (const char* family : family_names()) {
+    benchmark::RegisterBenchmark(
+        (std::string("E09_Approximation/") + family).c_str(),
+        [family](benchmark::State& s) { E09_Approximation(s, family); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// E10 (Corollary 1.3): (1+eps)-approximate maximum matching in
+// O(log log n) * (1/eps)^{O(1/eps)} rounds.
+//
+// Table rows: eps sweep at fixed n (exact nu via blossom). Claims:
+// `matching_factor` = nu/|M| <= 1+eps, and `total_rounds` grows steeply as
+// eps shrinks (the (1/eps)^{O(1/eps)} factor) while the base 2+eps stage
+// stays cheap.
+#include "baselines/blossom.h"
+#include "bench_util.h"
+#include "core/one_plus_eps.h"
+
+namespace {
+
+using namespace mpcg;
+using namespace mpcg::bench;
+
+void E10_EpsSweep(benchmark::State& state, const char* family, double eps) {
+  const Graph g = graph_family(family, 1 << 10, 37);
+  OnePlusEpsOptions opt;
+  opt.eps = eps;
+  opt.seed = 37;
+  OnePlusEpsResult r;
+  for (auto _ : state) {
+    r = one_plus_eps_matching(g, opt);
+    benchmark::DoNotOptimize(r.matching.size());
+  }
+  const double nu = static_cast<double>(maximum_matching_size(g));
+  state.counters["eps"] = eps;
+  state.counters["nu"] = nu;
+  state.counters["matching_size"] = static_cast<double>(r.matching.size());
+  state.counters["matching_factor"] =
+      r.matching.empty() ? 0.0 : nu / static_cast<double>(r.matching.size());
+  state.counters["claimed_factor"] = 1.0 + eps;
+  state.counters["base_size"] = static_cast<double>(r.base_size);
+  state.counters["aug_passes"] = static_cast<double>(r.augmenting_passes);
+  state.counters["paths_flipped"] = static_cast<double>(r.paths_flipped);
+  state.counters["total_rounds"] = static_cast<double>(r.total_rounds);
+}
+
+void register_all() {
+  for (const char* family : {"gnp_dense", "bipartite", "power_law"}) {
+    for (const double eps : {0.5, 1.0 / 3.0, 0.2}) {
+      benchmark::RegisterBenchmark(
+          (std::string("E10_OnePlusEps/") + family + "/eps" +
+           std::to_string(static_cast<int>(1.0 / eps + 0.5)))
+              .c_str(),
+          [family, eps](benchmark::State& s) { E10_EpsSweep(s, family, eps); })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E11 (Corollary 1.4): (2+eps)-approximate maximum weighted matching.
+//
+// Table rows: (a) small graphs where the optimum is brute-forceable —
+// `worst_factor` = max over instances of OPT/w(M), claimed <= ~2(1+eps)
+// with the cutoff slack; (b) large graphs per family against the greedy
+// 1/2-approximation (`vs_greedy` ~ 1 means parity with the classic
+// sequential heuristic while running in O(log log n * 1/eps) rounds).
+#include "baselines/brute_force.h"
+#include "baselines/greedy_matching.h"
+#include "bench_util.h"
+#include "core/weighted_matching.h"
+#include "graph/validation.h"
+
+namespace {
+
+using namespace mpcg;
+using namespace mpcg::bench;
+
+constexpr double kEps = 0.2;
+
+void E11_SmallVsExact(benchmark::State& state) {
+  Rng rng(41);
+  double worst = 1.0;
+  int instances = 0;
+  for (auto _ : state) {
+    worst = 1.0;
+    instances = 0;
+    for (int trial = 0; trial < 200 && instances < 60; ++trial) {
+      const Graph g = erdos_renyi_gnp(10, 0.4, rng);
+      if (g.num_edges() == 0 || g.num_edges() > 24) continue;
+      ++instances;
+      const auto w = uniform_weights(g, 0.5, 4.0, rng);
+      WeightedMatchingOptions opt;
+      opt.eps = kEps;
+      opt.seed = static_cast<std::uint64_t>(trial);
+      const auto r = weighted_matching(g, w, opt);
+      const double best = brute_force_max_weight_matching(g, w);
+      if (r.weight > 0) worst = std::max(worst, best / r.weight);
+    }
+    benchmark::DoNotOptimize(worst);
+  }
+  state.counters["instances"] = static_cast<double>(instances);
+  state.counters["worst_factor"] = worst;
+  state.counters["claimed_factor"] = 2.0 * (1.0 + kEps) / (1.0 - kEps);
+}
+BENCHMARK(E11_SmallVsExact)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void E11_LargeVsGreedy(benchmark::State& state, const char* family) {
+  const Graph g = graph_family(family, 1 << 12, 43);
+  Rng rng(43);
+  const auto w = exponential_weights(g, 2.0, rng);
+  WeightedMatchingOptions opt;
+  opt.eps = kEps;
+  opt.seed = 43;
+  WeightedMatchingResult r;
+  for (auto _ : state) {
+    r = weighted_matching(g, w, opt);
+    benchmark::DoNotOptimize(r.weight);
+  }
+  const double greedy_w = matching_weight(greedy_weighted_matching(g, w), w);
+  state.counters["weight"] = r.weight;
+  state.counters["greedy_weight"] = greedy_w;
+  state.counters["vs_greedy"] = greedy_w > 0 ? r.weight / greedy_w : 0.0;
+  state.counters["classes"] = static_cast<double>(r.num_classes);
+  state.counters["rounds"] = static_cast<double>(r.total_rounds);
+  state.counters["dropped_edges"] = static_cast<double>(r.dropped_edges);
+}
+
+void register_all() {
+  for (const char* family : {"gnp_dense", "power_law", "bipartite", "rmat"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("E11_LargeVsGreedy/") + family).c_str(),
+        [family](benchmark::State& s) { E11_LargeVsGreedy(s, family); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E12 (related-work comparison): maximal/approximate matching baselines.
+//
+// Table rows: per n, the filtering algorithm of [LMSV11] (O(log n) rounds
+// at S = Theta(n)), Israeli–Itai (O(log n) rounds), and our Theorem 1.2
+// driver. Shape: the baselines' rounds grow with log n while ours track
+// log log n; all sizes stay within their guarantees of nu.
+#include "baselines/blossom.h"
+#include "baselines/israeli_itai.h"
+#include "baselines/lmsv_filtering.h"
+#include "bench_util.h"
+#include "core/integral_matching.h"
+#include "core/line_graph_matching.h"
+
+namespace {
+
+using namespace mpcg;
+using namespace mpcg::bench;
+
+void E12_Baselines(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = gnp_with_degree(n, 16.0, 47);
+
+  LmsvResult lmsv;
+  IsraeliItaiResult ii;
+  IntegralMatchingResult ours;
+  LineGraphMatchingResult via_line;
+  for (auto _ : state) {
+    lmsv = lmsv_maximal_matching(g, 8 * n, 47);
+    ii = israeli_itai_matching(g, 47);
+    IntegralMatchingOptions opt;
+    opt.eps = 0.1;
+    opt.seed = 47;
+    ours = integral_matching(g, opt);
+    // The introduction's reduction (MIS on L(G)): correct, but pays the
+    // line-graph memory blowup the direct algorithm avoids.
+    MisMpcOptions lopt;
+    lopt.seed = 47;
+    via_line = line_graph_matching_mpc(g, lopt);
+    benchmark::DoNotOptimize(ours.matching.size());
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["lmsv_rounds"] = static_cast<double>(lmsv.rounds);
+  state.counters["ii_rounds"] = static_cast<double>(ii.rounds);
+  state.counters["ours_rounds"] = static_cast<double>(ours.total_rounds);
+  state.counters["ours_per_call_rounds"] =
+      static_cast<double>(ours.first_run_rounds);
+  state.counters["lmsv_size"] = static_cast<double>(lmsv.matching.size());
+  state.counters["ii_size"] = static_cast<double>(ii.matching.size());
+  state.counters["ours_size"] = static_cast<double>(ours.matching.size());
+  state.counters["line_size"] = static_cast<double>(via_line.matching.size());
+  state.counters["line_blowup"] =
+      static_cast<double>(via_line.line_edges) /
+      static_cast<double>(std::max<std::size_t>(g.num_edges(), 1));
+  if (n <= (1 << 12)) {
+    const double nu = static_cast<double>(maximum_matching_size(g));
+    state.counters["nu"] = nu;
+    state.counters["ours_factor"] =
+        ours.matching.empty()
+            ? 0.0
+            : nu / static_cast<double>(ours.matching.size());
+  }
+  state.counters["log2_n"] = std::log2(static_cast<double>(n));
+  state.counters["loglog_n"] = log2log2(static_cast<double>(n));
+}
+BENCHMARK(E12_Baselines)
+    ->Arg(1 << 10)
+    ->Arg(1 << 12)
+    ->Arg(1 << 14)
+    ->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// E14 (Section 4.4.5, small-matching path): when the graph has
+// O(n polylog n) edges, [LMSV11] filtering halves the surviving edge count
+// per round, so O(log log n) rounds finish it.
+//
+// Table rows: n sweep on m = n log2 n graphs. Claims: `mean_halving` <= ~0.5
+// (per-round shrink factor) and `rounds` tracking log(m/S) = log log n.
+#include "baselines/lmsv_filtering.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace mpcg;
+using namespace mpcg::bench;
+
+void E14_FilteringHalving(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(
+      static_cast<double>(n) * std::log2(static_cast<double>(n)));
+  Rng rng(mix64(59, 0xe14, n));
+  const Graph g = erdos_renyi_gnm(n, m, rng);
+
+  // A deliberately tight budget (n words) keeps the filtering loop honest:
+  // with S >= m the claim is vacuous, since one round swallows the graph.
+  LmsvResult r;
+  for (auto _ : state) {
+    r = lmsv_maximal_matching(g, n, 59);
+    benchmark::DoNotOptimize(r.matching.size());
+  }
+  double worst_halving = 0.0;
+  double sum_halving = 0.0;
+  std::size_t steps = 0;
+  for (std::size_t i = 1; i < r.edges_per_round.size(); ++i) {
+    const double f = static_cast<double>(r.edges_per_round[i]) /
+                     static_cast<double>(r.edges_per_round[i - 1]);
+    worst_halving = std::max(worst_halving, f);
+    sum_halving += f;
+    ++steps;
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["m"] = static_cast<double>(g.num_edges());
+  state.counters["rounds"] = static_cast<double>(r.rounds);
+  state.counters["loglog_n"] = log2log2(static_cast<double>(n));
+  if (steps > 0) {
+    state.counters["mean_halving"] = sum_halving / static_cast<double>(steps);
+    state.counters["worst_halving"] = worst_halving;
+  }
+  state.counters["matching_size"] = static_cast<double>(r.matching.size());
+}
+BENCHMARK(E14_FilteringHalving)
+    ->Arg(1 << 12)
+    ->Arg(1 << 14)
+    ->Arg(1 << 16)
+    ->Arg(1 << 18)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

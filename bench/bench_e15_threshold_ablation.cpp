@@ -1,0 +1,124 @@
+// E15 (ablation — Section 4.2 "Random Thresholding to the Rescue"):
+// what the random thresholds actually buy.
+//
+// The paper argues that with a *fixed* threshold 1-2eps, tiny estimate
+// errors near the threshold can flip freeze decisions for many vertices at
+// once and the simulation drifts from the centralized process; drawing
+// T_{v,t} fresh from [1-4eps, 1-2eps] makes a flip probability
+// proportional to the estimate error (Lemma 4.11).
+//
+// Rows: fixed vs random thresholds, both coupled to the matching
+// Central(-Rand) run via a shared stream. Measured: the divergence of
+// freeze decisions (bad fraction, mean freeze-time gap) and the output
+// quality. Shape to reproduce: random thresholds give materially lower
+// divergence at no quality cost.
+#include <cmath>
+
+#include "baselines/blossom.h"
+#include "bench_util.h"
+#include "core/central.h"
+#include "core/matching_mpc.h"
+#include "graph/validation.h"
+
+namespace {
+
+using namespace mpcg;
+using namespace mpcg::bench;
+
+constexpr double kEps = 0.1;
+constexpr std::size_t kN = 1 << 11;
+
+void E15_ThresholdAblation(benchmark::State& state, const char* family,
+                           bool random_thresholds) {
+  // `cliques` is the adversarial shape for a fixed threshold: every vertex
+  // of a clique carries an identical load, so all of them sit exactly on
+  // the threshold in the same iteration and a tiny estimate error flips
+  // whole cliques at once — the scenario Section 4.2 warns about.
+  const Graph g = std::string(family) == "gnp"
+                      ? gnp_with_degree(kN, 24.0, 61)
+                      : graph_family(family, kN, 61);
+
+  MatchingMpcOptions mo;
+  mo.eps = kEps;
+  mo.seed = 61;
+  mo.threshold_seed = 62;
+  mo.use_random_thresholds = random_thresholds;
+
+  CentralOptions co;
+  co.eps = kEps;
+  co.random_thresholds = random_thresholds;
+  co.threshold_seed = 62;
+  co.initial_edge_weight = (1.0 - 2.0 * kEps) / static_cast<double>(kN);
+
+  MatchingMpcResult sim;
+  CentralResult central;
+  for (auto _ : state) {
+    sim = matching_mpc(g, mo);
+    central = central_fractional_matching(g, co);
+    benchmark::DoNotOptimize(sim.x.data());
+  }
+
+  constexpr std::uint32_t kNever = MatchingMpcResult::kActive;
+  std::size_t frozen_both = 0;
+  std::size_t one_sided = 0;
+  std::size_t bad = 0;
+  double gap_sum = 0.0;
+  for (VertexId v = 0; v < kN; ++v) {
+    const auto fs = sim.freeze_iteration[v];
+    const auto fc = central.freeze_iteration[v];
+    if ((fs == kNever) != (fc == kNever)) {
+      ++one_sided;
+      continue;
+    }
+    if (fs == kNever) continue;
+    ++frozen_both;
+    const double gap =
+        std::abs(static_cast<double>(fs) - static_cast<double>(fc));
+    gap_sum += gap;
+    if (gap > 2.0) ++bad;
+  }
+
+  const double nu = static_cast<double>(maximum_matching_size(g));
+  const double w = fractional_weight(sim.x);
+  state.counters["random_thresholds"] = random_thresholds ? 1.0 : 0.0;
+  state.counters["one_sided_fraction"] =
+      static_cast<double>(one_sided) / static_cast<double>(kN);
+  if (frozen_both > 0) {
+    state.counters["bad_fraction"] =
+        static_cast<double>(bad) / static_cast<double>(frozen_both);
+    state.counters["mean_freeze_gap"] =
+        gap_sum / static_cast<double>(frozen_both);
+  }
+  state.counters["matching_factor"] = w > 0 ? nu / w : 0.0;
+  state.counters["heavy_removed"] = [&] {
+    std::size_t count = 0;
+    for (const char flag : sim.removed_heavy) count += flag != 0;
+    return static_cast<double>(count);
+  }();
+}
+
+void register_all() {
+  for (const char* family : {"gnp", "cliques", "grid"}) {
+    for (const bool rnd : {false, true}) {
+      benchmark::RegisterBenchmark(
+          (std::string("E15_ThresholdAblation/") + family +
+           (rnd ? "/random" : "/fixed"))
+              .c_str(),
+          [family, rnd](benchmark::State& s) {
+            E15_ThresholdAblation(s, family, rnd);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared helpers for the experiment harness.
+//
+// Every bench binary regenerates one "table/figure" of EXPERIMENTS.md: each
+// benchmark row is one row of the table, and the google-benchmark counters
+// carry the quantities the paper's claim is about (rounds, phases, ratios,
+// per-machine words) — wall-clock time is incidental.
+#ifndef MPCG_BENCH_BENCH_UTIL_H
+#define MPCG_BENCH_BENCH_UTIL_H
+
+#include <cmath>
+#include <cstdint>
+
+#include <benchmark/benchmark.h>
+
+#include "gen/families.h"
+#include "gen/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace mpcg::bench {
+
+inline double log2log2(double x) {
+  return std::log2(std::max(2.0, std::log2(std::max(2.0, x))));
+}
+
+/// G(n, p) with a target average degree, deterministic per (n, seed).
+inline Graph gnp_with_degree(std::size_t n, double avg_degree,
+                             std::uint64_t seed) {
+  Rng rng(mix64(seed, 0xbe7c4, n));
+  return erdos_renyi_gnp(n, avg_degree / static_cast<double>(n), rng);
+}
+
+}  // namespace mpcg::bench
+
+#endif  // MPCG_BENCH_BENCH_UTIL_H

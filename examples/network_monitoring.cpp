@@ -1,0 +1,60 @@
+// Scenario: placing traffic monitors in a network.
+//
+// Every link must be observed by a monitor at one of its endpoints — a
+// vertex cover of the topology graph. On an RMAT topology (skewed,
+// clustered, internet-like) the Theorem 1.2 pipeline places a
+// (2+eps)-approximate minimal monitor set in O(log log n) rounds, and the
+// fractional relaxation (Lemma 4.2) doubles as a per-router "criticality"
+// score.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/matching_mpc.h"
+#include "core/integral_matching.h"
+#include "gen/generators.h"
+#include "graph/validation.h"
+
+int main() {
+  using namespace mpcg;
+
+  Rng rng(13);
+  const Graph g = rmat(14, 6 * (1 << 14), 0.45, 0.22, 0.22, rng);
+  std::printf("topology: n=%zu routers, m=%zu links, max_degree=%zu\n",
+              g.num_vertices(), g.num_edges(), g.max_degree());
+
+  // Monitor placement.
+  IntegralMatchingOptions opt;
+  opt.eps = 0.1;
+  opt.seed = 17;
+  const auto placement = integral_matching(g, opt);
+  std::printf("\nmonitors placed: %zu routers (every link observed: %s)\n",
+              placement.cover.size(),
+              is_vertex_cover(g, placement.cover) ? "yes" : "NO");
+  std::printf("disjoint-link lower bound (matching): %zu -> placement is "
+              "within %.2fx of any possible placement\n",
+              placement.matching.size(),
+              placement.matching.empty()
+                  ? 0.0
+                  : static_cast<double>(placement.cover.size()) /
+                        static_cast<double>(placement.matching.size()));
+
+  // Criticality scores from the fractional relaxation.
+  MatchingMpcOptions fopt;
+  fopt.eps = 0.1;
+  fopt.seed = 18;
+  const auto frac = matching_mpc(g, fopt);
+  const auto loads = vertex_loads(g, frac.x);
+  std::vector<VertexId> routers(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) routers[v] = v;
+  std::partial_sort(routers.begin(), routers.begin() + 5, routers.end(),
+                    [&](VertexId a, VertexId b) { return loads[a] > loads[b]; });
+  std::printf("\ntop-5 critical routers (fractional load / degree):\n");
+  for (int i = 0; i < 5; ++i) {
+    const VertexId v = routers[static_cast<std::size_t>(i)];
+    std::printf("  router %-6u load=%.3f degree=%zu\n", v, loads[v],
+                g.degree(v));
+  }
+  std::printf("\npipeline cost: %zu engine rounds across %zu phases\n",
+              frac.metrics.rounds, frac.phases);
+  return 0;
+}

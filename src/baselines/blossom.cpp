@@ -1,0 +1,137 @@
+#include "baselines/blossom.h"
+
+#include <deque>
+#include <limits>
+
+namespace mpcg {
+
+namespace {
+
+constexpr VertexId kNone = std::numeric_limits<VertexId>::max();
+
+/// Classic O(V^3) blossom implementation with base[] contraction.
+class BlossomSolver {
+ public:
+  explicit BlossomSolver(const Graph& g)
+      : g_(g), n_(g.num_vertices()), match_(n_, kNone), parent_(n_, kNone),
+        base_(n_, 0) {}
+
+  std::vector<EdgeId> solve() {
+    for (VertexId v = 0; v < n_; ++v) {
+      if (match_[v] == kNone) {
+        augment_from(v);
+      }
+    }
+    std::vector<EdgeId> matching;
+    for (VertexId v = 0; v < n_; ++v) {
+      if (match_[v] != kNone && v < match_[v]) {
+        matching.push_back(g_.find_edge(v, match_[v]));
+      }
+    }
+    return matching;
+  }
+
+ private:
+  VertexId lowest_common_ancestor(VertexId a, VertexId b) {
+    std::vector<char> used(n_, 0);
+    // Walk up from a marking bases, then from b until a marked base.
+    VertexId v = a;
+    for (;;) {
+      v = base_[v];
+      used[v] = 1;
+      if (match_[v] == kNone) break;
+      v = parent_[match_[v]];
+    }
+    v = b;
+    for (;;) {
+      v = base_[v];
+      if (used[v]) return v;
+      v = parent_[match_[v]];
+    }
+  }
+
+  void mark_path(std::vector<char>& blossom, VertexId v, VertexId ancestor,
+                 VertexId child) {
+    while (base_[v] != ancestor) {
+      blossom[base_[v]] = 1;
+      blossom[base_[match_[v]]] = 1;
+      parent_[v] = child;
+      child = match_[v];
+      v = parent_[match_[v]];
+    }
+  }
+
+  VertexId find_augmenting_path(VertexId root) {
+    std::fill(parent_.begin(), parent_.end(), kNone);
+    std::vector<char> used(n_, 0);
+    for (VertexId v = 0; v < n_; ++v) base_[v] = v;
+    used[root] = 1;
+    std::deque<VertexId> queue{root};
+
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (const Arc& a : g_.arcs(v)) {
+        const VertexId to = a.to;
+        if (base_[v] == base_[to] || match_[v] == to) continue;
+        if (to == root || (match_[to] != kNone && parent_[match_[to]] != kNone)) {
+          // Odd cycle: contract the blossom.
+          const VertexId ancestor = lowest_common_ancestor(v, to);
+          std::vector<char> blossom(n_, 0);
+          mark_path(blossom, v, ancestor, to);
+          mark_path(blossom, to, ancestor, v);
+          for (VertexId u = 0; u < n_; ++u) {
+            if (blossom[base_[u]]) {
+              base_[u] = ancestor;
+              if (!used[u]) {
+                used[u] = 1;
+                queue.push_back(u);
+              }
+            }
+          }
+        } else if (parent_[to] == kNone) {
+          parent_[to] = v;
+          if (match_[to] == kNone) {
+            return to;  // augmenting path found
+          }
+          used[match_[to]] = 1;
+          queue.push_back(match_[to]);
+        }
+      }
+    }
+    return kNone;
+  }
+
+  void augment_from(VertexId root) {
+    const VertexId end = find_augmenting_path(root);
+    if (end == kNone) return;
+    // Flip matched/unmatched along the alternating path back to the root.
+    VertexId v = end;
+    while (v != kNone) {
+      const VertexId pv = parent_[v];
+      const VertexId ppv = match_[pv];
+      match_[v] = pv;
+      match_[pv] = v;
+      v = ppv;
+    }
+  }
+
+  const Graph& g_;
+  std::size_t n_;
+  std::vector<VertexId> match_;
+  std::vector<VertexId> parent_;
+  std::vector<VertexId> base_;
+};
+
+}  // namespace
+
+std::vector<EdgeId> blossom_maximum_matching(const Graph& g) {
+  BlossomSolver solver(g);
+  return solver.solve();
+}
+
+std::size_t maximum_matching_size(const Graph& g) {
+  return blossom_maximum_matching(g).size();
+}
+
+}  // namespace mpcg

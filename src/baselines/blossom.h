@@ -1,0 +1,24 @@
+// Edmonds' blossom algorithm: exact maximum matching in general graphs.
+//
+// This is the ground-truth oracle for every approximation-ratio experiment
+// (the paper's (2+eps) and (1+eps) guarantees are measured against nu(G)
+// computed here). O(V^3); intended for graphs up to a few thousand
+// vertices, which is ample for ratio measurements.
+#ifndef MPCG_BASELINES_BLOSSOM_H
+#define MPCG_BASELINES_BLOSSOM_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcg {
+
+/// Maximum matching (edge ids) of g.
+[[nodiscard]] std::vector<EdgeId> blossom_maximum_matching(const Graph& g);
+
+/// Just the size nu(G) of a maximum matching.
+[[nodiscard]] std::size_t maximum_matching_size(const Graph& g);
+
+}  // namespace mpcg
+
+#endif  // MPCG_BASELINES_BLOSSOM_H

@@ -1,0 +1,97 @@
+#include "baselines/brute_force.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+namespace mpcg {
+
+namespace {
+
+void check_small(const Graph& g) {
+  if (g.num_vertices() > 64) {
+    throw std::invalid_argument("brute force: graph too large (n > 64)");
+  }
+}
+
+/// Branch over edges: either edge e is skipped, or taken (if endpoints
+/// free). Returns the best count from edge index `idx` given used-vertex
+/// mask.
+std::size_t mm_branch(const Graph& g, std::size_t idx, std::uint64_t used) {
+  const auto m = g.num_edges();
+  std::size_t best = 0;
+  for (std::size_t e = idx; e < m; ++e) {
+    const Edge ed = g.edge(static_cast<EdgeId>(e));
+    const std::uint64_t mask =
+        (std::uint64_t{1} << ed.u) | (std::uint64_t{1} << ed.v);
+    if ((used & mask) == 0) {
+      best = std::max(best, 1 + mm_branch(g, e + 1, used | mask));
+    }
+  }
+  return best;
+}
+
+double wmm_branch(const Graph& g, const std::vector<double>& weights,
+                  std::size_t idx, std::uint64_t used) {
+  const auto m = g.num_edges();
+  double best = 0.0;
+  for (std::size_t e = idx; e < m; ++e) {
+    const Edge ed = g.edge(static_cast<EdgeId>(e));
+    const std::uint64_t mask =
+        (std::uint64_t{1} << ed.u) | (std::uint64_t{1} << ed.v);
+    if ((used & mask) == 0) {
+      best = std::max(best, weights[e] + wmm_branch(g, weights, e + 1,
+                                                    used | mask));
+    }
+  }
+  return best;
+}
+
+std::size_t vc_branch(const Graph& g, std::uint64_t covered,
+                      std::size_t budget) {
+  // Find an uncovered edge.
+  for (const Edge& e : g.edges()) {
+    const bool u_in = (covered >> e.u) & 1U;
+    const bool v_in = (covered >> e.v) & 1U;
+    if (u_in || v_in) continue;
+    if (budget == 0) return g.num_vertices() + 1;  // infeasible sentinel
+    const std::size_t take_u =
+        vc_branch(g, covered | (std::uint64_t{1} << e.u), budget - 1);
+    const std::size_t take_v =
+        vc_branch(g, covered | (std::uint64_t{1} << e.v), budget - 1);
+    return 1 + std::min(take_u, take_v);
+  }
+  return 0;  // all edges covered
+}
+
+}  // namespace
+
+std::size_t brute_force_max_matching(const Graph& g) {
+  check_small(g);
+  return mm_branch(g, 0, 0);
+}
+
+double brute_force_max_weight_matching(const Graph& g,
+                                       const std::vector<double>& weights) {
+  check_small(g);
+  if (weights.size() != g.num_edges()) {
+    throw std::invalid_argument("brute force: weights size mismatch");
+  }
+  return wmm_branch(g, weights, 0, 0);
+}
+
+std::size_t brute_force_min_vertex_cover(const Graph& g) {
+  check_small(g);
+  // Iterative deepening on the budget keeps the branch tree tiny.
+  for (std::size_t budget = 0; budget <= g.num_vertices(); ++budget) {
+    if (vc_branch(g, 0, budget) <= budget) return budget;
+  }
+  return g.num_vertices();
+}
+
+std::size_t brute_force_max_independent_set(const Graph& g) {
+  check_small(g);
+  return g.num_vertices() - brute_force_min_vertex_cover(g);
+}
+
+}  // namespace mpcg

@@ -1,0 +1,64 @@
+#include "baselines/greedy_matching.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/greedy_mis.h"
+#include "graph/graph_algos.h"
+#include "util/permutation.h"
+#include "util/rng.h"
+
+namespace mpcg {
+
+std::vector<EdgeId> greedy_maximal_matching(const Graph& g) {
+  std::vector<EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), 0U);
+  return greedy_maximal_matching_ordered(g, order);
+}
+
+std::vector<EdgeId> greedy_maximal_matching_ordered(
+    const Graph& g, const std::vector<EdgeId>& order) {
+  std::vector<char> used(g.num_vertices(), 0);
+  std::vector<EdgeId> matching;
+  for (const EdgeId e : order) {
+    const Edge ed = g.edge(e);
+    if (!used[ed.u] && !used[ed.v]) {
+      used[ed.u] = 1;
+      used[ed.v] = 1;
+      matching.push_back(e);
+    }
+  }
+  return matching;
+}
+
+std::vector<EdgeId> greedy_weighted_matching(const Graph& g,
+                                             const std::vector<double>& weights) {
+  std::vector<EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), 0U);
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return weights[a] > weights[b] || (weights[a] == weights[b] && a < b);
+  });
+  return greedy_maximal_matching_ordered(g, order);
+}
+
+std::vector<EdgeId> maximal_matching_via_line_graph(const Graph& g,
+                                                    std::uint64_t seed) {
+  const Graph lg = line_graph(g);
+  Rng rng(seed);
+  const auto perm = random_permutation(lg.num_vertices(), rng);
+  return matching_from_line_graph_mis(greedy_mis(lg, perm));
+}
+
+std::vector<VertexId> vertex_cover_from_matching(
+    const Graph& g, const std::vector<EdgeId>& matching) {
+  std::vector<VertexId> cover;
+  cover.reserve(2 * matching.size());
+  for (const EdgeId e : matching) {
+    const Edge ed = g.edge(e);
+    cover.push_back(ed.u);
+    cover.push_back(ed.v);
+  }
+  return cover;
+}
+
+}  // namespace mpcg

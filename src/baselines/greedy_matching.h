@@ -1,0 +1,39 @@
+// Sequential greedy matchings: the classic maximal-matching baseline
+// (2-approximation to maximum matching; its endpoints are a 2-approximate
+// vertex cover) and the weight-sorted greedy (1/2-approximation to maximum
+// weight matching), used as comparison points and as local subroutines.
+#ifndef MPCG_BASELINES_GREEDY_MATCHING_H
+#define MPCG_BASELINES_GREEDY_MATCHING_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcg {
+
+/// Maximal matching scanning edges in id order.
+[[nodiscard]] std::vector<EdgeId> greedy_maximal_matching(const Graph& g);
+
+/// Maximal matching scanning edges in the given order (a permutation of
+/// edge ids; extra ids are ignored, missing ids are an error detected by
+/// non-maximality of the result only in debug oracles).
+[[nodiscard]] std::vector<EdgeId> greedy_maximal_matching_ordered(
+    const Graph& g, const std::vector<EdgeId>& order);
+
+/// Greedy on edges sorted by weight descending: weight(M) >= w(M*)/2.
+[[nodiscard]] std::vector<EdgeId> greedy_weighted_matching(
+    const Graph& g, const std::vector<double>& weights);
+
+/// Endpoints of a maximal matching — a 2-approximate vertex cover.
+[[nodiscard]] std::vector<VertexId> vertex_cover_from_matching(
+    const Graph& g, const std::vector<EdgeId>& matching);
+
+/// The classic reduction from the paper's introduction: run randomized
+/// greedy MIS on the line graph L(G); the chosen line-vertices (= edges of
+/// g) form a maximal matching of g.
+[[nodiscard]] std::vector<EdgeId> maximal_matching_via_line_graph(
+    const Graph& g, std::uint64_t seed);
+
+}  // namespace mpcg
+
+#endif  // MPCG_BASELINES_GREEDY_MATCHING_H

@@ -1,0 +1,73 @@
+#include "baselines/greedy_mis.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpcg {
+
+GreedyMisTrace greedy_mis_trace(const Graph& g,
+                                const std::vector<std::uint32_t>& perm) {
+  const std::size_t n = g.num_vertices();
+  if (perm.size() != n) {
+    throw std::invalid_argument("greedy_mis_trace: permutation size mismatch");
+  }
+  GreedyMisTrace trace;
+  trace.removed_at_rank.assign(n, std::numeric_limits<std::uint32_t>::max());
+  trace.in_mis.assign(n, 0);
+  std::vector<char> alive(n, 1);
+  for (std::uint32_t rank = 0; rank < n; ++rank) {
+    const VertexId v = perm[rank];
+    if (!alive[v]) continue;
+    trace.mis.push_back(v);
+    trace.in_mis[v] = 1;
+    alive[v] = 0;
+    trace.removed_at_rank[v] = rank;
+    for (const Arc& a : g.arcs(v)) {
+      if (alive[a.to]) {
+        alive[a.to] = 0;
+        trace.removed_at_rank[a.to] = rank;
+      }
+    }
+  }
+  return trace;
+}
+
+std::vector<VertexId> greedy_mis(const Graph& g,
+                                 const std::vector<std::uint32_t>& perm) {
+  return greedy_mis_trace(g, perm).mis;
+}
+
+std::vector<VertexId> residual_vertices_after_rank(
+    const GreedyMisTrace& trace, std::uint32_t rank_exclusive) {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < trace.removed_at_rank.size(); ++v) {
+    if (trace.removed_at_rank[v] >= rank_exclusive) out.push_back(v);
+  }
+  return out;
+}
+
+std::size_t greedy_dependency_depth(const Graph& g,
+                                    const std::vector<std::uint32_t>& perm) {
+  const std::size_t n = g.num_vertices();
+  if (perm.size() != n) {
+    throw std::invalid_argument(
+        "greedy_dependency_depth: permutation size mismatch");
+  }
+  std::vector<std::uint32_t> rank_of(n);
+  for (std::uint32_t i = 0; i < n; ++i) rank_of[perm[i]] = i;
+  std::vector<std::uint32_t> depth(n, 0);
+  std::size_t best = 0;
+  // Process in rank order so all lower-rank neighbors are final.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const VertexId v = perm[i];
+    std::uint32_t d = 1;
+    for (const Arc& a : g.arcs(v)) {
+      if (rank_of[a.to] < i) d = std::max(d, depth[a.to] + 1);
+    }
+    depth[v] = d;
+    best = std::max<std::size_t>(best, d);
+  }
+  return best;
+}
+
+}  // namespace mpcg

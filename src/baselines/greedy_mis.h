@@ -1,0 +1,53 @@
+// Sequential randomized greedy MIS (paper, Section 3.1).
+//
+// Vertices are processed in permutation order; an alive vertex joins the
+// MIS and kills its neighbors. This is the reference process the paper's
+// MPC and CONGESTED-CLIQUE algorithms simulate; `greedy_mis_trace` exposes
+// the per-vertex removal ranks needed for the Lemma 3.1 experiments and for
+// exact-equivalence tests against the simulations.
+#ifndef MPCG_BASELINES_GREEDY_MIS_H
+#define MPCG_BASELINES_GREEDY_MIS_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcg {
+
+/// Full trace of the sequential greedy MIS run.
+struct GreedyMisTrace {
+  /// MIS members in the order they joined.
+  std::vector<VertexId> mis;
+  /// removed_at_rank[v] = permutation position at whose processing v was
+  /// removed (its own position if it joined the MIS; an earlier neighbor's
+  /// position otherwise). Every vertex is eventually removed.
+  std::vector<std::uint32_t> removed_at_rank;
+  /// in_mis[v] flag.
+  std::vector<char> in_mis;
+};
+
+/// Runs greedy MIS along `perm` (perm[i] = vertex with rank i).
+[[nodiscard]] GreedyMisTrace greedy_mis_trace(const Graph& g,
+                                              const std::vector<std::uint32_t>& perm);
+
+/// Convenience: just the MIS.
+[[nodiscard]] std::vector<VertexId> greedy_mis(const Graph& g,
+                                               const std::vector<std::uint32_t>& perm);
+
+/// Vertices still alive after the greedy process has consumed ranks
+/// [0, rank_exclusive) — the residual graph G_r of Lemma 3.1.
+[[nodiscard]] std::vector<VertexId> residual_vertices_after_rank(
+    const GreedyMisTrace& trace, std::uint32_t rank_exclusive);
+
+/// The parallel-round depth of the greedy process (Blelloch et al. /
+/// Fischer–Noever measure): longest chain of rank-decreasing adjacent
+/// vertices, i.e. the number of rounds a parallel simulation of this
+/// permutation needs. Theta(log n) w.h.p. for a random permutation [FN18].
+[[nodiscard]] std::size_t greedy_dependency_depth(
+    const Graph& g, const std::vector<std::uint32_t>& perm);
+
+}  // namespace mpcg
+
+#endif  // MPCG_BASELINES_GREEDY_MIS_H

@@ -1,0 +1,112 @@
+#include "baselines/hopcroft_karp.h"
+
+#include <deque>
+#include <limits>
+
+namespace mpcg {
+
+std::optional<std::vector<char>> try_bipartition(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  constexpr char kUnset = 2;
+  std::vector<char> side(n, kUnset);
+  std::deque<VertexId> queue;
+  for (VertexId s = 0; s < n; ++s) {
+    if (side[s] != kUnset) continue;
+    side[s] = 0;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (const Arc& a : g.arcs(v)) {
+        if (side[a.to] == kUnset) {
+          side[a.to] = static_cast<char>(1 - side[v]);
+          queue.push_back(a.to);
+        } else if (side[a.to] == side[v]) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  return side;
+}
+
+namespace {
+
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+constexpr VertexId kFree = std::numeric_limits<VertexId>::max();
+
+struct HkState {
+  const Graph& g;
+  const std::vector<char>& side;
+  std::vector<VertexId> match;  // partner or kFree
+  std::vector<std::uint32_t> dist;
+
+  explicit HkState(const Graph& graph, const std::vector<char>& s)
+      : g(graph), side(s), match(graph.num_vertices(), kFree),
+        dist(graph.num_vertices(), kInf) {}
+
+  bool bfs() {
+    std::deque<VertexId> queue;
+    bool reachable_free = false;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (side[v] == 0 && match[v] == kFree) {
+        dist[v] = 0;
+        queue.push_back(v);
+      } else {
+        dist[v] = kInf;
+      }
+    }
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (const Arc& a : g.arcs(v)) {
+        const VertexId u = a.to;  // right side
+        const VertexId w = match[u];
+        if (w == kFree) {
+          reachable_free = true;
+        } else if (dist[w] == kInf) {
+          dist[w] = dist[v] + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    return reachable_free;
+  }
+
+  bool dfs(VertexId v) {
+    for (const Arc& a : g.arcs(v)) {
+      const VertexId u = a.to;
+      const VertexId w = match[u];
+      if (w == kFree || (dist[w] == dist[v] + 1 && dfs(w))) {
+        match[v] = u;
+        match[u] = v;
+        return true;
+      }
+    }
+    dist[v] = kInf;
+    return false;
+  }
+};
+
+}  // namespace
+
+std::vector<EdgeId> hopcroft_karp_matching(const Graph& g,
+                                           const std::vector<char>& side) {
+  HkState state(g, side);
+  while (state.bfs()) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (side[v] == 0 && state.match[v] == kFree) {
+        state.dfs(v);
+      }
+    }
+  }
+  std::vector<EdgeId> matching;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (side[v] == 0 && state.match[v] != kFree) {
+      matching.push_back(g.find_edge(v, state.match[v]));
+    }
+  }
+  return matching;
+}
+
+}  // namespace mpcg

@@ -1,0 +1,25 @@
+// Hopcroft–Karp maximum bipartite matching, plus a bipartition finder.
+//
+// Used as the exact reference on bipartite inputs (O(E sqrt(V))), cheaper
+// than the general blossom solver and an independent cross-check of it.
+#ifndef MPCG_BASELINES_HOPCROFT_KARP_H
+#define MPCG_BASELINES_HOPCROFT_KARP_H
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcg {
+
+/// Two-colors the graph if it is bipartite: side[v] in {0, 1}. Returns
+/// nullopt when an odd cycle exists. Isolated vertices get side 0.
+[[nodiscard]] std::optional<std::vector<char>> try_bipartition(const Graph& g);
+
+/// Maximum matching of a bipartite graph given a valid bipartition.
+[[nodiscard]] std::vector<EdgeId> hopcroft_karp_matching(
+    const Graph& g, const std::vector<char>& side);
+
+}  // namespace mpcg
+
+#endif  // MPCG_BASELINES_HOPCROFT_KARP_H

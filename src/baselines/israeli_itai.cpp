@@ -1,0 +1,66 @@
+#include "baselines/israeli_itai.h"
+
+#include <limits>
+
+#include "util/rng.h"
+
+namespace mpcg {
+
+IsraeliItaiResult israeli_itai_matching(const Graph& g, std::uint64_t seed) {
+  const std::size_t n = g.num_vertices();
+  IsraeliItaiResult result;
+  std::vector<char> matched(n, 0);
+  constexpr VertexId kNone = std::numeric_limits<VertexId>::max();
+
+  bool progress_possible = true;
+  while (progress_possible) {
+    const std::uint64_t round = result.rounds;
+    // Propose.
+    std::vector<VertexId> proposal(n, kNone);
+    progress_possible = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (matched[v]) continue;
+      // Collect unmatched neighbors; pick one uniformly via the stateless
+      // per-(vertex, round) randomness.
+      std::size_t count = 0;
+      for (const Arc& a : g.arcs(v)) {
+        if (!matched[a.to]) ++count;
+      }
+      if (count == 0) continue;
+      progress_possible = true;
+      std::size_t pick = static_cast<std::size_t>(
+          stateless_uniform(seed, v, round) * static_cast<double>(count));
+      if (pick >= count) pick = count - 1;
+      for (const Arc& a : g.arcs(v)) {
+        if (!matched[a.to]) {
+          if (pick == 0) {
+            proposal[v] = a.to;
+            break;
+          }
+          --pick;
+        }
+      }
+    }
+    if (!progress_possible) break;
+
+    // Accept: lowest-id proposer per vertex.
+    std::vector<VertexId> accepted(n, kNone);
+    for (VertexId v = 0; v < n; ++v) {
+      const VertexId u = proposal[v];
+      if (u == kNone) continue;
+      if (accepted[u] == kNone || v < accepted[u]) accepted[u] = v;
+    }
+    // Match mutual pairs (proposer v accepted by u).
+    for (VertexId u = 0; u < n; ++u) {
+      const VertexId v = accepted[u];
+      if (v == kNone || matched[u] || matched[v]) continue;
+      matched[u] = 1;
+      matched[v] = 1;
+      result.matching.push_back(g.find_edge(u, v));
+    }
+    ++result.rounds;
+  }
+  return result;
+}
+
+}  // namespace mpcg

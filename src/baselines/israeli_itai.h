@@ -1,0 +1,28 @@
+// Israeli–Itai style randomized maximal matching [II86] — the classic
+// O(log n)-round distributed baseline.
+//
+// Per round every unmatched vertex proposes to a uniformly random unmatched
+// neighbor; every vertex that received proposals accepts one (the
+// lowest-id proposer), and mutual (proposer, accepter) pairs are matched
+// and removed. Repeats until no edges between unmatched vertices remain.
+#ifndef MPCG_BASELINES_ISRAELI_ITAI_H
+#define MPCG_BASELINES_ISRAELI_ITAI_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcg {
+
+struct IsraeliItaiResult {
+  std::vector<EdgeId> matching;
+  std::size_t rounds = 0;
+};
+
+[[nodiscard]] IsraeliItaiResult israeli_itai_matching(const Graph& g,
+                                                      std::uint64_t seed);
+
+}  // namespace mpcg
+
+#endif  // MPCG_BASELINES_ISRAELI_ITAI_H

@@ -1,0 +1,60 @@
+#include "baselines/lmsv_filtering.h"
+
+#include <algorithm>
+
+#include "baselines/greedy_matching.h"
+#include "util/rng.h"
+
+namespace mpcg {
+
+LmsvResult lmsv_maximal_matching(const Graph& g, std::size_t memory_words,
+                                 std::uint64_t seed) {
+  LmsvResult result;
+  if (memory_words == 0) memory_words = 1;
+  Rng rng(seed);
+
+  std::vector<char> matched(g.num_vertices(), 0);
+  std::vector<EdgeId> alive(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) alive[e] = e;
+
+  const auto greedy_on = [&](const std::vector<EdgeId>& edges) {
+    for (const EdgeId e : edges) {
+      const Edge ed = g.edge(e);
+      if (!matched[ed.u] && !matched[ed.v]) {
+        matched[ed.u] = 1;
+        matched[ed.v] = 1;
+        result.matching.push_back(e);
+      }
+    }
+  };
+
+  while (alive.size() > memory_words) {
+    result.edges_per_round.push_back(alive.size());
+    // Sample to fit one machine (expected sample size memory_words / 2).
+    const double p = std::min(
+        1.0, static_cast<double>(memory_words) /
+                 (2.0 * static_cast<double>(alive.size())));
+    std::vector<EdgeId> sample;
+    for (const EdgeId e : alive) {
+      if (rng.next_bernoulli(p)) sample.push_back(e);
+    }
+    if (sample.empty()) {
+      // Guarantees progress even on astronomically unlucky draws.
+      sample.push_back(alive[rng.next_below(alive.size())]);
+    }
+    greedy_on(sample);
+    // Filter: drop edges touching matched vertices.
+    std::erase_if(alive, [&](EdgeId e) {
+      const Edge ed = g.edge(e);
+      return matched[ed.u] || matched[ed.v];
+    });
+    ++result.rounds;
+  }
+
+  result.edges_per_round.push_back(alive.size());
+  greedy_on(alive);  // final local pass: everything fits on one machine
+  ++result.rounds;
+  return result;
+}
+
+}  // namespace mpcg

@@ -1,0 +1,38 @@
+// Lattanzi–Moseley–Suri–Vassilvitskii filtering maximal matching [LMSV11].
+//
+// The paper relies on this algorithm twice: as the related-work baseline
+// (O(log n) rounds at S = Theta(n)) and as the small-matching path of
+// Section 4.4.5 (if the graph has O(n polylog n) edges the filtering rounds
+// halve the edge count, so O(log log n) rounds suffice to finish).
+//
+// Per round: sample surviving edges to fit the S-word machine budget,
+// compute a maximal matching of the sample on one machine, discard all
+// edges touching matched vertices. When the survivors fit in one machine,
+// finish locally. The output is a maximal matching of the input graph.
+#ifndef MPCG_BASELINES_LMSV_FILTERING_H
+#define MPCG_BASELINES_LMSV_FILTERING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcg {
+
+struct LmsvResult {
+  std::vector<EdgeId> matching;
+  /// Filtering iterations executed (each is O(1) MPC rounds).
+  std::size_t rounds = 0;
+  /// Surviving edge count at the start of each iteration, ending with the
+  /// count handled by the final local pass.
+  std::vector<std::size_t> edges_per_round;
+};
+
+/// Runs filtering with a per-machine budget of `memory_words` edges.
+[[nodiscard]] LmsvResult lmsv_maximal_matching(const Graph& g,
+                                               std::size_t memory_words,
+                                               std::uint64_t seed);
+
+}  // namespace mpcg
+
+#endif  // MPCG_BASELINES_LMSV_FILTERING_H

@@ -1,0 +1,121 @@
+#include "baselines/local_mis.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace mpcg {
+
+LocalMisState::LocalMisState(const Graph& g, std::vector<char> alive,
+                             std::uint64_t seed)
+    : g_(g), seed_(seed), alive_(std::move(alive)),
+      in_mis_(g.num_vertices(), 0), p_(g.num_vertices(), 0.5) {
+  alive_.resize(g.num_vertices(), 1);
+  alive_count_ = static_cast<std::size_t>(
+      std::count(alive_.begin(), alive_.end(), char{1}));
+}
+
+std::vector<VertexId> LocalMisState::step() {
+  const std::size_t n = g_.num_vertices();
+  const std::uint64_t t = iteration_++;
+
+  // Mark with probability p_v (stateless randomness).
+  std::vector<char> marked(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (alive_[v] && stateless_uniform(seed_, v, t) < p_[v]) marked[v] = 1;
+  }
+
+  // Effective degrees for the desire-level update (computed before
+  // removals, as in the original dynamics).
+  std::vector<double> effective(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!alive_[v]) continue;
+    double d = 0.0;
+    for (const Arc& a : g_.arcs(v)) {
+      if (alive_[a.to]) d += p_[a.to];
+    }
+    effective[v] = d;
+  }
+
+  // Join: marked with no marked alive neighbor.
+  std::vector<VertexId> joined;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!alive_[v] || !marked[v]) continue;
+    bool lonely = true;
+    for (const Arc& a : g_.arcs(v)) {
+      if (alive_[a.to] && marked[a.to]) {
+        lonely = false;
+        break;
+      }
+    }
+    if (lonely) joined.push_back(v);
+  }
+  for (const VertexId v : joined) {
+    in_mis_[v] = 1;
+    if (alive_[v]) {
+      alive_[v] = 0;
+      --alive_count_;
+    }
+    for (const Arc& a : g_.arcs(v)) {
+      if (alive_[a.to]) {
+        alive_[a.to] = 0;
+        --alive_count_;
+      }
+    }
+  }
+
+  // Desire-level update for survivors.
+  for (VertexId v = 0; v < n; ++v) {
+    if (!alive_[v]) continue;
+    p_[v] = effective[v] >= 2.0 ? p_[v] / 2.0 : std::min(2.0 * p_[v], 0.5);
+  }
+  return joined;
+}
+
+std::size_t LocalMisState::alive_edges() const {
+  std::size_t count = 0;
+  for (const Edge& e : g_.edges()) {
+    if (alive_[e.u] && alive_[e.v]) ++count;
+  }
+  return count;
+}
+
+std::size_t LocalMisState::max_alive_degree() const {
+  std::size_t best = 0;
+  for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+    if (!alive_[v]) continue;
+    std::size_t d = 0;
+    for (const Arc& a : g_.arcs(v)) {
+      if (alive_[a.to]) ++d;
+    }
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+LocalMisResult local_mis(const Graph& g, std::uint64_t seed) {
+  LocalMisState state(g, std::vector<char>(g.num_vertices(), 1), seed);
+  LocalMisResult result;
+  // The dynamics terminate in O(log n) iterations w.h.p.; the hard cap
+  // below only guards tests against pathological seeds, finishing any
+  // stragglers greedily (still a valid MIS).
+  std::size_t max_iterations = 64;
+  for (std::size_t n = g.num_vertices(); n > 1; n /= 2) max_iterations += 32;
+  while (state.alive_count() > 0 && state.iterations() < max_iterations) {
+    const auto joined = state.step();
+    for (const VertexId v : joined) result.mis.push_back(v);
+  }
+  if (state.alive_count() > 0) {
+    std::vector<char> alive = state.alive();
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (!alive[v]) continue;
+      result.mis.push_back(v);
+      alive[v] = 0;
+      for (const Arc& a : g.arcs(v)) alive[a.to] = 0;
+    }
+  }
+  result.iterations = state.iterations();
+  return result;
+}
+
+}  // namespace mpcg

@@ -1,0 +1,61 @@
+// Ghaffari-style local MIS dynamics (desire levels), used as the
+// "Sparsified MIS Algorithm of [Gha17]" stage of the paper's Theorem 1.1
+// pipeline (see DESIGN.md, substitutions).
+//
+// Each alive vertex keeps a desire level p_v (initially 1/2). Per
+// iteration: v marks itself with probability p_v; a marked vertex with no
+// marked alive neighbor joins the MIS, and MIS neighborhoods are removed;
+// then p_v halves if the effective degree sum_{alive u in N(v)} p_u is >= 2
+// and doubles (capped at 1/2) otherwise. All randomness is stateless in
+// (seed, v, iteration), so the sequential, MPC, and CONGESTED-CLIQUE
+// drivers of this state machine produce bit-identical runs.
+#ifndef MPCG_BASELINES_LOCAL_MIS_H
+#define MPCG_BASELINES_LOCAL_MIS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcg {
+
+class LocalMisState {
+ public:
+  /// Starts the dynamics on the subgraph of g induced by `alive` flags.
+  LocalMisState(const Graph& g, std::vector<char> alive, std::uint64_t seed);
+
+  /// Runs one iteration; returns the vertices that joined the MIS.
+  std::vector<VertexId> step();
+
+  [[nodiscard]] const std::vector<char>& alive() const noexcept { return alive_; }
+  [[nodiscard]] const std::vector<char>& in_mis() const noexcept { return in_mis_; }
+  [[nodiscard]] std::size_t alive_count() const noexcept { return alive_count_; }
+  [[nodiscard]] std::size_t iterations() const noexcept { return iteration_; }
+
+  /// Number of edges with both endpoints alive (O(m) scan).
+  [[nodiscard]] std::size_t alive_edges() const;
+
+  /// Maximum alive degree (O(m) scan).
+  [[nodiscard]] std::size_t max_alive_degree() const;
+
+ private:
+  const Graph& g_;
+  std::uint64_t seed_;
+  std::uint64_t iteration_ = 0;
+  std::vector<char> alive_;
+  std::vector<char> in_mis_;
+  std::vector<double> p_;
+  std::size_t alive_count_ = 0;
+};
+
+/// Runs the dynamics to completion (all vertices decided); returns the MIS
+/// over the induced-alive subgraph and the iterations used.
+struct LocalMisResult {
+  std::vector<VertexId> mis;
+  std::size_t iterations = 0;
+};
+[[nodiscard]] LocalMisResult local_mis(const Graph& g, std::uint64_t seed);
+
+}  // namespace mpcg
+
+#endif  // MPCG_BASELINES_LOCAL_MIS_H

@@ -1,0 +1,50 @@
+#include "baselines/luby.h"
+
+#include "util/rng.h"
+
+namespace mpcg {
+
+LubyResult luby_mis(const Graph& g, std::uint64_t seed) {
+  const std::size_t n = g.num_vertices();
+  LubyResult result;
+  std::vector<char> alive(n, 1);
+  std::size_t alive_count = n;
+
+  while (alive_count > 0) {
+    const std::uint64_t round = result.rounds;
+    std::vector<VertexId> joined;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!alive[v]) continue;
+      const std::uint64_t pv = mix64(seed, v, round);
+      bool lowest = true;
+      for (const Arc& a : g.arcs(v)) {
+        if (!alive[a.to]) continue;
+        const std::uint64_t pu = mix64(seed, a.to, round);
+        // Break the (measure-zero) ties by vertex id.
+        if (pu < pv || (pu == pv && a.to < v)) {
+          lowest = false;
+          break;
+        }
+      }
+      if (lowest) joined.push_back(v);
+    }
+    for (const VertexId v : joined) {
+      if (!alive[v]) continue;  // neighbor of an earlier winner this round?
+      // Two adjacent winners cannot both exist (strict priority order), so
+      // all of `joined` is independent; remove each with its neighborhood.
+      result.mis.push_back(v);
+      alive[v] = 0;
+      --alive_count;
+      for (const Arc& a : g.arcs(v)) {
+        if (alive[a.to]) {
+          alive[a.to] = 0;
+          --alive_count;
+        }
+      }
+    }
+    ++result.rounds;
+  }
+  return result;
+}
+
+}  // namespace mpcg

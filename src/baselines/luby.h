@@ -1,0 +1,30 @@
+// Luby's classic randomized MIS [Lub86] — the O(log n)-round baseline the
+// paper improves on.
+//
+// Per round every alive vertex draws a random priority; a vertex joins the
+// MIS if its priority beats all alive neighbors', then MIS vertices and
+// their neighborhoods are removed. One round of the algorithm is one
+// communication round in either parallel model.
+#ifndef MPCG_BASELINES_LUBY_H
+#define MPCG_BASELINES_LUBY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcg {
+
+struct LubyResult {
+  std::vector<VertexId> mis;
+  /// Rounds (priority draws) executed until the graph emptied.
+  std::size_t rounds = 0;
+};
+
+/// Runs Luby's algorithm with randomness derived statelessly from `seed`
+/// (priority of v in round t is hash(seed, v, t), so reruns are identical).
+[[nodiscard]] LubyResult luby_mis(const Graph& g, std::uint64_t seed);
+
+}  // namespace mpcg
+
+#endif  // MPCG_BASELINES_LUBY_H

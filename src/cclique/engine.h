@@ -1,0 +1,105 @@
+// CONGESTED-CLIQUE model simulator.
+//
+// The model (paper, Section 1.1.2): n players, synchronous rounds, and in
+// each round every player may send O(log n) bits — one machine word here —
+// to every other player. Players are identified with the vertices of the
+// input graph; initially each player knows only its own incident edges.
+//
+// Two communication services are provided:
+//   * per-round point-to-point sends and one-to-all broadcasts, enforced to
+//     at most one word per ordered pair per round;
+//   * Lenzen's routing scheme [Len13]: any multiset of messages in which
+//     every player sends at most n and receives at most n words is
+//     delivered in O(1) rounds (charged as 2 rounds per feasible batch;
+//     infeasible loads are split into feasible batches and charged
+//     accordingly, so overloads are visible in the round count).
+//
+// Broadcasts are stored once and shared by all receivers (every player's
+// view of a broadcast is identical), which keeps the simulator's memory
+// O(messages) instead of O(n * messages) without changing any player's
+// knowledge.
+#ifndef MPCG_CCLIQUE_ENGINE_H
+#define MPCG_CCLIQUE_ENGINE_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mpcg::cclique {
+
+using Word = std::uint64_t;
+using PlayerId = std::uint32_t;
+
+class CongestionError : public std::runtime_error {
+ public:
+  explicit CongestionError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct Message {
+  PlayerId from;
+  PlayerId to;
+  Word word;
+};
+
+struct Metrics {
+  std::size_t rounds = 0;
+  /// Peak point-to-point words sent by one player in one round (excluding
+  /// broadcasts, which cost one word per recipient by definition).
+  std::size_t max_player_sent = 0;
+  std::size_t max_player_received = 0;
+  std::size_t violations = 0;
+  std::size_t total_words = 0;
+  /// Number of Lenzen batches executed.
+  std::size_t lenzen_batches = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(std::size_t num_players, bool strict = true);
+
+  [[nodiscard]] std::size_t num_players() const noexcept { return n_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+
+  /// Queues one word from `from` to `to` for the next exchange. At most one
+  /// word per ordered pair per round (checked at exchange()).
+  void send(PlayerId from, PlayerId to, Word word);
+
+  /// Queues a one-to-all broadcast (one word from `from` to every other
+  /// player) for the next exchange.
+  void broadcast(PlayerId from, Word word);
+
+  /// Executes one round: delivers queued sends/broadcasts, enforcing the
+  /// one-word-per-ordered-pair budget.
+  void exchange();
+
+  /// Point-to-point words delivered to `player` in the last exchange.
+  [[nodiscard]] const std::vector<Message>& inbox(PlayerId player) const;
+
+  /// Broadcast words delivered in the last exchange (identical for every
+  /// player).
+  [[nodiscard]] const std::vector<Message>& broadcast_inbox() const noexcept {
+    return bcast_inbox_;
+  }
+
+  /// Routes an arbitrary message multiset with Lenzen's scheme. Each
+  /// feasible batch (<= n per sender and per receiver) costs 2 rounds.
+  /// Returns the messages grouped per destination. Any sends/broadcasts
+  /// already queued must be flushed (exchange()d) first; mixing throws.
+  std::vector<std::vector<Message>> lenzen_route(std::vector<Message> messages);
+
+ private:
+  std::size_t n_;
+  bool strict_;
+  Metrics metrics_;
+  std::vector<Message> pending_;
+  std::vector<PlayerId> pending_broadcasts_;
+  std::vector<Message> bcast_staging_;
+  std::vector<std::vector<Message>> inbox_;
+  std::vector<Message> bcast_inbox_;
+};
+
+}  // namespace mpcg::cclique
+
+#endif  // MPCG_CCLIQUE_ENGINE_H

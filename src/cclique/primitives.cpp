@@ -1,0 +1,56 @@
+#include "cclique/primitives.h"
+
+namespace mpcg::cclique {
+
+std::vector<Word> broadcast_words(Engine& engine, PlayerId source,
+                                  const std::vector<Word>& words) {
+  const std::size_t n = engine.num_players();
+  std::vector<Word> known(words.size());
+  std::size_t done = 0;
+  while (done < words.size()) {
+    const std::size_t batch = std::min(n, words.size() - done);
+    // Round 1: word i of the batch goes to helper player i.
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto helper = static_cast<PlayerId>(i);
+      if (helper == source) continue;  // source keeps its own share
+      engine.send(source, helper, words[done + i]);
+    }
+    engine.exchange();
+    std::vector<Word> helper_word(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto helper = static_cast<PlayerId>(i);
+      if (helper == source) {
+        helper_word[i] = words[done + i];
+        continue;
+      }
+      // The helper's inbox carries exactly one word from the source.
+      helper_word[i] = engine.inbox(helper).at(0).word;
+    }
+    // Round 2: every helper rebroadcasts its word.
+    for (std::size_t i = 0; i < batch; ++i) {
+      engine.broadcast(static_cast<PlayerId>(i), helper_word[i]);
+    }
+    engine.exchange();
+    for (const Message& msg : engine.broadcast_inbox()) {
+      known[done + msg.from] = msg.word;
+    }
+    done += batch;
+  }
+  return known;
+}
+
+std::uint64_t all_broadcast_sum(Engine& engine, const std::vector<char>& alive,
+                                const std::vector<Word>& value_per_player) {
+  const std::size_t n = engine.num_players();
+  std::uint64_t sum = 0;
+  for (PlayerId p = 0; p < n; ++p) {
+    if (p < alive.size() && !alive[p]) continue;
+    const Word value = p < value_per_player.size() ? value_per_player[p] : 0;
+    engine.broadcast(p, value);
+    sum += value;
+  }
+  engine.exchange();
+  return sum;
+}
+
+}  // namespace mpcg::cclique

@@ -1,0 +1,32 @@
+// CONGESTED-CLIQUE collective primitives built on the engine.
+//
+// The workhorse is the classic distribute-then-rebroadcast trick the paper
+// uses for permutation agreement (Section 3.2): to broadcast k words from
+// one player, round 1 spreads one word to each of k helper players, round
+// 2 has every helper broadcast its word — so any k <= n words reach all n
+// players in 2 rounds (2 ceil(k/n) rounds in general).
+#ifndef MPCG_CCLIQUE_PRIMITIVES_H
+#define MPCG_CCLIQUE_PRIMITIVES_H
+
+#include <vector>
+
+#include "cclique/engine.h"
+
+namespace mpcg::cclique {
+
+/// Broadcasts `words` from `source` to every player. Returns the words as
+/// commonly known (in original order). Costs 2 * ceil(k / n) rounds, plus
+/// nothing if `words` is empty.
+std::vector<Word> broadcast_words(Engine& engine, PlayerId source,
+                                  const std::vector<Word>& words);
+
+/// Computes the sum of one value per *alive* player at every player: each
+/// alive player broadcasts its value (1 round); everybody sums the
+/// broadcast inbox.
+std::uint64_t all_broadcast_sum(Engine& engine,
+                                const std::vector<char>& alive,
+                                const std::vector<Word>& value_per_player);
+
+}  // namespace mpcg::cclique
+
+#endif  // MPCG_CCLIQUE_PRIMITIVES_H

@@ -1,0 +1,113 @@
+#include "core/central.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace mpcg {
+
+double central_threshold(std::uint64_t threshold_seed, VertexId v,
+                         std::uint64_t t, double eps,
+                         bool random_thresholds) {
+  if (!random_thresholds) return 1.0 - 2.0 * eps;
+  const double u = stateless_uniform(threshold_seed, v, t);
+  return (1.0 - 4.0 * eps) + 2.0 * eps * u;
+}
+
+CentralResult central_fractional_matching(const Graph& g,
+                                          const CentralOptions& options) {
+  const double eps = options.eps;
+  if (!(eps > 0.0) || eps > 0.5) {
+    throw std::invalid_argument("central: eps must be in (0, 1/2]");
+  }
+  const std::size_t n = g.num_vertices();
+  const std::size_t m = g.num_edges();
+
+  CentralResult result;
+  result.freeze_iteration.assign(n, CentralResult::kNeverFroze);
+  result.x.assign(m, 0.0);
+  if (m == 0) return result;
+
+  const double w0 = options.initial_edge_weight > 0.0
+                        ? options.initial_edge_weight
+                        : 1.0 / static_cast<double>(n);
+
+  // Active state. All active edges share weight w_t = w0 / (1-eps)^t.
+  std::vector<char> frozen(n, 0);
+  std::vector<std::uint32_t> active_degree(n, 0);
+  std::vector<double> frozen_load(n, 0.0);  // weight of v's frozen edges
+  for (const Edge& e : g.edges()) {
+    ++active_degree[e.u];
+    ++active_degree[e.v];
+  }
+  std::size_t active_edges = m;
+  // Edge weights are derived from freeze times at the end; track per-edge
+  // freeze iteration implicitly via vertex freeze iterations.
+
+  double w_t = w0;
+  // Hard bound: once w_t >= 1 every endpoint of an active edge is above any
+  // threshold, so everything freezes no later than this.
+  const std::size_t max_iterations =
+      2 + static_cast<std::size_t>(std::ceil(std::log(1.0 / w0) /
+                                             -std::log1p(-eps)));
+
+  std::uint64_t t = 0;
+  while (active_edges > 0) {
+    if (t > max_iterations) {
+      throw std::logic_error("central: did not terminate (bug)");
+    }
+    if (options.record_trace) {
+      std::vector<double> y(n);
+      for (VertexId v = 0; v < n; ++v) {
+        y[v] = frozen_load[v] +
+               static_cast<double>(active_degree[v]) * w_t;
+      }
+      result.y_trace.push_back(std::move(y));
+    }
+
+    // (A) Freeze every unfrozen vertex at or above its threshold.
+    std::vector<VertexId> newly_frozen;
+    for (VertexId v = 0; v < n; ++v) {
+      if (frozen[v]) continue;
+      const double y =
+          frozen_load[v] + static_cast<double>(active_degree[v]) * w_t;
+      const double threshold = central_threshold(
+          options.threshold_seed, v, t, eps, options.random_thresholds);
+      if (y >= threshold) newly_frozen.push_back(v);
+    }
+    for (const VertexId v : newly_frozen) {
+      frozen[v] = 1;
+      result.freeze_iteration[v] = static_cast<std::uint32_t>(t);
+      result.cover.push_back(v);
+    }
+    // Freeze the incident edges: an edge freezes at the iteration its
+    // first endpoint froze, locking weight w_t.
+    for (const VertexId v : newly_frozen) {
+      for (const Arc& a : g.arcs(v)) {
+        const VertexId u = a.to;
+        const bool u_froze_now =
+            result.freeze_iteration[u] == static_cast<std::uint32_t>(t);
+        if (!frozen[u] || u_froze_now) {
+          // Edge was active entering this iteration; it freezes now.
+          // Decrement active degrees once (guard against double handling
+          // when both endpoints froze in this same iteration).
+          if (u_froze_now && u < v) continue;  // already handled from u
+          --active_degree[v];
+          --active_degree[u];
+          frozen_load[v] += w_t;
+          frozen_load[u] += w_t;
+          result.x[a.edge] = w_t;
+          --active_edges;
+        }
+      }
+    }
+    // (B) Grow the surviving active edges.
+    w_t /= (1.0 - eps);
+    ++t;
+  }
+  result.iterations = static_cast<std::size_t>(t);
+  return result;
+}
+
+}  // namespace mpcg

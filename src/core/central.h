@@ -1,0 +1,75 @@
+// Section 4.1 `Central` and Section 4.3 `Central-Rand`: the O(log n)-
+// iteration sequential fractional matching + vertex cover algorithms.
+//
+// Every edge starts at weight w0; per iteration, each unfrozen vertex whose
+// load y_v = sum_{e ∋ v} x_e reaches its threshold freezes (with all its
+// edges), and surviving active edges grow by 1/(1-eps). `Central` uses the
+// fixed threshold 1-2eps; `Central-Rand` draws a fresh T_{v,t} uniform in
+// [1-4eps, 1-2eps] per vertex per iteration, statelessly from
+// (threshold_seed, v, t) — the same stream MPC-Simulation consumes, which
+// is what lets the two be coupled exactly as in the paper's analysis
+// (Section 4.4.3).
+//
+// Invariant exploited by the implementation: at iteration t every active
+// edge has weight exactly w0 / (1-eps)^t, so a vertex's load is
+// (frozen contribution) + (active degree) * w_t and iterations cost O(n)
+// instead of O(m).
+//
+// Lemma 4.1: terminates in O(log n / eps) iterations; the frozen set is a
+// (2+5eps)-approximate vertex cover and sum_e x_e >= nu(G) / (2+5eps).
+#ifndef MPCG_CORE_CENTRAL_H
+#define MPCG_CORE_CENTRAL_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcg {
+
+struct CentralOptions {
+  double eps = 0.1;
+  /// Fixed threshold (Central) vs per-(v,t) random thresholds
+  /// (Central-Rand).
+  bool random_thresholds = false;
+  /// Seed of the stateless threshold stream (only used when
+  /// random_thresholds).
+  std::uint64_t threshold_seed = 1;
+  /// Initial edge weight w0; 0 = the paper's 1/n. (MPC-Simulation couples
+  /// against a Central-Rand run started from its own w0 = (1-2eps)/n.)
+  double initial_edge_weight = 0.0;
+  /// Record y_v per iteration (for the coupling experiments). Costs
+  /// O(n * iterations) memory.
+  bool record_trace = false;
+};
+
+struct CentralResult {
+  /// Fractional matching, one weight per edge id.
+  std::vector<double> x;
+  /// Frozen vertices — the vertex cover.
+  std::vector<VertexId> cover;
+  /// Iteration at which each vertex froze (kNeverFroze if it never did —
+  /// possible only for vertices with no edges).
+  std::vector<std::uint32_t> freeze_iteration;
+  std::size_t iterations = 0;
+  /// y_trace[t][v] = load of v at the *start* of iteration t (before
+  /// freezing); only filled when options.record_trace.
+  std::vector<std::vector<double>> y_trace;
+
+  static constexpr std::uint32_t kNeverFroze =
+      std::numeric_limits<std::uint32_t>::max();
+};
+
+/// Runs Central / Central-Rand on g.
+[[nodiscard]] CentralResult central_fractional_matching(
+    const Graph& g, const CentralOptions& options);
+
+/// The threshold T_{v,t} Central-Rand and MPC-Simulation share.
+[[nodiscard]] double central_threshold(std::uint64_t threshold_seed,
+                                       VertexId v, std::uint64_t t,
+                                       double eps, bool random_thresholds);
+
+}  // namespace mpcg
+
+#endif  // MPCG_CORE_CENTRAL_H

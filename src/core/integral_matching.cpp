@@ -1,0 +1,94 @@
+#include "core/integral_matching.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/lmsv_filtering.h"
+#include "core/rounding.h"
+#include "graph/subgraph.h"
+#include "graph/validation.h"
+#include "util/rng.h"
+
+namespace mpcg {
+
+IntegralMatchingResult integral_matching(
+    const Graph& g, const IntegralMatchingOptions& options) {
+  IntegralMatchingResult result;
+  const std::size_t n = g.num_vertices();
+
+  std::size_t max_iterations = options.max_iterations;
+  if (max_iterations == 0) {
+    // ceil(log_{150/149}(1/eps)), capped: early exit dominates in practice.
+    const double raw =
+        std::ceil(std::log(1.0 / options.eps) / std::log(150.0 / 149.0));
+    max_iterations = static_cast<std::size_t>(
+        std::min(raw, 60.0));
+  }
+
+  // --- Small-matching path (Section 4.4.5): LMSV filtering. ---
+  const std::size_t lmsv_memory =
+      options.small_path_memory != 0 ? options.small_path_memory
+                                     : 8 * std::max<std::size_t>(n, 64);
+  const auto small = lmsv_maximal_matching(g, lmsv_memory,
+                                           mix64(options.seed, 0x5a11, 3));
+  result.small_path_size = small.matching.size();
+  result.total_rounds += small.rounds;
+
+  // --- Main path: iterate algorithm A. ---
+  std::vector<EdgeId> a_matching;
+  std::vector<char> vertex_gone(n, 0);  // matched & removed so far
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // Residual graph on the unmatched vertices.
+    std::vector<VertexId> remaining;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!vertex_gone[v]) remaining.push_back(v);
+    }
+    const InducedSubgraph sub = induced_subgraph(g, remaining);
+    if (sub.graph.num_edges() == 0) break;
+
+    MatchingMpcOptions sim = options.simulation;
+    sim.eps = options.eps;
+    sim.seed = mix64(options.seed, 0xa1, iter);
+    sim.threshold_seed = mix64(options.seed, 0xa2, iter);
+    const MatchingMpcResult frac = matching_mpc(sub.graph, sim);
+    result.total_rounds += frac.metrics.rounds;
+    if (iter == 0) {
+      result.cover.reserve(frac.cover.size());
+      for (const VertexId lv : frac.cover) {
+        result.cover.push_back(sub.to_parent_vertex[lv]);
+      }
+      result.first_fractional_weight = fractional_weight(frac.x);
+      result.first_run_rounds = frac.metrics.rounds;
+    }
+
+    // Round (Lemma 5.1) with C~ = loads >= 1 - 5 eps; retry with fresh
+    // seeds if a trial lands empty (each trial is independent).
+    const auto candidates =
+        heavy_vertices(sub.graph, frac.x, 1.0 - 5.0 * options.eps);
+    std::vector<EdgeId> rounded;
+    for (std::size_t retry = 0; retry < options.rounding_retries; ++retry) {
+      rounded = round_fractional_matching(
+          sub.graph, frac.x, candidates,
+          mix64(options.seed, 0xb000 + retry, iter));
+      if (!rounded.empty()) break;
+    }
+    ++result.iterations;
+    if (rounded.empty()) break;  // nothing extractable anymore
+
+    for (const EdgeId le : rounded) {
+      const Edge ed = sub.graph.edge(le);
+      a_matching.push_back(sub.to_parent_edge[le]);
+      vertex_gone[sub.to_parent_vertex[ed.u]] = 1;
+      vertex_gone[sub.to_parent_vertex[ed.v]] = 1;
+    }
+  }
+  result.a_path_size = a_matching.size();
+
+  // Paper: output the larger of the two methods' matchings.
+  result.matching = result.a_path_size >= result.small_path_size
+                        ? std::move(a_matching)
+                        : small.matching;
+  return result;
+}
+
+}  // namespace mpcg

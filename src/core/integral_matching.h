@@ -1,0 +1,73 @@
+// Theorem 1.2 — integral (2+eps)-approximate maximum matching and
+// (2+eps)-approximate minimum vertex cover in O(log log n) MPC rounds.
+//
+// The driver is the paper's algorithm A, iterated:
+//   * run MPC-Simulation on the residual graph to get a fractional
+//     matching x and its heavy set C~ (loads >= 1 - 5 eps; Lemma 4.2
+//     guarantees |C~| >= |C|/3);
+//   * round x to an integral matching via Lemma 5.1;
+//   * remove the matched vertices and repeat, union-ing the matchings.
+// The paper runs A for log_{150/149}(1/eps) iterations; we additionally
+// stop early once an iteration extracts nothing (the bound only needs
+// enough iterations, and the measured per-iteration yield is far above the
+// worst-case 1/150).
+//
+// The small-matching path of Section 4.4.5 (LMSV11 filtering, which halves
+// edges per round) runs alongside, and the larger of the two matchings is
+// returned — exactly the paper's two-method structure.
+//
+// The vertex cover is the Lemma 4.2 cover of the *first* MPC-Simulation run
+// on the whole graph.
+#ifndef MPCG_CORE_INTEGRAL_MATCHING_H
+#define MPCG_CORE_INTEGRAL_MATCHING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matching_mpc.h"
+#include "graph/graph.h"
+
+namespace mpcg {
+
+struct IntegralMatchingOptions {
+  double eps = 0.1;
+  std::uint64_t seed = 1;
+  /// Iterations of algorithm A. 0 = auto: ceil(log_{150/149}(1/eps)),
+  /// capped at 60 (early-exit makes the cap irrelevant in practice).
+  std::size_t max_iterations = 0;
+  /// Per-trial rounding retries before declaring an iteration empty.
+  std::size_t rounding_retries = 8;
+  /// Options forwarded to each MPC-Simulation invocation (eps/seed fields
+  /// are overwritten per iteration).
+  MatchingMpcOptions simulation;
+  /// LMSV memory budget for the small-matching path; 0 = auto (8n).
+  std::size_t small_path_memory = 0;
+};
+
+struct IntegralMatchingResult {
+  /// The output matching (the larger of the A-union and the LMSV path).
+  std::vector<EdgeId> matching;
+  /// The Lemma 4.2 vertex cover from the first simulation run.
+  std::vector<VertexId> cover;
+  /// Matching produced by iterating algorithm A alone.
+  std::size_t a_path_size = 0;
+  /// Matching produced by the small-matching (filtering) path alone.
+  std::size_t small_path_size = 0;
+  std::size_t iterations = 0;
+  /// Sum of engine rounds over all simulation calls plus filtering rounds
+  /// (carries the paper's large epsilon-dependent constant: one
+  /// MPC-Simulation run per iteration of A).
+  std::size_t total_rounds = 0;
+  /// Engine rounds of the *first* MPC-Simulation call alone — the per-call
+  /// O(log log n) quantity of Lemma 4.2.
+  std::size_t first_run_rounds = 0;
+  /// Fractional weight of the first run's x (for ratio reporting).
+  double first_fractional_weight = 0.0;
+};
+
+[[nodiscard]] IntegralMatchingResult integral_matching(
+    const Graph& g, const IntegralMatchingOptions& options);
+
+}  // namespace mpcg
+
+#endif  // MPCG_CORE_INTEGRAL_MATCHING_H

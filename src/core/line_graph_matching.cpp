@@ -1,0 +1,18 @@
+#include "core/line_graph_matching.h"
+
+#include "graph/graph_algos.h"
+
+namespace mpcg {
+
+LineGraphMatchingResult line_graph_matching_mpc(const Graph& g,
+                                                const MisMpcOptions& options) {
+  LineGraphMatchingResult result;
+  const Graph lg = line_graph(g);
+  result.line_vertices = lg.num_vertices();
+  result.line_edges = lg.num_edges();
+  result.mis = mis_mpc(lg, options);
+  result.matching = matching_from_line_graph_mis(result.mis.mis);
+  return result;
+}
+
+}  // namespace mpcg

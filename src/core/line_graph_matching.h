@@ -1,0 +1,36 @@
+// The paper's introductory reduction, made massively parallel: running the
+// MIS algorithm on the line graph L(G) yields a *maximal matching* of G
+// (and its endpoints a 2-approximate vertex cover).
+//
+// With Theorem 1.1 as the MIS engine this gives maximal matching in
+// O(log log Delta(L(G))) = O(log log Delta(G)) MPC rounds — a useful
+// comparison point against the Theorem 1.2 pipeline (which gets 2+eps with
+// different machinery). Note the memory caveat: L(G) has
+// sum_v C(deg v, 2) edges, so this reduction is only economical on
+// bounded-degree-ish graphs — exactly why the paper develops the direct
+// matching algorithm instead. The trade-off is measured in E12.
+#ifndef MPCG_CORE_LINE_GRAPH_MATCHING_H
+#define MPCG_CORE_LINE_GRAPH_MATCHING_H
+
+#include "core/mis_mpc.h"
+#include "graph/graph.h"
+
+namespace mpcg {
+
+struct LineGraphMatchingResult {
+  std::vector<EdgeId> matching;
+  /// Size of the materialized line graph (the memory price of the
+  /// reduction).
+  std::size_t line_vertices = 0;
+  std::size_t line_edges = 0;
+  /// Metrics of the underlying MIS run.
+  MisMpcResult mis;
+};
+
+/// Maximal matching of g via MIS-on-L(G) (Theorem 1.1 as the MIS engine).
+[[nodiscard]] LineGraphMatchingResult line_graph_matching_mpc(
+    const Graph& g, const MisMpcOptions& options);
+
+}  // namespace mpcg
+
+#endif  // MPCG_CORE_LINE_GRAPH_MATCHING_H

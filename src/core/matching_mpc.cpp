@@ -1,0 +1,406 @@
+#include "core/matching_mpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "core/central.h"
+#include "mpc/primitives.h"
+#include "util/rng.h"
+
+namespace mpcg {
+
+namespace {
+
+using mpc::Word;
+
+constexpr std::uint32_t kActive = MatchingMpcResult::kActive;
+
+class MatchingMpcRun {
+ public:
+  MatchingMpcRun(const Graph& g, const MatchingMpcOptions& options)
+      : g_(g), o_(options), n_(g.num_vertices()) {
+    if (!(o_.eps > 0.0) || o_.eps > 0.5) {
+      throw std::invalid_argument("matching_mpc: eps must be in (0, 1/2]");
+    }
+    words_ = o_.words_per_machine != 0 ? o_.words_per_machine
+                                       : 8 * std::max<std::size_t>(n_, 64);
+    // The cluster hosts both the per-vertex home shards and the per-phase
+    // simulation machines (up to sqrt(n) of them).
+    const std::size_t for_shards =
+        (4 * g.num_edges() + words_ - 1) / words_;
+    machines_ = std::max<std::size_t>(
+        {2, for_shards,
+         static_cast<std::size_t>(std::ceil(std::sqrt(
+             static_cast<double>(std::max<std::size_t>(n_, 4))))) });
+
+    // Grow the cluster until the hash-balanced adjacency shards fit (see
+    // mis_mpc.cpp for the same auto-sizing rule).
+    const std::size_t fixed_words = n_ / 16 + 1;
+    std::vector<std::size_t> shard_words;
+    for (;;) {
+      shard_words.assign(machines_, 0);
+      home_.resize(n_);
+      for (VertexId v = 0; v < n_; ++v) {
+        home_[v] = static_cast<std::uint32_t>(mix64(o_.seed, v, 0x70e) %
+                                              machines_);
+        shard_words[home_[v]] += 1 + g.degree(v);
+      }
+      const std::size_t max_shard =
+          shard_words.empty()
+              ? 0
+              : *std::max_element(shard_words.begin(), shard_words.end());
+      if (o_.words_per_machine != 0 || max_shard + fixed_words <= words_ ||
+          machines_ >= 2 * g.num_edges() + 2) {
+        break;
+      }
+      machines_ *= 2;
+    }
+    engine_.emplace(mpc::Config{machines_, words_, o_.strict});
+    for (std::size_t i = 0; i < machines_; ++i) {
+      engine_->note_storage(i, shard_words[i] + fixed_words);
+    }
+
+    w0_ = (1.0 - 2.0 * o_.eps) / static_cast<double>(std::max<std::size_t>(n_, 1));
+    weight_cache_.push_back(w0_);
+    freeze_at_.assign(n_, kActive);
+    removed_.assign(n_, 0);
+  }
+
+  MatchingMpcResult run() {
+    MatchingMpcResult result;
+    result.freeze_iteration.assign(n_, kActive);
+    result.removed_heavy.assign(n_, 0);
+    result.x.assign(g_.num_edges(), 0.0);
+    if (g_.num_edges() == 0) {
+      if (engine_) result.metrics = engine_->metrics();
+      return result;
+    }
+
+    Rng phase_rng(mix64(o_.seed, 0x9a5e, 2));
+    double d = static_cast<double>(n_);
+
+    while (d > static_cast<double>(o_.tail_degree_switch)) {
+      run_phase(d, phase_rng, result);
+      const std::size_t iters = last_phase_iterations_;
+      d *= std::pow(1.0 - o_.eps, static_cast<double>(iters));
+      ++result.phases;
+    }
+
+    run_tail(result);
+
+    // Outputs: weights from freeze times; cover = frozen + removed.
+    for (EdgeId e = 0; e < g_.num_edges(); ++e) {
+      const Edge ed = g_.edge(e);
+      if (removed_[ed.u] || removed_[ed.v]) continue;  // x stays 0
+      const std::uint64_t tf =
+          std::min<std::uint64_t>({freeze_at_[ed.u], freeze_at_[ed.v], t_});
+      result.x[e] = weight_at(tf);
+    }
+    for (VertexId v = 0; v < n_; ++v) {
+      if (removed_[v]) {
+        result.cover.push_back(v);
+        result.removed_heavy[v] = 1;
+      } else if (freeze_at_[v] != kActive) {
+        result.cover.push_back(v);
+      }
+      result.freeze_iteration[v] = freeze_at_[v];
+    }
+    result.total_iterations = t_;
+    result.metrics = engine_->metrics();
+    return result;
+  }
+
+ private:
+  [[nodiscard]] double weight_at(std::uint64_t iteration) const {
+    while (weight_cache_.size() <= iteration) {
+      weight_cache_.push_back(weight_cache_.back() / (1.0 - o_.eps));
+    }
+    return weight_cache_[iteration];
+  }
+
+  [[nodiscard]] bool in_graph(VertexId v) const noexcept {
+    return removed_[v] == 0;
+  }
+
+  [[nodiscard]] bool active(VertexId v) const noexcept {
+    return in_graph(v) && freeze_at_[v] == kActive;
+  }
+
+  /// Load of v in G[V'] at global iteration `now` (derived state; homes can
+  /// compute this locally because freeze times are common knowledge).
+  [[nodiscard]] double load_of(VertexId v, std::uint64_t now) const {
+    double y = 0.0;
+    for (const Arc& a : g_.arcs(v)) {
+      if (!in_graph(a.to)) continue;
+      const std::uint64_t tf =
+          std::min<std::uint64_t>({freeze_at_[v], freeze_at_[a.to], now});
+      y += weight_at(tf);
+    }
+    return y;
+  }
+
+  /// Announces freshly decided vertices (frozen with their iteration, or
+  /// removed) to the whole cluster: gather at the leader, broadcast the
+  /// concatenation. Keeps freeze times common knowledge. ~3 rounds; skipped
+  /// when there is nothing to announce.
+  void announce(const std::vector<std::pair<VertexId, std::uint64_t>>& frozen,
+                const std::vector<VertexId>& removed) {
+    if (frozen.empty() && removed.empty()) return;
+    std::vector<std::vector<Word>> parts(machines_);
+    for (const auto& [v, tf] : frozen) {
+      parts[home_[v]].push_back((static_cast<Word>(v) << 32) | tf);
+    }
+    for (const VertexId v : removed) {
+      parts[home_[v]].push_back((static_cast<Word>(v) << 32) | 0xffffffffULL);
+    }
+    const auto gathered = mpc::gather_to(*engine_, 0, parts);
+    mpc::broadcast(*engine_, 0, gathered);
+  }
+
+  void run_phase(double d, Rng& phase_rng, MatchingMpcResult& result) {
+    const auto m = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::floor(std::sqrt(d))));
+    const std::size_t iters = phase_iterations(d, m);
+    last_phase_iterations_ = iters;
+    result.machines_per_phase.push_back(m);
+
+    // Line (d): fresh uniform partition. The leader draws a seed and
+    // broadcasts it; machine assignment is then common knowledge.
+    const std::uint64_t part_seed = phase_rng();
+    {
+      const Word payload[] = {part_seed};
+      mpc::broadcast(*engine_, 0, payload);
+    }
+    std::vector<std::uint32_t> machine_of(n_);
+    for (VertexId v = 0; v < n_; ++v) {
+      machine_of[v] =
+          static_cast<std::uint32_t>(mix64(part_seed, v) % m);
+    }
+
+    // Line (b): y_old — the frozen contribution, constant over the phase.
+    // Computed at each vertex's home from common knowledge.
+    std::vector<double> y_old(n_, 0.0);
+    for (VertexId v = 0; v < n_; ++v) {
+      if (!active(v)) continue;
+      double y = 0.0;
+      for (const Arc& a : g_.arcs(v)) {
+        if (!in_graph(a.to)) continue;
+        if (freeze_at_[a.to] != kActive) {
+          y += weight_at(freeze_at_[a.to]);
+        }
+      }
+      y_old[v] = y;
+    }
+
+    // Distribute the induced active subgraphs: each active edge with both
+    // endpoints on the same simulation machine moves from its (lower
+    // endpoint's) home shard to that machine; each active vertex's
+    // (id, y_old) record moves from its home. Real pushes, one round.
+    std::vector<std::vector<std::pair<VertexId, VertexId>>> local_edges(m);
+    for (const Edge& e : g_.edges()) {
+      if (!active(e.u) || !active(e.v)) continue;
+      if (machine_of[e.u] != machine_of[e.v]) continue;
+      const std::size_t target = machine_of[e.u];
+      engine_->push(home_[e.u], target,
+                    (static_cast<Word>(e.u) << 32) | e.v);
+      local_edges[target].emplace_back(e.u, e.v);
+    }
+    for (VertexId v = 0; v < n_; ++v) {
+      if (!active(v)) continue;
+      engine_->push(home_[v], machine_of[v], v);
+    }
+    engine_->exchange();
+
+    std::size_t max_local_edges = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      max_local_edges = std::max(max_local_edges, local_edges[i].size());
+    }
+    result.max_local_edges_per_phase.push_back(max_local_edges);
+
+    // Line (e): local simulation of I iterations on every machine.
+    // Per-vertex local state: active degree within the machine and frozen
+    // local weight, so an iteration is O(active vertices) plus O(degree)
+    // per freeze.
+    std::vector<std::uint32_t> local_deg(n_, 0);
+    std::vector<double> local_frozen_sum(n_, 0.0);
+    std::vector<std::vector<VertexId>> local_adj(n_);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (const auto& [u, v] : local_edges[i]) {
+        ++local_deg[u];
+        ++local_deg[v];
+        local_adj[u].push_back(v);
+        local_adj[v].push_back(u);
+      }
+    }
+    std::vector<VertexId> simulated;  // active vertices at phase start
+    for (VertexId v = 0; v < n_; ++v) {
+      if (active(v)) simulated.push_back(v);
+    }
+
+    std::vector<std::pair<VertexId, std::uint64_t>> frozen_this_phase;
+    const std::uint64_t t_start = t_;
+    for (std::size_t it = 0; it < iters; ++it) {
+      const std::uint64_t tau = t_start + it;
+      const double w_tau = weight_at(tau);
+      std::optional<std::vector<double>> trace_row;
+      if (o_.record_trace) {
+        trace_row.emplace(n_, std::numeric_limits<double>::quiet_NaN());
+      }
+      // (A) freeze against the shared thresholds, simultaneously.
+      std::vector<VertexId> newly_frozen;
+      for (const VertexId v : simulated) {
+        if (freeze_at_[v] != kActive) continue;
+        const double y_tilde =
+            static_cast<double>(m) *
+                (local_frozen_sum[v] +
+                 static_cast<double>(local_deg[v]) * w_tau) +
+            y_old[v];
+        if (trace_row) (*trace_row)[v] = y_tilde;
+        const double threshold =
+            central_threshold(o_.threshold_seed, v, tau, o_.eps,
+                              o_.use_random_thresholds);
+        if (y_tilde >= threshold) newly_frozen.push_back(v);
+      }
+      for (const VertexId v : newly_frozen) {
+        freeze_at_[v] = static_cast<std::uint32_t>(tau);
+        frozen_this_phase.emplace_back(v, tau);
+      }
+      // (B) is implicit (weights are derived); update local views of the
+      // newly frozen vertices' edges.
+      for (const VertexId v : newly_frozen) {
+        for (const VertexId u : local_adj[v]) {
+          if (freeze_at_[u] != kActive &&
+              freeze_at_[u] < tau) {
+            continue;  // edge already froze earlier
+          }
+          if (freeze_at_[u] == static_cast<std::uint32_t>(tau) && u < v) {
+            continue;  // both froze now; handled from the lower id
+          }
+          // Edge (v,u) freezes at w_tau for the still-active (or
+          // simultaneously frozen) partner's bookkeeping.
+          if (local_deg[u] > 0) --local_deg[u];
+          local_frozen_sum[u] += w_tau;
+          if (local_deg[v] > 0) --local_deg[v];
+          local_frozen_sum[v] += w_tau;
+        }
+      }
+      if (trace_row) result.y_tilde_trace.push_back(std::move(*trace_row));
+      ++t_;
+    }
+
+    // Machines report the freeze decisions; they become common knowledge.
+    for (const auto& [v, tf] : frozen_this_phase) {
+      engine_->push(machine_of[v], home_[v], (static_cast<Word>(v) << 32) | tf);
+    }
+    engine_->exchange();
+
+    // Lines (g)-(h): loads on G[V'] from reconciled weights (local at
+    // homes). Lines (i)-(j): heavy removal, then end-of-phase freezing.
+    std::vector<VertexId> removed_now;
+    std::vector<std::pair<VertexId, std::uint64_t>> frozen_now;
+    for (VertexId v = 0; v < n_; ++v) {
+      if (!in_graph(v)) continue;
+      if (freeze_at_[v] != kActive && freeze_at_[v] < t_start) continue;
+      const double y = load_of(v, t_);
+      if (y > 1.0) {
+        removed_now.push_back(v);
+      } else if (y > 1.0 - 2.0 * o_.eps && freeze_at_[v] == kActive) {
+        frozen_now.push_back({v, t_});
+      }
+    }
+    for (const VertexId v : removed_now) {
+      removed_[v] = 1;
+      freeze_at_[v] = kActive;  // removed, not frozen
+    }
+    for (const auto& [v, tf] : frozen_now) {
+      freeze_at_[v] = static_cast<std::uint32_t>(tf);
+    }
+    announce(frozen_now, removed_now);
+    announce(frozen_this_phase, {});
+  }
+
+  /// Line (4): direct simulation of Central-Rand until every edge of
+  /// G[V'] is frozen. Homes compute loads locally (common knowledge) and
+  /// newly frozen vertices are announced each iteration.
+  void run_tail(MatchingMpcResult& result) {
+    const std::size_t guard =
+        2 + static_cast<std::size_t>(
+                std::ceil(std::log(1.0 / w0_) / -std::log1p(-o_.eps)));
+    while (true) {
+      if (result.tail_iterations > guard) {
+        throw std::logic_error("matching_mpc tail: did not terminate (bug)");
+      }
+      // Any active-active edge left?
+      bool any_active_edge = false;
+      for (const Edge& e : g_.edges()) {
+        if (active(e.u) && active(e.v)) {
+          any_active_edge = true;
+          break;
+        }
+      }
+      if (!any_active_edge) break;
+
+      std::optional<std::vector<double>> trace_row;
+      if (o_.record_trace) {
+        trace_row.emplace(n_, std::numeric_limits<double>::quiet_NaN());
+      }
+      std::vector<std::pair<VertexId, std::uint64_t>> frozen_now;
+      for (VertexId v = 0; v < n_; ++v) {
+        if (!active(v)) continue;
+        const double y = load_of(v, t_);
+        if (trace_row) (*trace_row)[v] = y;
+        const double threshold =
+            central_threshold(o_.threshold_seed, v, t_, o_.eps,
+                              o_.use_random_thresholds);
+        if (y >= threshold) frozen_now.push_back({v, t_});
+      }
+      for (const auto& [v, tf] : frozen_now) {
+        freeze_at_[v] = static_cast<std::uint32_t>(tf);
+      }
+      announce(frozen_now, {});
+      if (trace_row) result.y_tilde_trace.push_back(std::move(*trace_row));
+      ++t_;
+      ++result.tail_iterations;
+    }
+  }
+
+  [[nodiscard]] std::size_t phase_iterations(double d, std::size_t m) const {
+    if (o_.paper_iteration_schedule) {
+      const double raw = std::log(static_cast<double>(m)) /
+                         (10.0 * std::log(5.0));
+      return std::max<std::size_t>(1, static_cast<std::size_t>(raw));
+    }
+    // Section 4.2 pacing: enough iterations that d (1-eps)^I <= d^beta.
+    const double needed = (1.0 - o_.beta) * std::log(d) /
+                          -std::log1p(-o_.eps);
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(needed)));
+  }
+
+  const Graph& g_;
+  const MatchingMpcOptions& o_;
+  std::size_t n_;
+  std::size_t machines_ = 0;
+  std::size_t words_ = 0;
+  std::optional<mpc::Engine> engine_;
+
+  std::vector<std::uint32_t> home_;
+  double w0_ = 0.0;
+  mutable std::vector<double> weight_cache_;
+  std::uint64_t t_ = 0;
+  std::size_t last_phase_iterations_ = 0;
+  std::vector<std::uint32_t> freeze_at_;
+  std::vector<char> removed_;
+};
+
+}  // namespace
+
+MatchingMpcResult matching_mpc(const Graph& g,
+                               const MatchingMpcOptions& options) {
+  MatchingMpcRun run(g, options);
+  return run.run();
+}
+
+}  // namespace mpcg

@@ -1,0 +1,275 @@
+#include "core/mis_cclique.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "baselines/local_mis.h"
+#include "util/permutation.h"
+#include "util/rng.h"
+
+namespace mpcg {
+
+namespace {
+
+using cclique::Message;
+using cclique::Word;
+
+Word encode_pair(VertexId a, VertexId b) noexcept {
+  return (static_cast<Word>(a) << 32) | b;
+}
+
+std::pair<VertexId, VertexId> decode_pair(Word w) noexcept {
+  return {static_cast<VertexId>(w >> 32),
+          static_cast<VertexId>(w & 0xffffffffULL)};
+}
+
+class MisCcliqueRun {
+ public:
+  MisCcliqueRun(const Graph& g, const MisCcliqueOptions& options)
+      : g_(g), options_(options), n_(g.num_vertices()),
+        engine_(std::max<std::size_t>(n_, 1), options.strict) {
+    gather_budget_ = options.gather_budget != 0 ? options.gather_budget : n_;
+    alive_.assign(n_, 1);
+    in_mis_.assign(n_, 0);
+  }
+
+  MisCcliqueResult run() {
+    MisCcliqueResult result;
+    if (n_ == 0) return result;
+
+    // Leader draws the order, tells each player its rank (one word each),
+    // and every player broadcasts its rank — the order becomes common
+    // knowledge in 2 rounds (paper, Section 3.2).
+    Rng rng(options_.seed);
+    perm_ = random_permutation(n_, rng);
+    rank_of_ = invert_permutation(perm_);
+    for (VertexId v = 1; v < n_; ++v) {
+      engine_.send(0, v, rank_of_[v]);
+    }
+    engine_.exchange();
+    for (VertexId v = 0; v < n_; ++v) {
+      engine_.broadcast(v, rank_of_[v]);
+    }
+    engine_.exchange();
+
+    const double delta0 = std::max<double>(2.0, static_cast<double>(
+                                                    g_.max_degree()));
+    const double log_delta = std::log2(delta0);
+
+    std::size_t next_rank = 0;
+    while (true) {
+      const std::uint64_t alive_edges = count_alive_edges();
+      if (alive_edges <= gather_budget_) {
+        final_gather(result);
+        break;
+      }
+      if (options_.use_sparsified_stage &&
+          max_alive_degree() <= options_.degree_switch) {
+        sparsified_stage(result);
+        final_gather(result);
+        break;
+      }
+      ++result.rank_phases;
+      const double exponent =
+          std::pow(options_.alpha, static_cast<double>(result.rank_phases));
+      auto upper = static_cast<std::size_t>(
+          std::llround(static_cast<double>(n_) *
+                       std::pow(2.0, -exponent * log_delta)));
+      upper = std::clamp(upper, next_rank + 1, n_);
+      rank_phase(next_rank, upper, result);
+      next_rank = upper;
+    }
+
+    result.metrics = engine_.metrics();
+    result.mis = std::move(mis_);
+    return result;
+  }
+
+ private:
+  std::uint64_t alive_degree(VertexId v) const {
+    std::uint64_t d = 0;
+    for (const Arc& a : g_.arcs(v)) {
+      if (alive_[a.to]) ++d;
+    }
+    return d;
+  }
+
+  /// Every alive player broadcasts its alive degree; everybody can then
+  /// compute the total edge count (one round).
+  std::uint64_t count_alive_edges() {
+    std::uint64_t sum = 0;
+    for (VertexId v = 0; v < n_; ++v) {
+      if (!alive_[v]) continue;
+      const std::uint64_t d = alive_degree(v);
+      engine_.broadcast(v, d);
+      sum += d;
+    }
+    engine_.exchange();
+    return sum / 2;
+  }
+
+  std::uint64_t max_alive_degree() {
+    std::uint64_t best = 0;
+    for (VertexId v = 0; v < n_; ++v) {
+      if (!alive_[v]) continue;
+      const std::uint64_t d = alive_degree(v);
+      engine_.broadcast(v, d);
+      best = std::max(best, d);
+    }
+    engine_.exchange();
+    return best;
+  }
+
+  /// Members broadcast their membership; every player checks its own
+  /// adjacency and the dying broadcast their deaths. Two rounds; the alive
+  /// flags stay common knowledge.
+  void commit_via_broadcasts(const std::vector<VertexId>& mis_new) {
+    if (mis_new.empty()) return;
+    std::vector<char> is_new(n_, 0);
+    for (const VertexId v : mis_new) {
+      is_new[v] = 1;
+      engine_.broadcast(v, v);
+    }
+    engine_.exchange();
+    std::vector<VertexId> died;
+    for (VertexId v = 0; v < n_; ++v) {
+      if (!alive_[v]) continue;
+      bool dies = is_new[v] != 0;
+      if (!dies) {
+        for (const Arc& a : g_.arcs(v)) {
+          if (is_new[a.to]) {
+            dies = true;
+            break;
+          }
+        }
+      }
+      if (dies) {
+        died.push_back(v);
+        engine_.broadcast(v, v);
+      }
+    }
+    engine_.exchange();
+    for (const VertexId v : died) alive_[v] = 0;
+    for (const VertexId v : mis_new) {
+      in_mis_[v] = 1;
+      mis_.push_back(v);
+    }
+  }
+
+  /// Leader tells each new member it joined (one round), then the usual
+  /// membership/death broadcasts follow.
+  void commit_from_leader(const std::vector<VertexId>& mis_new) {
+    if (mis_new.empty()) return;
+    for (const VertexId v : mis_new) {
+      if (v != 0) engine_.send(0, v, 1);
+    }
+    engine_.exchange();
+    commit_via_broadcasts(mis_new);
+  }
+
+  /// Window-induced residual edges routed to the leader (Lenzen), greedy
+  /// through the window ranks at the leader.
+  void rank_phase(std::size_t lo, std::size_t hi, MisCcliqueResult& result) {
+    std::vector<Message> messages;
+    for (std::size_t r = lo; r < hi; ++r) {
+      const VertexId v = perm_[r];
+      if (!alive_[v]) continue;
+      for (const Arc& a : g_.arcs(v)) {
+        if (a.to > v && alive_[a.to] && rank_of_[a.to] >= lo &&
+            rank_of_[a.to] < hi) {
+          messages.push_back(Message{v, 0, encode_pair(v, a.to)});
+        }
+      }
+    }
+    result.window_edges_per_phase.push_back(messages.size());
+    const auto delivered = engine_.lenzen_route(std::move(messages));
+
+    std::unordered_map<VertexId, std::vector<VertexId>> adj;
+    for (const Message& msg : delivered[0]) {
+      const auto [u, v] = decode_pair(msg.word);
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+    }
+    std::vector<VertexId> mis_new;
+    std::unordered_map<VertexId, char> killed;
+    for (std::size_t r = lo; r < hi; ++r) {
+      const VertexId v = perm_[r];
+      if (!alive_[v] || killed.count(v) != 0) continue;
+      mis_new.push_back(v);
+      const auto it = adj.find(v);
+      if (it != adj.end()) {
+        for (const VertexId u : it->second) killed[u] = 1;
+      }
+    }
+    commit_from_leader(mis_new);
+  }
+
+  void sparsified_stage(MisCcliqueResult& result) {
+    LocalMisState state(g_, alive_, mix64(options_.seed, 0x5fa1, 1));
+    while (count_alive_edges() > gather_budget_) {
+      // Each alive player broadcasts its mark and desire level (the
+      // dynamics read only neighbors' values; a broadcast certainly
+      // delivers them). One round.
+      for (VertexId v = 0; v < n_; ++v) {
+        if (alive_[v]) engine_.broadcast(v, v);
+      }
+      engine_.exchange();
+      const auto joined = state.step();
+      ++result.sparsified_iterations;
+      commit_via_broadcasts(joined);
+      if (state.alive_count() == 0) break;
+    }
+  }
+
+  void final_gather(MisCcliqueResult& result) {
+    std::vector<Message> messages;
+    for (const Edge& e : g_.edges()) {
+      if (alive_[e.u] && alive_[e.v]) {
+        messages.push_back(Message{e.u, 0, encode_pair(e.u, e.v)});
+      }
+    }
+    result.final_gather_edges = messages.size();
+    const auto delivered = engine_.lenzen_route(std::move(messages));
+
+    std::unordered_map<VertexId, std::vector<VertexId>> adj;
+    for (const Message& msg : delivered[0]) {
+      const auto [u, v] = decode_pair(msg.word);
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+    }
+    std::vector<VertexId> mis_new;
+    std::unordered_map<VertexId, char> killed;
+    for (std::size_t r = 0; r < n_; ++r) {
+      const VertexId v = perm_[r];
+      if (!alive_[v] || killed.count(v) != 0) continue;
+      mis_new.push_back(v);
+      const auto it = adj.find(v);
+      if (it != adj.end()) {
+        for (const VertexId u : it->second) killed[u] = 1;
+      }
+    }
+    commit_from_leader(mis_new);
+  }
+
+  const Graph& g_;
+  const MisCcliqueOptions& options_;
+  std::size_t n_;
+  cclique::Engine engine_;
+  std::size_t gather_budget_ = 0;
+
+  std::vector<std::uint32_t> perm_;
+  std::vector<std::uint32_t> rank_of_;
+  std::vector<char> alive_;
+  std::vector<char> in_mis_;
+  std::vector<VertexId> mis_;
+};
+
+}  // namespace
+
+MisCcliqueResult mis_cclique(const Graph& g, const MisCcliqueOptions& options) {
+  MisCcliqueRun run(g, options);
+  return run.run();
+}
+
+}  // namespace mpcg

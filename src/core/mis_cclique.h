@@ -1,0 +1,55 @@
+// Theorem 1.1, CONGESTED-CLIQUE part — MIS in O(log log Delta) rounds.
+//
+// Same rank-phase schedule as the MPC algorithm (core/mis_mpc.h), realized
+// with clique communication exactly as Section 3.2 describes:
+//   * the leader (player 0, standing in for the minimum-id vertex) draws
+//     the permutation, tells every player its rank, and players broadcast
+//     their ranks so the order is common knowledge;
+//   * per phase, players with ranks in the window ship their window-induced
+//     residual edges to the leader with Lenzen's routing scheme (O(n)
+//     messages, O(1) rounds), the leader plays greedy through the window,
+//     members broadcast their membership, and killed players broadcast
+//     their deaths;
+//   * the low-degree tail runs the sparsified local-MIS dynamics with
+//     per-iteration broadcasts, and the O(n)-edge leftover is routed to the
+//     leader and finished there.
+//
+// Given identical options (seed, alpha, degree_switch, gather budget), this
+// algorithm makes exactly the same decisions as mis_mpc — the two models
+// simulate one process — which the test suite checks output-for-output.
+#ifndef MPCG_CORE_MIS_CCLIQUE_H
+#define MPCG_CORE_MIS_CCLIQUE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cclique/engine.h"
+#include "graph/graph.h"
+
+namespace mpcg {
+
+struct MisCcliqueOptions {
+  std::uint64_t seed = 1;
+  double alpha = 0.75;
+  std::size_t degree_switch = 16;
+  bool use_sparsified_stage = true;
+  /// Final-gather threshold in edges. 0 = auto: n (one Lenzen batch).
+  std::size_t gather_budget = 0;
+  bool strict = true;
+};
+
+struct MisCcliqueResult {
+  std::vector<VertexId> mis;
+  std::size_t rank_phases = 0;
+  std::size_t sparsified_iterations = 0;
+  std::size_t final_gather_edges = 0;
+  std::vector<std::size_t> window_edges_per_phase;
+  cclique::Metrics metrics;
+};
+
+[[nodiscard]] MisCcliqueResult mis_cclique(const Graph& g,
+                                           const MisCcliqueOptions& options);
+
+}  // namespace mpcg
+
+#endif  // MPCG_CORE_MIS_CCLIQUE_H

@@ -1,0 +1,313 @@
+#include "core/mis_mpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <unordered_map>
+
+#include "baselines/local_mis.h"
+#include "mpc/primitives.h"
+#include "util/permutation.h"
+#include "util/rng.h"
+
+namespace mpcg {
+
+namespace {
+
+using mpc::Word;
+
+Word encode_pair(VertexId a, VertexId b) noexcept {
+  return (static_cast<Word>(a) << 32) | b;
+}
+
+std::pair<VertexId, VertexId> decode_pair(Word w) noexcept {
+  return {static_cast<VertexId>(w >> 32),
+          static_cast<VertexId>(w & 0xffffffffULL)};
+}
+
+/// Shared driver state. The `alive` and `in_mis` arrays are common
+/// knowledge across machines (every update is announced through charged
+/// gather+broadcast steps), so they are stored once; adjacency is owned by
+/// each vertex's home machine and only leaves it through engine pushes.
+class MisMpcRun {
+ public:
+  MisMpcRun(const Graph& g, const MisMpcOptions& options)
+      : g_(g), options_(options), n_(g.num_vertices()) {
+    const std::size_t min_words = 64;
+    words_ = options.words_per_machine != 0
+                 ? options.words_per_machine
+                 : 8 * std::max(n_, min_words);
+    const std::size_t m_edges = g.num_edges();
+    machines_ = options.num_machines != 0
+                    ? options.num_machines
+                    : std::max<std::size_t>(2, (4 * m_edges + words_ - 1) /
+                                                   words_);
+    gather_budget_ = options.gather_budget != 0 ? options.gather_budget
+                                                : words_ / 2;
+
+    // Resident state per machine: adjacency shard + the permutation (rank
+    // table) + the shared alive bitset. In auto-sizing mode, grow the
+    // cluster until the (hash-balanced) shards actually fit — dense or
+    // skewed graphs need more machines than the average-load estimate.
+    const std::size_t fixed_words = n_ + n_ / 64 + 1;
+    std::vector<std::size_t> shard_words;
+    for (;;) {
+      shard_words.assign(machines_, 0);
+      home_.resize(n_);
+      for (VertexId v = 0; v < n_; ++v) {
+        home_[v] = static_cast<std::uint32_t>(
+            mix64(options.seed, v, 0x401e) % machines_);
+        shard_words[home_[v]] += 1 + g.degree(v);
+      }
+      const std::size_t max_shard =
+          shard_words.empty()
+              ? 0
+              : *std::max_element(shard_words.begin(), shard_words.end());
+      if (options.num_machines != 0 || max_shard + fixed_words <= words_ ||
+          machines_ >= 2 * m_edges + 2) {
+        break;
+      }
+      machines_ *= 2;
+    }
+    engine_.emplace(mpc::Config{machines_, words_, options.strict});
+    for (std::size_t i = 0; i < machines_; ++i) {
+      engine_->note_storage(i, shard_words[i] + fixed_words);
+    }
+
+    alive_.assign(n_, 1);
+    in_mis_.assign(n_, 0);
+  }
+
+  MisMpcResult run() {
+    MisMpcResult result;
+    result.machines_used = machines_;
+    result.words_per_machine_used = words_;
+    if (n_ == 0) return result;
+
+    // The leader draws the permutation and broadcasts it (paper: "all
+    // vertices agree on a uniform random order").
+    Rng rng(options_.seed);
+    perm_ = random_permutation(n_, rng);
+    {
+      std::vector<Word> payload(perm_.begin(), perm_.end());
+      mpc::broadcast(*engine_, 0, payload);
+    }
+    rank_of_ = invert_permutation(perm_);
+
+    const double delta0 = std::max<double>(2.0, static_cast<double>(
+                                                    g_.max_degree()));
+    const double log_delta = std::log2(delta0);
+
+    std::size_t next_rank = 0;
+    while (true) {
+      const std::uint64_t alive_edges = count_alive_edges();
+      if (alive_edges <= gather_budget_) {
+        final_gather(result);
+        break;
+      }
+      if (options_.use_sparsified_stage &&
+          max_alive_degree() <= options_.degree_switch) {
+        sparsified_stage(result);
+        final_gather(result);
+        break;
+      }
+      // Next rank phase: process ranks [next_rank, n / Delta^{alpha^i}).
+      ++result.rank_phases;
+      const double exponent =
+          std::pow(options_.alpha, static_cast<double>(result.rank_phases));
+      auto upper = static_cast<std::size_t>(
+          std::llround(static_cast<double>(n_) *
+                       std::pow(2.0, -exponent * log_delta)));
+      upper = std::clamp(upper, next_rank + 1, n_);
+      rank_phase(next_rank, upper, result);
+      next_rank = upper;
+    }
+
+    result.metrics = engine_->metrics();
+    result.mis = std::move(mis_);
+    return result;
+  }
+
+ private:
+  /// Alive-alive edge count, counted at the lower endpoint's home and
+  /// all-reduced (3 charged rounds).
+  std::uint64_t count_alive_edges() {
+    std::vector<Word> per(machines_, 0);
+    for (const Edge& e : g_.edges()) {
+      if (alive_[e.u] && alive_[e.v]) ++per[home_[e.u]];
+    }
+    return mpc::all_reduce_sum(*engine_, per);
+  }
+
+  /// Maximum alive degree, computed per home and all-reduced.
+  std::uint64_t max_alive_degree() {
+    std::vector<Word> per(machines_, 0);
+    for (VertexId v = 0; v < n_; ++v) {
+      if (!alive_[v]) continue;
+      std::uint64_t d = 0;
+      for (const Arc& a : g_.arcs(v)) {
+        if (alive_[a.to]) ++d;
+      }
+      per[home_[v]] = std::max(per[home_[v]], d);
+    }
+    return mpc::all_reduce_max(*engine_, per);
+  }
+
+  /// Broadcasts the new MIS members, lets every home decide which of its
+  /// vertices die (member or neighbor of one), and announces the deaths via
+  /// gather + broadcast so the alive bitset stays common knowledge.
+  void commit_mis_members(const std::vector<VertexId>& mis_new) {
+    if (mis_new.empty()) return;
+    std::vector<Word> payload(mis_new.begin(), mis_new.end());
+    mpc::broadcast(*engine_, 0, payload);
+
+    std::vector<char> is_new(n_, 0);
+    for (const VertexId v : mis_new) is_new[v] = 1;
+    std::vector<std::vector<Word>> dead_parts(machines_);
+    std::vector<VertexId> died;
+    for (VertexId v = 0; v < n_; ++v) {
+      if (!alive_[v]) continue;
+      bool dies = is_new[v] != 0;
+      if (!dies) {
+        for (const Arc& a : g_.arcs(v)) {
+          if (is_new[a.to]) {
+            dies = true;
+            break;
+          }
+        }
+      }
+      if (dies) {
+        dead_parts[home_[v]].push_back(v);
+        died.push_back(v);
+      }
+    }
+    const auto gathered = mpc::gather_to(*engine_, 0, dead_parts);
+    mpc::broadcast(*engine_, 0, gathered);
+    for (const VertexId v : died) alive_[v] = 0;
+    for (const VertexId v : mis_new) {
+      in_mis_[v] = 1;
+      mis_.push_back(v);
+    }
+  }
+
+  /// One rank phase: gather the window-induced residual subgraph at the
+  /// leader, play greedy through the window ranks, commit the members.
+  void rank_phase(std::size_t lo, std::size_t hi, MisMpcResult& result) {
+    // Homes push alive window-induced edges (deduped at the lower vertex
+    // id) to the leader.
+    for (std::size_t r = lo; r < hi; ++r) {
+      const VertexId v = perm_[r];
+      if (!alive_[v]) continue;
+      for (const Arc& a : g_.arcs(v)) {
+        if (a.to > v && alive_[a.to] && rank_of_[a.to] >= lo &&
+            rank_of_[a.to] < hi) {
+          engine_->push(home_[v], 0, encode_pair(v, a.to));
+        }
+      }
+    }
+    engine_->exchange();
+    const auto& inbox = engine_->inbox(0);
+    result.window_edges_per_phase.push_back(inbox.size());
+
+    // Leader: window adjacency + greedy through ranks lo..hi-1. (The
+    // leader knows ranks and aliveness — both common knowledge.)
+    std::unordered_map<VertexId, std::vector<VertexId>> adj;
+    adj.reserve(inbox.size() * 2);
+    for (const Word w : inbox) {
+      const auto [u, v] = decode_pair(w);
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+    }
+    std::vector<VertexId> mis_new;
+    std::unordered_map<VertexId, char> killed;
+    for (std::size_t r = lo; r < hi; ++r) {
+      const VertexId v = perm_[r];
+      if (!alive_[v] || killed.count(v) != 0) continue;
+      mis_new.push_back(v);
+      const auto it = adj.find(v);
+      if (it != adj.end()) {
+        for (const VertexId u : it->second) killed[u] = 1;
+      }
+    }
+    commit_mis_members(mis_new);
+  }
+
+  /// Sparsified stage: Ghaffari-style local dynamics on the low-degree
+  /// residual graph. Each iteration exchanges (mark, desire) words along
+  /// alive edges and announces the joins/deaths.
+  void sparsified_stage(MisMpcResult& result) {
+    LocalMisState state(g_, alive_, mix64(options_.seed, 0x5fa1, 1));
+    while (count_alive_edges() > gather_budget_) {
+      // Neighbors exchange their mark bit and desire level: one word each
+      // way per alive edge.
+      for (const Edge& e : g_.edges()) {
+        if (alive_[e.u] && alive_[e.v]) {
+          engine_->push(home_[e.u], home_[e.v], encode_pair(e.u, e.v));
+          engine_->push(home_[e.v], home_[e.u], encode_pair(e.v, e.u));
+        }
+      }
+      engine_->exchange();
+      const auto joined = state.step();
+      ++result.sparsified_iterations;
+      commit_mis_members(joined);
+      if (state.alive_count() == 0) break;
+    }
+  }
+
+  /// Gathers every remaining alive-alive edge at the leader, which finishes
+  /// the greedy process in rank order and commits the members.
+  void final_gather(MisMpcResult& result) {
+    for (const Edge& e : g_.edges()) {
+      if (alive_[e.u] && alive_[e.v]) {
+        engine_->push(home_[e.u], 0, encode_pair(e.u, e.v));
+      }
+    }
+    engine_->exchange();
+    const auto& inbox = engine_->inbox(0);
+    result.final_gather_edges = inbox.size();
+
+    std::unordered_map<VertexId, std::vector<VertexId>> adj;
+    adj.reserve(inbox.size() * 2);
+    for (const Word w : inbox) {
+      const auto [u, v] = decode_pair(w);
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+    }
+    std::vector<VertexId> mis_new;
+    std::unordered_map<VertexId, char> killed;
+    for (std::size_t r = 0; r < n_; ++r) {
+      const VertexId v = perm_[r];
+      if (!alive_[v] || killed.count(v) != 0) continue;
+      mis_new.push_back(v);
+      const auto it = adj.find(v);
+      if (it != adj.end()) {
+        for (const VertexId u : it->second) killed[u] = 1;
+      }
+    }
+    commit_mis_members(mis_new);
+  }
+
+  const Graph& g_;
+  const MisMpcOptions& options_;
+  std::size_t n_;
+  std::size_t machines_ = 0;
+  std::size_t words_ = 0;
+  std::size_t gather_budget_ = 0;
+  std::optional<mpc::Engine> engine_;
+
+  std::vector<std::uint32_t> home_;
+  std::vector<std::uint32_t> perm_;
+  std::vector<std::uint32_t> rank_of_;
+  std::vector<char> alive_;
+  std::vector<char> in_mis_;
+  std::vector<VertexId> mis_;
+};
+
+}  // namespace
+
+MisMpcResult mis_mpc(const Graph& g, const MisMpcOptions& options) {
+  MisMpcRun run(g, options);
+  return run.run();
+}
+
+}  // namespace mpcg

@@ -1,0 +1,218 @@
+#include "core/one_plus_eps.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/permutation.h"
+#include "util/rng.h"
+
+namespace mpcg {
+
+namespace {
+
+/// Bounded, randomized alternating DFS growing an augmenting path from a
+/// free vertex. `budget` caps node expansions so high-degree graphs stay
+/// fast; repetition across passes makes up for pruned searches.
+class PathSearch {
+ public:
+  PathSearch(const Graph& g, std::vector<VertexId>& partner,
+             std::vector<char>& claimed, Rng& rng, std::size_t max_edges,
+             std::size_t budget)
+      : g_(g), partner_(partner), claimed_(claimed), rng_(rng),
+        max_edges_(max_edges), budget_(budget),
+        in_path_(g.num_vertices(), 0) {}
+
+  /// Tries to find an augmenting path starting at free vertex `root`;
+  /// on success the path (v0, u1, w1, ..., u_t) is left in `path_`.
+  bool grow(VertexId root) {
+    path_.clear();
+    path_.push_back(root);
+    in_path_[root] = 1;
+    const bool found = dfs(root, max_edges_);
+    in_path_[root] = 0;
+    for (std::size_t i = 1; i < path_.size(); ++i) in_path_[path_[i]] = 0;
+    return found;
+  }
+
+  [[nodiscard]] const std::vector<VertexId>& path() const noexcept {
+    return path_;
+  }
+
+ private:
+  bool dfs(VertexId v, std::size_t edges_left) {
+    if (budget_ == 0) return false;
+    --budget_;
+    const auto arcs = g_.arcs(v);
+    if (arcs.empty() || edges_left == 0) return false;
+    // Random rotation of the adjacency gives each neighbor a fair shot
+    // without shuffling.
+    const std::size_t start = rng_.next_below(arcs.size());
+    for (std::size_t idx = 0; idx < arcs.size(); ++idx) {
+      const VertexId u = arcs[(start + idx) % arcs.size()].to;
+      if (claimed_[u] || in_path_[u]) continue;
+      if (partner_[u] == kUnmatched) {
+        path_.push_back(u);
+        return true;  // odd-length augmenting path complete
+      }
+      if (edges_left < 3) continue;  // matched hop + >=1 more edge needed
+      const VertexId w = partner_[u];
+      if (claimed_[w] || in_path_[w]) continue;
+      in_path_[u] = 1;
+      in_path_[w] = 1;
+      path_.push_back(u);
+      path_.push_back(w);
+      if (dfs(w, edges_left - 2)) return true;
+      path_.pop_back();
+      path_.pop_back();
+      in_path_[u] = 0;
+      in_path_[w] = 0;
+    }
+    return false;
+  }
+
+  const Graph& g_;
+  std::vector<VertexId>& partner_;
+  std::vector<char>& claimed_;
+  Rng& rng_;
+  std::size_t max_edges_;
+  std::size_t budget_;
+  std::vector<char> in_path_;
+  std::vector<VertexId> path_;
+};
+
+void flip_path(std::vector<VertexId>& partner,
+               const std::vector<VertexId>& path) {
+  // path = v0, u1, w1, u2, w2, ..., u_t: new matched pairs are
+  // (v0,u1), (w1,u2), (w2,u3), ...
+  for (std::size_t i = 0; i + 1 < path.size(); i += 2) {
+    partner[path[i]] = path[i + 1];
+    partner[path[i + 1]] = path[i];
+  }
+}
+
+}  // namespace
+
+std::size_t augmenting_paths_pass(const Graph& g,
+                                  std::vector<VertexId>& partner,
+                                  std::size_t k, std::uint64_t seed) {
+  const std::size_t n = g.num_vertices();
+  Rng rng(seed);
+  std::vector<VertexId> free_vertices;
+  for (VertexId v = 0; v < n; ++v) {
+    if (partner[v] == kUnmatched && g.degree(v) > 0) free_vertices.push_back(v);
+  }
+  // Random start order.
+  for (std::size_t i = free_vertices.size(); i > 1; --i) {
+    std::swap(free_vertices[i - 1], free_vertices[rng.next_below(i)]);
+  }
+
+  std::vector<char> claimed(n, 0);
+  const std::size_t max_edges = 2 * k + 1;
+  const std::size_t budget = 200 + 40 * k * k;
+  std::size_t flipped = 0;
+  for (const VertexId root : free_vertices) {
+    if (claimed[root] || partner[root] != kUnmatched) continue;
+    PathSearch search(g, partner, claimed, rng, max_edges, budget);
+    if (search.grow(root)) {
+      flip_path(partner, search.path());
+      for (const VertexId v : search.path()) claimed[v] = 1;
+      ++flipped;
+    }
+  }
+  return flipped;
+}
+
+bool has_short_augmenting_path(const Graph& g,
+                               const std::vector<VertexId>& partner,
+                               std::size_t max_len) {
+  const std::size_t n = g.num_vertices();
+  std::vector<char> in_path(n, 0);
+  // Full backtracking over simple alternating paths (exponential; test-size
+  // graphs only).
+  std::function<bool(VertexId, std::size_t)> dfs =
+      [&](VertexId v, std::size_t edges_left) -> bool {
+    if (edges_left == 0) return false;
+    for (const Arc& a : g.arcs(v)) {
+      const VertexId u = a.to;
+      if (in_path[u]) continue;
+      if (partner[u] == kUnmatched) return true;
+      if (edges_left < 3) continue;
+      const VertexId w = partner[u];
+      if (in_path[w]) continue;
+      in_path[u] = 1;
+      in_path[w] = 1;
+      if (dfs(w, edges_left - 2)) {
+        in_path[u] = 0;
+        in_path[w] = 0;
+        return true;
+      }
+      in_path[u] = 0;
+      in_path[w] = 0;
+    }
+    return false;
+  };
+  for (VertexId v = 0; v < n; ++v) {
+    if (partner[v] != kUnmatched) continue;
+    in_path[v] = 1;
+    const bool found = dfs(v, max_len);
+    in_path[v] = 0;
+    if (found) return true;
+  }
+  return false;
+}
+
+std::vector<VertexId> partner_array(const Graph& g,
+                                    const std::vector<EdgeId>& matching) {
+  std::vector<VertexId> partner(g.num_vertices(), kUnmatched);
+  for (const EdgeId e : matching) {
+    const Edge ed = g.edge(e);
+    partner[ed.u] = ed.v;
+    partner[ed.v] = ed.u;
+  }
+  return partner;
+}
+
+std::vector<EdgeId> matching_from_partners(
+    const Graph& g, const std::vector<VertexId>& partner) {
+  std::vector<EdgeId> matching;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (partner[v] != kUnmatched && v < partner[v]) {
+      matching.push_back(g.find_edge(v, partner[v]));
+    }
+  }
+  return matching;
+}
+
+OnePlusEpsResult one_plus_eps_matching(const Graph& g,
+                                       const OnePlusEpsOptions& options) {
+  OnePlusEpsResult result;
+  const auto k = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(1.0 / options.eps)));
+  const std::size_t stall_limit =
+      options.stall_passes != 0 ? options.stall_passes : 4 * k + 8;
+  const std::size_t max_passes =
+      options.max_passes != 0 ? options.max_passes : 200 * k;
+
+  IntegralMatchingOptions base = options.base;
+  base.seed = mix64(options.seed, 0xbb, 5);
+  const auto base_run = integral_matching(g, base);
+  result.base_size = base_run.matching.size();
+  result.total_rounds = base_run.total_rounds;
+
+  auto partner = partner_array(g, base_run.matching);
+  std::size_t stall = 0;
+  for (std::size_t pass = 0; pass < max_passes && stall < stall_limit;
+       ++pass) {
+    const std::size_t flipped = augmenting_paths_pass(
+        g, partner, k, mix64(options.seed, 0xcc, pass));
+    ++result.augmenting_passes;
+    result.paths_flipped += flipped;
+    result.total_rounds += 2 * k + 2;  // one pass is O(k) model rounds
+    stall = flipped == 0 ? stall + 1 : 0;
+  }
+  result.matching = matching_from_partners(g, partner);
+  return result;
+}
+
+}  // namespace mpcg

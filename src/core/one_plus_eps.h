@@ -1,0 +1,76 @@
+// Corollary 1.3 — (1+eps)-approximate maximum matching in
+// O(log log n) * (1/eps)^{O(1/eps)} MPC rounds.
+//
+// Pipeline: Theorem 1.2 provides the (2+eps) base matching; McGregor-style
+// randomized augmentation then repeatedly finds maximal sets of
+// vertex-disjoint augmenting paths of length at most 2k+1 (k = ceil(1/eps))
+// and flips them. By the Hopcroft–Karp bound, once no augmenting path of
+// length <= 2k-1 remains the matching is a (1 + 1/k)-approximation.
+//
+// Each pass draws fresh randomness, walks a random alternating DFS of
+// bounded depth from every free vertex, and claims vertices exclusively
+// within the pass (so the flipped paths are disjoint). Passes repeat until
+// `stall_passes` consecutive passes find nothing, mirroring the
+// (1/eps)^{O(1/eps)} repetition budget of [McG05] (see DESIGN.md,
+// substitutions).
+#ifndef MPCG_CORE_ONE_PLUS_EPS_H
+#define MPCG_CORE_ONE_PLUS_EPS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/integral_matching.h"
+#include "graph/graph.h"
+
+namespace mpcg {
+
+struct OnePlusEpsOptions {
+  double eps = 1.0 / 3.0;
+  std::uint64_t seed = 1;
+  /// Stop after this many consecutive pass failures. 0 = auto: 4k + 8.
+  std::size_t stall_passes = 0;
+  /// Hard cap on passes. 0 = auto: 200 * k.
+  std::size_t max_passes = 0;
+  /// Options for the Theorem 1.2 base run.
+  IntegralMatchingOptions base;
+};
+
+struct OnePlusEpsResult {
+  std::vector<EdgeId> matching;
+  std::size_t base_size = 0;
+  std::size_t augmenting_passes = 0;
+  std::size_t paths_flipped = 0;
+  /// Base rounds plus O(k) rounds charged per augmentation pass.
+  std::size_t total_rounds = 0;
+};
+
+[[nodiscard]] OnePlusEpsResult one_plus_eps_matching(
+    const Graph& g, const OnePlusEpsOptions& options);
+
+/// A single augmentation pass over `partner` (modified in place): finds a
+/// maximal set of vertex-disjoint augmenting paths of length <= 2k+1 by
+/// randomized alternating DFS and flips them. Returns the number flipped.
+/// Exposed for tests and for the experiment harness.
+std::size_t augmenting_paths_pass(const Graph& g,
+                                  std::vector<VertexId>& partner,
+                                  std::size_t k, std::uint64_t seed);
+
+/// Exhaustive bounded-depth check (blossom-unaware; may overcount on odd
+/// structures but never misses a simple short path on the graphs the tests
+/// use): true iff some augmenting path of length <= max_len exists.
+[[nodiscard]] bool has_short_augmenting_path(const Graph& g,
+                                             const std::vector<VertexId>& partner,
+                                             std::size_t max_len);
+
+/// Sentinel for an unmatched vertex in `partner` arrays.
+inline constexpr VertexId kUnmatched = static_cast<VertexId>(-1);
+
+/// Converts a matching to a partner array / back.
+[[nodiscard]] std::vector<VertexId> partner_array(const Graph& g,
+                                                  const std::vector<EdgeId>& matching);
+[[nodiscard]] std::vector<EdgeId> matching_from_partners(
+    const Graph& g, const std::vector<VertexId>& partner);
+
+}  // namespace mpcg
+
+#endif  // MPCG_CORE_ONE_PLUS_EPS_H

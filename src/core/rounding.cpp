@@ -1,0 +1,65 @@
+#include "core/rounding.h"
+
+#include "graph/validation.h"
+#include "util/rng.h"
+
+namespace mpcg {
+
+std::vector<EdgeId> round_fractional_matching(
+    const Graph& g, const std::vector<double>& x,
+    const std::vector<VertexId>& candidates, std::uint64_t seed) {
+  const std::size_t n = g.num_vertices();
+
+  // Draw proposals: X_v = u with prob x_{uv}/10, else none. One uniform
+  // draw walked down the CDF of v's incident weights.
+  constexpr EdgeId kNoProposal = Graph::kNoEdge;
+  std::vector<EdgeId> proposal(n, kNoProposal);
+  std::vector<char> in_candidates(n, 0);
+  for (const VertexId v : candidates) in_candidates[v] = 1;
+
+  for (const VertexId v : candidates) {
+    double u01 = stateless_uniform(seed, v, 0x505);
+    double acc = 0.0;
+    for (const Arc& a : g.arcs(v)) {
+      acc += x[a.edge] / 10.0;
+      if (u01 < acc) {
+        proposal[v] = a.edge;
+        break;
+      }
+    }
+  }
+
+  // H as an edge set (mutual proposals collapse to one copy); good = no
+  // adjacent H-edge.
+  std::vector<std::uint32_t> h_degree(n, 0);
+  std::vector<EdgeId> h_edges;
+  std::vector<char> edge_in_h(g.num_edges(), 0);
+  for (const VertexId v : candidates) {
+    const EdgeId e = proposal[v];
+    if (e == kNoProposal || edge_in_h[e]) continue;
+    edge_in_h[e] = 1;
+    h_edges.push_back(e);
+    const Edge ed = g.edge(e);
+    ++h_degree[ed.u];
+    ++h_degree[ed.v];
+  }
+  std::vector<EdgeId> matching;
+  for (const EdgeId e : h_edges) {
+    const Edge ed = g.edge(e);
+    if (h_degree[ed.u] == 1 && h_degree[ed.v] == 1) matching.push_back(e);
+  }
+  return matching;
+}
+
+std::vector<VertexId> heavy_vertices(const Graph& g,
+                                     const std::vector<double>& x,
+                                     double min_load) {
+  const auto loads = vertex_loads(g, x);
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (loads[v] >= min_load) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace mpcg

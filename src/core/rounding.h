@@ -1,0 +1,37 @@
+// Section 5, Lemma 5.1 — randomized rounding of a fractional matching.
+//
+// Given a fractional matching x and a set C~ of vertices with load at least
+// 1-beta (beta <= 1/2), every vertex v in C~ draws one proposal X_v: a
+// neighbor u with probability x_{uv}/10 each, or no proposal (the paper's
+// star symbol) with the remaining probability >= 9/10. The proposal edges
+// form H; the *good* edges of H — those sharing no endpoint with another
+// H-edge — are returned. Lemma 5.1: |M| >= |C~|/50 with probability
+// 1 - 2 exp(-|C~|/5000).
+//
+// Every decision is local to a vertex's neighborhood, which is why the
+// paper calls the rounding straightforward to parallelize (one MPC round:
+// proposals out, conflict detection in the neighborhood).
+#ifndef MPCG_CORE_ROUNDING_H
+#define MPCG_CORE_ROUNDING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcg {
+
+/// One rounding trial. `candidates` is C~; randomness is stateless in
+/// (seed, v), so a different seed gives an independent retrial.
+[[nodiscard]] std::vector<EdgeId> round_fractional_matching(
+    const Graph& g, const std::vector<double>& x,
+    const std::vector<VertexId>& candidates, std::uint64_t seed);
+
+/// Vertices whose load under x is at least `min_load` — the C~ the
+/// integral pipeline feeds to the rounding (paper: 1 - 5 eps).
+[[nodiscard]] std::vector<VertexId> heavy_vertices(
+    const Graph& g, const std::vector<double>& x, double min_load);
+
+}  // namespace mpcg
+
+#endif  // MPCG_CORE_ROUNDING_H

@@ -1,0 +1,18 @@
+#include "core/vertex_cover.h"
+
+#include "graph/validation.h"
+
+namespace mpcg {
+
+VertexCoverResult minimum_vertex_cover_mpc(const Graph& g,
+                                           const MatchingMpcOptions& options) {
+  const MatchingMpcResult run = matching_mpc(g, options);
+  VertexCoverResult result;
+  result.cover = run.cover;
+  result.dual_certificate = fractional_weight(run.x);
+  result.rounds = run.metrics.rounds;
+  result.phases = run.phases;
+  return result;
+}
+
+}  // namespace mpcg

@@ -1,0 +1,33 @@
+// Theorem 1.2, vertex-cover phrasing — a thin convenience wrapper.
+//
+// "Invoking Lemma 4.2 ... we obtain the desired approximation of the
+// minimum vertex cover": the cover is the frozen-or-removed set of one
+// MPC-Simulation run. This header gives that one-call API for users who
+// only want the cover (the matching-side pipeline lives in
+// integral_matching.h).
+#ifndef MPCG_CORE_VERTEX_COVER_H
+#define MPCG_CORE_VERTEX_COVER_H
+
+#include "core/matching_mpc.h"
+#include "graph/graph.h"
+
+namespace mpcg {
+
+struct VertexCoverResult {
+  std::vector<VertexId> cover;
+  /// The dual certificate: sum of the fractional matching's weight. Any
+  /// vertex cover has size >= this, so cover.size() / certificate bounds
+  /// the approximation factor of *this very run* without knowing OPT.
+  double dual_certificate = 0.0;
+  std::size_t rounds = 0;
+  std::size_t phases = 0;
+};
+
+/// (2 + 50 eps)-approximate minimum vertex cover in O(log log n) MPC
+/// rounds (Lemma 4.2 / Theorem 1.2).
+[[nodiscard]] VertexCoverResult minimum_vertex_cover_mpc(
+    const Graph& g, const MatchingMpcOptions& options);
+
+}  // namespace mpcg
+
+#endif  // MPCG_CORE_VERTEX_COVER_H

@@ -1,0 +1,94 @@
+#include "core/weighted_matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "baselines/israeli_itai.h"
+#include "baselines/lmsv_filtering.h"
+#include "graph/validation.h"
+#include "util/rng.h"
+
+namespace mpcg {
+
+WeightedMatchingResult weighted_matching(const Graph& g,
+                                         const std::vector<double>& weights,
+                                         const WeightedMatchingOptions& options) {
+  if (weights.size() != g.num_edges()) {
+    throw std::invalid_argument("weighted_matching: weights size mismatch");
+  }
+  if (!(options.eps > 0.0)) {
+    throw std::invalid_argument("weighted_matching: eps must be positive");
+  }
+  WeightedMatchingResult result;
+  if (g.num_edges() == 0) return result;
+
+  const std::size_t n = g.num_vertices();
+  const std::size_t memory = options.memory_words != 0
+                                 ? options.memory_words
+                                 : 8 * std::max<std::size_t>(n, 64);
+
+  double w_max = 0.0;
+  for (const double w : weights) w_max = std::max(w_max, w);
+  if (w_max <= 0.0) return result;  // nothing of positive weight to match
+  const double cutoff =
+      options.eps * w_max / static_cast<double>(std::max<std::size_t>(n, 1));
+
+  // Bucket edges: class j holds weights in (w_max (1+eps)^-(j+1),
+  //                                          w_max (1+eps)^-j].
+  const double log_base = std::log1p(options.eps);
+  std::vector<std::vector<EdgeId>> classes;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const double w = weights[e];
+    if (w < cutoff) {
+      ++result.dropped_edges;
+      continue;
+    }
+    const auto j = static_cast<std::size_t>(
+        std::max(0.0, std::floor(std::log(w_max / w) / log_base)));
+    if (classes.size() <= j) classes.resize(j + 1);
+    classes[j].push_back(e);
+  }
+  result.num_classes = classes.size();
+
+  // Heaviest class first: maximal matching among still-free vertices via
+  // the filtering subroutine on the class subgraph.
+  std::vector<char> matched(n, 0);
+  for (std::size_t j = 0; j < classes.size(); ++j) {
+    if (classes[j].empty()) continue;
+    GraphBuilder builder(n);
+    std::size_t usable = 0;
+    for (const EdgeId e : classes[j]) {
+      const Edge ed = g.edge(e);
+      if (!matched[ed.u] && !matched[ed.v]) {
+        builder.add_edge(ed.u, ed.v);
+        ++usable;
+      }
+    }
+    if (usable == 0) continue;
+    const Graph class_graph = builder.build();
+    std::vector<EdgeId> class_matching;
+    if (options.subroutine == ClassSubroutine::kLmsvFiltering) {
+      auto sub = lmsv_maximal_matching(class_graph, memory,
+                                       mix64(options.seed, 0xc1a5, j));
+      result.total_rounds += sub.rounds;
+      class_matching = std::move(sub.matching);
+    } else {
+      auto sub = israeli_itai_matching(class_graph,
+                                       mix64(options.seed, 0xc1a5, j));
+      result.total_rounds += sub.rounds;
+      class_matching = std::move(sub.matching);
+    }
+    for (const EdgeId ce : class_matching) {
+      const Edge ed = class_graph.edge(ce);
+      matched[ed.u] = 1;
+      matched[ed.v] = 1;
+      const EdgeId parent = g.find_edge(ed.u, ed.v);
+      result.matching.push_back(parent);
+      result.weight += weights[parent];
+    }
+  }
+  return result;
+}
+
+}  // namespace mpcg

@@ -1,0 +1,52 @@
+// Corollary 1.4 — (2+eps)-approximate maximum *weighted* matching in
+// O(log log n * 1/eps) MPC rounds, following the Lotker–Patt-Shamir–Rosén
+// reduction (see DESIGN.md, substitutions).
+//
+// Edges are bucketed into geometric weight classes (1+eps)^j; edges lighter
+// than eps * w_max / n are dropped (they can contribute at most an eps/2
+// fraction of the optimum). Classes are processed heaviest-first; within a
+// class a maximal matching among still-unmatched vertices is computed with
+// the O(log log n)-round filtering subroutine. Charging every optimal edge
+// to the adjacent chosen edge that blocked it (same or heavier class) gives
+// w(M) >= w(M*) / (2 (1+eps)) - eps/2 * w(M*), i.e. a 2+O(eps) factor.
+#ifndef MPCG_CORE_WEIGHTED_MATCHING_H
+#define MPCG_CORE_WEIGHTED_MATCHING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcg {
+
+/// Which maximal-matching subroutine runs inside each weight class.
+enum class ClassSubroutine {
+  kLmsvFiltering,  // [LMSV11], O(log log n) rounds at S = Theta(n)
+  kIsraeliItai,    // [II86], O(log n) rounds — ablation comparison
+};
+
+struct WeightedMatchingOptions {
+  double eps = 0.2;
+  std::uint64_t seed = 1;
+  /// Per-class filtering memory budget; 0 = auto (8n).
+  std::size_t memory_words = 0;
+  ClassSubroutine subroutine = ClassSubroutine::kLmsvFiltering;
+};
+
+struct WeightedMatchingResult {
+  std::vector<EdgeId> matching;
+  double weight = 0.0;
+  std::size_t num_classes = 0;
+  /// Filtering rounds summed over classes.
+  std::size_t total_rounds = 0;
+  /// Edges discarded by the light-edge cutoff.
+  std::size_t dropped_edges = 0;
+};
+
+[[nodiscard]] WeightedMatchingResult weighted_matching(
+    const Graph& g, const std::vector<double>& weights,
+    const WeightedMatchingOptions& options);
+
+}  // namespace mpcg
+
+#endif  // MPCG_CORE_WEIGHTED_MATCHING_H

@@ -1,0 +1,55 @@
+#include "gen/families.h"
+
+#include <stdexcept>
+
+#include "gen/generators.h"
+#include "util/rng.h"
+
+namespace mpcg {
+
+namespace {
+const char* const kFamilyNames[] = {
+    "gnp_sparse", "gnp_dense", "power_law", "bipartite",
+    "rmat",       "grid",      "star",      "cliques",
+};
+}  // namespace
+
+std::span<const char* const> family_names() { return kFamilyNames; }
+
+Graph graph_family(const std::string& family, std::size_t n,
+                   std::uint64_t seed) {
+  Rng rng(mix64(seed, 0xfa3117, n));
+  if (family == "gnp_sparse") {
+    return erdos_renyi_gnp(n, 6.0 / static_cast<double>(n), rng);
+  }
+  if (family == "gnp_dense") {
+    return erdos_renyi_gnp(n, 24.0 / static_cast<double>(n), rng);
+  }
+  if (family == "power_law") {
+    return chung_lu_power_law(n, 2.5, 8.0, rng);
+  }
+  if (family == "bipartite") {
+    return random_bipartite(n / 2, n - n / 2, 8.0 / static_cast<double>(n),
+                            rng);
+  }
+  if (family == "rmat") {
+    std::size_t scale = 1;
+    while ((std::size_t{1} << scale) < n) ++scale;
+    return rmat(scale, 4 * n, 0.45, 0.2, 0.2, rng);
+  }
+  if (family == "grid") {
+    std::size_t side = 1;
+    while (side * side < n) ++side;
+    return grid_graph(side, side);
+  }
+  if (family == "star") {
+    return star_graph(n);
+  }
+  if (family == "cliques") {
+    const std::size_t size = 8;
+    return clique_union((n + size - 1) / size, size);
+  }
+  throw std::invalid_argument("unknown family: " + family);
+}
+
+}  // namespace mpcg

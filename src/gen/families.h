@@ -1,0 +1,30 @@
+// Named workload families.
+//
+// The experiment harness, the tests, and the examples all draw inputs from
+// this catalogue so "power_law at n=4096, seed 3" means the same graph
+// everywhere. Each family has a deliberately different degree profile (see
+// DESIGN.md, substitutions: the paper's guarantees are worst-case over all
+// graphs, so the sweeps must cover flat, heavy-tailed, bipartite,
+// clustered, bounded-degree, and adversarial-hub shapes).
+#ifndef MPCG_GEN_FAMILIES_H
+#define MPCG_GEN_FAMILIES_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace mpcg {
+
+/// All family names accepted by graph_family().
+[[nodiscard]] std::span<const char* const> family_names();
+
+/// Builds the named family at roughly `n` vertices, deterministically in
+/// (family, n, seed). Throws std::invalid_argument for unknown names.
+[[nodiscard]] Graph graph_family(const std::string& family, std::size_t n,
+                                 std::uint64_t seed);
+
+}  // namespace mpcg
+
+#endif  // MPCG_GEN_FAMILIES_H

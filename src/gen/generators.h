@@ -1,0 +1,77 @@
+// Synthetic graph workload generators.
+//
+// The paper's guarantees are worst-case / with-high-probability over all
+// graphs; the experiment harness sweeps families with very different degree
+// profiles (flat Erdős–Rényi, heavy-tailed Chung–Lu and Barabási–Albert,
+// bipartite, clustered RMAT, geometric) plus structured worst cases, so the
+// same code paths the proofs reason about are exercised.
+#ifndef MPCG_GEN_GENERATORS_H
+#define MPCG_GEN_GENERATORS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace mpcg {
+
+/// Erdős–Rényi G(n, p) via geometric edge skipping; O(n + m) time.
+[[nodiscard]] Graph erdos_renyi_gnp(std::size_t n, double p, Rng& rng);
+
+/// Erdős–Rényi G(n, m): m distinct uniform edges (m is an upper bound if it
+/// exceeds the number of possible edges).
+[[nodiscard]] Graph erdos_renyi_gnm(std::size_t n, std::size_t m, Rng& rng);
+
+/// Chung–Lu random graph with expected power-law degree sequence of
+/// exponent `beta` (typically in (2, 3]) and target average degree.
+[[nodiscard]] Graph chung_lu_power_law(std::size_t n, double beta,
+                                       double avg_degree, Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `k` existing vertices.
+[[nodiscard]] Graph barabasi_albert(std::size_t n, std::size_t k, Rng& rng);
+
+/// Random bipartite graph: parts of size `left` and `right`, each pair
+/// joined independently with probability p. Left part is vertices
+/// [0, left), right part [left, left+right).
+[[nodiscard]] Graph random_bipartite(std::size_t left, std::size_t right,
+                                     double p, Rng& rng);
+
+/// R-MAT recursive matrix graph: 2^scale vertices, `edges` edge samples
+/// with quadrant probabilities (a, b, c, implicit d = 1-a-b-c).
+[[nodiscard]] Graph rmat(std::size_t scale, std::size_t edges, double a,
+                         double b, double c, Rng& rng);
+
+/// Random geometric graph: n points uniform in the unit square, vertices
+/// within distance `radius` joined. O(n^2) — intended for n up to ~2e4.
+[[nodiscard]] Graph random_geometric(std::size_t n, double radius, Rng& rng);
+
+// --- Structured graphs (deterministic) ---
+
+[[nodiscard]] Graph path_graph(std::size_t n);
+[[nodiscard]] Graph cycle_graph(std::size_t n);
+[[nodiscard]] Graph complete_graph(std::size_t n);
+/// Star: center 0 joined to 1..n-1.
+[[nodiscard]] Graph star_graph(std::size_t n);
+/// rows x cols grid.
+[[nodiscard]] Graph grid_graph(std::size_t rows, std::size_t cols);
+/// Disjoint union of `count` cliques of size `size`.
+[[nodiscard]] Graph clique_union(std::size_t count, std::size_t size);
+/// Complete bipartite K_{a,b} (left part [0,a), right part [a,a+b)).
+[[nodiscard]] Graph complete_bipartite(std::size_t a, std::size_t b);
+
+// --- Edge weights ---
+
+/// Uniform weights in [lo, hi), one per edge id.
+[[nodiscard]] std::vector<double> uniform_weights(const Graph& g, double lo,
+                                                  double hi, Rng& rng);
+
+/// Exponentially distributed weights with the given mean (heavy spread, to
+/// stress the weighted matching's geometric classes).
+[[nodiscard]] std::vector<double> exponential_weights(const Graph& g,
+                                                      double mean, Rng& rng);
+
+}  // namespace mpcg
+
+#endif  // MPCG_GEN_GENERATORS_H

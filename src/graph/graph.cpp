@@ -1,0 +1,94 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpcg {
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t v = 0; v < num_vertices_; ++v) {
+    best = std::max(best, degree(static_cast<VertexId>(v)));
+  }
+  return best;
+}
+
+double Graph::average_degree() const noexcept {
+  if (num_vertices_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) /
+         static_cast<double>(num_vertices_);
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const noexcept {
+  return find_edge(u, v) != kNoEdge;
+}
+
+EdgeId Graph::find_edge(VertexId u, VertexId v) const noexcept {
+  if (u >= num_vertices_ || v >= num_vertices_) return kNoEdge;
+  // Search the smaller adjacency.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto adj = arcs(u);
+  const auto it = std::lower_bound(
+      adj.begin(), adj.end(), v,
+      [](const Arc& a, VertexId target) { return a.to < target; });
+  if (it != adj.end() && it->to == v) return it->edge;
+  return kNoEdge;
+}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  if (u >= num_vertices_ || v >= num_vertices_) {
+    throw std::out_of_range("GraphBuilder::add_edge: vertex out of range");
+  }
+  if (u == v) return;  // simple graph: drop self-loops
+  if (u > v) std::swap(u, v);
+  pending_.push_back(Edge{u, v});
+}
+
+Graph GraphBuilder::build() {
+  std::sort(pending_.begin(), pending_.end(),
+            [](const Edge& a, const Edge& b) {
+              return a.u < b.u || (a.u == b.u && a.v < b.v);
+            });
+  pending_.erase(std::unique(pending_.begin(), pending_.end()),
+                 pending_.end());
+
+  Graph g;
+  g.num_vertices_ = num_vertices_;
+  g.edges_ = std::move(pending_);
+  pending_ = {};
+
+  std::vector<std::size_t> deg(num_vertices_ + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  g.offsets_.assign(num_vertices_ + 1, 0);
+  for (std::size_t v = 0; v < num_vertices_; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+  }
+  g.arcs_.resize(2 * g.edges_.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId e = 0; e < g.edges_.size(); ++e) {
+    const Edge& ed = g.edges_[e];
+    g.arcs_[cursor[ed.u]++] = Arc{ed.v, e};
+    g.arcs_[cursor[ed.v]++] = Arc{ed.u, e};
+  }
+  // Adjacency of each vertex is already sorted by neighbor because edges_
+  // were sorted lexicographically and arcs appended in order for the first
+  // endpoint; the second-endpoint arcs interleave, so sort per vertex.
+  for (std::size_t v = 0; v < num_vertices_; ++v) {
+    std::sort(g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]),
+              [](const Arc& a, const Arc& b) { return a.to < b.to; });
+  }
+  return g;
+}
+
+Graph make_graph(std::size_t num_vertices,
+                 const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  GraphBuilder builder(num_vertices);
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  return builder.build();
+}
+
+}  // namespace mpcg

@@ -1,0 +1,162 @@
+#include "graph/graph_algos.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace mpcg {
+
+ComponentsResult connected_components(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  ComponentsResult result;
+  result.component_of.assign(n, std::numeric_limits<std::uint32_t>::max());
+  std::deque<VertexId> queue;
+  for (VertexId s = 0; s < n; ++s) {
+    if (result.component_of[s] != std::numeric_limits<std::uint32_t>::max()) {
+      continue;
+    }
+    const auto id = static_cast<std::uint32_t>(result.count++);
+    result.component_of[s] = id;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (const Arc& a : g.arcs(v)) {
+        if (result.component_of[a.to] ==
+            std::numeric_limits<std::uint32_t>::max()) {
+          result.component_of[a.to] = id;
+          queue.push_back(a.to);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source) {
+  std::vector<std::uint32_t> dist(g.num_vertices(),
+                                  std::numeric_limits<std::uint32_t>::max());
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (const Arc& a : g.arcs(v)) {
+      if (dist[a.to] == std::numeric_limits<std::uint32_t>::max()) {
+        dist[a.to] = dist[v] + 1;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  return dist;
+}
+
+DegeneracyResult degeneracy_ordering(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  DegeneracyResult result;
+  result.core_number.assign(n, 0);
+  result.order.reserve(n);
+
+  // Bucket queue by current degree.
+  std::vector<std::size_t> degree(n);
+  std::size_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  std::vector<std::vector<VertexId>> buckets(max_degree + 1);
+  for (VertexId v = 0; v < n; ++v) buckets[degree[v]].push_back(v);
+  std::vector<char> removed(n, 0);
+
+  std::size_t current_core = 0;
+  std::size_t cursor = 0;  // lowest possibly-nonempty bucket
+  for (std::size_t processed = 0; processed < n; ++processed) {
+    // Find the minimum-degree unremoved vertex; buckets may hold stale
+    // entries (every degree decrement pushes a fresh one, so a live entry
+    // always exists at the vertex's true degree).
+    VertexId v = 0;
+    for (;;) {
+      if (buckets[cursor].empty()) {
+        ++cursor;
+        continue;
+      }
+      const VertexId candidate = buckets[cursor].back();
+      buckets[cursor].pop_back();
+      if (removed[candidate] || degree[candidate] != cursor) continue;
+      v = candidate;
+      break;
+    }
+    removed[v] = 1;
+    current_core = std::max(current_core, cursor);
+    result.core_number[v] = static_cast<std::uint32_t>(current_core);
+    result.order.push_back(v);
+    for (const Arc& a : g.arcs(v)) {
+      if (!removed[a.to] && degree[a.to] > 0) {
+        --degree[a.to];
+        buckets[degree[a.to]].push_back(a.to);
+        if (degree[a.to] < cursor) cursor = degree[a.to];
+      }
+    }
+  }
+  result.degeneracy = current_core;
+  return result;
+}
+
+std::size_t triangle_count(const Graph& g) {
+  // Orient edges low->high degree (ties by id) and intersect out-lists.
+  const std::size_t n = g.num_vertices();
+  const auto rank_less = [&](VertexId a, VertexId b) {
+    return g.degree(a) < g.degree(b) ||
+           (g.degree(a) == g.degree(b) && a < b);
+  };
+  std::vector<std::vector<VertexId>> out(n);
+  for (const Edge& e : g.edges()) {
+    if (rank_less(e.u, e.v)) {
+      out[e.u].push_back(e.v);
+    } else {
+      out[e.v].push_back(e.u);
+    }
+  }
+  for (auto& list : out) std::sort(list.begin(), list.end());
+  std::size_t triangles = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    for (const VertexId u : out[v]) {
+      // Count |out[v] ∩ out[u]|.
+      auto it_v = out[v].begin();
+      auto it_u = out[u].begin();
+      while (it_v != out[v].end() && it_u != out[u].end()) {
+        if (*it_v < *it_u) {
+          ++it_v;
+        } else if (*it_u < *it_v) {
+          ++it_u;
+        } else {
+          ++triangles;
+          ++it_v;
+          ++it_u;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+Graph line_graph(const Graph& g) {
+  GraphBuilder builder(g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto arcs = g.arcs(v);
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      for (std::size_t j = i + 1; j < arcs.size(); ++j) {
+        builder.add_edge(arcs[i].edge, arcs[j].edge);
+      }
+    }
+  }
+  return builder.build();
+}
+
+std::vector<EdgeId> matching_from_line_graph_mis(
+    const std::vector<VertexId>& line_mis) {
+  return {line_mis.begin(), line_mis.end()};
+}
+
+}  // namespace mpcg

@@ -1,0 +1,57 @@
+// Classic graph algorithms used across the library: connectivity, cores,
+// BFS, triangle counts, and the line-graph transform.
+//
+// The line graph matters to this paper specifically: the introduction
+// notes that running an MIS algorithm on the line graph L(G) yields a
+// maximal matching of G (each L(G)-vertex is a G-edge; L(G)-independence
+// is exactly vertex-disjointness; L(G)-maximality is G-maximality). The
+// transform plus that reduction are implemented and tested here.
+#ifndef MPCG_GRAPH_GRAPH_ALGOS_H
+#define MPCG_GRAPH_GRAPH_ALGOS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcg {
+
+/// Connected components: returns (component id per vertex, #components).
+struct ComponentsResult {
+  std::vector<std::uint32_t> component_of;
+  std::size_t count = 0;
+};
+[[nodiscard]] ComponentsResult connected_components(const Graph& g);
+
+/// BFS distances from `source` (UINT32_MAX for unreachable vertices).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                                       VertexId source);
+
+/// Degeneracy ordering via iterated minimum-degree peeling. Returns the
+/// peel order and the degeneracy (max core number).
+struct DegeneracyResult {
+  std::vector<VertexId> order;
+  std::vector<std::uint32_t> core_number;
+  std::size_t degeneracy = 0;
+};
+[[nodiscard]] DegeneracyResult degeneracy_ordering(const Graph& g);
+
+/// Number of triangles (3-cycles) in g. O(m * sqrt(m))-ish via ordered
+/// adjacency intersection.
+[[nodiscard]] std::size_t triangle_count(const Graph& g);
+
+/// The line graph L(G): one vertex per edge of g, adjacency = sharing an
+/// endpoint. Size warning: sum over v of C(deg(v), 2) edges.
+[[nodiscard]] Graph line_graph(const Graph& g);
+
+/// Interprets an independent set of L(G) as a set of g-edges.
+/// (Line-graph vertex ids coincide with g edge ids by construction.)
+/// The reduction itself — MIS on L(G) gives a maximal matching of G — is
+/// wired up in baselines/greedy_matching.h
+/// (maximal_matching_via_line_graph), which owns the MIS dependency.
+[[nodiscard]] std::vector<EdgeId> matching_from_line_graph_mis(
+    const std::vector<VertexId>& line_mis);
+
+}  // namespace mpcg
+
+#endif  // MPCG_GRAPH_GRAPH_ALGOS_H

@@ -1,0 +1,65 @@
+#include "graph/subgraph.h"
+
+#include <stdexcept>
+
+namespace mpcg {
+
+namespace {
+constexpr VertexId kAbsent = static_cast<VertexId>(-1);
+}  // namespace
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<VertexId>& vertices) {
+  std::vector<VertexId> local_of(g.num_vertices(), kAbsent);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    if (v >= g.num_vertices()) {
+      throw std::out_of_range("induced_subgraph: vertex out of range");
+    }
+    if (local_of[v] != kAbsent) {
+      throw std::invalid_argument("induced_subgraph: duplicate vertex");
+    }
+    local_of[v] = static_cast<VertexId>(i);
+  }
+
+  GraphBuilder builder(vertices.size());
+  std::vector<EdgeId> parent_edges;
+  for (const VertexId v : vertices) {
+    for (const Arc& a : g.arcs(v)) {
+      if (a.to > v && local_of[a.to] != kAbsent) {
+        builder.add_edge(local_of[v], local_of[a.to]);
+        parent_edges.push_back(a.edge);
+      }
+    }
+  }
+
+  InducedSubgraph out;
+  out.graph = builder.build();
+  out.to_parent_vertex = vertices;
+  // GraphBuilder sorts/dedupes; recover the parent edge per local edge via
+  // lookup (inputs were unique already since g is simple, but the order may
+  // have changed).
+  out.to_parent_edge.resize(out.graph.num_edges());
+  for (EdgeId le = 0; le < out.graph.num_edges(); ++le) {
+    const Edge e = out.graph.edge(le);
+    const EdgeId pe =
+        g.find_edge(out.to_parent_vertex[e.u], out.to_parent_vertex[e.v]);
+    out.to_parent_edge[le] = pe;
+  }
+  return out;
+}
+
+std::size_t count_induced_edges(const Graph& g,
+                                const std::vector<VertexId>& vertices) {
+  std::vector<bool> in_set(g.num_vertices(), false);
+  for (const VertexId v : vertices) in_set[v] = true;
+  std::size_t count = 0;
+  for (const VertexId v : vertices) {
+    for (const Arc& a : g.arcs(v)) {
+      if (a.to > v && in_set[a.to]) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace mpcg

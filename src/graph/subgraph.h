@@ -1,0 +1,37 @@
+// Induced subgraphs with vertex-id mappings.
+//
+// The paper's MPC algorithms repeatedly materialize induced subgraphs: the
+// rank-window subgraphs of Section 3.2 and the per-machine partitions
+// G'[V_i] of Section 4.3. This module extracts them and keeps the mapping
+// back to the parent graph's vertex and edge ids.
+#ifndef MPCG_GRAPH_SUBGRAPH_H
+#define MPCG_GRAPH_SUBGRAPH_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcg {
+
+/// An induced subgraph together with mappings to the parent graph.
+struct InducedSubgraph {
+  Graph graph;
+  /// local vertex id -> parent vertex id
+  std::vector<VertexId> to_parent_vertex;
+  /// local edge id -> parent edge id
+  std::vector<EdgeId> to_parent_edge;
+};
+
+/// Builds the subgraph of `g` induced on `vertices` (need not be sorted;
+/// duplicates are an error). Runs in O(sum of degrees of `vertices`).
+[[nodiscard]] InducedSubgraph induced_subgraph(
+    const Graph& g, const std::vector<VertexId>& vertices);
+
+/// Counts the edges of the subgraph induced on `vertices` without building
+/// it (both endpoints must be in the set).
+[[nodiscard]] std::size_t count_induced_edges(
+    const Graph& g, const std::vector<VertexId>& vertices);
+
+}  // namespace mpcg
+
+#endif  // MPCG_GRAPH_SUBGRAPH_H

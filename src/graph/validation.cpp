@@ -1,0 +1,120 @@
+#include "graph/validation.h"
+
+#include <algorithm>
+
+namespace mpcg {
+
+bool is_independent_set(const Graph& g, const std::vector<VertexId>& set) {
+  std::vector<bool> in_set(g.num_vertices(), false);
+  for (const VertexId v : set) {
+    if (v >= g.num_vertices() || in_set[v]) return false;
+    in_set[v] = true;
+  }
+  for (const VertexId v : set) {
+    for (const Arc& a : g.arcs(v)) {
+      if (in_set[a.to]) return false;
+    }
+  }
+  return true;
+}
+
+bool is_maximal_independent_set(const Graph& g,
+                                const std::vector<VertexId>& set) {
+  if (!is_independent_set(g, set)) return false;
+  std::vector<bool> in_set(g.num_vertices(), false);
+  for (const VertexId v : set) in_set[v] = true;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (in_set[v]) continue;
+    bool blocked = false;
+    for (const Arc& a : g.arcs(v)) {
+      if (in_set[a.to]) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) return false;  // v could be added: not maximal
+  }
+  return true;
+}
+
+bool is_matching(const Graph& g, const std::vector<EdgeId>& matching) {
+  std::vector<bool> used(g.num_vertices(), false);
+  std::vector<bool> seen_edge(g.num_edges(), false);
+  for (const EdgeId e : matching) {
+    if (e >= g.num_edges() || seen_edge[e]) return false;
+    seen_edge[e] = true;
+    const Edge ed = g.edge(e);
+    if (used[ed.u] || used[ed.v]) return false;
+    used[ed.u] = true;
+    used[ed.v] = true;
+  }
+  return true;
+}
+
+bool is_maximal_matching(const Graph& g, const std::vector<EdgeId>& matching) {
+  if (!is_matching(g, matching)) return false;
+  const auto used = matched_flags(g, matching);
+  for (const Edge& e : g.edges()) {
+    if (!used[e.u] && !used[e.v]) return false;
+  }
+  return true;
+}
+
+bool is_vertex_cover(const Graph& g, const std::vector<VertexId>& cover) {
+  std::vector<bool> in_cover(g.num_vertices(), false);
+  for (const VertexId v : cover) {
+    if (v >= g.num_vertices()) return false;
+    in_cover[v] = true;
+  }
+  for (const Edge& e : g.edges()) {
+    if (!in_cover[e.u] && !in_cover[e.v]) return false;
+  }
+  return true;
+}
+
+bool is_fractional_matching(const Graph& g, const std::vector<double>& x,
+                            double tol) {
+  if (x.size() != g.num_edges()) return false;
+  for (const double xe : x) {
+    if (xe < -tol) return false;
+  }
+  const auto loads = vertex_loads(g, x);
+  return std::all_of(loads.begin(), loads.end(),
+                     [tol](double y) { return y <= 1.0 + tol; });
+}
+
+double fractional_weight(const std::vector<double>& x) {
+  double w = 0.0;
+  for (const double xe : x) w += xe;
+  return w;
+}
+
+std::vector<double> vertex_loads(const Graph& g, const std::vector<double>& x) {
+  std::vector<double> y(g.num_vertices(), 0.0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge ed = g.edge(e);
+    y[ed.u] += x[e];
+    y[ed.v] += x[e];
+  }
+  return y;
+}
+
+std::vector<bool> matched_flags(const Graph& g,
+                                const std::vector<EdgeId>& matching) {
+  std::vector<bool> used(g.num_vertices(), false);
+  for (const EdgeId e : matching) {
+    const Edge ed = g.edge(e);
+    used[ed.u] = true;
+    used[ed.v] = true;
+  }
+  return used;
+}
+
+double matching_weight(const std::vector<EdgeId>& matching,
+                       const std::vector<double>& weights) {
+  double w = 0.0;
+  for (const EdgeId e : matching) w += weights[e];
+  return w;
+}
+
+}  // namespace mpcg

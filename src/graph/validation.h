@@ -1,0 +1,60 @@
+// Output oracles: every algorithm result in the library is checked against
+// these in tests (and optionally by callers).
+//
+// Matchings are vectors of edge ids; vertex sets are vectors of vertex ids;
+// fractional matchings are one double per edge id.
+#ifndef MPCG_GRAPH_VALIDATION_H
+#define MPCG_GRAPH_VALIDATION_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcg {
+
+/// True iff no two vertices of `set` are adjacent in g. Duplicate vertices
+/// make the set invalid.
+[[nodiscard]] bool is_independent_set(const Graph& g,
+                                      const std::vector<VertexId>& set);
+
+/// True iff `set` is independent and no vertex outside it could be added.
+[[nodiscard]] bool is_maximal_independent_set(const Graph& g,
+                                              const std::vector<VertexId>& set);
+
+/// True iff the edge ids are distinct, valid, and vertex-disjoint.
+[[nodiscard]] bool is_matching(const Graph& g,
+                               const std::vector<EdgeId>& matching);
+
+/// True iff `matching` is a matching and every edge of g touches a matched
+/// vertex.
+[[nodiscard]] bool is_maximal_matching(const Graph& g,
+                                       const std::vector<EdgeId>& matching);
+
+/// True iff every edge of g has at least one endpoint in `cover`.
+[[nodiscard]] bool is_vertex_cover(const Graph& g,
+                                   const std::vector<VertexId>& cover);
+
+/// True iff x has one nonnegative entry per edge and every vertex load
+/// y_v = sum_{e ∋ v} x_e is at most 1 + tol.
+[[nodiscard]] bool is_fractional_matching(const Graph& g,
+                                          const std::vector<double>& x,
+                                          double tol = 1e-9);
+
+/// Total weight sum_e x_e of a fractional matching.
+[[nodiscard]] double fractional_weight(const std::vector<double>& x);
+
+/// Per-vertex loads y_v = sum_{e ∋ v} x_e.
+[[nodiscard]] std::vector<double> vertex_loads(const Graph& g,
+                                               const std::vector<double>& x);
+
+/// Flags of vertices covered by `matching`.
+[[nodiscard]] std::vector<bool> matched_flags(const Graph& g,
+                                              const std::vector<EdgeId>& matching);
+
+/// Sum of weights[e] over the matching's edge ids.
+[[nodiscard]] double matching_weight(const std::vector<EdgeId>& matching,
+                                     const std::vector<double>& weights);
+
+}  // namespace mpcg
+
+#endif  // MPCG_GRAPH_VALIDATION_H

@@ -1,0 +1,85 @@
+#include "mpc/engine.h"
+
+#include <algorithm>
+
+namespace mpcg::mpc {
+
+Engine::Engine(Config config) : config_(config) {
+  if (config_.num_machines == 0) {
+    throw std::invalid_argument("Engine: need at least one machine");
+  }
+  outbox_.assign(config_.num_machines,
+                 std::vector<std::vector<Word>>(config_.num_machines));
+  inbox_.assign(config_.num_machines, {});
+}
+
+void Engine::push(std::size_t from, std::size_t to, Word word) {
+  outbox_.at(from).at(to).push_back(word);
+}
+
+void Engine::push(std::size_t from, std::size_t to,
+                  std::span<const Word> words) {
+  auto& box = outbox_.at(from).at(to);
+  box.insert(box.end(), words.begin(), words.end());
+}
+
+void Engine::check_budget(std::size_t machine, std::size_t words,
+                          const char* dir) {
+  if (words > config_.words_per_machine) {
+    ++metrics_.violations;
+    if (config_.strict) {
+      throw CapacityError("machine " + std::to_string(machine) + " " + dir +
+                          " " + std::to_string(words) + " words, budget " +
+                          std::to_string(config_.words_per_machine));
+    }
+  }
+}
+
+void Engine::exchange() {
+  const std::size_t m = config_.num_machines;
+  // Sending side.
+  for (std::size_t from = 0; from < m; ++from) {
+    std::size_t sent = 0;
+    for (std::size_t to = 0; to < m; ++to) sent += outbox_[from][to].size();
+    metrics_.max_sent_words = std::max(metrics_.max_sent_words, sent);
+    metrics_.total_words += sent;
+    check_budget(from, sent, "sent");
+  }
+  // Receiving side: deliver in sender order.
+  for (std::size_t to = 0; to < m; ++to) {
+    auto& in = inbox_[to];
+    in.clear();
+    std::size_t received = 0;
+    for (std::size_t from = 0; from < m; ++from) {
+      received += outbox_[from][to].size();
+    }
+    in.reserve(received);
+    for (std::size_t from = 0; from < m; ++from) {
+      auto& box = outbox_[from][to];
+      in.insert(in.end(), box.begin(), box.end());
+      box.clear();
+    }
+    metrics_.max_received_words = std::max(metrics_.max_received_words,
+                                           received);
+    check_budget(to, received, "received");
+    // Whatever a machine received is resident until it processes it.
+    metrics_.peak_storage_words = std::max(metrics_.peak_storage_words,
+                                           received);
+  }
+  ++metrics_.rounds;
+}
+
+const std::vector<Word>& Engine::inbox(std::size_t machine) const {
+  return inbox_.at(machine);
+}
+
+void Engine::note_storage(std::size_t machine, std::size_t words) {
+  metrics_.peak_storage_words = std::max(metrics_.peak_storage_words, words);
+  check_budget(machine, words, "stores");
+}
+
+void Engine::clear_inboxes() {
+  for (auto& in : inbox_) in.clear();
+}
+
+}  // namespace mpcg::mpc

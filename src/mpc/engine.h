@@ -1,0 +1,111 @@
+// Massively Parallel Computation (MPC) model simulator.
+//
+// The model (paper, Section 1.1.1): m machines, each with S words of local
+// memory, computing in synchronous rounds. Within a round machines compute
+// locally; at the round boundary they exchange messages, and every machine
+// may send and receive at most S words per round.
+//
+// This engine is the *accounting authority* for every algorithm in
+// `src/core`: algorithms move data only through `push`/`exchange` (or the
+// collectives in primitives.h built on them), the engine counts rounds and
+// enforces capacities, and the experiment harness reads the metrics from
+// here. Algorithms have no way to increment the round counter except by
+// actually communicating.
+#ifndef MPCG_MPC_ENGINE_H
+#define MPCG_MPC_ENGINE_H
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mpcg::mpc {
+
+using Word = std::uint64_t;
+
+/// Thrown (in strict mode) when a machine exceeds its per-round send or
+/// receive budget, or when a collective cannot fit in machine memory.
+class CapacityError : public std::runtime_error {
+ public:
+  explicit CapacityError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct Config {
+  /// Number of machines, m.
+  std::size_t num_machines = 1;
+  /// Words of memory per machine, S. Also the per-round send/receive cap.
+  std::size_t words_per_machine = 1 << 20;
+  /// If true, capacity violations throw CapacityError; otherwise they are
+  /// tallied in Metrics::violations (useful for measuring how close an
+  /// algorithm runs to the budget).
+  bool strict = true;
+};
+
+struct Metrics {
+  /// Communication rounds executed so far.
+  std::size_t rounds = 0;
+  /// Peak words sent by any machine in any single round.
+  std::size_t max_sent_words = 0;
+  /// Peak words received by any machine in any single round.
+  std::size_t max_received_words = 0;
+  /// Peak resident storage reported by any machine (via note_storage) or
+  /// implied by a gather.
+  std::size_t peak_storage_words = 0;
+  /// Number of capacity violations observed (non-strict mode).
+  std::size_t violations = 0;
+  /// Total words moved across the cluster over all rounds.
+  std::size_t total_words = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(Config config);
+
+  [[nodiscard]] std::size_t num_machines() const noexcept {
+    return config_.num_machines;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return config_.words_per_machine;
+  }
+  [[nodiscard]] bool strict() const noexcept { return config_.strict; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+
+  /// Queues one word from machine `from` to machine `to` for the next
+  /// exchange.
+  void push(std::size_t from, std::size_t to, Word word);
+
+  /// Queues a word span.
+  void push(std::size_t from, std::size_t to, std::span<const Word> words);
+
+  /// Executes one communication round: delivers all queued words, enforces
+  /// per-machine send/receive budgets, updates metrics, and makes inboxes
+  /// readable. Queued outboxes are cleared.
+  void exchange();
+
+  /// Words delivered to `machine` by the most recent exchange, concatenated
+  /// in sender order (sender ids ascending; each sender's words in push
+  /// order).
+  [[nodiscard]] const std::vector<Word>& inbox(std::size_t machine) const;
+
+  /// Reports `words` of resident state on `machine` for peak-storage
+  /// accounting (e.g. an adjacency shard or a gathered subgraph). In strict
+  /// mode exceeding S throws.
+  void note_storage(std::size_t machine, std::size_t words);
+
+  /// Clears all inboxes (outboxes are cleared by exchange()).
+  void clear_inboxes();
+
+ private:
+  void check_budget(std::size_t machine, std::size_t words, const char* dir);
+
+  Config config_;
+  Metrics metrics_;
+  /// outbox_[from][to] — words queued for the next exchange.
+  std::vector<std::vector<std::vector<Word>>> outbox_;
+  std::vector<std::vector<Word>> inbox_;
+};
+
+}  // namespace mpcg::mpc
+
+#endif  // MPCG_MPC_ENGINE_H

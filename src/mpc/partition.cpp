@@ -1,0 +1,24 @@
+#include "mpc/partition.h"
+
+namespace mpcg::mpc {
+
+std::vector<std::uint32_t> random_vertex_partition(std::size_t n,
+                                                   std::size_t machines,
+                                                   Rng& rng) {
+  std::vector<std::uint32_t> assignment(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    assignment[v] = static_cast<std::uint32_t>(rng.next_below(machines));
+  }
+  return assignment;
+}
+
+std::vector<std::vector<VertexId>> group_by_machine(
+    const std::vector<std::uint32_t>& assignment, std::size_t machines) {
+  std::vector<std::vector<VertexId>> groups(machines);
+  for (std::size_t v = 0; v < assignment.size(); ++v) {
+    groups[assignment[v]].push_back(static_cast<VertexId>(v));
+  }
+  return groups;
+}
+
+}  // namespace mpcg::mpc

@@ -1,0 +1,35 @@
+// Vertex-to-machine assignment.
+//
+// Two flavours: a stable hash-based home assignment (who stores a vertex's
+// adjacency shard across the whole run), and the per-phase uniformly random
+// repartitioning the matching algorithm uses (paper, Section 4.3 Line (d)).
+#ifndef MPCG_MPC_PARTITION_H
+#define MPCG_MPC_PARTITION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace mpcg::mpc {
+
+/// Stable home machine of a vertex: hash(seed, v) mod m.
+[[nodiscard]] inline std::size_t home_of(VertexId v, std::size_t machines,
+                                         std::uint64_t seed) noexcept {
+  return static_cast<std::size_t>(mix64(seed, v) % machines);
+}
+
+/// Assigns each of n vertices independently and uniformly at random to one
+/// of `machines` machines (fresh randomness from `rng`). Returns the
+/// machine index per vertex.
+[[nodiscard]] std::vector<std::uint32_t> random_vertex_partition(
+    std::size_t n, std::size_t machines, Rng& rng);
+
+/// Groups vertex ids by machine given an assignment.
+[[nodiscard]] std::vector<std::vector<VertexId>> group_by_machine(
+    const std::vector<std::uint32_t>& assignment, std::size_t machines);
+
+}  // namespace mpcg::mpc
+
+#endif  // MPCG_MPC_PARTITION_H

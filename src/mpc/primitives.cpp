@@ -1,0 +1,116 @@
+#include "mpc/primitives.h"
+
+#include <algorithm>
+
+namespace mpcg::mpc {
+
+std::vector<Word> broadcast(Engine& engine, std::size_t root,
+                            std::span<const Word> payload) {
+  const std::size_t m = engine.num_machines();
+  if (payload.size() > engine.capacity() && engine.strict()) {
+    // Non-strict mode proceeds; the per-round exchange checks tally the
+    // violations so under-provisioning is observable, not fatal.
+    throw CapacityError("broadcast payload exceeds machine memory");
+  }
+  std::vector<Word> copy(payload.begin(), payload.end());
+  if (m == 1) return copy;
+
+  // Relay tree over machine ids reordered so the root is position 0.
+  // Position p holds the payload once informed; each informed position
+  // relays to `fanout` uninformed positions per round.
+  const std::size_t fanout = std::max<std::size_t>(
+      1, payload.empty() ? m : engine.capacity() / std::max<std::size_t>(
+                                   payload.size(), 1));
+  const auto machine_of = [&](std::size_t pos) {
+    // Swap root and 0.
+    if (pos == 0) return root;
+    if (pos == root) return std::size_t{0};
+    return pos;
+  };
+
+  std::size_t informed = 1;
+  while (informed < m) {
+    const std::size_t senders = informed;
+    std::size_t next = informed;
+    for (std::size_t s = 0; s < senders && next < m; ++s) {
+      for (std::size_t f = 0; f < fanout && next < m; ++f, ++next) {
+        engine.push(machine_of(s), machine_of(next), copy);
+      }
+    }
+    engine.exchange();
+    informed = next;
+  }
+  return copy;
+}
+
+std::vector<Word> gather_to(Engine& engine, std::size_t root,
+                            const std::vector<std::vector<Word>>& parts) {
+  const std::size_t m = engine.num_machines();
+  for (std::size_t i = 0; i < m && i < parts.size(); ++i) {
+    if (i == root) continue;  // root's own part needs no communication
+    engine.push(i, root, parts[i]);
+  }
+  engine.exchange();
+  std::vector<Word> gathered;
+  // Reassemble in machine order, substituting root's local part in place.
+  const auto& in = engine.inbox(root);
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i == root) {
+      gathered.insert(gathered.end(), parts[i].begin(), parts[i].end());
+    } else {
+      const std::size_t len = parts[i].size();
+      gathered.insert(gathered.end(), in.begin() + static_cast<std::ptrdiff_t>(cursor),
+                      in.begin() + static_cast<std::ptrdiff_t>(cursor + len));
+      cursor += len;
+    }
+  }
+  engine.note_storage(root, gathered.size());
+  return gathered;
+}
+
+std::vector<std::vector<Word>> all_to_all(
+    Engine& engine, const std::vector<std::vector<std::vector<Word>>>& out) {
+  const std::size_t m = engine.num_machines();
+  for (std::size_t i = 0; i < m && i < out.size(); ++i) {
+    for (std::size_t j = 0; j < m && j < out[i].size(); ++j) {
+      engine.push(i, j, out[i][j]);
+    }
+  }
+  engine.exchange();
+  std::vector<std::vector<Word>> in(m);
+  for (std::size_t j = 0; j < m; ++j) in[j] = engine.inbox(j);
+  return in;
+}
+
+std::uint64_t all_reduce_sum(Engine& engine,
+                             const std::vector<Word>& per_machine_value) {
+  const std::size_t m = engine.num_machines();
+  std::vector<std::vector<Word>> parts(m);
+  for (std::size_t i = 0; i < m && i < per_machine_value.size(); ++i) {
+    parts[i] = {per_machine_value[i]};
+  }
+  const auto gathered = gather_to(engine, 0, parts);
+  std::uint64_t total = 0;
+  for (const Word w : gathered) total += w;
+  const Word payload[] = {total};
+  broadcast(engine, 0, payload);
+  return total;
+}
+
+std::uint64_t all_reduce_max(Engine& engine,
+                             const std::vector<Word>& per_machine_value) {
+  const std::size_t m = engine.num_machines();
+  std::vector<std::vector<Word>> parts(m);
+  for (std::size_t i = 0; i < m && i < per_machine_value.size(); ++i) {
+    parts[i] = {per_machine_value[i]};
+  }
+  const auto gathered = gather_to(engine, 0, parts);
+  std::uint64_t best = 0;
+  for (const Word w : gathered) best = std::max(best, w);
+  const Word payload[] = {best};
+  broadcast(engine, 0, payload);
+  return best;
+}
+
+}  // namespace mpcg::mpc

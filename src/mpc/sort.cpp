@@ -1,0 +1,67 @@
+#include "mpc/sort.h"
+
+#include <algorithm>
+
+#include "mpc/primitives.h"
+
+namespace mpcg::mpc {
+
+std::vector<std::vector<Word>> distributed_sort(
+    Engine& engine, const std::vector<std::vector<Word>>& per_machine_input,
+    std::size_t sample_per_machine) {
+  const std::size_t m = engine.num_machines();
+  if (per_machine_input.size() > m) {
+    throw std::invalid_argument("distributed_sort: more inputs than machines");
+  }
+
+  // Local sort (free: local computation).
+  std::vector<std::vector<Word>> local(m);
+  for (std::size_t i = 0; i < per_machine_input.size(); ++i) {
+    local[i] = per_machine_input[i];
+    std::sort(local[i].begin(), local[i].end());
+  }
+
+  // Round 1: regular samples to the leader.
+  std::vector<std::vector<Word>> sample_parts(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t len = local[i].size();
+    if (len == 0) continue;
+    const std::size_t count = std::min(sample_per_machine, len);
+    for (std::size_t k = 0; k < count; ++k) {
+      sample_parts[i].push_back(local[i][k * len / count]);
+    }
+  }
+  auto samples = gather_to(engine, 0, sample_parts);
+  std::sort(samples.begin(), samples.end());
+
+  // Leader picks m-1 splitters; round(s) 2: broadcast them.
+  std::vector<Word> splitters;
+  if (!samples.empty()) {
+    for (std::size_t k = 1; k < m; ++k) {
+      splitters.push_back(samples[k * samples.size() / m]);
+    }
+  }
+  splitters = broadcast(engine, 0, splitters);
+
+  // Round 3: route each element to its bucket machine.
+  const auto bucket_of = [&](Word w) {
+    const auto it = std::upper_bound(splitters.begin(), splitters.end(), w);
+    return static_cast<std::size_t>(it - splitters.begin());
+  };
+  for (std::size_t i = 0; i < m; ++i) {
+    for (const Word w : local[i]) {
+      engine.push(i, bucket_of(w), w);
+    }
+  }
+  engine.exchange();
+
+  std::vector<std::vector<Word>> out(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    out[i] = engine.inbox(i);
+    std::sort(out[i].begin(), out[i].end());
+    engine.note_storage(i, out[i].size());
+  }
+  return out;
+}
+
+}  // namespace mpcg::mpc

@@ -1,0 +1,31 @@
+// Distributed sample sort over the MPC engine — the [GSZ11] "standard
+// technique" the paper's O(1)-round primitives rest on.
+//
+// Protocol (3 communication rounds for balanced inputs):
+//   1. machines sort locally and send a regular sample to the leader;
+//   2. the leader picks m-1 splitters and broadcasts them;
+//   3. machines route each element to its splitter bucket (all-to-all),
+//      then sort the received bucket locally.
+// The output is globally sorted in machine order: every element on
+// machine i is <= every element on machine i+1, and each machine's slice
+// is sorted. Capacity is enforced by the engine as usual, so a skewed
+// input that overloads one bucket is *visible* (strict mode throws).
+#ifndef MPCG_MPC_SORT_H
+#define MPCG_MPC_SORT_H
+
+#include <vector>
+
+#include "mpc/engine.h"
+
+namespace mpcg::mpc {
+
+/// Sorts the union of `per_machine_input` across the cluster. Returns the
+/// per-machine sorted slices (concatenation in machine order is the fully
+/// sorted sequence).
+std::vector<std::vector<Word>> distributed_sort(
+    Engine& engine, const std::vector<std::vector<Word>>& per_machine_input,
+    std::size_t sample_per_machine = 16);
+
+}  // namespace mpcg::mpc
+
+#endif  // MPCG_MPC_SORT_H

@@ -1,0 +1,71 @@
+// Dynamic bit set sized at runtime.
+//
+// Machines in the MPC simulation keep per-vertex liveness flags; n bits is
+// O(n / 64) words, within the O(n)-words-per-machine budget the paper
+// assumes (Section 3.2).
+#ifndef MPCG_UTIL_BITSET_H
+#define MPCG_UTIL_BITSET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mpcg {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t n, bool value = false)
+      : size_(n),
+        words_((n + 63) / 64, value ? ~std::uint64_t{0} : std::uint64_t{0}) {
+    trim();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1U;
+  }
+
+  void set(std::size_t i) noexcept { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void reset(std::size_t i) noexcept {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  void assign(std::size_t i, bool value) noexcept {
+    if (value) {
+      set(i);
+    } else {
+      reset(i);
+    }
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (const auto w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// Number of 64-bit words of storage; used for word-accurate memory
+  /// accounting in the MPC engine.
+  [[nodiscard]] std::size_t word_count() const noexcept { return words_.size(); }
+
+  void clear_all() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+ private:
+  void trim() noexcept {
+    const std::size_t tail = size_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace mpcg
+
+#endif  // MPCG_UTIL_BITSET_H

@@ -1,0 +1,35 @@
+#include "util/permutation.h"
+
+#include <numeric>
+
+namespace mpcg {
+
+std::vector<std::uint32_t> random_permutation(std::size_t n, Rng& rng) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0U);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<std::uint32_t> invert_permutation(
+    const std::vector<std::uint32_t>& perm) {
+  std::vector<std::uint32_t> inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    inv[perm[i]] = static_cast<std::uint32_t>(i);
+  }
+  return inv;
+}
+
+bool is_permutation_of_iota(const std::vector<std::uint32_t>& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (const auto v : perm) {
+    if (v >= perm.size() || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+}  // namespace mpcg

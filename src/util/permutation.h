@@ -1,0 +1,33 @@
+// Random permutations and rank utilities.
+//
+// The paper's randomized greedy MIS (Section 3) is driven by a uniformly
+// random permutation pi : [n] -> [n]; both the sequential reference
+// implementation and the MPC/CONGESTED-CLIQUE simulations must consume the
+// *same* permutation to allow exact-equivalence testing.
+#ifndef MPCG_UTIL_PERMUTATION_H
+#define MPCG_UTIL_PERMUTATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mpcg {
+
+/// Returns a uniformly random permutation of {0, ..., n-1} (Fisher-Yates).
+/// perm[i] is the vertex with rank i.
+[[nodiscard]] std::vector<std::uint32_t> random_permutation(std::size_t n,
+                                                            Rng& rng);
+
+/// Inverts a permutation: result[perm[i]] = i. For a rank permutation this
+/// yields rank_of[v] = position of vertex v.
+[[nodiscard]] std::vector<std::uint32_t> invert_permutation(
+    const std::vector<std::uint32_t>& perm);
+
+/// True iff `perm` is a permutation of {0, ..., perm.size()-1}.
+[[nodiscard]] bool is_permutation_of_iota(
+    const std::vector<std::uint32_t>& perm);
+
+}  // namespace mpcg
+
+#endif  // MPCG_UTIL_PERMUTATION_H

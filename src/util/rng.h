@@ -1,0 +1,130 @@
+// Deterministic, seedable random number generation for mpcg.
+//
+// All randomized algorithms in this library take an explicit 64-bit seed and
+// derive every random decision from it, so that runs are exactly
+// reproducible and the coupled-experiments in the paper's analysis
+// (Central-Rand vs MPC-Simulation sharing threshold streams) can be
+// realized by sharing a seed.
+#ifndef MPCG_UTIL_RNG_H
+#define MPCG_UTIL_RNG_H
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace mpcg {
+
+/// splitmix64 step: the standard 64-bit mixer used both to seed xoshiro and
+/// as a stateless hash of (seed, key...) tuples.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Stateless mix of two 64-bit values into one; used for per-(vertex,
+/// iteration) "on the fly" randomness as in Section 4.3 of the paper.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a,
+                                            std::uint64_t b) noexcept {
+  return splitmix64(a ^ (0x9e3779b97f4a7c15ULL + (b << 1)));
+}
+
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b,
+                                            std::uint64_t c) noexcept {
+  return mix64(mix64(a, b), c);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG.
+/// Satisfies the C++ UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state via splitmix64, as recommended by the
+  /// xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+      s = splitmix64(s);
+      word = s;
+    }
+    // Avoid the (astronomically unlikely) all-zero state.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+      state_[0] = 1;
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  /// Uses Lemire's nearly-divisionless bounded sampling.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bernoulli(double p) noexcept { return next_double() < p; }
+
+  /// Uniform double in [lo, hi).
+  double next_in(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Derives an independent child generator; used to hand each logical
+  /// machine / vertex its own stream.
+  [[nodiscard]] Rng fork(std::uint64_t stream) noexcept {
+    return Rng(mix64(state_[0] ^ state_[3], stream));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Uniform double in [0,1) derived statelessly from (seed, a, b).
+/// This is how per-(vertex, iteration) thresholds T_{v,t} are sampled "on
+/// the fly" (paper, Section 4.3) identically across coupled algorithms.
+[[nodiscard]] inline double stateless_uniform(std::uint64_t seed,
+                                              std::uint64_t a,
+                                              std::uint64_t b) noexcept {
+  return static_cast<double>(mix64(seed, a, b) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace mpcg
+
+#endif  // MPCG_UTIL_RNG_H

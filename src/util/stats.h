@@ -1,0 +1,47 @@
+// Small summary-statistics helpers used by the experiment harness and by
+// statistical tests of the paper's with-high-probability lemmas.
+#ifndef MPCG_UTIL_STATS_H
+#define MPCG_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace mpcg {
+
+/// Streaming accumulator for min / max / mean / variance (Welford).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` by linear interpolation.
+/// Copies and sorts; intended for experiment summaries, not hot paths.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+/// Mean of a vector; 0 for an empty vector.
+[[nodiscard]] double mean_of(const std::vector<double>& values);
+
+/// Least-squares slope of y against x. Used to fit round counts against
+/// log log n in the shape experiments. Requires x.size() == y.size() >= 2.
+[[nodiscard]] double linear_slope(const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+}  // namespace mpcg
+
+#endif  // MPCG_UTIL_STATS_H

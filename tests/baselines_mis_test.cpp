@@ -1,0 +1,199 @@
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "baselines/greedy_mis.h"
+#include "baselines/local_mis.h"
+#include "baselines/luby.h"
+#include "graph/validation.h"
+#include "test_util.h"
+#include "util/permutation.h"
+
+namespace mpcg {
+namespace {
+
+using testing::kFamilies;
+using testing::make_family;
+
+// ---- Focused unit tests ----
+
+TEST(GreedyMis, IdentityPermutationOnPath) {
+  const Graph g = path_graph(5);
+  std::vector<std::uint32_t> perm{0, 1, 2, 3, 4};
+  const auto mis = greedy_mis(g, perm);
+  EXPECT_EQ(mis, (std::vector<VertexId>{0, 2, 4}));
+}
+
+TEST(GreedyMis, PermutationOrderMatters) {
+  const Graph g = path_graph(4);
+  const auto a = greedy_mis(g, {0, 1, 2, 3});  // -> {0, 2}
+  const auto b = greedy_mis(g, {1, 0, 2, 3});  // 1 first -> {1, 3}
+  EXPECT_EQ(a, (std::vector<VertexId>{0, 2}));
+  EXPECT_EQ(b, (std::vector<VertexId>{1, 3}));
+}
+
+TEST(GreedyMis, TraceRemovalRanksConsistent) {
+  const Graph g = star_graph(6);
+  // Center processed first: everyone removed at rank 0.
+  const auto trace = greedy_mis_trace(g, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(trace.mis, (std::vector<VertexId>{0}));
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(trace.removed_at_rank[v], 0U);
+  // Leaf processed first: center dies at rank 0, other leaves join later.
+  const auto trace2 = greedy_mis_trace(g, {1, 0, 2, 3, 4, 5});
+  EXPECT_EQ(trace2.mis.size(), 5U);
+  EXPECT_EQ(trace2.removed_at_rank[0], 0U);
+}
+
+TEST(GreedyMis, ResidualShrinksWithRank) {
+  Rng rng(1);
+  const Graph g = erdos_renyi_gnp(400, 0.05, rng);
+  const auto perm = random_permutation(400, rng);
+  const auto trace = greedy_mis_trace(g, perm);
+  const auto r100 = residual_vertices_after_rank(trace, 100);
+  const auto r300 = residual_vertices_after_rank(trace, 300);
+  EXPECT_GE(r100.size(), r300.size());
+  const auto all = residual_vertices_after_rank(trace, 0);
+  EXPECT_EQ(all.size(), 400U);
+}
+
+TEST(GreedyMis, ThrowsOnSizeMismatch) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW(greedy_mis(g, {0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)greedy_dependency_depth(g, {0, 1}), std::invalid_argument);
+}
+
+TEST(GreedyMis, DependencyDepthBounds) {
+  const Graph g = path_graph(16);
+  // Increasing order: every vertex depends on its predecessor.
+  EXPECT_EQ(greedy_dependency_depth(g, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                        12, 13, 14, 15}),
+            16U);
+  // Empty graph: depth 1 per vertex.
+  const Graph empty = GraphBuilder(4).build();
+  EXPECT_EQ(greedy_dependency_depth(empty, {0, 1, 2, 3}), 1U);
+}
+
+TEST(GreedyMis, DependencyDepthLogarithmicOnRandomOrder) {
+  Rng rng(2);
+  const Graph g = path_graph(4096);
+  const auto perm = random_permutation(4096, rng);
+  const std::size_t depth = greedy_dependency_depth(g, perm);
+  // Theta(log n) for a path under random order; allow generous slack.
+  EXPECT_LT(depth, 64U);
+  EXPECT_GE(depth, 4U);
+}
+
+TEST(Luby, EmptyAndSingleton) {
+  const Graph empty = GraphBuilder(0).build();
+  EXPECT_TRUE(luby_mis(empty, 1).mis.empty());
+  const Graph one = GraphBuilder(1).build();
+  const auto r = luby_mis(one, 1);
+  EXPECT_EQ(r.mis.size(), 1U);
+}
+
+TEST(Luby, RoundsGrowWithLogN) {
+  // O(log n) rounds: sanity-check the magnitude on a clique union.
+  const Graph g = clique_union(64, 16);
+  const auto r = luby_mis(g, 5);
+  EXPECT_TRUE(is_maximal_independent_set(g, r.mis));
+  EXPECT_EQ(r.mis.size(), 64U);  // one per clique
+  EXPECT_LT(r.rounds, 40U);
+}
+
+TEST(LocalMis, CompletesOnClique) {
+  const Graph g = complete_graph(32);
+  const auto r = local_mis(g, 3);
+  EXPECT_EQ(r.mis.size(), 1U);
+  EXPECT_TRUE(is_maximal_independent_set(g, r.mis));
+}
+
+TEST(LocalMis, StateStepsAreIncremental) {
+  const Graph g = cycle_graph(50);
+  LocalMisState state(g, std::vector<char>(50, 1), 7);
+  std::size_t decided_before = 0;
+  for (int i = 0; i < 200 && state.alive_count() > 0; ++i) {
+    state.step();
+    std::size_t decided = 0;
+    for (VertexId v = 0; v < 50; ++v) {
+      if (state.in_mis()[v] || !state.alive()[v]) ++decided;
+    }
+    EXPECT_GE(decided, decided_before);
+    decided_before = decided;
+  }
+  EXPECT_EQ(state.alive_count(), 0U);
+}
+
+TEST(LocalMis, RespectsInitialAliveMask) {
+  const Graph g = path_graph(6);
+  std::vector<char> alive{1, 1, 1, 0, 0, 0};
+  LocalMisState state(g, alive, 11);
+  while (state.alive_count() > 0) state.step();
+  for (VertexId v = 3; v < 6; ++v) EXPECT_FALSE(state.in_mis()[v]);
+}
+
+TEST(LocalMis, AliveEdgeAndDegreeHelpers) {
+  const Graph g = complete_graph(5);
+  LocalMisState state(g, std::vector<char>(5, 1), 13);
+  EXPECT_EQ(state.alive_edges(), 10U);
+  EXPECT_EQ(state.max_alive_degree(), 4U);
+}
+
+// ---- Property sweep: family x seed ----
+
+class MisBaselineSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint64_t>> {
+};
+
+TEST_P(MisBaselineSweep, GreedyOutputIsMaximalIndependentSet) {
+  const auto [family, seed] = GetParam();
+  const Graph g = make_family(family, 300, seed);
+  Rng rng(seed);
+  const auto perm = random_permutation(g.num_vertices(), rng);
+  const auto trace = greedy_mis_trace(g, perm);
+  EXPECT_TRUE(is_maximal_independent_set(g, trace.mis));
+  // Every vertex is removed at some rank, no later than its own.
+  std::vector<std::uint32_t> rank_of(g.num_vertices());
+  for (std::uint32_t i = 0; i < perm.size(); ++i) rank_of[perm[i]] = i;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(trace.removed_at_rank[v], rank_of[v]);
+    if (trace.in_mis[v]) {
+      EXPECT_EQ(trace.removed_at_rank[v], rank_of[v]);
+    }
+  }
+}
+
+TEST_P(MisBaselineSweep, LubyOutputIsMaximalIndependentSet) {
+  const auto [family, seed] = GetParam();
+  const Graph g = make_family(family, 300, seed);
+  const auto r = luby_mis(g, seed);
+  EXPECT_TRUE(is_maximal_independent_set(g, r.mis));
+  EXPECT_GE(r.rounds, 1U);
+}
+
+TEST_P(MisBaselineSweep, LocalMisOutputIsMaximalIndependentSet) {
+  const auto [family, seed] = GetParam();
+  const Graph g = make_family(family, 300, seed);
+  const auto r = local_mis(g, seed);
+  EXPECT_TRUE(is_maximal_independent_set(g, r.mis));
+}
+
+TEST_P(MisBaselineSweep, GreedyDeterministicPerPermutation) {
+  const auto [family, seed] = GetParam();
+  const Graph g = make_family(family, 200, seed);
+  Rng rng(seed);
+  const auto perm = random_permutation(g.num_vertices(), rng);
+  EXPECT_EQ(greedy_mis(g, perm), greedy_mis(g, perm));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MisBaselineSweep,
+    ::testing::Combine(::testing::ValuesIn(kFamilies),
+                       ::testing::Values(1ULL, 2ULL, 3ULL)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mpcg

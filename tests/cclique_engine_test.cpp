@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "cclique/engine.h"
+
+namespace mpcg::cclique {
+namespace {
+
+TEST(CcEngine, PointToPointDelivery) {
+  Engine e(4);
+  e.send(1, 2, 77);
+  e.exchange();
+  ASSERT_EQ(e.inbox(2).size(), 1U);
+  EXPECT_EQ(e.inbox(2)[0].from, 1U);
+  EXPECT_EQ(e.inbox(2)[0].word, 77U);
+  EXPECT_TRUE(e.inbox(1).empty());
+  EXPECT_EQ(e.metrics().rounds, 1U);
+}
+
+TEST(CcEngine, PairBudgetViolationThrows) {
+  Engine e(3);
+  e.send(0, 1, 1);
+  e.send(0, 1, 2);
+  EXPECT_THROW(e.exchange(), CongestionError);
+}
+
+TEST(CcEngine, DistinctPairsSameRoundOk) {
+  Engine e(4);
+  e.send(0, 1, 1);
+  e.send(0, 2, 2);
+  e.send(0, 3, 3);
+  e.send(1, 0, 4);
+  EXPECT_NO_THROW(e.exchange());
+  EXPECT_EQ(e.metrics().max_player_sent, 3U);
+}
+
+TEST(CcEngine, NonStrictCountsViolations) {
+  Engine e(3, /*strict=*/false);
+  e.send(0, 1, 1);
+  e.send(0, 1, 2);
+  e.exchange();
+  EXPECT_GE(e.metrics().violations, 1U);
+}
+
+TEST(CcEngine, BroadcastReachesEveryone) {
+  Engine e(5);
+  e.broadcast(2, 99);
+  e.exchange();
+  ASSERT_EQ(e.broadcast_inbox().size(), 1U);
+  EXPECT_EQ(e.broadcast_inbox()[0].from, 2U);
+  EXPECT_EQ(e.broadcast_inbox()[0].word, 99U);
+}
+
+TEST(CcEngine, BroadcastPlusSendSamePairThrows) {
+  Engine e(3);
+  e.broadcast(0, 1);
+  e.send(0, 2, 5);
+  EXPECT_THROW(e.exchange(), CongestionError);
+}
+
+TEST(CcEngine, DoubleBroadcastThrows) {
+  Engine e(3);
+  e.broadcast(0, 1);
+  e.broadcast(0, 2);
+  EXPECT_THROW(e.exchange(), CongestionError);
+}
+
+TEST(CcEngine, ManyBroadcastersOneRound) {
+  Engine e(6);
+  for (PlayerId p = 0; p < 6; ++p) e.broadcast(p, p);
+  e.exchange();
+  EXPECT_EQ(e.broadcast_inbox().size(), 6U);
+  EXPECT_EQ(e.metrics().rounds, 1U);
+}
+
+TEST(CcEngine, LenzenFeasibleBatchTwoRounds) {
+  Engine e(4);
+  std::vector<Message> msgs;
+  for (PlayerId p = 0; p < 4; ++p) msgs.push_back({p, 0, p});
+  const auto delivered = e.lenzen_route(std::move(msgs));
+  EXPECT_EQ(delivered[0].size(), 4U);
+  EXPECT_EQ(e.metrics().rounds, 2U);
+  EXPECT_EQ(e.metrics().lenzen_batches, 1U);
+}
+
+TEST(CcEngine, LenzenOverloadSplitsBatches) {
+  Engine e(3);
+  // 7 messages to player 0; receiver budget is n=3 per batch.
+  std::vector<Message> msgs;
+  for (int i = 0; i < 7; ++i) {
+    msgs.push_back({static_cast<PlayerId>(i % 3), 0,
+                    static_cast<Word>(i)});
+  }
+  const auto delivered = e.lenzen_route(std::move(msgs));
+  EXPECT_EQ(delivered[0].size(), 7U);
+  EXPECT_EQ(e.metrics().lenzen_batches, 3U);  // ceil(7/3)
+  EXPECT_EQ(e.metrics().rounds, 6U);
+}
+
+TEST(CcEngine, LenzenRejectsWhileSendsQueued) {
+  Engine e(3);
+  e.send(0, 1, 1);
+  EXPECT_THROW(e.lenzen_route({}), std::logic_error);
+}
+
+TEST(CcEngine, OutOfRangePlayersThrow) {
+  Engine e(3);
+  EXPECT_THROW(e.send(0, 3, 1), std::out_of_range);
+  EXPECT_THROW(e.send(3, 0, 1), std::out_of_range);
+  EXPECT_THROW(e.broadcast(5, 1), std::out_of_range);
+}
+
+TEST(CcEngine, RejectsZeroPlayers) {
+  EXPECT_THROW(Engine(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpcg::cclique

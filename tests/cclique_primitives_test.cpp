@@ -1,0 +1,67 @@
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "cclique/primitives.h"
+
+namespace mpcg::cclique {
+namespace {
+
+TEST(BroadcastWords, DeliversInOrder) {
+  Engine e(5);
+  const std::vector<Word> words{10, 20, 30};
+  const auto known = broadcast_words(e, 2, words);
+  EXPECT_EQ(known, words);
+  EXPECT_EQ(e.metrics().rounds, 2U);  // one distribute + one rebroadcast
+}
+
+TEST(BroadcastWords, FullPermutationInTwoRounds) {
+  // The Section 3.2 use case: n words (a permutation) to all players.
+  const std::size_t n = 64;
+  Engine e(n);
+  std::vector<Word> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  const auto known = broadcast_words(e, 0, perm);
+  EXPECT_EQ(known, perm);
+  EXPECT_EQ(e.metrics().rounds, 2U);
+}
+
+TEST(BroadcastWords, MoreThanNWordsBatches) {
+  Engine e(4);
+  std::vector<Word> words(10);
+  std::iota(words.begin(), words.end(), 100);
+  const auto known = broadcast_words(e, 1, words);
+  EXPECT_EQ(known, words);
+  EXPECT_EQ(e.metrics().rounds, 2U * 3U);  // ceil(10/4) = 3 batches
+}
+
+TEST(BroadcastWords, EmptyIsFree) {
+  Engine e(3);
+  EXPECT_TRUE(broadcast_words(e, 0, {}).empty());
+  EXPECT_EQ(e.metrics().rounds, 0U);
+}
+
+TEST(BroadcastWords, SourceKeepsOwnShare) {
+  // Word index == source id: no self-send needed (would be a wasted slot).
+  Engine e(3);
+  const std::vector<Word> words{7, 8, 9};
+  const auto known = broadcast_words(e, 1, words);
+  EXPECT_EQ(known, words);
+  EXPECT_EQ(e.metrics().violations, 0U);
+}
+
+TEST(AllBroadcastSum, SumsAliveOnly) {
+  Engine e(4);
+  const std::vector<char> alive{1, 0, 1, 1};
+  const std::vector<Word> values{5, 100, 7, 9};
+  EXPECT_EQ(all_broadcast_sum(e, alive, values), 21U);
+  EXPECT_EQ(e.metrics().rounds, 1U);
+}
+
+TEST(AllBroadcastSum, AllDeadIsZero) {
+  Engine e(3);
+  EXPECT_EQ(all_broadcast_sum(e, std::vector<char>(3, 0), {1, 2, 3}), 0U);
+}
+
+}  // namespace
+}  // namespace mpcg::cclique

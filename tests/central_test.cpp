@@ -1,0 +1,163 @@
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "baselines/blossom.h"
+#include "baselines/brute_force.h"
+#include "core/central.h"
+#include "graph/validation.h"
+#include "test_util.h"
+
+namespace mpcg {
+namespace {
+
+using testing::kFamilies;
+using testing::make_family;
+
+CentralOptions opts(double eps, bool random_thresholds = false) {
+  CentralOptions o;
+  o.eps = eps;
+  o.random_thresholds = random_thresholds;
+  o.threshold_seed = 7;
+  return o;
+}
+
+TEST(Central, SingleEdgeSplitsWeight) {
+  const Graph g = path_graph(2);
+  const auto r = central_fractional_matching(g, opts(0.1));
+  // The lone edge grows until both endpoints freeze; final x in
+  // [(1-2eps)(1-eps), 1-2eps] roughly.
+  ASSERT_EQ(r.x.size(), 1U);
+  EXPECT_GE(r.x[0], (1 - 0.2) * (1 - 0.1) - 1e-9);
+  EXPECT_LE(r.x[0], 1.0);
+  EXPECT_EQ(r.cover.size(), 2U);  // both endpoints froze together
+}
+
+TEST(Central, EmptyGraph) {
+  const Graph g = GraphBuilder(4).build();
+  const auto r = central_fractional_matching(g, opts(0.1));
+  EXPECT_TRUE(r.x.empty());
+  EXPECT_TRUE(r.cover.empty());
+  EXPECT_EQ(r.iterations, 0U);
+}
+
+TEST(Central, RejectsBadEps) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW(central_fractional_matching(g, opts(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(central_fractional_matching(g, opts(0.7)),
+               std::invalid_argument);
+}
+
+TEST(Central, IterationsLogarithmic) {
+  // Lemma 4.1: O(log n / eps) iterations. Explicit bound:
+  // log_{1/(1-eps)} (n (1-2eps)) + O(1).
+  for (const std::size_t n : {100UL, 1000UL, 10000UL}) {
+    const Graph g = make_family("gnp_sparse", n, 5);
+    const double eps = 0.1;
+    const auto r = central_fractional_matching(g, opts(eps));
+    const double bound =
+        std::log(static_cast<double>(n)) / -std::log1p(-eps) + 3;
+    EXPECT_LE(static_cast<double>(r.iterations), bound);
+  }
+}
+
+TEST(Central, TraceRecordsMonotoneLoads) {
+  const Graph g = make_family("gnp_dense", 100, 3);
+  auto o = opts(0.1);
+  o.record_trace = true;
+  const auto r = central_fractional_matching(g, o);
+  ASSERT_EQ(r.y_trace.size(), r.iterations);
+  // A vertex's load never decreases while it is active, and never exceeds 1.
+  for (std::size_t t = 1; t < r.y_trace.size(); ++t) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (r.freeze_iteration[v] >= t) {
+        EXPECT_GE(r.y_trace[t][v], r.y_trace[t - 1][v] - 1e-12);
+      }
+      EXPECT_LE(r.y_trace[t][v], 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Central, FreezeIterationConsistentWithCover) {
+  const Graph g = make_family("power_law", 200, 4);
+  const auto r = central_fractional_matching(g, opts(0.1));
+  std::size_t frozen = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (r.freeze_iteration[v] != CentralResult::kNeverFroze) ++frozen;
+  }
+  EXPECT_EQ(frozen, r.cover.size());
+}
+
+TEST(CentralThreshold, FixedAndRandomRanges) {
+  EXPECT_DOUBLE_EQ(central_threshold(1, 0, 0, 0.1, false), 0.8);
+  for (std::uint64_t v = 0; v < 200; ++v) {
+    const double t = central_threshold(1, v, 3, 0.1, true);
+    EXPECT_GE(t, 0.6);
+    EXPECT_LE(t, 0.8);
+  }
+  // Deterministic in (seed, v, t).
+  EXPECT_EQ(central_threshold(9, 5, 2, 0.1, true),
+            central_threshold(9, 5, 2, 0.1, true));
+  EXPECT_NE(central_threshold(9, 5, 2, 0.1, true),
+            central_threshold(9, 5, 3, 0.1, true));
+}
+
+class CentralSweep
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, double, bool>> {};
+
+TEST_P(CentralSweep, Lemma41Guarantees) {
+  const auto [family, eps, random_thresholds] = GetParam();
+  const Graph g = make_family(family, 250, 13);
+  const auto r =
+      central_fractional_matching(g, opts(eps, random_thresholds));
+
+  // Output is a valid fractional matching with a valid cover.
+  EXPECT_TRUE(is_fractional_matching(g, r.x, 1e-9));
+  EXPECT_TRUE(is_vertex_cover(g, r.cover));
+
+  if (g.num_edges() == 0) return;
+  const double nu = static_cast<double>(maximum_matching_size(g));
+  const double w = fractional_weight(r.x);
+  // Lemma 4.1(B): W >= nu / (2 + 5 eps). (Random thresholds lower the
+  // freeze bar to 1-4eps; use the corresponding slack.)
+  const double factor = random_thresholds ? 2.0 + 9.0 * eps : 2.0 + 5.0 * eps;
+  EXPECT_GE(w * factor, nu - 1e-9)
+      << family << " eps=" << eps << " W=" << w << " nu=" << nu;
+  // Cover vs matching duality: |C| <= 2 W / (1 - 4 eps).
+  EXPECT_LE(static_cast<double>(r.cover.size()),
+            2.0 * w / (1.0 - 4.0 * eps) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, CentralSweep,
+    ::testing::Combine(::testing::ValuesIn(kFamilies),
+                       ::testing::Values(0.05, 0.1),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) < 0.08 ? "_eps005" : "_eps01") +
+             (std::get<2>(info.param) ? "_rand" : "_fixed");
+    });
+
+TEST(Central, SmallGraphCoverNearOptimal) {
+  // On brute-forceable graphs the frozen set respects the (2+5eps) factor
+  // against the true minimum vertex cover.
+  Rng rng(17);
+  int checked = 0;
+  for (int trial = 0; trial < 60 && checked < 25; ++trial) {
+    const Graph g = erdos_renyi_gnp(10, 0.35, rng);
+    if (g.num_edges() == 0) continue;
+    ++checked;
+    const auto r = central_fractional_matching(g, opts(0.05));
+    const std::size_t opt_vc = brute_force_min_vertex_cover(g);
+    EXPECT_LE(static_cast<double>(r.cover.size()),
+              (2.0 + 5.0 * 0.05) * static_cast<double>(opt_vc) + 1e-9);
+  }
+  EXPECT_GE(checked, 10);
+}
+
+}  // namespace
+}  // namespace mpcg

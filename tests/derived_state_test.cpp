@@ -1,0 +1,119 @@
+// White-box invariants of the weight bookkeeping.
+//
+// Both Central(-Rand) and MPC-Simulation exploit the identity that every
+// active edge at global iteration t has weight exactly w0/(1-eps)^t, so
+// the entire fractional matching is a pure function of per-vertex freeze
+// iterations (the paper's Line (g) reconstruction). These tests check that
+// the emitted x vectors satisfy the identity *exactly*, which pins down
+// the bookkeeping far more tightly than the feasibility oracles.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/central.h"
+#include "core/matching_mpc.h"
+#include "graph/validation.h"
+#include "test_util.h"
+
+namespace mpcg {
+namespace {
+
+using testing::make_family;
+
+double weight_at(double w0, double eps, std::uint64_t t) {
+  return w0 * std::pow(1.0 - eps, -static_cast<double>(t));
+}
+
+TEST(DerivedState, CentralEdgeWeightsMatchFreezeTimes) {
+  for (const char* family : {"gnp_sparse", "gnp_dense", "power_law"}) {
+    const Graph g = make_family(family, 250, 3);
+    CentralOptions o;
+    o.eps = 0.1;
+    const auto r = central_fractional_matching(g, o);
+    const double w0 = 1.0 / static_cast<double>(g.num_vertices());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge ed = g.edge(e);
+      const std::uint64_t tf = std::min(r.freeze_iteration[ed.u],
+                                        r.freeze_iteration[ed.v]);
+      ASSERT_NE(tf, CentralResult::kNeverFroze);  // every edge froze
+      EXPECT_NEAR(r.x[e], weight_at(w0, o.eps, tf), 1e-12 * (1.0 + r.x[e]))
+          << family << " edge " << e;
+    }
+  }
+}
+
+TEST(DerivedState, CentralRandSameIdentity) {
+  const Graph g = make_family("rmat", 250, 5);
+  CentralOptions o;
+  o.eps = 0.1;
+  o.random_thresholds = true;
+  o.threshold_seed = 5;
+  const auto r = central_fractional_matching(g, o);
+  const double w0 = 1.0 / static_cast<double>(g.num_vertices());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge ed = g.edge(e);
+    const std::uint64_t tf =
+        std::min(r.freeze_iteration[ed.u], r.freeze_iteration[ed.v]);
+    EXPECT_NEAR(r.x[e], weight_at(w0, o.eps, tf), 1e-12 * (1.0 + r.x[e]));
+  }
+}
+
+TEST(DerivedState, MatchingMpcEdgeWeightsMatchFreezeTimes) {
+  for (const char* family : {"gnp_sparse", "gnp_dense", "bipartite"}) {
+    const Graph g = make_family(family, 300, 7);
+    MatchingMpcOptions o;
+    o.eps = 0.1;
+    o.seed = 7;
+    const auto r = matching_mpc(g, o);
+    const double w0 =
+        (1.0 - 2.0 * o.eps) / static_cast<double>(g.num_vertices());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge ed = g.edge(e);
+      if (r.removed_heavy[ed.u] || r.removed_heavy[ed.v]) {
+        EXPECT_DOUBLE_EQ(r.x[e], 0.0);
+        continue;
+      }
+      const std::uint64_t tf =
+          std::min<std::uint64_t>({r.freeze_iteration[ed.u],
+                                   r.freeze_iteration[ed.v],
+                                   r.total_iterations});
+      EXPECT_NEAR(r.x[e], weight_at(w0, o.eps, tf), 1e-9 * (1.0 + r.x[e]))
+          << family << " edge " << e;
+    }
+  }
+}
+
+TEST(DerivedState, MatchingMpcFrozenLoadsAreFinal) {
+  // Once a vertex freezes, its load is locked: every incident edge's
+  // weight is determined by min(freeze times), none of which can change.
+  // Check that no frozen vertex carries load above the freezing ceiling
+  // (1 - 2 eps growing one step, or 1 at the removal boundary).
+  const Graph g = make_family("gnp_dense", 300, 9);
+  MatchingMpcOptions o;
+  o.eps = 0.1;
+  o.seed = 9;
+  const auto r = matching_mpc(g, o);
+  const auto loads = vertex_loads(g, r.x);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (r.removed_heavy[v]) continue;
+    EXPECT_LE(loads[v], 1.0 + 1e-9);
+  }
+}
+
+TEST(DerivedState, CentralIterationCountMatchesLastFreeze) {
+  const Graph g = make_family("gnp_sparse", 250, 11);
+  CentralOptions o;
+  o.eps = 0.1;
+  const auto r = central_fractional_matching(g, o);
+  std::uint32_t last = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (r.freeze_iteration[v] != CentralResult::kNeverFroze) {
+      last = std::max(last, r.freeze_iteration[v]);
+    }
+  }
+  // The algorithm stops one growth step after the last freeze.
+  EXPECT_EQ(r.iterations, static_cast<std::size_t>(last) + 1);
+}
+
+}  // namespace
+}  // namespace mpcg

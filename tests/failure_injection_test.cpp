@@ -1,0 +1,120 @@
+// Failure injection: what happens when the cluster is under-provisioned.
+//
+// In strict mode the engines must *refuse* to run past a capacity breach
+// (CapacityError / CongestionError); in non-strict mode they must complete
+// and report the violations — that is the contract the experiment harness
+// relies on to certify the paper's memory claims.
+#include <gtest/gtest.h>
+
+#include "core/matching_mpc.h"
+#include "core/mis_mpc.h"
+#include "gen/generators.h"
+#include "graph/validation.h"
+#include "test_util.h"
+
+namespace mpcg {
+namespace {
+
+using testing::make_family;
+
+TEST(FailureInjection, MisStrictThrowsWhenMemoryTooSmall) {
+  const Graph g = make_family("gnp_dense", 600, 1);
+  MisMpcOptions opt;
+  opt.seed = 1;
+  opt.words_per_machine = 64;  // absurdly small: permutation alone is 600
+  opt.num_machines = 4;
+  opt.strict = true;
+  EXPECT_THROW((void)mis_mpc(g, opt), mpc::CapacityError);
+}
+
+TEST(FailureInjection, MisNonStrictCompletesAndReports) {
+  const Graph g = make_family("gnp_dense", 600, 1);
+  // Shrink the budget until the engine reports violations; the output must
+  // stay correct at every provisioning level.
+  bool saw_violation = false;
+  for (const std::size_t words : {512U, 256U, 128U, 64U}) {
+    MisMpcOptions opt;
+    opt.seed = 1;
+    opt.words_per_machine = words;
+    opt.num_machines = 4;
+    opt.strict = false;
+    const auto r = mis_mpc(g, opt);
+    EXPECT_TRUE(is_maximal_independent_set(g, r.mis)) << words;
+    if (r.metrics.violations > 0) {
+      saw_violation = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_violation);
+}
+
+TEST(FailureInjection, MatchingStrictThrowsWhenMemoryTooSmall) {
+  const Graph g = make_family("gnp_dense", 600, 2);
+  MatchingMpcOptions opt;
+  opt.eps = 0.1;
+  opt.seed = 2;
+  opt.words_per_machine = 32;
+  opt.strict = true;
+  EXPECT_THROW((void)matching_mpc(g, opt), mpc::CapacityError);
+}
+
+TEST(FailureInjection, MatchingNonStrictCompletesAndReports) {
+  const Graph g = make_family("gnp_dense", 600, 2);
+  bool saw_violation = false;
+  for (const std::size_t words : {256U, 128U, 64U, 32U, 16U}) {
+    MatchingMpcOptions opt;
+    opt.eps = 0.1;
+    opt.seed = 2;
+    opt.words_per_machine = words;
+    opt.strict = false;
+    const auto r = matching_mpc(g, opt);
+    EXPECT_TRUE(is_fractional_matching(g, r.x, 1e-9)) << words;
+    EXPECT_TRUE(is_vertex_cover(g, r.cover)) << words;
+    if (r.metrics.violations > 0) {
+      saw_violation = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_violation);
+}
+
+TEST(FailureInjection, AdequateBudgetReportsNoViolations) {
+  // The complement: the default sizing really is adequate.
+  const Graph g = make_family("gnp_dense", 600, 3);
+  MisMpcOptions mo;
+  mo.seed = 3;
+  EXPECT_EQ(mis_mpc(g, mo).metrics.violations, 0U);
+  MatchingMpcOptions ao;
+  ao.eps = 0.1;
+  ao.seed = 3;
+  EXPECT_EQ(matching_mpc(g, ao).metrics.violations, 0U);
+}
+
+TEST(FixedThresholdAblation, StillProducesValidOutputs) {
+  // Turning the paper's random thresholds off must not break validity —
+  // only the coupling quality (measured in bench E15).
+  const Graph g = make_family("gnp_dense", 400, 5);
+  MatchingMpcOptions opt;
+  opt.eps = 0.1;
+  opt.seed = 5;
+  opt.use_random_thresholds = false;
+  const auto r = matching_mpc(g, opt);
+  EXPECT_TRUE(is_fractional_matching(g, r.x, 1e-9));
+  EXPECT_TRUE(is_vertex_cover(g, r.cover));
+}
+
+TEST(FixedThresholdAblation, DiffersFromRandomThresholds) {
+  const Graph g = make_family("gnp_dense", 400, 7);
+  MatchingMpcOptions fixed_opt;
+  fixed_opt.eps = 0.1;
+  fixed_opt.seed = 7;
+  fixed_opt.use_random_thresholds = false;
+  MatchingMpcOptions rand_opt = fixed_opt;
+  rand_opt.use_random_thresholds = true;
+  const auto a = matching_mpc(g, fixed_opt);
+  const auto b = matching_mpc(g, rand_opt);
+  EXPECT_NE(a.freeze_iteration, b.freeze_iteration);
+}
+
+}  // namespace
+}  // namespace mpcg

@@ -1,0 +1,180 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/hopcroft_karp.h"
+#include "gen/generators.h"
+#include "util/rng.h"
+
+namespace mpcg {
+namespace {
+
+TEST(ErdosRenyiGnp, EdgeCountNearExpectation) {
+  Rng rng(1);
+  const std::size_t n = 2000;
+  const double p = 0.01;
+  const Graph g = erdos_renyi_gnp(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_GT(static_cast<double>(g.num_edges()), 0.8 * expected);
+  EXPECT_LT(static_cast<double>(g.num_edges()), 1.2 * expected);
+}
+
+TEST(ErdosRenyiGnp, ExtremeProbabilities) {
+  Rng rng(2);
+  EXPECT_EQ(erdos_renyi_gnp(50, 0.0, rng).num_edges(), 0U);
+  EXPECT_EQ(erdos_renyi_gnp(10, 1.0, rng).num_edges(), 45U);
+}
+
+TEST(ErdosRenyiGnp, DeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  const Graph ga = erdos_renyi_gnp(300, 0.02, a);
+  const Graph gb = erdos_renyi_gnp(300, 0.02, b);
+  ASSERT_EQ(ga.num_edges(), gb.num_edges());
+  for (EdgeId e = 0; e < ga.num_edges(); ++e) {
+    EXPECT_EQ(ga.edge(e).u, gb.edge(e).u);
+    EXPECT_EQ(ga.edge(e).v, gb.edge(e).v);
+  }
+}
+
+TEST(ErdosRenyiGnm, ExactCount) {
+  Rng rng(3);
+  const Graph g = erdos_renyi_gnm(100, 250, rng);
+  EXPECT_EQ(g.num_edges(), 250U);
+}
+
+TEST(ErdosRenyiGnm, ClampsToMaxEdges) {
+  Rng rng(4);
+  const Graph g = erdos_renyi_gnm(5, 1000, rng);
+  EXPECT_EQ(g.num_edges(), 10U);
+}
+
+TEST(ChungLu, AverageDegreeRoughlyTarget) {
+  Rng rng(5);
+  const Graph g = chung_lu_power_law(4000, 2.5, 10.0, rng);
+  EXPECT_GT(g.average_degree(), 5.0);
+  EXPECT_LT(g.average_degree(), 15.0);
+}
+
+TEST(ChungLu, HeavyTailPresent) {
+  Rng rng(6);
+  const Graph g = chung_lu_power_law(4000, 2.2, 8.0, rng);
+  // Max degree far above the mean is the point of the family.
+  EXPECT_GT(static_cast<double>(g.max_degree()), 4.0 * g.average_degree());
+}
+
+TEST(ChungLu, RejectsBadBeta) {
+  Rng rng(7);
+  EXPECT_THROW(chung_lu_power_law(100, 1.0, 5.0, rng), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, SizeAndMinDegree) {
+  Rng rng(8);
+  const std::size_t n = 500;
+  const Graph g = barabasi_albert(n, 3, rng);
+  EXPECT_EQ(g.num_vertices(), n);
+  // Every non-seed vertex attaches to 3 targets.
+  for (VertexId v = 10; v < n; ++v) EXPECT_GE(g.degree(v), 3U);
+}
+
+TEST(RandomBipartite, IsBipartiteAndSized) {
+  Rng rng(9);
+  const Graph g = random_bipartite(120, 80, 0.05, rng);
+  EXPECT_EQ(g.num_vertices(), 200U);
+  const auto side = try_bipartition(g);
+  ASSERT_TRUE(side.has_value());
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(e.u, 120U);
+    EXPECT_GE(e.v, 120U);
+  }
+}
+
+TEST(RandomBipartite, DensityNearExpectation) {
+  Rng rng(10);
+  const Graph g = random_bipartite(200, 200, 0.02, rng);
+  const double expected = 0.02 * 200 * 200;
+  EXPECT_GT(static_cast<double>(g.num_edges()), 0.7 * expected);
+  EXPECT_LT(static_cast<double>(g.num_edges()), 1.3 * expected);
+}
+
+TEST(Rmat, RespectsVertexBound) {
+  Rng rng(11);
+  const Graph g = rmat(10, 5000, 0.45, 0.2, 0.2, rng);
+  EXPECT_EQ(g.num_vertices(), 1024U);
+  EXPECT_LE(g.num_edges(), 5000U);  // dedupe/self-loops can only shrink
+  EXPECT_GT(g.num_edges(), 1000U);
+}
+
+TEST(Rmat, RejectsBadProbabilities) {
+  Rng rng(12);
+  EXPECT_THROW(rmat(4, 10, 0.5, 0.4, 0.3, rng), std::invalid_argument);
+}
+
+TEST(RandomGeometric, RadiusControlsDensity) {
+  Rng rng(13);
+  const Graph sparse = random_geometric(300, 0.03, rng);
+  Rng rng2(13);
+  const Graph dense = random_geometric(300, 0.15, rng2);
+  EXPECT_LT(sparse.num_edges(), dense.num_edges());
+}
+
+TEST(Structured, PathCycleCounts) {
+  EXPECT_EQ(path_graph(10).num_edges(), 9U);
+  EXPECT_EQ(cycle_graph(10).num_edges(), 10U);
+  EXPECT_EQ(cycle_graph(2).num_edges(), 1U);
+  EXPECT_EQ(cycle_graph(1).num_edges(), 0U);
+}
+
+TEST(Structured, CompleteAndStar) {
+  EXPECT_EQ(complete_graph(8).num_edges(), 28U);
+  const Graph s = star_graph(9);
+  EXPECT_EQ(s.num_edges(), 8U);
+  EXPECT_EQ(s.degree(0), 8U);
+  EXPECT_EQ(s.max_degree(), 8U);
+}
+
+TEST(Structured, GridDegreesBounded) {
+  const Graph g = grid_graph(5, 7);
+  EXPECT_EQ(g.num_vertices(), 35U);
+  EXPECT_EQ(g.num_edges(), 5U * 6U + 4U * 7U);
+  EXPECT_LE(g.max_degree(), 4U);
+}
+
+TEST(Structured, CliqueUnion) {
+  const Graph g = clique_union(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20U);
+  EXPECT_EQ(g.num_edges(), 4U * 10U);
+  EXPECT_EQ(g.max_degree(), 4U);
+}
+
+TEST(Structured, CompleteBipartite) {
+  const Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_edges(), 12U);
+  EXPECT_TRUE(try_bipartition(g).has_value());
+}
+
+TEST(Weights, UniformInRange) {
+  Rng rng(14);
+  const Graph g = complete_graph(10);
+  const auto w = uniform_weights(g, 2.0, 5.0, rng);
+  ASSERT_EQ(w.size(), g.num_edges());
+  for (const double wi : w) {
+    EXPECT_GE(wi, 2.0);
+    EXPECT_LT(wi, 5.0);
+  }
+}
+
+TEST(Weights, ExponentialMeanRoughlyRight) {
+  Rng rng(15);
+  const Graph g = complete_graph(60);  // 1770 edges
+  const auto w = exponential_weights(g, 3.0, rng);
+  double sum = 0.0;
+  for (const double wi : w) {
+    EXPECT_GE(wi, 0.0);
+    sum += wi;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(w.size()), 3.0, 0.5);
+}
+
+}  // namespace
+}  // namespace mpcg

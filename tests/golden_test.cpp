@@ -1,0 +1,67 @@
+// Golden regression tests: exact expected outputs for fixed seeds on the
+// integer-only code paths (greedy MIS and its MPC/CC simulations involve
+// no floating point, so these values are platform-stable). A change here
+// means algorithm *behavior* changed — which must be deliberate.
+#include <gtest/gtest.h>
+
+#include "baselines/greedy_mis.h"
+#include "core/mis_cclique.h"
+#include "core/mis_mpc.h"
+#include "gen/generators.h"
+#include "util/permutation.h"
+
+namespace mpcg {
+namespace {
+
+Graph golden_graph() {
+  Rng rng(0xfeed);
+  return erdos_renyi_gnp(500, 0.02, rng);
+}
+
+TEST(Golden, GraphGenerationIsStable) {
+  const Graph g = golden_graph();
+  EXPECT_EQ(g.num_vertices(), 500U);
+  EXPECT_EQ(g.num_edges(), 2473U);
+  EXPECT_EQ(g.max_degree(), 22U);
+}
+
+TEST(Golden, PermutationIsStable) {
+  Rng rng(0xbeef);
+  const auto perm = random_permutation(10, rng);
+  EXPECT_EQ(perm, (std::vector<std::uint32_t>{0, 6, 7, 8, 2, 3, 5, 9, 4, 1}));
+}
+
+TEST(Golden, GreedyMisSizeIsStable) {
+  const Graph g = golden_graph();
+  Rng rng(42);
+  const auto perm = random_permutation(g.num_vertices(), rng);
+  const auto trace = greedy_mis_trace(g, perm);
+  EXPECT_EQ(trace.mis.size(), 127U);
+  EXPECT_EQ(trace.mis.front(), 353U);
+  EXPECT_EQ(trace.mis.back(), 416U);
+}
+
+TEST(Golden, MisMpcExactModeIsStable) {
+  const Graph g = golden_graph();
+  MisMpcOptions opt;
+  opt.seed = 42;
+  opt.use_sparsified_stage = false;
+  const auto r = mis_mpc(g, opt);
+  EXPECT_EQ(r.mis.size(), 127U);
+  EXPECT_EQ(r.metrics.violations, 0U);
+}
+
+TEST(Golden, MisMpcAndCcliqueAgreeExactly) {
+  const Graph g = golden_graph();
+  const std::size_t budget = 4 * g.num_vertices();
+  MisMpcOptions mo;
+  mo.seed = 7;
+  mo.gather_budget = budget;
+  MisCcliqueOptions co;
+  co.seed = 7;
+  co.gather_budget = budget;
+  EXPECT_EQ(mis_mpc(g, mo).mis, mis_cclique(g, co).mis);
+}
+
+}  // namespace
+}  // namespace mpcg

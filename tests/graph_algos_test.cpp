@@ -1,0 +1,129 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baselines/greedy_matching.h"
+#include "gen/generators.h"
+#include "graph/graph_algos.h"
+#include "graph/validation.h"
+#include "test_util.h"
+
+namespace mpcg {
+namespace {
+
+using testing::make_family;
+
+TEST(Components, CountsDisjointPieces) {
+  const Graph g = clique_union(5, 4);
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.count, 5U);
+  // Vertices within a clique share a component.
+  for (std::size_t q = 0; q < 5; ++q) {
+    for (std::size_t i = 1; i < 4; ++i) {
+      EXPECT_EQ(c.component_of[q * 4], c.component_of[q * 4 + i]);
+    }
+  }
+}
+
+TEST(Components, IsolatedVerticesAreOwnComponents) {
+  const Graph g = GraphBuilder(4).build();
+  EXPECT_EQ(connected_components(g).count, 4U);
+}
+
+TEST(Components, ConnectedGraphIsOne) {
+  const Graph g = cycle_graph(20);
+  EXPECT_EQ(connected_components(g).count, 1U);
+}
+
+TEST(Bfs, PathDistances) {
+  const Graph g = path_graph(6);
+  const auto d = bfs_distances(g, 0);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Bfs, UnreachableIsMax) {
+  const Graph g = clique_union(2, 3);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[5], std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(d[1], 1U);
+}
+
+TEST(Degeneracy, KnownValues) {
+  EXPECT_EQ(degeneracy_ordering(path_graph(10)).degeneracy, 1U);
+  EXPECT_EQ(degeneracy_ordering(cycle_graph(10)).degeneracy, 2U);
+  EXPECT_EQ(degeneracy_ordering(complete_graph(7)).degeneracy, 6U);
+  EXPECT_EQ(degeneracy_ordering(grid_graph(6, 6)).degeneracy, 2U);
+  EXPECT_EQ(degeneracy_ordering(star_graph(50)).degeneracy, 1U);
+}
+
+TEST(Degeneracy, OrderIsAPermutation) {
+  const Graph g = make_family("power_law", 300, 3);
+  const auto r = degeneracy_ordering(g);
+  std::vector<char> seen(g.num_vertices(), 0);
+  for (const VertexId v : r.order) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = 1;
+  }
+  EXPECT_EQ(r.order.size(), g.num_vertices());
+}
+
+TEST(Degeneracy, CoreNumbersMonotoneAlongOrder) {
+  const Graph g = make_family("gnp_dense", 300, 5);
+  const auto r = degeneracy_ordering(g);
+  for (std::size_t i = 1; i < r.order.size(); ++i) {
+    EXPECT_LE(r.core_number[r.order[i - 1]], r.core_number[r.order[i]]);
+  }
+  EXPECT_LE(r.degeneracy, g.max_degree());
+}
+
+TEST(Triangles, KnownCounts) {
+  EXPECT_EQ(triangle_count(complete_graph(4)), 4U);
+  EXPECT_EQ(triangle_count(complete_graph(6)), 20U);
+  EXPECT_EQ(triangle_count(cycle_graph(3)), 1U);
+  EXPECT_EQ(triangle_count(cycle_graph(5)), 0U);
+  EXPECT_EQ(triangle_count(path_graph(10)), 0U);
+  EXPECT_EQ(triangle_count(complete_bipartite(4, 4)), 0U);
+  EXPECT_EQ(triangle_count(clique_union(3, 3)), 3U);
+}
+
+TEST(LineGraph, PathBecomesShorterPath) {
+  // L(P_n) = P_{n-1}.
+  const Graph lg = line_graph(path_graph(5));
+  EXPECT_EQ(lg.num_vertices(), 4U);
+  EXPECT_EQ(lg.num_edges(), 3U);
+  EXPECT_EQ(lg.max_degree(), 2U);
+}
+
+TEST(LineGraph, StarBecomesClique) {
+  // L(K_{1,k}) = K_k.
+  const Graph lg = line_graph(star_graph(6));
+  EXPECT_EQ(lg.num_vertices(), 5U);
+  EXPECT_EQ(lg.num_edges(), 10U);
+}
+
+TEST(LineGraph, EdgeCountFormula) {
+  // |E(L(G))| = sum_v C(deg v, 2).
+  const Graph g = make_family("gnp_sparse", 200, 7);
+  const Graph lg = line_graph(g);
+  std::size_t expected = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::size_t d = g.degree(v);
+    expected += d * (d - 1) / 2;
+  }
+  EXPECT_EQ(lg.num_vertices(), g.num_edges());
+  EXPECT_EQ(lg.num_edges(), expected);
+}
+
+TEST(LineGraph, MisOnLineGraphIsMaximalMatching) {
+  // The reduction from the paper's introduction, across families/seeds.
+  for (const char* family : {"gnp_sparse", "bipartite", "grid", "cliques"}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const Graph g = make_family(family, 150, seed);
+      const auto m = maximal_matching_via_line_graph(g, seed);
+      EXPECT_TRUE(is_maximal_matching(g, m)) << family << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpcg

@@ -1,0 +1,126 @@
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "baselines/blossom.h"
+#include "core/integral_matching.h"
+#include "graph/validation.h"
+#include "test_util.h"
+
+namespace mpcg {
+namespace {
+
+using testing::kFamilies;
+using testing::make_family;
+
+IntegralMatchingOptions opts(double eps = 0.1, std::uint64_t seed = 1) {
+  IntegralMatchingOptions o;
+  o.eps = eps;
+  o.seed = seed;
+  return o;
+}
+
+TEST(IntegralMatching, EmptyGraph) {
+  const Graph g = GraphBuilder(4).build();
+  const auto r = integral_matching(g, opts());
+  EXPECT_TRUE(r.matching.empty());
+  EXPECT_TRUE(r.cover.empty());
+}
+
+TEST(IntegralMatching, SingleEdge) {
+  const Graph g = path_graph(2);
+  const auto r = integral_matching(g, opts());
+  EXPECT_EQ(r.matching.size(), 1U);
+  EXPECT_TRUE(is_vertex_cover(g, r.cover));
+}
+
+TEST(IntegralMatching, OutputsAreValid) {
+  for (const char* family : kFamilies) {
+    const Graph g = make_family(family, 350, 3);
+    const auto r = integral_matching(g, opts(0.1, 3));
+    EXPECT_TRUE(is_matching(g, r.matching)) << family;
+    EXPECT_TRUE(is_vertex_cover(g, r.cover)) << family;
+  }
+}
+
+TEST(IntegralMatching, TwoPlusEpsFactorAgainstExact) {
+  for (const char* family : {"gnp_sparse", "gnp_dense", "bipartite",
+                             "power_law", "grid", "cliques"}) {
+    const Graph g = make_family(family, 300, 5);
+    if (g.num_edges() == 0) continue;
+    const double eps = 0.1;
+    const auto r = integral_matching(g, opts(eps, 5));
+    const double nu = static_cast<double>(maximum_matching_size(g));
+    EXPECT_GE(static_cast<double>(r.matching.size()) * (2.0 + eps),
+              nu - 1e-9)
+        << family << " |M|=" << r.matching.size() << " nu=" << nu;
+  }
+}
+
+TEST(IntegralMatching, CoverTwoPlusEpsAgainstMatchingLowerBound) {
+  // |VC*| >= nu, so cover <= (2+50eps) nu certifies the factor against the
+  // only efficiently computable lower bound.
+  for (const char* family : {"gnp_sparse", "gnp_dense", "bipartite"}) {
+    const Graph g = make_family(family, 300, 7);
+    if (g.num_edges() == 0) continue;
+    const double eps = 0.1;
+    const auto r = integral_matching(g, opts(eps, 7));
+    const double nu = static_cast<double>(maximum_matching_size(g));
+    EXPECT_LE(static_cast<double>(r.cover.size()),
+              (2.0 + 50.0 * eps) * nu + 1e-9)
+        << family;
+  }
+}
+
+TEST(IntegralMatching, SmallMatchingPathWinsOnStars) {
+  // A star has nu = 1; the filtering path must deliver it even though the
+  // fractional pipeline spreads weight thinly.
+  const Graph g = star_graph(500);
+  const auto r = integral_matching(g, opts(0.1, 9));
+  EXPECT_EQ(r.matching.size(), 1U);
+  EXPECT_GE(r.small_path_size, 1U);
+}
+
+TEST(IntegralMatching, ReportsBothPaths) {
+  const Graph g = make_family("gnp_dense", 400, 11);
+  const auto r = integral_matching(g, opts(0.1, 11));
+  EXPECT_EQ(r.matching.size(), std::max(r.a_path_size, r.small_path_size));
+  EXPECT_GE(r.total_rounds, 1U);
+  EXPECT_GE(r.iterations, 1U);
+}
+
+TEST(IntegralMatching, DeterministicPerSeed) {
+  const Graph g = make_family("rmat", 300, 13);
+  const auto a = integral_matching(g, opts(0.1, 17));
+  const auto b = integral_matching(g, opts(0.1, 17));
+  EXPECT_EQ(a.matching, b.matching);
+  EXPECT_EQ(a.cover, b.cover);
+}
+
+class IntegralSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint64_t>> {
+};
+
+TEST_P(IntegralSweep, ValidityAndFactorAcrossSeeds) {
+  const auto [family, seed] = GetParam();
+  const Graph g = make_family(family, 260, seed);
+  const auto r = integral_matching(g, opts(0.1, seed));
+  EXPECT_TRUE(is_matching(g, r.matching));
+  EXPECT_TRUE(is_vertex_cover(g, r.cover));
+  if (g.num_edges() > 0) {
+    const double nu = static_cast<double>(maximum_matching_size(g));
+    EXPECT_GE(static_cast<double>(r.matching.size()) * 2.1, nu - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, IntegralSweep,
+    ::testing::Combine(::testing::ValuesIn(kFamilies),
+                       ::testing::Values(1ULL, 2ULL)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mpcg

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "core/line_graph_matching.h"
+#include "graph/validation.h"
+#include "test_util.h"
+
+namespace mpcg {
+namespace {
+
+using testing::make_family;
+
+TEST(LineGraphMatchingMpc, ProducesMaximalMatching) {
+  for (const char* family : {"gnp_sparse", "bipartite", "grid", "cliques"}) {
+    const Graph g = make_family(family, 200, 3);
+    MisMpcOptions opt;
+    opt.seed = 3;
+    const auto r = line_graph_matching_mpc(g, opt);
+    EXPECT_TRUE(is_maximal_matching(g, r.matching)) << family;
+    EXPECT_EQ(r.line_vertices, g.num_edges()) << family;
+  }
+}
+
+TEST(LineGraphMatchingMpc, ExactGreedyModeMatchesLineGraphGreedy) {
+  // With the sparsified stage off, the reduction is exactly randomized
+  // greedy maximal matching (the Luby-on-line-graph construction from the
+  // paper's introduction).
+  const Graph g = make_family("gnp_sparse", 150, 7);
+  MisMpcOptions opt;
+  opt.seed = 11;
+  opt.use_sparsified_stage = false;
+  const auto r = line_graph_matching_mpc(g, opt);
+  EXPECT_TRUE(is_maximal_matching(g, r.matching));
+}
+
+TEST(LineGraphMatchingMpc, ReportsLineGraphBlowup) {
+  // The memory caveat the paper's direct algorithm avoids: the star's line
+  // graph is a clique on n-1 vertices.
+  const Graph g = star_graph(40);
+  MisMpcOptions opt;
+  opt.seed = 5;
+  const auto r = line_graph_matching_mpc(g, opt);
+  EXPECT_EQ(r.line_vertices, 39U);
+  EXPECT_EQ(r.line_edges, 39U * 38U / 2);
+  EXPECT_EQ(r.matching.size(), 1U);
+}
+
+TEST(LineGraphMatchingMpc, EmptyGraph) {
+  const Graph g = GraphBuilder(4).build();
+  MisMpcOptions opt;
+  const auto r = line_graph_matching_mpc(g, opt);
+  EXPECT_TRUE(r.matching.empty());
+}
+
+}  // namespace
+}  // namespace mpcg

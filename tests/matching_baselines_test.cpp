@@ -1,0 +1,244 @@
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "baselines/blossom.h"
+#include "baselines/brute_force.h"
+#include "baselines/greedy_matching.h"
+#include "baselines/hopcroft_karp.h"
+#include "baselines/israeli_itai.h"
+#include "baselines/lmsv_filtering.h"
+#include "gen/generators.h"
+#include "graph/validation.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace mpcg {
+namespace {
+
+using testing::kFamilies;
+using testing::make_family;
+
+// ---- Greedy matchings ----
+
+TEST(GreedyMatching, MaximalOnPath) {
+  const Graph g = path_graph(6);
+  const auto m = greedy_maximal_matching(g);
+  EXPECT_TRUE(is_maximal_matching(g, m));
+  EXPECT_EQ(m.size(), 3U);
+}
+
+TEST(GreedyMatching, OrderedVariantHonorsOrder) {
+  const Graph g = path_graph(3);  // edges {0,1}=e0, {1,2}=e1
+  const auto m = greedy_maximal_matching_ordered(g, {1, 0});
+  ASSERT_EQ(m.size(), 1U);
+  EXPECT_EQ(m[0], 1U);
+}
+
+TEST(GreedyMatching, WeightedPicksHeavyEdge) {
+  // Triangle with one heavy edge: weighted greedy must take it.
+  const Graph g = complete_graph(3);
+  std::vector<double> w(g.num_edges(), 1.0);
+  const EdgeId heavy = g.find_edge(1, 2);
+  w[heavy] = 10.0;
+  const auto m = greedy_weighted_matching(g, w);
+  ASSERT_EQ(m.size(), 1U);
+  EXPECT_EQ(m[0], heavy);
+}
+
+TEST(GreedyMatching, WeightedIsHalfApprox) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph g = erdos_renyi_gnp(12, 0.4, rng);
+    if (g.num_edges() == 0 || g.num_edges() > 30) continue;
+    const auto w = uniform_weights(g, 0.1, 2.0, rng);
+    const double opt = brute_force_max_weight_matching(g, w);
+    const double got = matching_weight(greedy_weighted_matching(g, w), w);
+    EXPECT_GE(got, opt / 2.0 - 1e-9);
+  }
+}
+
+TEST(GreedyMatching, CoverFromMatchingCovers) {
+  Rng rng(4);
+  const Graph g = erdos_renyi_gnp(100, 0.08, rng);
+  const auto m = greedy_maximal_matching(g);
+  EXPECT_TRUE(is_vertex_cover(g, vertex_cover_from_matching(g, m)));
+}
+
+// ---- Israeli–Itai ----
+
+TEST(IsraeliItai, TerminatesWithMaximalMatching) {
+  Rng rng(5);
+  const Graph g = erdos_renyi_gnp(300, 0.03, rng);
+  const auto r = israeli_itai_matching(g, 7);
+  EXPECT_TRUE(is_maximal_matching(g, r.matching));
+  EXPECT_GE(r.rounds, 1U);
+}
+
+TEST(IsraeliItai, RoundsLogarithmicish) {
+  const Graph g = clique_union(50, 10);
+  const auto r = israeli_itai_matching(g, 3);
+  EXPECT_TRUE(is_maximal_matching(g, r.matching));
+  EXPECT_LT(r.rounds, 60U);
+}
+
+TEST(IsraeliItai, EmptyGraph) {
+  const Graph g = GraphBuilder(5).build();
+  const auto r = israeli_itai_matching(g, 1);
+  EXPECT_TRUE(r.matching.empty());
+}
+
+// ---- LMSV filtering ----
+
+TEST(Lmsv, ProducesMaximalMatching) {
+  Rng rng(6);
+  const Graph g = erdos_renyi_gnp(500, 0.02, rng);
+  const auto r = lmsv_maximal_matching(g, 600, 11);
+  EXPECT_TRUE(is_maximal_matching(g, r.matching));
+}
+
+TEST(Lmsv, EdgeCountsDecreaseAcrossRounds) {
+  Rng rng(7);
+  const Graph g = erdos_renyi_gnp(800, 0.05, rng);  // ~16k edges
+  const auto r = lmsv_maximal_matching(g, 2000, 13);
+  ASSERT_GE(r.edges_per_round.size(), 2U);
+  for (std::size_t i = 1; i < r.edges_per_round.size(); ++i) {
+    EXPECT_LT(r.edges_per_round[i], r.edges_per_round[i - 1]);
+  }
+  EXPECT_LE(r.edges_per_round.back(), 2000U);
+}
+
+TEST(Lmsv, BigBudgetFinishesInOneRound) {
+  Rng rng(8);
+  const Graph g = erdos_renyi_gnp(100, 0.1, rng);
+  const auto r = lmsv_maximal_matching(g, 100000, 17);
+  EXPECT_EQ(r.rounds, 1U);
+  EXPECT_TRUE(is_maximal_matching(g, r.matching));
+}
+
+// ---- Exact solvers vs brute force (the ground-truth chain) ----
+
+TEST(Blossom, MatchesBruteForceOnRandomSmallGraphs) {
+  Rng rng(9);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = 4 + rng.next_below(9);  // 4..12
+    const Graph g = erdos_renyi_gnp(n, 0.35, rng);
+    if (g.num_edges() > 28) continue;
+    const auto m = blossom_maximum_matching(g);
+    EXPECT_TRUE(is_matching(g, m));
+    EXPECT_EQ(m.size(), brute_force_max_matching(g));
+  }
+}
+
+TEST(Blossom, HandlesOddCycles) {
+  // C5: maximum matching 2; C7: 3 (needs blossom handling).
+  EXPECT_EQ(maximum_matching_size(cycle_graph(5)), 2U);
+  EXPECT_EQ(maximum_matching_size(cycle_graph(7)), 3U);
+  // Two triangles joined by an edge: nu = 3.
+  const Graph g = make_graph(6, {{0, 1}, {1, 2}, {0, 2},
+                                 {3, 4}, {4, 5}, {3, 5},
+                                 {2, 3}});
+  EXPECT_EQ(maximum_matching_size(g), 3U);
+}
+
+TEST(Blossom, PerfectMatchingOnEvenClique) {
+  EXPECT_EQ(maximum_matching_size(complete_graph(10)), 5U);
+  EXPECT_EQ(maximum_matching_size(complete_graph(11)), 5U);
+}
+
+TEST(Blossom, PetersenGraphPerfectMatching) {
+  // The Petersen graph has a perfect matching (nu = 5) and plenty of odd
+  // cycles to stress the contraction logic.
+  std::vector<std::pair<VertexId, VertexId>> edges{
+      {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0},   // outer C5
+      {5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5},   // inner pentagram
+      {0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}};  // spokes
+  const Graph g = make_graph(10, edges);
+  EXPECT_EQ(maximum_matching_size(g), 5U);
+}
+
+TEST(HopcroftKarp, MatchesBruteForceOnRandomBipartite) {
+  Rng rng(10);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t left = 2 + rng.next_below(5);
+    const std::size_t right = 2 + rng.next_below(5);
+    const Graph g = random_bipartite(left, right, 0.4, rng);
+    if (g.num_edges() > 28) continue;
+    const auto side = try_bipartition(g);
+    ASSERT_TRUE(side.has_value());
+    const auto m = hopcroft_karp_matching(g, *side);
+    EXPECT_TRUE(is_matching(g, m));
+    EXPECT_EQ(m.size(), brute_force_max_matching(g));
+  }
+}
+
+TEST(HopcroftKarp, AgreesWithBlossomOnBipartite) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = random_bipartite(40, 40, 0.08, rng);
+    const auto side = try_bipartition(g);
+    ASSERT_TRUE(side.has_value());
+    EXPECT_EQ(hopcroft_karp_matching(g, *side).size(),
+              maximum_matching_size(g));
+  }
+}
+
+TEST(Bipartition, DetectsOddCycle) {
+  EXPECT_FALSE(try_bipartition(cycle_graph(5)).has_value());
+  EXPECT_TRUE(try_bipartition(cycle_graph(6)).has_value());
+  EXPECT_TRUE(try_bipartition(path_graph(7)).has_value());
+}
+
+TEST(BruteForce, KnownValues) {
+  EXPECT_EQ(brute_force_max_matching(path_graph(5)), 2U);
+  EXPECT_EQ(brute_force_min_vertex_cover(path_graph(5)), 2U);
+  EXPECT_EQ(brute_force_max_independent_set(path_graph(5)), 3U);
+  EXPECT_EQ(brute_force_min_vertex_cover(complete_graph(6)), 5U);
+  EXPECT_EQ(brute_force_max_independent_set(star_graph(8)), 7U);
+}
+
+TEST(BruteForce, WeightedBeatsCardinalityWhenWeightsSkewed) {
+  // Path 0-1-2: taking both end edges is impossible; one heavy edge beats
+  // cardinality-optimal choices.
+  const Graph g = path_graph(3);
+  std::vector<double> w{0.1, 5.0};
+  EXPECT_DOUBLE_EQ(brute_force_max_weight_matching(g, w), 5.0);
+}
+
+TEST(BruteForce, GuardsAgainstLargeGraphs) {
+  const Graph g = GraphBuilder(65).build();
+  EXPECT_THROW((void)brute_force_max_matching(g), std::invalid_argument);
+}
+
+// ---- Property sweep ----
+
+class MatchingBaselineSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint64_t>> {
+};
+
+TEST_P(MatchingBaselineSweep, AllMaximalMatchingsAreHalfOfOptimal) {
+  const auto [family, seed] = GetParam();
+  const Graph g = make_family(family, 220, seed);
+  const std::size_t nu = maximum_matching_size(g);
+
+  const auto greedy = greedy_maximal_matching(g);
+  const auto ii = israeli_itai_matching(g, seed).matching;
+  const auto lmsv = lmsv_maximal_matching(g, 512, seed).matching;
+  for (const auto* m : {&greedy, &ii, &lmsv}) {
+    EXPECT_TRUE(is_maximal_matching(g, *m));
+    EXPECT_GE(2 * m->size(), nu);  // maximal => at least nu/2
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MatchingBaselineSweep,
+    ::testing::Combine(::testing::ValuesIn(kFamilies),
+                       ::testing::Values(1ULL, 2ULL)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mpcg

@@ -1,0 +1,202 @@
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "baselines/blossom.h"
+#include "core/central.h"
+#include "core/matching_mpc.h"
+#include "graph/validation.h"
+#include "test_util.h"
+
+namespace mpcg {
+namespace {
+
+using testing::kFamilies;
+using testing::make_family;
+
+MatchingMpcOptions opts(double eps = 0.1, std::uint64_t seed = 1) {
+  MatchingMpcOptions o;
+  o.eps = eps;
+  o.seed = seed;
+  o.threshold_seed = seed + 1000;
+  return o;
+}
+
+TEST(MatchingMpc, EmptyGraph) {
+  const Graph g = GraphBuilder(6).build();
+  const auto r = matching_mpc(g, opts());
+  EXPECT_TRUE(r.x.empty());
+  EXPECT_TRUE(r.cover.empty());
+}
+
+TEST(MatchingMpc, RejectsBadEps) {
+  const Graph g = path_graph(3);
+  auto o = opts();
+  o.eps = 0.0;
+  EXPECT_THROW(matching_mpc(g, o), std::invalid_argument);
+}
+
+TEST(MatchingMpc, OutputsValidFractionalMatchingAndCover) {
+  for (const char* family : kFamilies) {
+    const Graph g = make_family(family, 400, 5);
+    const auto r = matching_mpc(g, opts(0.1, 5));
+    EXPECT_TRUE(is_fractional_matching(g, r.x, 1e-9)) << family;
+    EXPECT_TRUE(is_vertex_cover(g, r.cover)) << family;
+  }
+}
+
+TEST(MatchingMpc, ApproximationFactorAgainstExact) {
+  // Lemma 4.2: W >= nu / (2 + 50 eps) — measured, usually far better.
+  for (const char* family : {"gnp_sparse", "gnp_dense", "bipartite",
+                             "power_law", "grid"}) {
+    const Graph g = make_family(family, 300, 7);
+    if (g.num_edges() == 0) continue;
+    const double eps = 0.1;
+    const auto r = matching_mpc(g, opts(eps, 7));
+    const double w = fractional_weight(r.x);
+    const double nu = static_cast<double>(maximum_matching_size(g));
+    EXPECT_GE(w * (2.0 + 50.0 * eps), nu - 1e-9)
+        << family << " W=" << w << " nu=" << nu;
+  }
+}
+
+TEST(MatchingMpc, PhasesFollowLogLog) {
+  // d shrinks doubly exponentially: squaring n adds O(1) phases.
+  const auto phases_at = [](std::size_t n) {
+    const Graph g = make_family("gnp_sparse", n, 3);
+    return matching_mpc(g, opts(0.1, 3)).phases;
+  };
+  const std::size_t p_small = phases_at(256);
+  const std::size_t p_large = phases_at(65536);  // n squared twice
+  EXPECT_LE(p_large, p_small + 8);
+}
+
+TEST(MatchingMpc, LocalSubgraphsStayLinear) {
+  // Lemma 4.7: every machine's induced subgraph has O(n) edges.
+  Rng rng(9);
+  const std::size_t n = 3000;
+  const Graph g = erdos_renyi_gnp(n, 20.0 / static_cast<double>(n), rng);
+  const auto r = matching_mpc(g, opts(0.1, 9));
+  for (const std::size_t edges : r.max_local_edges_per_phase) {
+    EXPECT_LE(edges, 4 * n);
+  }
+  EXPECT_EQ(r.metrics.violations, 0U);
+}
+
+TEST(MatchingMpc, HeavyVerticesEnterCover) {
+  const Graph g = make_family("gnp_dense", 500, 11);
+  const auto r = matching_mpc(g, opts(0.1, 11));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!r.removed_heavy[v]) continue;
+    EXPECT_NE(std::find(r.cover.begin(), r.cover.end(), v), r.cover.end());
+    // Removed vertices carry no matching weight.
+    for (const Arc& a : g.arcs(v)) EXPECT_DOUBLE_EQ(r.x[a.edge], 0.0);
+  }
+}
+
+TEST(MatchingMpc, CoverThirdHasHighLoad) {
+  // Lemma 4.2 (final clause): at least |C|/3 of the cover has fractional
+  // load >= 1 - 5 eps.
+  for (const char* family : {"gnp_sparse", "gnp_dense", "power_law"}) {
+    const Graph g = make_family(family, 600, 13);
+    const double eps = 0.1;
+    const auto r = matching_mpc(g, opts(eps, 13));
+    if (r.cover.empty()) continue;
+    const auto loads = vertex_loads(g, r.x);
+    std::size_t heavy = 0;
+    for (const VertexId v : r.cover) {
+      if (loads[v] >= 1.0 - 5.0 * eps) ++heavy;
+    }
+    EXPECT_GE(3 * heavy + 2, r.cover.size()) << family;
+  }
+}
+
+TEST(MatchingMpc, DeterministicPerSeed) {
+  const Graph g = make_family("rmat", 300, 15);
+  const auto a = matching_mpc(g, opts(0.1, 21));
+  const auto b = matching_mpc(g, opts(0.1, 21));
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.cover, b.cover);
+  EXPECT_EQ(a.phases, b.phases);
+}
+
+TEST(MatchingMpc, TraceShapesMatchIterations) {
+  const Graph g = make_family("gnp_sparse", 200, 17);
+  auto o = opts(0.1, 17);
+  o.record_trace = true;
+  const auto r = matching_mpc(g, o);
+  EXPECT_EQ(r.y_tilde_trace.size(), r.total_iterations);
+  for (const auto& row : r.y_tilde_trace) {
+    EXPECT_EQ(row.size(), g.num_vertices());
+  }
+}
+
+TEST(MatchingMpc, CouplingToCentralRandStaysTight) {
+  // The paper's Section 4.4.3 argument: with shared thresholds, the MPC
+  // estimates track Central-Rand's loads for most vertices. Run both with
+  // the same threshold stream and compare the traces while both consider a
+  // vertex active: large deviations must be rare.
+  const Graph g = make_family("gnp_dense", 500, 19);
+  const double eps = 0.1;
+
+  auto mo = opts(eps, 19);
+  mo.record_trace = true;
+  const auto sim = matching_mpc(g, mo);
+
+  CentralOptions co;
+  co.eps = eps;
+  co.random_thresholds = true;
+  co.threshold_seed = mo.threshold_seed;
+  co.initial_edge_weight = (1.0 - 2.0 * eps) / g.num_vertices();
+  co.record_trace = true;
+  const auto central = central_fractional_matching(g, co);
+
+  const std::size_t horizon =
+      std::min(sim.y_tilde_trace.size(), central.y_trace.size());
+  ASSERT_GT(horizon, 0U);
+  std::size_t compared = 0;
+  std::size_t far = 0;
+  for (std::size_t t = 0; t < horizon; ++t) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const double y_tilde = sim.y_tilde_trace[t][v];
+      if (std::isnan(y_tilde)) continue;
+      if (central.freeze_iteration[v] < t) continue;  // frozen centrally
+      ++compared;
+      if (std::abs(y_tilde - central.y_trace[t][v]) > 0.25) ++far;
+    }
+  }
+  ASSERT_GT(compared, 100U);
+  EXPECT_LE(static_cast<double>(far), 0.2 * static_cast<double>(compared));
+}
+
+class MatchingMpcSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint64_t>> {
+};
+
+TEST_P(MatchingMpcSweep, InvariantsAcrossFamiliesAndSeeds) {
+  const auto [family, seed] = GetParam();
+  const Graph g = make_family(family, 300, seed);
+  const auto r = matching_mpc(g, opts(0.1, seed));
+  EXPECT_TRUE(is_fractional_matching(g, r.x, 1e-9));
+  EXPECT_TRUE(is_vertex_cover(g, r.cover));
+  EXPECT_EQ(r.metrics.violations, 0U);
+  // Every frozen or removed vertex appears exactly once in the cover.
+  std::vector<char> seen(g.num_vertices(), 0);
+  for (const VertexId v : r.cover) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MatchingMpcSweep,
+    ::testing::Combine(::testing::ValuesIn(kFamilies),
+                       ::testing::Values(1ULL, 2ULL, 3ULL)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mpcg

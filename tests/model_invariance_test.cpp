@@ -1,0 +1,87 @@
+// Model-sizing invariance: the *output* of the paper's algorithms is a
+// pure function of (graph, seed) — cluster sizing (machine count, memory)
+// only changes how the computation is laid out, never what it decides.
+// This is a strong correctness property of the simulation: if a different
+// machine count changed the MIS, some decision would be reading
+// layout-dependent state it does not own.
+#include <gtest/gtest.h>
+
+#include "core/matching_mpc.h"
+#include "core/mis_mpc.h"
+#include "graph/validation.h"
+#include "test_util.h"
+
+namespace mpcg {
+namespace {
+
+using testing::make_family;
+
+TEST(ModelInvariance, MisIndependentOfMachineCount) {
+  const Graph g = make_family("gnp_dense", 400, 3);
+  MisMpcOptions base;
+  base.seed = 31;
+  // Generous memory so every machine count below is feasible; the point
+  // here is decision invariance, not sizing.
+  base.words_per_machine = 1U << 20;
+  base.gather_budget = 4 * g.num_vertices() / 2;
+  const auto reference = mis_mpc(g, base);
+  for (const std::size_t machines : {2U, 3U, 7U, 16U}) {
+    MisMpcOptions opt = base;
+    opt.num_machines = machines;
+    EXPECT_EQ(mis_mpc(g, opt).mis, reference.mis) << machines;
+  }
+}
+
+TEST(ModelInvariance, MisIndependentOfMemoryBudget) {
+  const Graph g = make_family("power_law", 400, 5);
+  MisMpcOptions base;
+  base.seed = 33;
+  const auto reference = mis_mpc(g, base);
+  for (const std::size_t words : {4096U, 8192U, 1U << 20}) {
+    MisMpcOptions opt = base;
+    opt.words_per_machine = words;
+    // Note: gather_budget defaults to words/2, which *is* a decision
+    // parameter; pin it so only the layout varies.
+    opt.gather_budget = 4 * g.num_vertices() / 2;
+    MisMpcOptions ref_opt = base;
+    ref_opt.gather_budget = opt.gather_budget;
+    EXPECT_EQ(mis_mpc(g, opt).mis, mis_mpc(g, ref_opt).mis) << words;
+  }
+}
+
+TEST(ModelInvariance, MatchingIndependentOfMemoryBudget) {
+  const Graph g = make_family("gnp_sparse", 400, 7);
+  MatchingMpcOptions base;
+  base.eps = 0.1;
+  base.seed = 35;
+  const auto reference = matching_mpc(g, base);
+  for (const std::size_t words : {8192U, 1U << 15, 1U << 20}) {
+    MatchingMpcOptions opt = base;
+    opt.words_per_machine = words;
+    const auto r = matching_mpc(g, opt);
+    EXPECT_EQ(r.x, reference.x) << words;
+    EXPECT_EQ(r.cover, reference.cover) << words;
+    EXPECT_EQ(r.freeze_iteration, reference.freeze_iteration) << words;
+  }
+}
+
+TEST(ModelInvariance, RoundsDoDependOnLayout) {
+  // The complement: costs are layout-dependent even though outputs are
+  // not (a bigger memory budget shortens relay trees).
+  const Graph g = make_family("gnp_dense", 400, 9);
+  MisMpcOptions small;
+  small.seed = 37;
+  small.num_machines = 16;
+  small.words_per_machine = 1U << 12;
+  small.gather_budget = 1U << 11;
+  MisMpcOptions large = small;
+  large.num_machines = 2;
+  large.words_per_machine = 1U << 20;
+  const auto rs = mis_mpc(g, small);
+  const auto rl = mis_mpc(g, large);
+  EXPECT_EQ(rs.mis, rl.mis);
+  EXPECT_NE(rs.metrics.rounds, rl.metrics.rounds);
+}
+
+}  // namespace
+}  // namespace mpcg

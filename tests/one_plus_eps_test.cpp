@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "baselines/blossom.h"
+#include "baselines/greedy_matching.h"
+#include "core/one_plus_eps.h"
+#include "graph/validation.h"
+#include "test_util.h"
+
+namespace mpcg {
+namespace {
+
+using testing::make_family;
+
+TEST(PartnerArray, RoundTrips) {
+  const Graph g = path_graph(6);
+  const std::vector<EdgeId> m{g.find_edge(0, 1), g.find_edge(4, 5)};
+  const auto partner = partner_array(g, m);
+  EXPECT_EQ(partner[0], 1U);
+  EXPECT_EQ(partner[1], 0U);
+  EXPECT_EQ(partner[2], kUnmatched);
+  auto back = matching_from_partners(g, partner);
+  std::sort(back.begin(), back.end());
+  auto sorted = m;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(back, sorted);
+}
+
+TEST(AugmentingPass, FlipsLengthOnePath) {
+  // Single uncovered edge: a pass must match it.
+  const Graph g = path_graph(2);
+  auto partner = partner_array(g, {});
+  const std::size_t flipped = augmenting_paths_pass(g, partner, 1, 7);
+  EXPECT_EQ(flipped, 1U);
+  EXPECT_EQ(partner[0], 1U);
+}
+
+TEST(AugmentingPass, FlipsLengthThreePath) {
+  // P4 matched in the middle: augmenting path 0-1-2-3 exists.
+  const Graph g = path_graph(4);
+  auto partner = partner_array(g, {g.find_edge(1, 2)});
+  const std::size_t flipped = augmenting_paths_pass(g, partner, 2, 7);
+  EXPECT_EQ(flipped, 1U);
+  EXPECT_EQ(matching_from_partners(g, partner).size(), 2U);
+}
+
+TEST(AugmentingPass, RespectsLengthCap) {
+  // P6 with the two inner edges matched: the only augmenting path has
+  // length 5, so k=1 (cap 3) cannot flip it.
+  const Graph g = path_graph(6);
+  auto partner = partner_array(g, {g.find_edge(1, 2), g.find_edge(3, 4)});
+  std::size_t flipped = 0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    flipped += augmenting_paths_pass(g, partner, 1, s);
+  }
+  EXPECT_EQ(flipped, 0U);
+  // k=2 (cap 5) finds it.
+  EXPECT_EQ(augmenting_paths_pass(g, partner, 2, 3), 1U);
+  EXPECT_EQ(matching_from_partners(g, partner).size(), 3U);
+}
+
+TEST(AugmentingPass, KeepsMatchingValid) {
+  const Graph g = make_family("gnp_dense", 300, 3);
+  auto partner = partner_array(g, greedy_maximal_matching(g));
+  for (std::uint64_t pass = 0; pass < 10; ++pass) {
+    augmenting_paths_pass(g, partner, 3, pass);
+    const auto m = matching_from_partners(g, partner);
+    EXPECT_TRUE(is_matching(g, m));
+  }
+}
+
+TEST(AugmentingPass, NeverShrinksMatching) {
+  const Graph g = make_family("power_law", 300, 5);
+  auto partner = partner_array(g, greedy_maximal_matching(g));
+  std::size_t prev = matching_from_partners(g, partner).size();
+  for (std::uint64_t pass = 0; pass < 8; ++pass) {
+    augmenting_paths_pass(g, partner, 2, pass);
+    const std::size_t now = matching_from_partners(g, partner).size();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(HasShortAugmentingPath, DetectsAndRejects) {
+  const Graph g = path_graph(4);
+  auto partner = partner_array(g, {g.find_edge(1, 2)});
+  EXPECT_TRUE(has_short_augmenting_path(g, partner, 3));
+  // Perfect matching on P4: no augmenting path at all.
+  auto perfect = partner_array(g, {g.find_edge(0, 1), g.find_edge(2, 3)});
+  EXPECT_FALSE(has_short_augmenting_path(g, perfect, 7));
+}
+
+TEST(OnePlusEps, ReachesExactOnBipartite) {
+  const Graph g = make_family("bipartite", 240, 7);
+  OnePlusEpsOptions o;
+  o.eps = 0.25;
+  o.seed = 7;
+  const auto r = one_plus_eps_matching(g, o);
+  EXPECT_TRUE(is_matching(g, r.matching));
+  const double nu = static_cast<double>(maximum_matching_size(g));
+  EXPECT_GE(static_cast<double>(r.matching.size()) * (1.0 + o.eps),
+            nu - 1e-9)
+      << "|M|=" << r.matching.size() << " nu=" << nu;
+}
+
+TEST(OnePlusEps, ImprovesOverBaseAcrossFamilies) {
+  for (const char* family : {"gnp_sparse", "gnp_dense", "power_law",
+                             "grid", "cliques"}) {
+    const Graph g = make_family(family, 280, 9);
+    if (g.num_edges() == 0) continue;
+    OnePlusEpsOptions o;
+    o.eps = 1.0 / 3.0;
+    o.seed = 9;
+    const auto r = one_plus_eps_matching(g, o);
+    EXPECT_TRUE(is_matching(g, r.matching)) << family;
+    EXPECT_GE(r.matching.size(), r.base_size) << family;
+    const double nu = static_cast<double>(maximum_matching_size(g));
+    EXPECT_GE(static_cast<double>(r.matching.size()) * (1.0 + o.eps),
+              nu - 1e-9)
+        << family << " |M|=" << r.matching.size() << " nu=" << nu;
+  }
+}
+
+TEST(OnePlusEps, NoShortAugmentingPathLeftOnSmallGraphs) {
+  // After convergence, the Hopcroft–Karp certificate should hold for the
+  // targeted length on small instances (checked exhaustively).
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = erdos_renyi_gnp(40, 0.1, rng);
+    OnePlusEpsOptions o;
+    o.eps = 0.5;  // k = 2, paths of length <= 5
+    o.seed = static_cast<std::uint64_t>(trial);
+    const auto r = one_plus_eps_matching(g, o);
+    const auto partner = partner_array(g, r.matching);
+    EXPECT_FALSE(has_short_augmenting_path(g, partner, 2 * 2 - 1));
+  }
+}
+
+TEST(OnePlusEps, TighterEpsNeverWorse) {
+  const Graph g = make_family("gnp_dense", 220, 11);
+  OnePlusEpsOptions loose;
+  loose.eps = 0.5;
+  loose.seed = 11;
+  OnePlusEpsOptions tight;
+  tight.eps = 0.2;
+  tight.seed = 11;
+  const auto rl = one_plus_eps_matching(g, loose);
+  const auto rt = one_plus_eps_matching(g, tight);
+  EXPECT_GE(rt.matching.size() + 1, rl.matching.size());  // small slack
+  EXPECT_GE(rt.total_rounds, rl.total_rounds);            // pays more rounds
+}
+
+}  // namespace
+}  // namespace mpcg

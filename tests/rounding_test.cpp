@@ -1,0 +1,114 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/matching_mpc.h"
+#include "core/rounding.h"
+#include "gen/generators.h"
+#include "graph/validation.h"
+#include "test_util.h"
+
+namespace mpcg {
+namespace {
+
+using testing::make_family;
+
+TEST(HeavyVertices, SelectsByLoad) {
+  const Graph g = path_graph(3);  // edges {0,1}, {1,2}
+  std::vector<double> x{0.9, 0.05};
+  const auto heavy = heavy_vertices(g, x, 0.8);
+  // loads: v0=0.9, v1=0.95, v2=0.05
+  EXPECT_EQ(heavy, (std::vector<VertexId>{0, 1}));
+}
+
+TEST(Rounding, EmptyCandidatesEmptyMatching) {
+  const Graph g = path_graph(4);
+  std::vector<double> x(g.num_edges(), 0.3);
+  EXPECT_TRUE(round_fractional_matching(g, x, {}, 1).empty());
+}
+
+TEST(Rounding, OutputIsAlwaysAMatching) {
+  for (const char* family : {"gnp_sparse", "gnp_dense", "power_law",
+                             "bipartite", "cliques"}) {
+    const Graph g = make_family(family, 400, 3);
+    if (g.num_edges() == 0) continue;
+    MatchingMpcOptions o;
+    o.eps = 0.1;
+    o.seed = 3;
+    const auto frac = matching_mpc(g, o);
+    const auto candidates = heavy_vertices(g, frac.x, 0.5);
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      const auto m = round_fractional_matching(g, frac.x, candidates, seed);
+      EXPECT_TRUE(is_matching(g, m)) << family << " seed " << seed;
+    }
+  }
+}
+
+TEST(Rounding, DeterministicPerSeed) {
+  const Graph g = make_family("gnp_dense", 200, 5);
+  MatchingMpcOptions o;
+  o.eps = 0.1;
+  o.seed = 5;
+  const auto frac = matching_mpc(g, o);
+  const auto candidates = heavy_vertices(g, frac.x, 0.5);
+  EXPECT_EQ(round_fractional_matching(g, frac.x, candidates, 9),
+            round_fractional_matching(g, frac.x, candidates, 9));
+}
+
+TEST(Rounding, Lemma51SizeBoundHolds) {
+  // |M| >= |C~|/50 with probability 1 - 2exp(-|C~|/5000); with |C~| in the
+  // hundreds a failure is still possible per trial, so check that the bound
+  // holds on the vast majority of seeds (it holds on virtually all).
+  const Graph g = make_family("gnp_dense", 1500, 7);
+  MatchingMpcOptions o;
+  o.eps = 0.1;
+  o.seed = 7;
+  const auto frac = matching_mpc(g, o);
+  const auto candidates = heavy_vertices(g, frac.x, 1.0 - 5.0 * 0.1);
+  ASSERT_GT(candidates.size(), 100U);
+
+  int ok = 0;
+  const int trials = 50;
+  for (int seed = 0; seed < trials; ++seed) {
+    const auto m = round_fractional_matching(g, frac.x, candidates,
+                                             static_cast<std::uint64_t>(seed));
+    if (50 * m.size() >= candidates.size()) ++ok;
+  }
+  EXPECT_GE(ok, trials - 2);
+}
+
+TEST(Rounding, ExpectedYieldNearTheory) {
+  // The proof's per-vertex success probability is >= 4/50; the average
+  // yield over seeds should comfortably exceed |C~|/25 on a clean input.
+  const Graph g = complete_bipartite(300, 300);
+  std::vector<double> x(g.num_edges(), 1.0 / 300.0);  // perfect fractional
+  std::vector<VertexId> candidates(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) candidates[v] = v;
+
+  double total = 0.0;
+  const int trials = 20;
+  for (int seed = 0; seed < trials; ++seed) {
+    total += static_cast<double>(
+        round_fractional_matching(g, x, candidates,
+                                  static_cast<std::uint64_t>(seed)).size());
+  }
+  const double avg = total / trials;
+  EXPECT_GE(avg, static_cast<double>(candidates.size()) / 25.0);
+}
+
+TEST(Rounding, GoodEdgesAreIsolatedInProposalGraph) {
+  // White-box invariant: returned edges never share endpoints even when
+  // proposals collide heavily (dense star-like loads).
+  const Graph g = star_graph(50);
+  std::vector<double> x(g.num_edges(), 1.0 / 49.0);
+  std::vector<VertexId> candidates;
+  for (VertexId v = 0; v < 50; ++v) candidates.push_back(v);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto m = round_fractional_matching(g, x, candidates, seed);
+    EXPECT_TRUE(is_matching(g, m));
+    EXPECT_LE(m.size(), 1U);  // star: at most one edge can ever be good
+  }
+}
+
+}  // namespace
+}  // namespace mpcg

@@ -1,0 +1,80 @@
+// Scale stress: the key invariants hold on inputs an order of magnitude
+// larger than the default sweeps (seconds, not milliseconds — kept to a
+// handful of cases).
+#include <gtest/gtest.h>
+
+#include "baselines/greedy_matching.h"
+#include "baselines/greedy_mis.h"
+#include "core/integral_matching.h"
+#include "core/matching_mpc.h"
+#include "core/mis_mpc.h"
+#include "gen/generators.h"
+#include "graph/validation.h"
+#include "util/permutation.h"
+
+namespace mpcg {
+namespace {
+
+TEST(Stress, MisExactEquivalenceAtScale) {
+  Rng rng(1);
+  const std::size_t n = 30000;
+  const Graph g = erdos_renyi_gnp(n, 20.0 / static_cast<double>(n), rng);
+  MisMpcOptions opt;
+  opt.seed = 4242;
+  opt.use_sparsified_stage = false;
+  const auto r = mis_mpc(g, opt);
+  Rng perm_rng(opt.seed);
+  const auto perm = random_permutation(n, perm_rng);
+  EXPECT_EQ(r.mis, greedy_mis(g, perm));
+  EXPECT_EQ(r.metrics.violations, 0U);
+}
+
+TEST(Stress, MisDefaultPipelineAtScale) {
+  Rng rng(2);
+  const std::size_t n = 50000;
+  const Graph g = erdos_renyi_gnp(n, 16.0 / static_cast<double>(n), rng);
+  MisMpcOptions opt;
+  opt.seed = 7;
+  const auto r = mis_mpc(g, opt);
+  EXPECT_TRUE(is_maximal_independent_set(g, r.mis));
+  EXPECT_LE(r.rank_phases, 8U);
+  EXPECT_LE(r.metrics.peak_storage_words, r.words_per_machine_used);
+}
+
+TEST(Stress, MatchingPipelineAtScale) {
+  Rng rng(3);
+  const std::size_t n = 30000;
+  const Graph g = erdos_renyi_gnp(n, 12.0 / static_cast<double>(n), rng);
+  MatchingMpcOptions opt;
+  opt.eps = 0.1;
+  opt.seed = 11;
+  const auto r = matching_mpc(g, opt);
+  EXPECT_TRUE(is_fractional_matching(g, r.x, 1e-9));
+  EXPECT_TRUE(is_vertex_cover(g, r.cover));
+  EXPECT_EQ(r.metrics.violations, 0U);
+  // Fractional weight must be at least half of a maximal matching's size
+  // (|M_maximal| <= nu <= (2+50eps) W).
+  const auto maximal = greedy_maximal_matching(g);
+  EXPECT_GE(fractional_weight(r.x) * (2.0 + 50.0 * 0.1),
+            static_cast<double>(maximal.size()) - 1e-9);
+}
+
+TEST(Stress, IntegralMatchingAtScale) {
+  Rng rng(4);
+  const std::size_t n = 20000;
+  const Graph g = erdos_renyi_gnp(n, 10.0 / static_cast<double>(n), rng);
+  IntegralMatchingOptions opt;
+  opt.eps = 0.1;
+  opt.seed = 13;
+  const auto r = integral_matching(g, opt);
+  EXPECT_TRUE(is_matching(g, r.matching));
+  EXPECT_TRUE(is_vertex_cover(g, r.cover));
+  // Against the maximal-matching lower bound: |M| >= |M_maximal| / 2.1
+  // would already follow from (2+eps) vs nu >= |M_maximal|.
+  const auto maximal = greedy_maximal_matching(g);
+  EXPECT_GE(static_cast<double>(r.matching.size()) * 2.1,
+            static_cast<double>(maximal.size()));
+}
+
+}  // namespace
+}  // namespace mpcg

@@ -1,0 +1,30 @@
+// Shared helpers for the test suite: the (family x size x seed) catalogue
+// lives in src/gen/families.h; these aliases keep test call sites short.
+#ifndef MPCG_TESTS_TEST_UTIL_H
+#define MPCG_TESTS_TEST_UTIL_H
+
+#include <cstdint>
+#include <string>
+
+#include "gen/families.h"
+#include "gen/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace mpcg::testing {
+
+/// Families exercised by the parameterized sweeps (mirrors
+/// mpcg::family_names(), as a C array for ::testing::ValuesIn).
+inline const char* const kFamilies[] = {
+    "gnp_sparse", "gnp_dense", "power_law", "bipartite",
+    "rmat",       "grid",      "star",      "cliques",
+};
+
+inline Graph make_family(const std::string& family, std::size_t n,
+                         std::uint64_t seed) {
+  return graph_family(family, n, seed);
+}
+
+}  // namespace mpcg::testing
+
+#endif  // MPCG_TESTS_TEST_UTIL_H

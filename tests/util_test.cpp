@@ -1,0 +1,230 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/bitset.h"
+#include "util/permutation.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mpcg {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int k = 100000;
+  for (int i = 0; i < k; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / k, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.next_below(10));
+  EXPECT_EQ(seen.size(), 10U);
+}
+
+TEST(Rng, NextInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_in(0.6, 0.8);
+    EXPECT_GE(x, 0.6);
+    EXPECT_LT(x, 0.8);
+  }
+}
+
+TEST(Rng, ForkStreamsAreIndependent) {
+  Rng base(123);
+  Rng a = base.fork(1);
+  Rng b = base.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bernoulli(0.0));
+    EXPECT_TRUE(rng.next_bernoulli(1.0));
+  }
+}
+
+TEST(StatelessUniform, DeterministicAndUnit) {
+  for (std::uint64_t v = 0; v < 50; ++v) {
+    for (std::uint64_t t = 0; t < 50; ++t) {
+      const double x = stateless_uniform(99, v, t);
+      EXPECT_GE(x, 0.0);
+      EXPECT_LT(x, 1.0);
+      EXPECT_EQ(x, stateless_uniform(99, v, t));
+    }
+  }
+}
+
+TEST(StatelessUniform, VariesAcrossKeys) {
+  std::set<double> values;
+  for (std::uint64_t v = 0; v < 100; ++v) values.insert(stateless_uniform(1, v, 0));
+  EXPECT_GT(values.size(), 95U);
+}
+
+TEST(Mix64, SensitiveToEachArgument) {
+  EXPECT_NE(mix64(1, 2), mix64(1, 3));
+  EXPECT_NE(mix64(1, 2), mix64(2, 2));
+  EXPECT_NE(mix64(1, 2, 3), mix64(1, 2, 4));
+}
+
+TEST(Permutation, IsPermutation) {
+  Rng rng(21);
+  for (std::size_t n : {0U, 1U, 2U, 17U, 1000U}) {
+    const auto perm = random_permutation(n, rng);
+    EXPECT_EQ(perm.size(), n);
+    EXPECT_TRUE(is_permutation_of_iota(perm));
+  }
+}
+
+TEST(Permutation, InverseRoundTrips) {
+  Rng rng(22);
+  const auto perm = random_permutation(100, rng);
+  const auto inv = invert_permutation(perm);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(inv[perm[i]], i);
+    EXPECT_EQ(perm[inv[i]], i);
+  }
+}
+
+TEST(Permutation, UniformityOfFirstElement) {
+  // chi-square-lite: first position roughly uniform over 8 values.
+  Rng rng(23);
+  std::vector<int> counts(8, 0);
+  const int trials = 8000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[random_permutation(8, rng)[0]];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, trials / 8 / 2);
+    EXPECT_LT(c, trials / 8 * 2);
+  }
+}
+
+TEST(Permutation, RejectsNonPermutations) {
+  EXPECT_FALSE(is_permutation_of_iota({0, 0}));
+  EXPECT_FALSE(is_permutation_of_iota({1, 2}));
+  EXPECT_TRUE(is_permutation_of_iota({}));
+  EXPECT_TRUE(is_permutation_of_iota({2, 0, 1}));
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 4U);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+}
+
+TEST(Accumulator, SingleSampleVarianceZero) {
+  Accumulator acc;
+  acc.add(5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, Interpolates) {
+  EXPECT_DOUBLE_EQ(quantile({0.0, 1.0}, 0.25), 0.25);
+}
+
+TEST(Quantile, ThrowsOnEmpty) {
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(LinearSlope, RecoversLine) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{3, 5, 7, 9};  // slope 2
+  EXPECT_NEAR(linear_slope(x, y), 2.0, 1e-12);
+}
+
+TEST(LinearSlope, ThrowsOnDegenerate) {
+  EXPECT_THROW((void)linear_slope({1, 1}, {2, 3}), std::invalid_argument);
+  EXPECT_THROW((void)linear_slope({1}, {2}), std::invalid_argument);
+}
+
+TEST(Bitset, SetResetCount) {
+  DynamicBitset bits(130);
+  EXPECT_EQ(bits.count(), 0U);
+  bits.set(0);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_EQ(bits.count(), 3U);
+  EXPECT_TRUE(bits.test(64));
+  bits.reset(64);
+  EXPECT_FALSE(bits.test(64));
+  EXPECT_EQ(bits.count(), 2U);
+}
+
+TEST(Bitset, InitializedFull) {
+  DynamicBitset bits(70, true);
+  EXPECT_EQ(bits.count(), 70U);
+  EXPECT_EQ(bits.word_count(), 2U);
+}
+
+TEST(Bitset, AssignAndClear) {
+  DynamicBitset bits(10);
+  bits.assign(3, true);
+  EXPECT_TRUE(bits.test(3));
+  bits.assign(3, false);
+  EXPECT_FALSE(bits.test(3));
+  bits.set(1);
+  bits.clear_all();
+  EXPECT_EQ(bits.count(), 0U);
+}
+
+}  // namespace
+}  // namespace mpcg

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "baselines/blossom.h"
+#include "baselines/brute_force.h"
+#include "core/vertex_cover.h"
+#include "gen/generators.h"
+#include "graph/validation.h"
+#include "test_util.h"
+
+namespace mpcg {
+namespace {
+
+using testing::kFamilies;
+using testing::make_family;
+
+MatchingMpcOptions opts(std::uint64_t seed) {
+  MatchingMpcOptions o;
+  o.eps = 0.1;
+  o.seed = seed;
+  o.threshold_seed = seed + 1;
+  return o;
+}
+
+TEST(VertexCoverApi, CoversEveryFamily) {
+  for (const char* family : kFamilies) {
+    const Graph g = make_family(family, 300, 3);
+    const auto r = minimum_vertex_cover_mpc(g, opts(3));
+    EXPECT_TRUE(is_vertex_cover(g, r.cover)) << family;
+  }
+}
+
+TEST(VertexCoverApi, DualCertificateBoundsTheRun) {
+  // Any vertex cover has size >= the fractional matching weight (weak
+  // duality), so the per-run factor cover/certificate is a sound
+  // self-certification. Check it against the truth on exact instances.
+  Rng rng(7);
+  int checked = 0;
+  for (int trial = 0; trial < 60 && checked < 20; ++trial) {
+    const Graph g = erdos_renyi_gnp(12, 0.3, rng);
+    if (g.num_edges() == 0) continue;
+    ++checked;
+    const auto r = minimum_vertex_cover_mpc(g, opts(trial));
+    const std::size_t opt_vc = brute_force_min_vertex_cover(g);
+    EXPECT_LE(r.dual_certificate, static_cast<double>(opt_vc) + 1e-9);
+    EXPECT_GE(r.cover.size(), opt_vc);
+  }
+  EXPECT_GE(checked, 10);
+}
+
+TEST(VertexCoverApi, FactorAgainstMatchingLowerBound) {
+  for (const char* family : {"gnp_sparse", "gnp_dense", "bipartite"}) {
+    const Graph g = make_family(family, 300, 9);
+    if (g.num_edges() == 0) continue;
+    const auto r = minimum_vertex_cover_mpc(g, opts(9));
+    const double nu = static_cast<double>(maximum_matching_size(g));
+    EXPECT_LE(static_cast<double>(r.cover.size()), (2.0 + 50.0 * 0.1) * nu)
+        << family;
+  }
+}
+
+TEST(VertexCoverApi, ReportsRoundsAndPhases) {
+  const Graph g = make_family("gnp_dense", 400, 11);
+  const auto r = minimum_vertex_cover_mpc(g, opts(11));
+  EXPECT_GE(r.rounds, 1U);
+  EXPECT_GE(r.phases, 1U);
+  EXPECT_GT(r.dual_certificate, 0.0);
+}
+
+}  // namespace
+}  // namespace mpcg

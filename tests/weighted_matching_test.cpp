@@ -1,0 +1,167 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "baselines/greedy_matching.h"
+#include "core/weighted_matching.h"
+#include "gen/generators.h"
+#include "graph/validation.h"
+#include "test_util.h"
+
+namespace mpcg {
+namespace {
+
+using testing::make_family;
+
+WeightedMatchingOptions opts(double eps = 0.2, std::uint64_t seed = 1) {
+  WeightedMatchingOptions o;
+  o.eps = eps;
+  o.seed = seed;
+  return o;
+}
+
+TEST(WeightedMatching, EmptyGraph) {
+  const Graph g = GraphBuilder(3).build();
+  const auto r = weighted_matching(g, {}, opts());
+  EXPECT_TRUE(r.matching.empty());
+  EXPECT_DOUBLE_EQ(r.weight, 0.0);
+}
+
+TEST(WeightedMatching, RejectsBadInput) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW(weighted_matching(g, {1.0}, opts()), std::invalid_argument);
+  auto o = opts();
+  o.eps = 0.0;
+  EXPECT_THROW(weighted_matching(g, {1.0, 1.0}, o), std::invalid_argument);
+}
+
+TEST(WeightedMatching, PrefersHeavyEdge) {
+  // Path 0-1-2-3 with a dominant middle edge: optimal takes just it...
+  const Graph g = path_graph(4);
+  std::vector<double> w(g.num_edges(), 1.0);
+  w[g.find_edge(1, 2)] = 100.0;
+  const auto r = weighted_matching(g, w, opts(0.1, 3));
+  EXPECT_TRUE(is_matching(g, r.matching));
+  // The heavy edge must be in the output (it is its own class, processed
+  // first, and nothing blocks it).
+  bool has_heavy = false;
+  for (const EdgeId e : r.matching) {
+    if (e == g.find_edge(1, 2)) has_heavy = true;
+  }
+  EXPECT_TRUE(has_heavy);
+  EXPECT_GE(r.weight, 100.0);
+}
+
+TEST(WeightedMatching, FactorAgainstBruteForce) {
+  Rng rng(5);
+  int checked = 0;
+  for (int trial = 0; trial < 80 && checked < 30; ++trial) {
+    const Graph g = erdos_renyi_gnp(10, 0.4, rng);
+    if (g.num_edges() == 0 || g.num_edges() > 24) continue;
+    ++checked;
+    const auto w = uniform_weights(g, 0.5, 4.0, rng);
+    const double eps = 0.2;
+    const auto r = weighted_matching(g, w, opts(eps, trial));
+    EXPECT_TRUE(is_matching(g, r.matching));
+    const double opt = brute_force_max_weight_matching(g, w);
+    // 2(1+eps) blame factor plus the eps/2 cutoff slack.
+    const double factor = 2.0 * (1.0 + eps) / (1.0 - eps);
+    EXPECT_GE(r.weight * factor, opt - 1e-9)
+        << "got " << r.weight << " opt " << opt;
+  }
+  EXPECT_GE(checked, 15);
+}
+
+TEST(WeightedMatching, ComparableToGreedyOnLargeGraphs) {
+  for (const char* family : {"gnp_dense", "power_law", "bipartite"}) {
+    const Graph g = make_family(family, 400, 7);
+    if (g.num_edges() == 0) continue;
+    Rng rng(9);
+    const auto w = exponential_weights(g, 2.0, rng);
+    const auto r = weighted_matching(g, w, opts(0.2, 9));
+    EXPECT_TRUE(is_matching(g, r.matching));
+    const double greedy_w =
+        matching_weight(greedy_weighted_matching(g, w), w);
+    // Greedy is 1/2-optimal; ours is 1/(2(1+eps))-optimal; so ours is at
+    // least ~ (1-eps) x greedy / (1+eps). Allow generous slack for the
+    // randomized per-class matchings.
+    EXPECT_GE(r.weight, 0.55 * greedy_w) << family;
+  }
+}
+
+TEST(WeightedMatching, ClassCountLogarithmic) {
+  const Graph g = make_family("gnp_dense", 300, 11);
+  Rng rng(11);
+  const auto w = uniform_weights(g, 1.0, 100.0, rng);
+  const double eps = 0.2;
+  const auto r = weighted_matching(g, w, opts(eps, 11));
+  // Classes cover [cutoff, w_max]: at most log_{1+eps}(n/eps) + 1.
+  const double bound =
+      std::log(static_cast<double>(g.num_vertices()) / eps) /
+          std::log1p(eps) + 2;
+  EXPECT_LE(static_cast<double>(r.num_classes), bound);
+}
+
+TEST(WeightedMatching, DropsOnlyNegligibleEdges) {
+  const Graph g = path_graph(5);
+  std::vector<double> w{10.0, 1e-9, 10.0, 1e-9};
+  const auto r = weighted_matching(g, w, opts(0.2, 13));
+  EXPECT_EQ(r.dropped_edges, 2U);
+  EXPECT_DOUBLE_EQ(r.weight, 20.0);
+}
+
+TEST(WeightedMatching, UniformWeightsReduceToCardinality) {
+  const Graph g = make_family("gnp_sparse", 300, 15);
+  std::vector<double> w(g.num_edges(), 1.0);
+  const auto r = weighted_matching(g, w, opts(0.2, 15));
+  EXPECT_EQ(r.num_classes, 1U);
+  EXPECT_TRUE(is_matching(g, r.matching));
+  // Single class => maximal matching => at least half of nu in size.
+  EXPECT_TRUE(is_maximal_matching(g, r.matching));
+}
+
+TEST(WeightedMatching, DeterministicPerSeed) {
+  const Graph g = make_family("rmat", 200, 17);
+  Rng rng(17);
+  const auto w = uniform_weights(g, 1.0, 10.0, rng);
+  const auto a = weighted_matching(g, w, opts(0.2, 19));
+  const auto b = weighted_matching(g, w, opts(0.2, 19));
+  EXPECT_EQ(a.matching, b.matching);
+}
+
+TEST(WeightedMatching, AllZeroWeights) {
+  const Graph g = path_graph(4);
+  std::vector<double> w(g.num_edges(), 0.0);
+  const auto r = weighted_matching(g, w, opts(0.2, 21));
+  EXPECT_TRUE(r.matching.empty());
+}
+
+TEST(WeightedMatching, IsraeliItaiSubroutineAlsoValid) {
+  const Graph g = make_family("gnp_dense", 300, 23);
+  Rng rng(23);
+  const auto w = exponential_weights(g, 2.0, rng);
+  auto o = opts(0.2, 23);
+  o.subroutine = ClassSubroutine::kIsraeliItai;
+  const auto r = weighted_matching(g, w, o);
+  EXPECT_TRUE(is_matching(g, r.matching));
+  // Same blame-charging guarantee regardless of subroutine: compare to the
+  // greedy reference.
+  const double greedy_w = matching_weight(greedy_weighted_matching(g, w), w);
+  EXPECT_GE(r.weight, 0.5 * greedy_w);
+}
+
+TEST(WeightedMatching, SubroutinesAgreeOnSingleClassMaximality) {
+  const Graph g = make_family("gnp_sparse", 200, 25);
+  std::vector<double> w(g.num_edges(), 1.0);
+  for (const ClassSubroutine sub :
+       {ClassSubroutine::kLmsvFiltering, ClassSubroutine::kIsraeliItai}) {
+    auto o = opts(0.2, 25);
+    o.subroutine = sub;
+    const auto r = weighted_matching(g, w, o);
+    EXPECT_TRUE(is_maximal_matching(g, r.matching));
+  }
+}
+
+}  // namespace
+}  // namespace mpcg

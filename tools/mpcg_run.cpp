@@ -1,0 +1,165 @@
+// mpcg_run — command-line driver for the library.
+//
+// Runs any of the paper's algorithms on a generated family or a graph
+// file, printing a one-object summary (tab-separated key value lines) that
+// scripts can consume.
+//
+// Usage:
+//   mpcg_run --algo mis|mis_cc|matching|vc|one_plus_eps|weighted|baselines
+//            [--family gnp_dense --n 4096 | --input graph.txt]
+//            [--seed 1] [--eps 0.1] [--check]
+//
+// Examples:
+//   mpcg_run --algo mis --family power_law --n 20000 --seed 7
+//   mpcg_run --algo matching --input my_graph.txt --eps 0.05 --check
+#include <cstdio>
+#include <string>
+
+#include "mpcg.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace mpcg;
+
+void print_kv(const char* key, double value) {
+  std::printf("%s\t%.6g\n", key, value);
+}
+void print_kv(const char* key, std::size_t value) {
+  std::printf("%s\t%zu\n", key, value);
+}
+
+int run(const Flags& flags) {
+  const std::string algo = flags.get_string("algo", "mis");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const double eps = flags.get_double("eps", 0.1);
+  const bool check = flags.get_bool("check", false);
+
+  Graph g;
+  std::vector<double> weights;
+  if (flags.has("input")) {
+    auto loaded = read_edge_list_file(flags.get_string("input", ""));
+    g = std::move(loaded.graph);
+    if (loaded.weights) weights = std::move(*loaded.weights);
+  } else {
+    const std::string family = flags.get_string("family", "gnp_dense");
+    const auto n = static_cast<std::size_t>(flags.get_int("n", 4096));
+    g = graph_family(family, n, seed);
+  }
+  if (weights.empty() && algo == "weighted") {
+    Rng rng(seed);
+    weights = exponential_weights(g, 1.0, rng);
+  }
+
+  const auto unused = flags.unused();
+  if (!unused.empty()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", unused.front().c_str());
+    return 2;
+  }
+
+  print_kv("n", g.num_vertices());
+  print_kv("m", g.num_edges());
+  print_kv("max_degree", g.max_degree());
+
+  if (algo == "mis") {
+    MisMpcOptions opt;
+    opt.seed = seed;
+    const auto r = mis_mpc(g, opt);
+    print_kv("mis_size", r.mis.size());
+    print_kv("rank_phases", r.rank_phases);
+    print_kv("engine_rounds", r.metrics.rounds);
+    print_kv("peak_words", r.metrics.peak_storage_words);
+    if (check) {
+      print_kv("valid", static_cast<std::size_t>(
+                            is_maximal_independent_set(g, r.mis)));
+    }
+    return 0;
+  }
+  if (algo == "mis_cc") {
+    MisCcliqueOptions opt;
+    opt.seed = seed;
+    const auto r = mis_cclique(g, opt);
+    print_kv("mis_size", r.mis.size());
+    print_kv("clique_rounds", r.metrics.rounds);
+    print_kv("lenzen_batches", r.metrics.lenzen_batches);
+    if (check) {
+      print_kv("valid", static_cast<std::size_t>(
+                            is_maximal_independent_set(g, r.mis)));
+    }
+    return 0;
+  }
+  if (algo == "matching" || algo == "vc") {
+    IntegralMatchingOptions opt;
+    opt.eps = eps;
+    opt.seed = seed;
+    const auto r = integral_matching(g, opt);
+    print_kv("matching_size", r.matching.size());
+    print_kv("cover_size", r.cover.size());
+    print_kv("total_rounds", r.total_rounds);
+    if (check) {
+      print_kv("matching_valid",
+               static_cast<std::size_t>(is_matching(g, r.matching)));
+      print_kv("cover_valid",
+               static_cast<std::size_t>(is_vertex_cover(g, r.cover)));
+    }
+    return 0;
+  }
+  if (algo == "one_plus_eps") {
+    OnePlusEpsOptions opt;
+    opt.eps = eps;
+    opt.seed = seed;
+    const auto r = one_plus_eps_matching(g, opt);
+    print_kv("matching_size", r.matching.size());
+    print_kv("augmenting_passes", r.augmenting_passes);
+    print_kv("total_rounds", r.total_rounds);
+    if (check) {
+      print_kv("matching_valid",
+               static_cast<std::size_t>(is_matching(g, r.matching)));
+    }
+    return 0;
+  }
+  if (algo == "weighted") {
+    WeightedMatchingOptions opt;
+    opt.eps = eps;
+    opt.seed = seed;
+    const auto r = weighted_matching(g, weights, opt);
+    print_kv("matching_size", r.matching.size());
+    print_kv("weight", r.weight);
+    print_kv("classes", r.num_classes);
+    print_kv("rounds", r.total_rounds);
+    if (check) {
+      print_kv("matching_valid",
+               static_cast<std::size_t>(is_matching(g, r.matching)));
+    }
+    return 0;
+  }
+  if (algo == "baselines") {
+    const auto luby = luby_mis(g, seed);
+    print_kv("luby_mis_size", luby.mis.size());
+    print_kv("luby_rounds", luby.rounds);
+    const auto ii = israeli_itai_matching(g, seed);
+    print_kv("israeli_itai_size", ii.matching.size());
+    print_kv("israeli_itai_rounds", ii.rounds);
+    const auto lmsv =
+        lmsv_maximal_matching(g, 8 * g.num_vertices(), seed);
+    print_kv("lmsv_size", lmsv.matching.size());
+    print_kv("lmsv_rounds", lmsv.rounds);
+    return 0;
+  }
+  std::fprintf(stderr,
+               "unknown --algo '%s' (want mis|mis_cc|matching|vc|"
+               "one_plus_eps|weighted|baselines)\n",
+               algo.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(mpcg::Flags(argc, argv));
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 1;
+  }
+}
