@@ -18,10 +18,15 @@ void E01_RoundsVsN(benchmark::State& state) {
   MisMpcOptions opt;
   opt.seed = 1;
   MisMpcResult r;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const WallTimer timer;
     r = mis_mpc(g, opt);
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(r.mis.size());
   }
+  emit_json_line("E01_RoundsVsN/" + std::to_string(n), n, g.num_edges(),
+                 r.metrics.rounds, wall_ms, r.metrics.peak_storage_words);
   state.counters["n"] = static_cast<double>(n);
   state.counters["delta"] = static_cast<double>(g.max_degree());
   state.counters["rounds"] = static_cast<double>(r.metrics.rounds);
@@ -39,6 +44,8 @@ BENCHMARK(E01_RoundsVsN)
     ->Arg(1 << 12)
     ->Arg(1 << 14)
     ->Arg(1 << 16)
+    ->Arg(1 << 17)
+    ->Arg(1 << 20)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
@@ -49,10 +56,16 @@ void E01_RoundsVsDelta(benchmark::State& state) {
   MisMpcOptions opt;
   opt.seed = 2;
   MisMpcResult r;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const WallTimer timer;
     r = mis_mpc(g, opt);
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(r.mis.size());
   }
+  emit_json_line("E01_RoundsVsDelta/" + std::to_string(state.range(0)), n,
+                 g.num_edges(), r.metrics.rounds, wall_ms,
+                 r.metrics.peak_storage_words);
   state.counters["delta"] = static_cast<double>(g.max_degree());
   state.counters["rounds"] = static_cast<double>(r.metrics.rounds);
   state.counters["rank_phases"] = static_cast<double>(r.rank_phases);
@@ -67,6 +80,40 @@ BENCHMARK(E01_RoundsVsDelta)
     ->Arg(32)
     ->Arg(128)
     ->Arg(512)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// The "big machines" corner: S large enough that the leader can gather the
+// whole graph at once (gather_budget = m), isolating the leader-side
+// residual/greedy machinery — the paper's S = O(n) regime pushed to its
+// single-gather extreme. Dominated by the window-adjacency build, so it
+// tracks the CSR-scratch path rather than the phase schedule.
+void E01_LeaderGather(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = gnp_with_degree(n, 16.0, 1);
+  MisMpcOptions opt;
+  opt.seed = 1;
+  opt.words_per_machine = 2 * g.num_edges() + n;
+  opt.gather_budget = g.num_edges();
+  MisMpcResult r;
+  double wall_ms = 0.0;
+  for (auto _ : state) {
+    const WallTimer timer;
+    r = mis_mpc(g, opt);
+    wall_ms = timer.elapsed_ms();
+    benchmark::DoNotOptimize(r.mis.size());
+  }
+  emit_json_line("E01_LeaderGather/" + std::to_string(n), n, g.num_edges(),
+                 r.metrics.rounds, wall_ms, r.metrics.peak_storage_words);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["rounds"] = static_cast<double>(r.metrics.rounds);
+  state.counters["final_gather_edges"] =
+      static_cast<double>(r.final_gather_edges);
+  state.counters["mis_size"] = static_cast<double>(r.mis.size());
+}
+BENCHMARK(E01_LeaderGather)
+    ->Arg(1 << 17)
+    ->Arg(1 << 20)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

@@ -30,10 +30,15 @@ void E06_PhasesVsN(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const Graph g = gnp_with_degree(n, 16.0, 13);
   MatchingMpcResult r;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const WallTimer timer;
     r = matching_mpc(g, opts(13));
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(r.x.data());
   }
+  emit_json_line("E06_PhasesVsN/" + std::to_string(n), n, g.num_edges(),
+                 r.metrics.rounds, wall_ms, r.metrics.peak_storage_words);
   std::size_t max_local = 0;
   for (const std::size_t e : r.max_local_edges_per_phase) {
     max_local = std::max(max_local, e);
@@ -58,10 +63,16 @@ BENCHMARK(E06_PhasesVsN)
 void E06_Approximation(benchmark::State& state, const char* family) {
   const Graph g = graph_family(family, 1 << 10, 17);
   MatchingMpcResult r;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const WallTimer timer;
     r = matching_mpc(g, opts(17));
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(r.x.data());
   }
+  emit_json_line(std::string("E06_Approximation/") + family, g.num_vertices(),
+                 g.num_edges(), r.metrics.rounds, wall_ms,
+                 r.metrics.peak_storage_words);
   const double nu = static_cast<double>(maximum_matching_size(g));
   const double w = fractional_weight(r.x);
   const auto loads = vertex_loads(g, r.x);

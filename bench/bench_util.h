@@ -7,8 +7,12 @@
 #ifndef MPCG_BENCH_BENCH_UTIL_H
 #define MPCG_BENCH_BENCH_UTIL_H
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include <benchmark/benchmark.h>
 
@@ -21,6 +25,39 @@ namespace mpcg::bench {
 
 inline double log2log2(double x) {
   return std::log2(std::max(2.0, std::log2(std::max(2.0, x))));
+}
+
+/// Wall-clock timer for the measured region of a benchmark body (the
+/// google-benchmark State timer is not readable from user code).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Appends one machine-readable JSON line for a benchmark row to the file
+/// named by the MPCG_BENCH_JSON environment variable (no-op when unset),
+/// so BENCH_*.json trajectory files can accumulate across runs:
+///   {"name":...,"n":...,"m":...,"rounds":...,"wall_ms":...,"peak_words":...}
+inline void emit_json_line(const std::string& name, std::size_t n,
+                           std::size_t m, std::size_t rounds, double wall_ms,
+                           std::size_t peak_words) {
+  const char* path = std::getenv("MPCG_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  std::fprintf(f,
+               "{\"name\":\"%s\",\"n\":%zu,\"m\":%zu,\"rounds\":%zu,"
+               "\"wall_ms\":%.3f,\"peak_words\":%zu}\n",
+               name.c_str(), n, m, rounds, wall_ms, peak_words);
+  std::fclose(f);
 }
 
 /// G(n, p) with a target average degree, deterministic per (n, seed).

@@ -6,44 +6,46 @@
 
 namespace mpcg {
 
-LocalMisState::LocalMisState(const Graph& g, std::vector<char> alive,
+LocalMisState::LocalMisState(const Graph& g, const std::vector<char>& alive,
                              std::uint64_t seed)
-    : g_(g), seed_(seed), alive_(std::move(alive)),
-      in_mis_(g.num_vertices(), 0), p_(g.num_vertices(), 0.5) {
-  alive_.resize(g.num_vertices(), 1);
-  alive_count_ = static_cast<std::size_t>(
-      std::count(alive_.begin(), alive_.end(), char{1}));
-}
+    : LocalMisState(ResidualGraph(g, alive), seed) {}
+
+LocalMisState::LocalMisState(ResidualGraph residual, std::uint64_t seed)
+    : seed_(seed), residual_(std::move(residual)),
+      in_mis_(residual_.graph().num_vertices(), 0),
+      p_(residual_.graph().num_vertices(), 0.5),
+      marked_(residual_.graph().num_vertices(), 0),
+      effective_(residual_.graph().num_vertices(), 0.0) {}
 
 std::vector<VertexId> LocalMisState::step() {
-  const std::size_t n = g_.num_vertices();
   const std::uint64_t t = iteration_++;
+  // The vertices alive at the start of the iteration, ascending. Kills
+  // below leave stale entries; later loops re-check aliveness exactly
+  // where the original dynamics consulted the alive array post-removal.
+  const auto vertices = residual_.alive_vertices();
 
   // Mark with probability p_v (stateless randomness).
-  std::vector<char> marked(n, 0);
-  for (VertexId v = 0; v < n; ++v) {
-    if (alive_[v] && stateless_uniform(seed_, v, t) < p_[v]) marked[v] = 1;
+  for (const VertexId v : vertices) {
+    marked_[v] = stateless_uniform(seed_, v, t) < p_[v] ? 1 : 0;
   }
 
   // Effective degrees for the desire-level update (computed before
-  // removals, as in the original dynamics).
-  std::vector<double> effective(n, 0.0);
-  for (VertexId v = 0; v < n; ++v) {
-    if (!alive_[v]) continue;
+  // removals, as in the original dynamics; alive_arcs preserves the
+  // ascending neighbor order, so the sums are bit-identical to a filtered
+  // full-adjacency scan).
+  for (const VertexId v : vertices) {
     double d = 0.0;
-    for (const Arc& a : g_.arcs(v)) {
-      if (alive_[a.to]) d += p_[a.to];
-    }
-    effective[v] = d;
+    for (const Arc& a : residual_.alive_arcs(v)) d += p_[a.to];
+    effective_[v] = d;
   }
 
   // Join: marked with no marked alive neighbor.
   std::vector<VertexId> joined;
-  for (VertexId v = 0; v < n; ++v) {
-    if (!alive_[v] || !marked[v]) continue;
+  for (const VertexId v : vertices) {
+    if (!marked_[v]) continue;
     bool lonely = true;
-    for (const Arc& a : g_.arcs(v)) {
-      if (alive_[a.to] && marked[a.to]) {
+    for (const Arc& a : residual_.alive_arcs(v)) {
+      if (marked_[a.to]) {
         lonely = false;
         break;
       }
@@ -52,45 +54,21 @@ std::vector<VertexId> LocalMisState::step() {
   }
   for (const VertexId v : joined) {
     in_mis_[v] = 1;
-    if (alive_[v]) {
-      alive_[v] = 0;
-      --alive_count_;
-    }
-    for (const Arc& a : g_.arcs(v)) {
-      if (alive_[a.to]) {
-        alive_[a.to] = 0;
-        --alive_count_;
-      }
-    }
+    // Joined vertices are pairwise non-adjacent, so v is still alive here;
+    // capture its alive neighborhood, then remove v and the neighborhood.
+    const auto neighborhood = residual_.alive_arcs(v);
+    residual_.kill(v);
+    for (const Arc& a : neighborhood) residual_.kill(a.to);
   }
 
   // Desire-level update for survivors.
-  for (VertexId v = 0; v < n; ++v) {
-    if (!alive_[v]) continue;
-    p_[v] = effective[v] >= 2.0 ? p_[v] / 2.0 : std::min(2.0 * p_[v], 0.5);
+  for (const VertexId v : vertices) {
+    if (!residual_.alive(v)) continue;
+    p_[v] = effective_[v] >= 2.0 ? p_[v] / 2.0 : std::min(2.0 * p_[v], 0.5);
   }
+  // Reset the mark scratch for the next iteration.
+  for (const VertexId v : vertices) marked_[v] = 0;
   return joined;
-}
-
-std::size_t LocalMisState::alive_edges() const {
-  std::size_t count = 0;
-  for (const Edge& e : g_.edges()) {
-    if (alive_[e.u] && alive_[e.v]) ++count;
-  }
-  return count;
-}
-
-std::size_t LocalMisState::max_alive_degree() const {
-  std::size_t best = 0;
-  for (VertexId v = 0; v < g_.num_vertices(); ++v) {
-    if (!alive_[v]) continue;
-    std::size_t d = 0;
-    for (const Arc& a : g_.arcs(v)) {
-      if (alive_[a.to]) ++d;
-    }
-    best = std::max(best, d);
-  }
-  return best;
 }
 
 LocalMisResult local_mis(const Graph& g, std::uint64_t seed) {

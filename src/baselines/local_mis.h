@@ -16,36 +16,54 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/residual.h"
 
 namespace mpcg {
 
 class LocalMisState {
  public:
   /// Starts the dynamics on the subgraph of g induced by `alive` flags.
-  LocalMisState(const Graph& g, std::vector<char> alive, std::uint64_t seed);
+  LocalMisState(const Graph& g, const std::vector<char>& alive,
+                std::uint64_t seed);
 
-  /// Runs one iteration; returns the vertices that joined the MIS.
+  /// Starts from a snapshot of an existing residual graph (bulk copy — no
+  /// graph rescan). The driver's own residual view is unaffected.
+  LocalMisState(ResidualGraph residual, std::uint64_t seed);
+
+  /// Runs one iteration; returns the vertices that joined the MIS. Cost is
+  /// proportional to the residual graph (alive vertices + alive arcs), not
+  /// to the full input.
   std::vector<VertexId> step();
 
-  [[nodiscard]] const std::vector<char>& alive() const noexcept { return alive_; }
+  [[nodiscard]] const std::vector<char>& alive() const noexcept {
+    return residual_.alive_flags();
+  }
   [[nodiscard]] const std::vector<char>& in_mis() const noexcept { return in_mis_; }
-  [[nodiscard]] std::size_t alive_count() const noexcept { return alive_count_; }
+  [[nodiscard]] std::size_t alive_count() const noexcept {
+    return residual_.alive_count();
+  }
   [[nodiscard]] std::size_t iterations() const noexcept { return iteration_; }
 
-  /// Number of edges with both endpoints alive (O(m) scan).
-  [[nodiscard]] std::size_t alive_edges() const;
+  /// Number of edges with both endpoints alive. O(1).
+  [[nodiscard]] std::size_t alive_edges() const {
+    return static_cast<std::size_t>(residual_.alive_edge_count());
+  }
 
-  /// Maximum alive degree (O(m) scan).
-  [[nodiscard]] std::size_t max_alive_degree() const;
+  /// Maximum alive degree. Amortized O(1).
+  [[nodiscard]] std::size_t max_alive_degree() {
+    return residual_.max_alive_degree();
+  }
 
  private:
-  const Graph& g_;
   std::uint64_t seed_;
   std::uint64_t iteration_ = 0;
-  std::vector<char> alive_;
+  ResidualGraph residual_;
   std::vector<char> in_mis_;
   std::vector<double> p_;
-  std::size_t alive_count_ = 0;
+  /// Scratch reused across iterations; only entries for currently alive
+  /// vertices are meaningful (reset at the end of each step).
+  std::vector<char> marked_;
+  std::vector<double> effective_;
 };
 
 /// Runs the dynamics to completion (all vertices decided); returns the MIS

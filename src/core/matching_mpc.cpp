@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/central.h"
+#include "graph/residual.h"
 #include "mpc/primitives.h"
 #include "util/rng.h"
 
@@ -20,7 +21,7 @@ constexpr std::uint32_t kActive = MatchingMpcResult::kActive;
 class MatchingMpcRun {
  public:
   MatchingMpcRun(const Graph& g, const MatchingMpcOptions& options)
-      : g_(g), o_(options), n_(g.num_vertices()) {
+      : g_(g), o_(options), n_(g.num_vertices()), residual_(g) {
     if (!(o_.eps > 0.0) || o_.eps > 0.5) {
       throw std::invalid_argument("matching_mpc: eps must be in (0, 1/2]");
     }
@@ -130,10 +131,11 @@ class MatchingMpcRun {
 
   /// Load of v in G[V'] at global iteration `now` (derived state; homes can
   /// compute this locally because freeze times are common knowledge).
-  [[nodiscard]] double load_of(VertexId v, std::uint64_t now) const {
+  /// Iterates only in-graph neighbors — alive_arcs is stable, so the
+  /// floating-point summation order matches a filtered scan of g_.arcs(v).
+  [[nodiscard]] double load_of(VertexId v, std::uint64_t now) {
     double y = 0.0;
-    for (const Arc& a : g_.arcs(v)) {
-      if (!in_graph(a.to)) continue;
+    for (const Arc& a : residual_.alive_arcs(v)) {
       const std::uint64_t tf =
           std::min<std::uint64_t>({freeze_at_[v], freeze_at_[a.to], now});
       y += weight_at(tf);
@@ -180,13 +182,14 @@ class MatchingMpcRun {
     }
 
     // Line (b): y_old — the frozen contribution, constant over the phase.
-    // Computed at each vertex's home from common knowledge.
+    // Computed at each vertex's home from common knowledge. alive_arcs
+    // yields exactly the in-graph neighbors, in the same (ascending) order
+    // a filtered full-adjacency scan would visit them.
     std::vector<double> y_old(n_, 0.0);
     for (VertexId v = 0; v < n_; ++v) {
       if (!active(v)) continue;
       double y = 0.0;
-      for (const Arc& a : g_.arcs(v)) {
-        if (!in_graph(a.to)) continue;
+      for (const Arc& a : residual_.alive_arcs(v)) {
         if (freeze_at_[a.to] != kActive) {
           y += weight_at(freeze_at_[a.to]);
         }
@@ -198,14 +201,20 @@ class MatchingMpcRun {
     // endpoints on the same simulation machine moves from its (lower
     // endpoint's) home shard to that machine; each active vertex's
     // (id, y_old) record moves from its home. Real pushes, one round.
+    // Iterating active vertices in id order and their alive upper arcs
+    // visits the active edges in edge-id (lexicographic) order, exactly as
+    // a full edge-list scan would — touching only residual arcs.
     std::vector<std::vector<std::pair<VertexId, VertexId>>> local_edges(m);
-    for (const Edge& e : g_.edges()) {
-      if (!active(e.u) || !active(e.v)) continue;
-      if (machine_of[e.u] != machine_of[e.v]) continue;
-      const std::size_t target = machine_of[e.u];
-      engine_->push(home_[e.u], target,
-                    (static_cast<Word>(e.u) << 32) | e.v);
-      local_edges[target].emplace_back(e.u, e.v);
+    for (VertexId v = 0; v < n_; ++v) {
+      if (!active(v)) continue;
+      for (const Arc& a : residual_.alive_upper_arcs(v)) {
+        if (!active(a.to)) continue;
+        if (machine_of[v] != machine_of[a.to]) continue;
+        const std::size_t target = machine_of[v];
+        engine_->push(home_[v], target,
+                      (static_cast<Word>(v) << 32) | a.to);
+        local_edges[target].emplace_back(v, a.to);
+      }
     }
     for (VertexId v = 0; v < n_; ++v) {
       if (!active(v)) continue;
@@ -313,6 +322,7 @@ class MatchingMpcRun {
     for (const VertexId v : removed_now) {
       removed_[v] = 1;
       freeze_at_[v] = kActive;  // removed, not frozen
+      residual_.kill(v);
     }
     for (const auto& [v, tf] : frozen_now) {
       freeze_at_[v] = static_cast<std::uint32_t>(tf);
@@ -332,13 +342,18 @@ class MatchingMpcRun {
       if (result.tail_iterations > guard) {
         throw std::logic_error("matching_mpc tail: did not terminate (bug)");
       }
-      // Any active-active edge left?
+      // Any active-active edge left? Scan only the residual (in-graph)
+      // vertices and arcs, with early exit.
       bool any_active_edge = false;
-      for (const Edge& e : g_.edges()) {
-        if (active(e.u) && active(e.v)) {
-          any_active_edge = true;
-          break;
+      for (const VertexId v : residual_.alive_vertices()) {
+        if (freeze_at_[v] != kActive) continue;
+        for (const Arc& a : residual_.alive_upper_arcs(v)) {
+          if (active(a.to)) {
+            any_active_edge = true;
+            break;
+          }
         }
+        if (any_active_edge) break;
       }
       if (!any_active_edge) break;
 
@@ -382,6 +397,9 @@ class MatchingMpcRun {
   const Graph& g_;
   const MatchingMpcOptions& o_;
   std::size_t n_;
+  /// Alive == still in G[V'] (not removed as heavy). Frozen vertices stay
+  /// alive; only heavy removals kill.
+  ResidualGraph residual_;
   std::size_t machines_ = 0;
   std::size_t words_ = 0;
   std::optional<mpc::Engine> engine_;

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
-#include <unordered_map>
 
 #include "baselines/local_mis.h"
+#include "graph/residual.h"
 #include "mpc/primitives.h"
 #include "util/permutation.h"
 #include "util/rng.h"
@@ -25,14 +25,21 @@ std::pair<VertexId, VertexId> decode_pair(Word w) noexcept {
           static_cast<VertexId>(w & 0xffffffffULL)};
 }
 
-/// Shared driver state. The `alive` and `in_mis` arrays are common
-/// knowledge across machines (every update is announced through charged
-/// gather+broadcast steps), so they are stored once; adjacency is owned by
+/// Shared driver state. The aliveness in `residual_` is common knowledge
+/// across machines (every update is announced through charged
+/// gather+broadcast steps), so it is stored once; adjacency is owned by
 /// each vertex's home machine and only leaves it through engine pushes.
+///
+/// All per-phase work is residual-proportional: aliveness, residual
+/// degrees, and the alive-edge count (globally and per home) are maintained
+/// incrementally by ResidualGraph and the kill hooks in
+/// commit_mis_members — nothing here rescans the full edge list after
+/// construction.
 class MisMpcRun {
  public:
   MisMpcRun(const Graph& g, const MisMpcOptions& options)
-      : g_(g), options_(options), n_(g.num_vertices()) {
+      : g_(g), options_(options), n_(g.num_vertices()), residual_(g),
+        window_csr_(n_), killed_(n_, 0), dying_(n_, 0) {
     const std::size_t min_words = 64;
     words_ = options.words_per_machine != 0
                  ? options.words_per_machine
@@ -73,9 +80,6 @@ class MisMpcRun {
     for (std::size_t i = 0; i < machines_; ++i) {
       engine_->note_storage(i, shard_words[i] + fixed_words);
     }
-
-    alive_.assign(n_, 1);
-    in_mis_.assign(n_, 0);
   }
 
   MisMpcResult run() {
@@ -129,26 +133,24 @@ class MisMpcRun {
   }
 
  private:
-  /// Alive-alive edge count, counted at the lower endpoint's home and
-  /// all-reduced (3 charged rounds).
+  /// Alive-alive edge count: every home contributes its local shard's
+  /// count and the values are all-reduced (3 charged rounds — the engine
+  /// sees one word per machine either way). The simulator reads the total
+  /// from the residual graph's maintained counter instead of materializing
+  /// the per-home splits, so no edge rescan happens.
   std::uint64_t count_alive_edges() {
     std::vector<Word> per(machines_, 0);
-    for (const Edge& e : g_.edges()) {
-      if (alive_[e.u] && alive_[e.v]) ++per[home_[e.u]];
-    }
+    per[0] = residual_.alive_edge_count();
     return mpc::all_reduce_sum(*engine_, per);
   }
 
-  /// Maximum alive degree, computed per home and all-reduced.
+  /// Maximum alive degree, computed per home and all-reduced. O(alive
+  /// vertices) via the maintained residual degrees.
   std::uint64_t max_alive_degree() {
     std::vector<Word> per(machines_, 0);
-    for (VertexId v = 0; v < n_; ++v) {
-      if (!alive_[v]) continue;
-      std::uint64_t d = 0;
-      for (const Arc& a : g_.arcs(v)) {
-        if (alive_[a.to]) ++d;
-      }
-      per[home_[v]] = std::max(per[home_[v]], d);
+    for (const VertexId v : residual_.alive_vertices()) {
+      per[home_[v]] = std::max<Word>(per[home_[v]],
+                                     residual_.residual_degree(v));
     }
     return mpc::all_reduce_max(*engine_, per);
   }
@@ -161,33 +163,46 @@ class MisMpcRun {
     std::vector<Word> payload(mis_new.begin(), mis_new.end());
     mpc::broadcast(*engine_, 0, payload);
 
-    std::vector<char> is_new(n_, 0);
-    for (const VertexId v : mis_new) is_new[v] = 1;
+    // Deaths: the members and their alive neighborhoods, announced in
+    // ascending vertex order.
+    for (const VertexId v : mis_new) dying_[v] = 1;
+    for (const VertexId v : mis_new) {
+      for (const Arc& a : residual_.alive_arcs(v)) dying_[a.to] = 1;
+    }
     std::vector<std::vector<Word>> dead_parts(machines_);
     std::vector<VertexId> died;
-    for (VertexId v = 0; v < n_; ++v) {
-      if (!alive_[v]) continue;
-      bool dies = is_new[v] != 0;
-      if (!dies) {
-        for (const Arc& a : g_.arcs(v)) {
-          if (is_new[a.to]) {
-            dies = true;
-            break;
-          }
-        }
-      }
-      if (dies) {
+    for (const VertexId v : residual_.alive_vertices()) {
+      if (dying_[v]) {
         dead_parts[home_[v]].push_back(v);
         died.push_back(v);
       }
     }
     const auto gathered = mpc::gather_to(*engine_, 0, dead_parts);
     mpc::broadcast(*engine_, 0, gathered);
-    for (const VertexId v : died) alive_[v] = 0;
-    for (const VertexId v : mis_new) {
-      in_mis_[v] = 1;
-      mis_.push_back(v);
+    residual_.kill_batch(died);
+    for (const VertexId v : died) dying_[v] = 0;
+    mis_.insert(mis_.end(), mis_new.begin(), mis_new.end());
+  }
+
+  /// Plays sequential greedy over the gathered window edges (leader-side):
+  /// builds the window adjacency in the reusable CSR scratch, walks ranks
+  /// [lo, hi), and returns the joiners.
+  std::vector<VertexId> leader_greedy(const std::vector<Word>& inbox,
+                                      std::size_t lo, std::size_t hi) {
+    pairs_scratch_.clear();
+    pairs_scratch_.reserve(inbox.size());
+    for (const Word w : inbox) pairs_scratch_.push_back(decode_pair(w));
+    window_csr_.build(pairs_scratch_);
+    std::vector<VertexId> mis_new;
+    for (std::size_t r = lo; r < hi; ++r) {
+      const VertexId v = perm_[r];
+      if (!residual_.alive(v) || killed_[v]) continue;
+      mis_new.push_back(v);
+      for (const VertexId u : window_csr_.neighbors(v)) killed_[u] = 1;
     }
+    for (const VertexId t : window_csr_.touched()) killed_[t] = 0;
+    window_csr_.clear();
+    return mis_new;
   }
 
   /// One rank phase: gather the window-induced residual subgraph at the
@@ -197,10 +212,9 @@ class MisMpcRun {
     // id) to the leader.
     for (std::size_t r = lo; r < hi; ++r) {
       const VertexId v = perm_[r];
-      if (!alive_[v]) continue;
-      for (const Arc& a : g_.arcs(v)) {
-        if (a.to > v && alive_[a.to] && rank_of_[a.to] >= lo &&
-            rank_of_[a.to] < hi) {
+      if (!residual_.alive(v)) continue;
+      for (const Arc& a : residual_.alive_upper_arcs(v)) {
+        if (rank_of_[a.to] >= lo && rank_of_[a.to] < hi) {
           engine_->push(home_[v], 0, encode_pair(v, a.to));
         }
       }
@@ -211,39 +225,24 @@ class MisMpcRun {
 
     // Leader: window adjacency + greedy through ranks lo..hi-1. (The
     // leader knows ranks and aliveness — both common knowledge.)
-    std::unordered_map<VertexId, std::vector<VertexId>> adj;
-    adj.reserve(inbox.size() * 2);
-    for (const Word w : inbox) {
-      const auto [u, v] = decode_pair(w);
-      adj[u].push_back(v);
-      adj[v].push_back(u);
-    }
-    std::vector<VertexId> mis_new;
-    std::unordered_map<VertexId, char> killed;
-    for (std::size_t r = lo; r < hi; ++r) {
-      const VertexId v = perm_[r];
-      if (!alive_[v] || killed.count(v) != 0) continue;
-      mis_new.push_back(v);
-      const auto it = adj.find(v);
-      if (it != adj.end()) {
-        for (const VertexId u : it->second) killed[u] = 1;
-      }
-    }
-    commit_mis_members(mis_new);
+    commit_mis_members(leader_greedy(inbox, lo, hi));
   }
 
   /// Sparsified stage: Ghaffari-style local dynamics on the low-degree
   /// residual graph. Each iteration exchanges (mark, desire) words along
   /// alive edges and announces the joins/deaths.
   void sparsified_stage(MisMpcResult& result) {
-    LocalMisState state(g_, alive_, mix64(options_.seed, 0x5fa1, 1));
+    // Snapshot the driver's residual view (bulk copy): the dynamics evolve
+    // their own aliveness, which the driver mirrors through the announced
+    // commits.
+    LocalMisState state(residual_, mix64(options_.seed, 0x5fa1, 1));
     while (count_alive_edges() > gather_budget_) {
       // Neighbors exchange their mark bit and desire level: one word each
       // way per alive edge.
-      for (const Edge& e : g_.edges()) {
-        if (alive_[e.u] && alive_[e.v]) {
-          engine_->push(home_[e.u], home_[e.v], encode_pair(e.u, e.v));
-          engine_->push(home_[e.v], home_[e.u], encode_pair(e.v, e.u));
+      for (const VertexId v : residual_.alive_vertices()) {
+        for (const Arc& a : residual_.alive_upper_arcs(v)) {
+          engine_->push(home_[v], home_[a.to], encode_pair(v, a.to));
+          engine_->push(home_[a.to], home_[v], encode_pair(a.to, v));
         }
       }
       engine_->exchange();
@@ -257,34 +256,15 @@ class MisMpcRun {
   /// Gathers every remaining alive-alive edge at the leader, which finishes
   /// the greedy process in rank order and commits the members.
   void final_gather(MisMpcResult& result) {
-    for (const Edge& e : g_.edges()) {
-      if (alive_[e.u] && alive_[e.v]) {
-        engine_->push(home_[e.u], 0, encode_pair(e.u, e.v));
+    for (const VertexId v : residual_.alive_vertices()) {
+      for (const Arc& a : residual_.alive_upper_arcs(v)) {
+        engine_->push(home_[v], 0, encode_pair(v, a.to));
       }
     }
     engine_->exchange();
     const auto& inbox = engine_->inbox(0);
     result.final_gather_edges = inbox.size();
-
-    std::unordered_map<VertexId, std::vector<VertexId>> adj;
-    adj.reserve(inbox.size() * 2);
-    for (const Word w : inbox) {
-      const auto [u, v] = decode_pair(w);
-      adj[u].push_back(v);
-      adj[v].push_back(u);
-    }
-    std::vector<VertexId> mis_new;
-    std::unordered_map<VertexId, char> killed;
-    for (std::size_t r = 0; r < n_; ++r) {
-      const VertexId v = perm_[r];
-      if (!alive_[v] || killed.count(v) != 0) continue;
-      mis_new.push_back(v);
-      const auto it = adj.find(v);
-      if (it != adj.end()) {
-        for (const VertexId u : it->second) killed[u] = 1;
-      }
-    }
-    commit_mis_members(mis_new);
+    commit_mis_members(leader_greedy(inbox, 0, n_));
   }
 
   const Graph& g_;
@@ -295,11 +275,15 @@ class MisMpcRun {
   std::size_t gather_budget_ = 0;
   std::optional<mpc::Engine> engine_;
 
+  ResidualGraph residual_;
+  CsrScratch window_csr_;
+  std::vector<std::pair<VertexId, VertexId>> pairs_scratch_;
+  std::vector<char> killed_;
+  std::vector<char> dying_;
+
   std::vector<std::uint32_t> home_;
   std::vector<std::uint32_t> perm_;
   std::vector<std::uint32_t> rank_of_;
-  std::vector<char> alive_;
-  std::vector<char> in_mis_;
   std::vector<VertexId> mis_;
 };
 

@@ -1,5 +1,6 @@
 #include "graph/subgraph.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mpcg {
@@ -22,30 +23,40 @@ InducedSubgraph induced_subgraph(const Graph& g,
     local_of[v] = static_cast<VertexId>(i);
   }
 
-  GraphBuilder builder(vertices.size());
-  std::vector<EdgeId> parent_edges;
+  // Collect local edges with their parent edge ids, canonicalized to
+  // local u < v. g is simple, so the (u, v) keys are unique; sorting the
+  // triples lexicographically puts them in exactly the order GraphBuilder
+  // assigns local edge ids, letting the parent ids ride along instead of
+  // being recovered by per-edge binary search afterwards.
+  struct LocalEdge {
+    VertexId u, v;
+    EdgeId parent;
+  };
+  std::vector<LocalEdge> local_edges;
   for (const VertexId v : vertices) {
     for (const Arc& a : g.arcs(v)) {
       if (a.to > v && local_of[a.to] != kAbsent) {
-        builder.add_edge(local_of[v], local_of[a.to]);
-        parent_edges.push_back(a.edge);
+        VertexId lu = local_of[v];
+        VertexId lv = local_of[a.to];
+        if (lu > lv) std::swap(lu, lv);
+        local_edges.push_back({lu, lv, a.edge});
       }
     }
   }
+  std::sort(local_edges.begin(), local_edges.end(),
+            [](const LocalEdge& a, const LocalEdge& b) {
+              return a.u < b.u || (a.u == b.u && a.v < b.v);
+            });
 
+  GraphBuilder builder(vertices.size());
   InducedSubgraph out;
+  out.to_parent_edge.reserve(local_edges.size());
+  for (const LocalEdge& e : local_edges) {
+    builder.add_edge(e.u, e.v);
+    out.to_parent_edge.push_back(e.parent);
+  }
   out.graph = builder.build();
   out.to_parent_vertex = vertices;
-  // GraphBuilder sorts/dedupes; recover the parent edge per local edge via
-  // lookup (inputs were unique already since g is simple, but the order may
-  // have changed).
-  out.to_parent_edge.resize(out.graph.num_edges());
-  for (EdgeId le = 0; le < out.graph.num_edges(); ++le) {
-    const Edge e = out.graph.edge(le);
-    const EdgeId pe =
-        g.find_edge(out.to_parent_vertex[e.u], out.to_parent_vertex[e.v]);
-    out.to_parent_edge[le] = pe;
-  }
   return out;
 }
 

@@ -8,19 +8,43 @@ Engine::Engine(Config config) : config_(config) {
   if (config_.num_machines == 0) {
     throw std::invalid_argument("Engine: need at least one machine");
   }
-  outbox_.assign(config_.num_machines,
-                 std::vector<std::vector<Word>>(config_.num_machines));
-  inbox_.assign(config_.num_machines, {});
+  const std::size_t m = config_.num_machines;
+  if (m <= kDenseMachineLimit) {
+    boxes_.assign(m * m, {});
+  } else {
+    out_dests_.assign(m, {});
+    out_words_.assign(m, {});
+  }
+  inbox_.assign(m, {});
+  recv_count_.assign(m, 0);
 }
 
-void Engine::push(std::size_t from, std::size_t to, Word word) {
-  outbox_.at(from).at(to).push_back(word);
+void Engine::check_machine(std::size_t machine) const {
+  if (machine >= config_.num_machines) {
+    throw std::out_of_range("Engine: machine id " + std::to_string(machine) +
+                            " out of range (have " +
+                            std::to_string(config_.num_machines) + ")");
+  }
+}
+
+void Engine::throw_bad_machine(std::size_t machine) const {
+  check_machine(machine);
+  throw std::out_of_range("Engine: unreachable");
 }
 
 void Engine::push(std::size_t from, std::size_t to,
                   std::span<const Word> words) {
-  auto& box = outbox_.at(from).at(to);
-  box.insert(box.end(), words.begin(), words.end());
+  check_machine(from);
+  check_machine(to);
+  if (!boxes_.empty()) {
+    auto& box = boxes_[from * config_.num_machines + to];
+    box.insert(box.end(), words.begin(), words.end());
+    return;
+  }
+  out_dests_[from].insert(out_dests_[from].end(), words.size(),
+                          static_cast<std::uint32_t>(to));
+  out_words_[from].insert(out_words_[from].end(), words.begin(),
+                          words.end());
 }
 
 void Engine::check_budget(std::size_t machine, std::size_t words,
@@ -37,28 +61,114 @@ void Engine::check_budget(std::size_t machine, std::size_t words,
 
 void Engine::exchange() {
   const std::size_t m = config_.num_machines;
-  // Sending side.
+  if (!boxes_.empty()) {
+    // Dense path: pushes pre-sorted the words by (sender, receiver);
+    // delivery is pure bulk copies.
+    for (std::size_t from = 0; from < m; ++from) {
+      std::size_t sent = 0;
+      for (std::size_t to = 0; to < m; ++to) {
+        sent += boxes_[from * m + to].size();
+      }
+      metrics_.max_sent_words = std::max(metrics_.max_sent_words, sent);
+      metrics_.total_words += sent;
+      check_budget(from, sent, "sent");
+    }
+    for (std::size_t to = 0; to < m; ++to) {
+      auto& in = inbox_[to];
+      in.clear();
+      std::size_t received = 0;
+      for (std::size_t from = 0; from < m; ++from) {
+        received += boxes_[from * m + to].size();
+      }
+      in.reserve(received);
+      for (std::size_t from = 0; from < m; ++from) {
+        auto& box = boxes_[from * m + to];
+        in.insert(in.end(), box.begin(), box.end());
+        box.clear();
+      }
+      metrics_.max_received_words = std::max(metrics_.max_received_words,
+                                             received);
+      check_budget(to, received, "received");
+      // Whatever a machine received is resident until it processes it.
+      metrics_.peak_storage_words = std::max(metrics_.peak_storage_words,
+                                             received);
+    }
+    ++metrics_.rounds;
+    return;
+  }
+
+  // Flat path. Sending side first.
   for (std::size_t from = 0; from < m; ++from) {
-    std::size_t sent = 0;
-    for (std::size_t to = 0; to < m; ++to) sent += outbox_[from][to].size();
+    const std::size_t sent = out_words_[from].size();
     metrics_.max_sent_words = std::max(metrics_.max_sent_words, sent);
     metrics_.total_words += sent;
     check_budget(from, sent, "sent");
   }
-  // Receiving side: deliver in sender order.
+  // Counting pass, then one stable delivery sweep in sender order (sender
+  // ids ascending, each sender's words in push order — the inbox
+  // contract).
+  std::fill(recv_count_.begin(), recv_count_.end(), 0);
+  for (std::size_t from = 0; from < m; ++from) {
+    const auto& dests = out_dests_[from];
+    for (std::size_t i = 0; i < dests.size();) {
+      const std::uint32_t to = dests[i];
+      std::size_t j = i + 1;
+      while (j < dests.size() && dests[j] == to) ++j;
+      recv_count_[to] += j - i;
+      i = j;
+    }
+  }
   for (std::size_t to = 0; to < m; ++to) {
-    auto& in = inbox_[to];
-    in.clear();
-    std::size_t received = 0;
-    for (std::size_t from = 0; from < m; ++from) {
-      received += outbox_[from][to].size();
+    inbox_[to].clear();
+    inbox_[to].reserve(recv_count_[to]);
+  }
+  for (std::size_t from = 0; from < m; ++from) {
+    const auto& dests = out_dests_[from];
+    const Word* words = out_words_[from].data();
+    const std::size_t nw = dests.size();
+    if (nw >= 2 * m) {
+      // Counting-sort delivery: bucket this sender's words by destination
+      // (stable), then append each bucket to its inbox in one bulk copy.
+      // Worth the O(machines) bookkeeping once the sender moved at least
+      // that many words.
+      bucket_count_.assign(m, 0);
+      for (std::size_t i = 0; i < nw; ++i) ++bucket_count_[dests[i]];
+      bucket_cursor_.resize(m);
+      std::size_t run = 0;
+      for (std::size_t to = 0; to < m; ++to) {
+        bucket_cursor_[to] = run;
+        run += bucket_count_[to];
+      }
+      scatter_.resize(nw);
+      for (std::size_t i = 0; i < nw; ++i) {
+        scatter_[bucket_cursor_[dests[i]]++] = words[i];
+      }
+      std::size_t pos = 0;
+      for (std::size_t to = 0; to < m; ++to) {
+        const std::size_t count = bucket_count_[to];
+        if (count > 0) {
+          inbox_[to].insert(inbox_[to].end(), scatter_.data() + pos,
+                            scatter_.data() + pos + count);
+        }
+        pos += count;
+      }
+    } else {
+      // Few words from this sender: deliver maximal same-destination
+      // stretches directly.
+      for (std::size_t i = 0; i < nw;) {
+        const std::uint32_t to = dests[i];
+        std::size_t j = i + 1;
+        while (j < nw && dests[j] == to) ++j;
+        inbox_[to].insert(inbox_[to].end(), words + i, words + j);
+        i = j;
+      }
     }
-    in.reserve(received);
-    for (std::size_t from = 0; from < m; ++from) {
-      auto& box = outbox_[from][to];
-      in.insert(in.end(), box.begin(), box.end());
-      box.clear();
-    }
+    out_dests_[from].clear();
+    out_words_[from].clear();
+  }
+  // Receiving side.
+  for (std::size_t to = 0; to < m; ++to) {
+    const std::size_t received = recv_count_[to];
     metrics_.max_received_words = std::max(metrics_.max_received_words,
                                            received);
     check_budget(to, received, "received");
@@ -70,7 +180,8 @@ void Engine::exchange() {
 }
 
 const std::vector<Word>& Engine::inbox(std::size_t machine) const {
-  return inbox_.at(machine);
+  check_machine(machine);
+  return inbox_[machine];
 }
 
 void Engine::note_storage(std::size_t machine, std::size_t words) {

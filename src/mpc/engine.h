@@ -72,10 +72,22 @@ class Engine {
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
 
   /// Queues one word from machine `from` to machine `to` for the next
-  /// exchange.
-  void push(std::size_t from, std::size_t to, Word word);
+  /// exchange. Inline: per-edge simulation traffic makes this the hottest
+  /// call in the codebase.
+  void push(std::size_t from, std::size_t to, Word word) {
+    if (from >= config_.num_machines || to >= config_.num_machines)
+        [[unlikely]] {
+      throw_bad_machine(from >= config_.num_machines ? from : to);
+    }
+    if (!boxes_.empty()) {
+      boxes_[from * config_.num_machines + to].push_back(word);
+    } else {
+      out_dests_[from].push_back(static_cast<std::uint32_t>(to));
+      out_words_[from].push_back(word);
+    }
+  }
 
-  /// Queues a word span.
+  /// Queues a word span (one bulk fill + one bulk copy).
   void push(std::size_t from, std::size_t to, std::span<const Word> words);
 
   /// Executes one communication round: delivers all queued words, enforces
@@ -98,12 +110,36 @@ class Engine {
 
  private:
   void check_budget(std::size_t machine, std::size_t words, const char* dir);
+  void check_machine(std::size_t machine) const;
+  [[noreturn]] void throw_bad_machine(std::size_t machine) const;
+
+  /// Dense clusters up to this many machines use the per-(sender,
+  /// receiver) box matrix — pushes pre-sort by destination and delivery is
+  /// pure bulk copies. Beyond it, the matrix's O(machines^2) storage and
+  /// per-round scan dominate, so the flat representation takes over.
+  static constexpr std::size_t kDenseMachineLimit = 512;
 
   Config config_;
   Metrics metrics_;
-  /// outbox_[from][to] — words queued for the next exchange.
-  std::vector<std::vector<std::vector<Word>>> outbox_;
+  /// Dense representation (small clusters): boxes_[from * m + to] holds
+  /// the words queued from `from` to `to`, in push order. Empty when the
+  /// flat representation is active.
+  std::vector<std::vector<Word>> boxes_;
+  /// Flat per-sender outboxes (large clusters), in push order:
+  /// out_words_[from][i] goes to machine out_dests_[from][i]. A round of
+  /// exchange() costs O(words moved + machines): a counting pass over the
+  /// destination arrays, then a stable counting-sort delivery pass that
+  /// buckets each sender's words by destination and appends each bucket
+  /// with one bulk copy.
+  std::vector<std::vector<std::uint32_t>> out_dests_;
+  std::vector<std::vector<Word>> out_words_;
   std::vector<std::vector<Word>> inbox_;
+  /// Per-receiver word counts for the current exchange (scratch).
+  std::vector<std::size_t> recv_count_;
+  /// Counting-sort scratch for scattered senders (see exchange()).
+  std::vector<std::size_t> bucket_count_;
+  std::vector<std::size_t> bucket_cursor_;
+  std::vector<Word> scatter_;
 };
 
 }  // namespace mpcg::mpc

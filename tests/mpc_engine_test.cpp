@@ -89,6 +89,52 @@ TEST(Engine, RejectsZeroMachines) {
   EXPECT_THROW(Engine(Config{0, 8, true}), std::invalid_argument);
 }
 
+TEST(Engine, LargeClusterFlatPathKeepsInboxContract) {
+  // Above the dense-representation limit the engine switches to flat
+  // per-sender buffers with counting-sort delivery; the observable
+  // contract (sender-ascending inbox order, metrics) must not change.
+  const std::size_t m = 600;  // > kDenseMachineLimit
+  Engine e(Config{m, 1 << 16, true});
+  // Scattered single words from high and low senders, plus a span: the
+  // inbox must concatenate by ascending sender, push order within.
+  e.push(599, 0, Word{99});
+  e.push(1, 0, Word{11});
+  e.push(1, 0, Word{12});
+  const std::vector<Word> span{21, 22, 23};
+  e.push(2, 0, span);
+  e.push(2, 5, Word{77});
+  e.exchange();
+  EXPECT_EQ(e.inbox(0),
+            (std::vector<Word>{11, 12, 21, 22, 23, 99}));
+  EXPECT_EQ(e.inbox(5), (std::vector<Word>{77}));
+  EXPECT_EQ(e.metrics().rounds, 1U);
+  EXPECT_EQ(e.metrics().max_sent_words, 4U);      // machine 2 sent 4
+  EXPECT_EQ(e.metrics().max_received_words, 6U);  // machine 0 received 6
+  EXPECT_EQ(e.metrics().total_words, 7U);
+  EXPECT_EQ(e.metrics().peak_storage_words, 6U);
+
+  // Second round on reused buffers: scattered traffic dense enough to
+  // trigger the per-sender counting-sort path (words >= 2 * machines).
+  std::vector<std::vector<Word>> expected(m);
+  for (std::size_t i = 0; i < 3 * m; ++i) {
+    const std::size_t to = (i * 7) % m;
+    e.push(3, to, Word{i});
+    expected[to].push_back(Word{i});
+  }
+  e.exchange();
+  for (const std::size_t to : {0UL, 1UL, 7UL, 599UL}) {
+    EXPECT_EQ(e.inbox(to), expected[to]) << "machine " << to;
+  }
+  EXPECT_EQ(e.metrics().rounds, 2U);
+  EXPECT_EQ(e.metrics().max_sent_words, 3 * m);
+}
+
+TEST(Engine, LargeClusterStrictOverflowStillThrows) {
+  Engine e(Config{600, 4, true});
+  for (int i = 0; i < 5; ++i) e.push(0, 1, Word{0});
+  EXPECT_THROW(e.exchange(), CapacityError);
+}
+
 TEST(Broadcast, SmallPayloadOneRound) {
   Engine e = small_engine(4, 64);
   const std::vector<Word> payload{42, 43};
