@@ -24,7 +24,9 @@ void E02_OursVsLubyVsGreedyDepth(benchmark::State& state) {
   MisMpcResult ours;
   LubyResult luby;
   std::size_t depth = 0;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const WallTimer timer;
     MisMpcOptions opt;
     opt.seed = 3;
     ours = mis_mpc(g, opt);
@@ -32,8 +34,13 @@ void E02_OursVsLubyVsGreedyDepth(benchmark::State& state) {
     Rng rng(3);
     const auto perm = random_permutation(n, rng);
     depth = greedy_dependency_depth(g, perm);
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(depth);
   }
+  emit_json_line("E02_OursVsLubyVsGreedyDepth/" +
+                     std::to_string(state.range(0)),
+                 n, g.num_edges(), ours.metrics.rounds, wall_ms,
+                 ours.metrics.peak_storage_words);
   state.counters["delta"] = static_cast<double>(g.max_degree());
   state.counters["ours_stages"] = static_cast<double>(
       ours.rank_phases + ours.sparsified_iterations + 1);

@@ -29,19 +29,26 @@ std::size_t residual_max_degree(const Graph& g, const GreedyMisTrace& trace,
   return best;
 }
 
-void run(benchmark::State& state, const Graph& g, std::uint64_t seed) {
+void run(benchmark::State& state, const char* tag, const Graph& g,
+         std::uint64_t seed) {
   const std::size_t n = g.num_vertices();
   const auto divisor = static_cast<std::size_t>(state.range(0));
   const auto rank = static_cast<std::uint32_t>(n / divisor);
 
   std::size_t measured = 0;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const WallTimer timer;
     Rng rng(seed);
     const auto perm = random_permutation(n, rng);
     const auto trace = greedy_mis_trace(g, perm);
     measured = residual_max_degree(g, trace, rank);
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(measured);
   }
+  emit_json_line(std::string("E03_ResidualDegree/") + tag + "/" +
+                     std::to_string(divisor),
+                 n, g.num_edges(), 0, wall_ms, measured);
   const double bound = 20.0 * static_cast<double>(n) *
                        std::log(static_cast<double>(n)) /
                        static_cast<double>(rank);
@@ -52,7 +59,7 @@ void run(benchmark::State& state, const Graph& g, std::uint64_t seed) {
 }
 
 void E03_ResidualDegree_Gnp(benchmark::State& state) {
-  run(state, gnp_with_degree(1 << 14, 32.0, 5), 5);
+  run(state, "gnp", gnp_with_degree(1 << 14, 32.0, 5), 5);
 }
 BENCHMARK(E03_ResidualDegree_Gnp)
     ->Arg(256)
@@ -63,7 +70,7 @@ BENCHMARK(E03_ResidualDegree_Gnp)
     ->Iterations(1);
 
 void E03_ResidualDegree_PowerLaw(benchmark::State& state) {
-  run(state, graph_family("power_law", 1 << 14, 5), 6);
+  run(state, "power_law", graph_family("power_law", 1 << 14, 5), 6);
 }
 BENCHMARK(E03_ResidualDegree_PowerLaw)
     ->Arg(256)

@@ -23,10 +23,15 @@ void E04_MisMemory(benchmark::State& state, const char* family) {
   opt.gather_budget = n / 2;
   opt.degree_switch = 8;
   MisMpcResult r;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const WallTimer timer;
     r = mis_mpc(g, opt);
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(r.mis.size());
   }
+  emit_json_line(std::string("E04_MisMemory/") + family, n, g.num_edges(),
+                 r.metrics.rounds, wall_ms, r.metrics.peak_storage_words);
   std::size_t max_window = 0;
   for (const std::size_t e : r.window_edges_per_phase) {
     max_window = std::max(max_window, e);

@@ -23,10 +23,15 @@ void E05_IterationsVsN(benchmark::State& state) {
   CentralOptions opt;
   opt.eps = kEps;
   CentralResult r;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const WallTimer timer;
     r = central_fractional_matching(g, opt);
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(r.iterations);
   }
+  emit_json_line("E05_IterationsVsN/" + std::to_string(n), n, g.num_edges(),
+                 r.iterations, wall_ms, 0);
   state.counters["n"] = static_cast<double>(n);
   state.counters["iterations"] = static_cast<double>(r.iterations);
   state.counters["bound_log_over_eps"] =
@@ -49,10 +54,16 @@ void E05_Approximation(benchmark::State& state, const char* family,
   opt.random_thresholds = random_thresholds;
   opt.threshold_seed = 11;
   CentralResult r;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const WallTimer timer;
     r = central_fractional_matching(g, opt);
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(r.x.data());
   }
+  emit_json_line(std::string("E05_Approximation/") + family +
+                     (random_thresholds ? "/rand" : "/fixed"),
+                 g.num_vertices(), g.num_edges(), r.iterations, wall_ms, 0);
   const double nu = static_cast<double>(maximum_matching_size(g));
   const double w = fractional_weight(r.x);
   state.counters["nu"] = nu;

@@ -57,6 +57,10 @@ BENCHMARK(E06_PhasesVsN)
     ->Arg(1 << 12)
     ->Arg(1 << 14)
     ->Arg(1 << 16)
+    // 2^20 runs ~1024 simulation machines (flat exchange path) and the
+    // announce() gather+broadcast traffic dominates — the broadcast-heavy
+    // row the zero-copy message plane is tuned against.
+    ->Arg(1 << 20)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

@@ -55,8 +55,10 @@ void E07_DeviationByIteration(benchmark::State& state) {
   const CoupledRun& run = coupled_run();
 
   double sum = 0.0;
+  double wall_ms = 0.0;
   std::vector<double> devs;
   for (auto _ : state) {
+    const WallTimer timer;
     devs.clear();
     const std::size_t horizon = std::min(
         {run.sim.y_tilde_trace.size(), run.central.y_trace.size(),
@@ -70,8 +72,13 @@ void E07_DeviationByIteration(benchmark::State& state) {
       }
     }
     for (const double d : devs) sum += d;
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(sum);
   }
+  emit_json_line("E07_DeviationByIteration/" + std::to_string(bucket_lo) +
+                     "_" + std::to_string(bucket_hi),
+                 kN, run.graph.num_edges(), run.sim.metrics.rounds, wall_ms,
+                 run.sim.metrics.peak_storage_words);
   state.counters["iters_from"] = static_cast<double>(bucket_lo);
   state.counters["iters_to"] = static_cast<double>(bucket_hi);
   state.counters["samples"] = static_cast<double>(devs.size());
@@ -122,6 +129,9 @@ void E07_BadVertexFraction(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(bad);
   }
+  emit_json_line("E07_BadVertexFraction", kN, run.graph.num_edges(),
+                 run.sim.metrics.rounds, 0.0,
+                 run.sim.metrics.peak_storage_words);
   state.counters["vertices"] = static_cast<double>(kN);
   state.counters["frozen_both"] = static_cast<double>(frozen_both);
   state.counters["one_sided_fraction"] =

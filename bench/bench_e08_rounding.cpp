@@ -27,7 +27,9 @@ void E08_Rounding(benchmark::State& state, const char* family) {
 
   Accumulator ratio50;
   int failures = 0;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const WallTimer timer;
     for (int seed = 0; seed < kTrials; ++seed) {
       const auto m = round_fractional_matching(
           g, frac.x, candidates, static_cast<std::uint64_t>(seed));
@@ -37,8 +39,12 @@ void E08_Rounding(benchmark::State& state, const char* family) {
       ratio50.add(r);
       if (r < 1.0) ++failures;
     }
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(failures);
   }
+  emit_json_line(std::string("E08_Rounding/") + family, g.num_vertices(),
+                 g.num_edges(), frac.metrics.rounds, wall_ms,
+                 frac.metrics.peak_storage_words);
   state.counters["candidates"] = static_cast<double>(candidates.size());
   if (ratio50.count() > 0) {
     state.counters["ratio50_min"] = ratio50.min();

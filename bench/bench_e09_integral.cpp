@@ -21,10 +21,15 @@ void E09_Approximation(benchmark::State& state, const char* family) {
   opt.eps = kEps;
   opt.seed = 29;
   IntegralMatchingResult r;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const WallTimer timer;
     r = integral_matching(g, opt);
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(r.matching.size());
   }
+  emit_json_line(std::string("E09_Approximation/") + family,
+                 g.num_vertices(), g.num_edges(), r.total_rounds, wall_ms, 0);
   const double nu = static_cast<double>(maximum_matching_size(g));
   state.counters["nu"] = nu;
   state.counters["matching_size"] = static_cast<double>(r.matching.size());
@@ -46,10 +51,15 @@ void E09_RoundsVsN(benchmark::State& state) {
   opt.eps = kEps;
   opt.seed = 31;
   IntegralMatchingResult r;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const WallTimer timer;
     r = integral_matching(g, opt);
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(r.matching.size());
   }
+  emit_json_line("E09_RoundsVsN/" + std::to_string(n), n, g.num_edges(),
+                 r.total_rounds, wall_ms, 0);
   state.counters["n"] = static_cast<double>(n);
   state.counters["total_rounds"] = static_cast<double>(r.total_rounds);
   state.counters["first_run_rounds"] =

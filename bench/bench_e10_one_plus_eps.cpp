@@ -20,10 +20,16 @@ void E10_EpsSweep(benchmark::State& state, const char* family, double eps) {
   opt.eps = eps;
   opt.seed = 37;
   OnePlusEpsResult r;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const WallTimer timer;
     r = one_plus_eps_matching(g, opt);
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(r.matching.size());
   }
+  emit_json_line(std::string("E10_OnePlusEps/") + family + "/eps" +
+                     std::to_string(static_cast<int>(1.0 / eps + 0.5)),
+                 g.num_vertices(), g.num_edges(), r.total_rounds, wall_ms, 0);
   const double nu = static_cast<double>(maximum_matching_size(g));
   state.counters["eps"] = eps;
   state.counters["nu"] = nu;

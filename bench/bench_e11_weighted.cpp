@@ -39,6 +39,7 @@ void E11_SmallVsExact(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(worst);
   }
+  emit_json_line("E11_SmallVsExact", 10, 0, 0, 0.0, 0);
   state.counters["instances"] = static_cast<double>(instances);
   state.counters["worst_factor"] = worst;
   state.counters["claimed_factor"] = 2.0 * (1.0 + kEps) / (1.0 - kEps);
@@ -53,10 +54,15 @@ void E11_LargeVsGreedy(benchmark::State& state, const char* family) {
   opt.eps = kEps;
   opt.seed = 43;
   WeightedMatchingResult r;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const WallTimer timer;
     r = weighted_matching(g, w, opt);
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(r.weight);
   }
+  emit_json_line(std::string("E11_LargeVsGreedy/") + family,
+                 g.num_vertices(), g.num_edges(), r.total_rounds, wall_ms, 0);
   const double greedy_w = matching_weight(greedy_weighted_matching(g, w), w);
   state.counters["weight"] = r.weight;
   state.counters["greedy_weight"] = greedy_w;

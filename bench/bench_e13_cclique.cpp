@@ -29,11 +29,17 @@ void E13_CcliqueMis(benchmark::State& state) {
 
   MisCcliqueResult cr;
   MisMpcResult mr;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const WallTimer timer;
     cr = mis_cclique(g, copt);
     mr = mis_mpc(g, mopt);
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(cr.mis.size());
   }
+  emit_json_line("E13_CcliqueMis/" + std::to_string(n), n, g.num_edges(),
+                 cr.metrics.rounds, wall_ms,
+                 cr.metrics.max_player_received);
   state.counters["n"] = static_cast<double>(n);
   state.counters["cc_rounds"] = static_cast<double>(cr.metrics.rounds);
   state.counters["rank_phases"] = static_cast<double>(cr.rank_phases);

@@ -22,10 +22,15 @@ void E14_FilteringHalving(benchmark::State& state) {
   // A deliberately tight budget (n words) keeps the filtering loop honest:
   // with S >= m the claim is vacuous, since one round swallows the graph.
   LmsvResult r;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const WallTimer timer;
     r = lmsv_maximal_matching(g, n, 59);
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(r.matching.size());
   }
+  emit_json_line("E14_FilteringHalving/" + std::to_string(n), n,
+                 g.num_edges(), r.rounds, wall_ms, 0);
   double worst_halving = 0.0;
   double sum_halving = 0.0;
   std::size_t steps = 0;

@@ -52,11 +52,18 @@ void E15_ThresholdAblation(benchmark::State& state, const char* family,
 
   MatchingMpcResult sim;
   CentralResult central;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const WallTimer timer;
     sim = matching_mpc(g, mo);
     central = central_fractional_matching(g, co);
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(sim.x.data());
   }
+  emit_json_line(std::string("E15_ThresholdAblation/") + family +
+                     (random_thresholds ? "/random" : "/fixed"),
+                 kN, g.num_edges(), sim.metrics.rounds, wall_ms,
+                 sim.metrics.peak_storage_words);
 
   constexpr std::uint32_t kNever = MatchingMpcResult::kActive;
   std::size_t frozen_both = 0;

@@ -22,10 +22,17 @@ void E16_AlphaSweep(benchmark::State& state, double alpha) {
   opt.alpha = alpha;
   opt.gather_budget = n / 2;  // force the phase machinery to do the work
   MisMpcResult r;
+  double wall_ms = 0.0;
   for (auto _ : state) {
+    const WallTimer timer;
     r = mis_mpc(g, opt);
+    wall_ms = timer.elapsed_ms();
     benchmark::DoNotOptimize(r.mis.size());
   }
+  emit_json_line("E16_AlphaSweep/alpha" +
+                     std::to_string(static_cast<int>(alpha * 100)),
+                 n, g.num_edges(), r.metrics.rounds, wall_ms,
+                 r.metrics.peak_storage_words);
   std::size_t max_window = 0;
   for (const std::size_t e : r.window_edges_per_phase) {
     max_window = std::max(max_window, e);

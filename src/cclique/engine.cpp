@@ -5,7 +5,9 @@
 namespace mpcg::cclique {
 
 Engine::Engine(std::size_t num_players, bool strict)
-    : n_(num_players), strict_(strict), inbox_(num_players) {
+    : n_(num_players), strict_(strict), inbox_(num_players),
+      broadcasting_(num_players, 0), sent_(num_players, 0),
+      received_(num_players, 0) {
   if (num_players == 0) {
     throw std::invalid_argument("Engine: need at least one player");
   }
@@ -29,28 +31,30 @@ void Engine::broadcast(PlayerId from, Word word) {
 void Engine::exchange() {
   // Per-ordered-pair budget: sort point-to-point messages and detect
   // duplicates; broadcasts consume the (from, *) budget for every pair.
-  std::sort(pending_.begin(), pending_.end(),
-            [](const Message& a, const Message& b) {
-              return a.from < b.from || (a.from == b.from && a.to < b.to);
-            });
-  std::vector<bool> broadcasting(n_, false);
+  // Scratch arrays are persistent and only the entries actually touched
+  // are reset, so a broadcast-only round (the drivers' common case) costs
+  // O(broadcasts), not O(players).
+  if (!pending_.empty()) {
+    std::sort(pending_.begin(), pending_.end(),
+              [](const Message& a, const Message& b) {
+                return a.from < b.from || (a.from == b.from && a.to < b.to);
+              });
+  }
   for (const PlayerId p : pending_broadcasts_) {
-    if (broadcasting[p]) {
+    if (broadcasting_[p]) {
       ++metrics_.violations;
       if (strict_) {
         throw CongestionError("player " + std::to_string(p) +
                               " broadcast twice in one round");
       }
     }
-    broadcasting[p] = true;
+    broadcasting_[p] = 1;
   }
-  std::vector<std::size_t> sent(n_, 0);
-  std::vector<std::size_t> received(n_, 0);
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     const Message& msg = pending_[i];
     const bool duplicate_pair =
         i > 0 && pending_[i - 1].from == msg.from && pending_[i - 1].to == msg.to;
-    if (duplicate_pair || broadcasting[msg.from]) {
+    if (duplicate_pair || broadcasting_[msg.from]) {
       ++metrics_.violations;
       if (strict_) {
         throw CongestionError(
@@ -58,22 +62,27 @@ void Engine::exchange() {
             std::to_string(msg.to) + ") used more than once in a round");
       }
     }
-    ++sent[msg.from];
-    ++received[msg.to];
-  }
-  for (std::size_t p = 0; p < n_; ++p) {
-    metrics_.max_player_sent = std::max(metrics_.max_player_sent, sent[p]);
+    metrics_.max_player_sent =
+        std::max<std::size_t>(metrics_.max_player_sent, ++sent_[msg.from]);
     metrics_.max_player_received =
-        std::max(metrics_.max_player_received, received[p]);
+        std::max<std::size_t>(metrics_.max_player_received,
+                              ++received_[msg.to]);
   }
   metrics_.total_words += pending_.size();
-  for (const PlayerId p : pending_broadcasts_) {
-    (void)p;
-    metrics_.total_words += n_ - 1;
-  }
+  metrics_.total_words += pending_broadcasts_.size() * (n_ - 1);
 
-  for (auto& in : inbox_) in.clear();
-  for (const Message& msg : pending_) inbox_[msg.to].push_back(msg);
+  for (const PlayerId p : inbox_touched_) inbox_[p].clear();
+  inbox_touched_.clear();
+  for (const Message& msg : pending_) {
+    if (inbox_[msg.to].empty()) inbox_touched_.push_back(msg.to);
+    inbox_[msg.to].push_back(msg);
+  }
+  // Reset the touched scratch entries for the next round.
+  for (const Message& msg : pending_) {
+    sent_[msg.from] = 0;
+    received_[msg.to] = 0;
+  }
+  for (const PlayerId p : pending_broadcasts_) broadcasting_[p] = 0;
   bcast_inbox_ = std::move(bcast_staging_);
   bcast_staging_.clear();
   pending_.clear();

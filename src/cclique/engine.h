@@ -98,6 +98,15 @@ class Engine {
   std::vector<Message> bcast_staging_;
   std::vector<std::vector<Message>> inbox_;
   std::vector<Message> bcast_inbox_;
+  /// Persistent per-player scratch (zeroed selectively after each round, so
+  /// an exchange costs O(messages) — not O(players) — in the common
+  /// broadcast-only rounds of the drivers).
+  std::vector<char> broadcasting_;
+  std::vector<std::uint32_t> sent_;
+  std::vector<std::uint32_t> received_;
+  /// Inboxes filled by the last exchange (the only ones that need
+  /// clearing next round).
+  std::vector<PlayerId> inbox_touched_;
 };
 
 }  // namespace mpcg::cclique

@@ -6,6 +6,7 @@ std::vector<Word> broadcast_words(Engine& engine, PlayerId source,
                                   const std::vector<Word>& words) {
   const std::size_t n = engine.num_players();
   std::vector<Word> known(words.size());
+  std::vector<Word> helper_word;
   std::size_t done = 0;
   while (done < words.size()) {
     const std::size_t batch = std::min(n, words.size() - done);
@@ -16,7 +17,7 @@ std::vector<Word> broadcast_words(Engine& engine, PlayerId source,
       engine.send(source, helper, words[done + i]);
     }
     engine.exchange();
-    std::vector<Word> helper_word(batch);
+    helper_word.assign(batch, 0);
     for (std::size_t i = 0; i < batch; ++i) {
       const auto helper = static_cast<PlayerId>(i);
       if (helper == source) {

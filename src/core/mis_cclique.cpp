@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "baselines/local_mis.h"
+#include "graph/residual.h"
 #include "util/permutation.h"
 #include "util/rng.h"
 
@@ -24,14 +25,22 @@ std::pair<VertexId, VertexId> decode_pair(Word w) noexcept {
           static_cast<VertexId>(w & 0xffffffffULL)};
 }
 
+/// CONGESTED-CLIQUE driver of the same greedy process mis_mpc simulates.
+/// Aliveness, residual degrees, and the alive-edge count live in a
+/// ResidualGraph and are maintained incrementally through the announced
+/// kills — per-phase work scales with the residual, never with a rescan of
+/// g_.edges(). All residual iteration orders (alive_vertices ascending,
+/// alive_arcs / alive_upper_arcs ascending by neighbor) match the filtered
+/// full scans they replaced, so broadcasts, Lenzen batches, and the MIS
+/// output are bit-identical to the pre-port driver (and to mis_mpc, as the
+/// coupling tests pin).
 class MisCcliqueRun {
  public:
   MisCcliqueRun(const Graph& g, const MisCcliqueOptions& options)
       : g_(g), options_(options), n_(g.num_vertices()),
-        engine_(std::max<std::size_t>(n_, 1), options.strict) {
+        engine_(std::max<std::size_t>(n_, 1), options.strict), residual_(g),
+        dying_(n_, 0) {
     gather_budget_ = options.gather_budget != 0 ? options.gather_budget : n_;
-    alive_.assign(n_, 1);
-    in_mis_.assign(n_, 0);
   }
 
   MisCcliqueResult run() {
@@ -87,21 +96,13 @@ class MisCcliqueRun {
   }
 
  private:
-  std::uint64_t alive_degree(VertexId v) const {
-    std::uint64_t d = 0;
-    for (const Arc& a : g_.arcs(v)) {
-      if (alive_[a.to]) ++d;
-    }
-    return d;
-  }
-
   /// Every alive player broadcasts its alive degree; everybody can then
-  /// compute the total edge count (one round).
+  /// compute the total edge count (one round). The degrees come from the
+  /// residual graph's maintained counters — no adjacency scan.
   std::uint64_t count_alive_edges() {
     std::uint64_t sum = 0;
-    for (VertexId v = 0; v < n_; ++v) {
-      if (!alive_[v]) continue;
-      const std::uint64_t d = alive_degree(v);
+    for (const VertexId v : residual_.alive_vertices()) {
+      const std::uint64_t d = residual_.residual_degree(v);
       engine_.broadcast(v, d);
       sum += d;
     }
@@ -110,51 +111,38 @@ class MisCcliqueRun {
   }
 
   std::uint64_t max_alive_degree() {
-    std::uint64_t best = 0;
-    for (VertexId v = 0; v < n_; ++v) {
-      if (!alive_[v]) continue;
-      const std::uint64_t d = alive_degree(v);
-      engine_.broadcast(v, d);
-      best = std::max(best, d);
+    for (const VertexId v : residual_.alive_vertices()) {
+      engine_.broadcast(v, residual_.residual_degree(v));
     }
     engine_.exchange();
-    return best;
+    return residual_.max_alive_degree();
   }
 
   /// Members broadcast their membership; every player checks its own
   /// adjacency and the dying broadcast their deaths. Two rounds; the alive
-  /// flags stay common knowledge.
+  /// flags stay common knowledge. Deaths are found from the members'
+  /// residual neighborhoods (O(residual degree), not a full-vertex sweep)
+  /// and announced in ascending id order, as before.
   void commit_via_broadcasts(const std::vector<VertexId>& mis_new) {
     if (mis_new.empty()) return;
-    std::vector<char> is_new(n_, 0);
     for (const VertexId v : mis_new) {
-      is_new[v] = 1;
       engine_.broadcast(v, v);
     }
     engine_.exchange();
+    for (const VertexId v : mis_new) dying_[v] = 1;
+    for (const VertexId v : mis_new) {
+      for (const Arc& a : residual_.alive_arcs(v)) dying_[a.to] = 1;
+    }
     std::vector<VertexId> died;
-    for (VertexId v = 0; v < n_; ++v) {
-      if (!alive_[v]) continue;
-      bool dies = is_new[v] != 0;
-      if (!dies) {
-        for (const Arc& a : g_.arcs(v)) {
-          if (is_new[a.to]) {
-            dies = true;
-            break;
-          }
-        }
-      }
-      if (dies) {
-        died.push_back(v);
-        engine_.broadcast(v, v);
-      }
+    for (const VertexId v : residual_.alive_vertices()) {
+      if (!dying_[v]) continue;
+      died.push_back(v);
+      engine_.broadcast(v, v);
     }
     engine_.exchange();
-    for (const VertexId v : died) alive_[v] = 0;
-    for (const VertexId v : mis_new) {
-      in_mis_[v] = 1;
-      mis_.push_back(v);
-    }
+    residual_.kill_batch(died);
+    for (const VertexId v : died) dying_[v] = 0;
+    mis_.insert(mis_.end(), mis_new.begin(), mis_new.end());
   }
 
   /// Leader tells each new member it joined (one round), then the usual
@@ -174,10 +162,9 @@ class MisCcliqueRun {
     std::vector<Message> messages;
     for (std::size_t r = lo; r < hi; ++r) {
       const VertexId v = perm_[r];
-      if (!alive_[v]) continue;
-      for (const Arc& a : g_.arcs(v)) {
-        if (a.to > v && alive_[a.to] && rank_of_[a.to] >= lo &&
-            rank_of_[a.to] < hi) {
+      if (!residual_.alive(v)) continue;
+      for (const Arc& a : residual_.alive_upper_arcs(v)) {
+        if (rank_of_[a.to] >= lo && rank_of_[a.to] < hi) {
           messages.push_back(Message{v, 0, encode_pair(v, a.to)});
         }
       }
@@ -195,7 +182,7 @@ class MisCcliqueRun {
     std::unordered_map<VertexId, char> killed;
     for (std::size_t r = lo; r < hi; ++r) {
       const VertexId v = perm_[r];
-      if (!alive_[v] || killed.count(v) != 0) continue;
+      if (!residual_.alive(v) || killed.count(v) != 0) continue;
       mis_new.push_back(v);
       const auto it = adj.find(v);
       if (it != adj.end()) {
@@ -206,13 +193,16 @@ class MisCcliqueRun {
   }
 
   void sparsified_stage(MisCcliqueResult& result) {
-    LocalMisState state(g_, alive_, mix64(options_.seed, 0x5fa1, 1));
+    // Snapshot the driver's residual view (bulk copy); the dynamics evolve
+    // their own aliveness, which the driver mirrors through the announced
+    // commits.
+    LocalMisState state(residual_, mix64(options_.seed, 0x5fa1, 1));
     while (count_alive_edges() > gather_budget_) {
       // Each alive player broadcasts its mark and desire level (the
       // dynamics read only neighbors' values; a broadcast certainly
       // delivers them). One round.
-      for (VertexId v = 0; v < n_; ++v) {
-        if (alive_[v]) engine_.broadcast(v, v);
+      for (const VertexId v : residual_.alive_vertices()) {
+        engine_.broadcast(v, v);
       }
       engine_.exchange();
       const auto joined = state.step();
@@ -223,10 +213,13 @@ class MisCcliqueRun {
   }
 
   void final_gather(MisCcliqueResult& result) {
+    // Canonical-edge iteration over the residual: (u ascending, v
+    // ascending) is exactly the alive-alive filter of g_.edges() in edge-id
+    // order, touching only surviving arcs.
     std::vector<Message> messages;
-    for (const Edge& e : g_.edges()) {
-      if (alive_[e.u] && alive_[e.v]) {
-        messages.push_back(Message{e.u, 0, encode_pair(e.u, e.v)});
+    for (const VertexId u : residual_.alive_vertices()) {
+      for (const Arc& a : residual_.alive_upper_arcs(u)) {
+        messages.push_back(Message{u, 0, encode_pair(u, a.to)});
       }
     }
     result.final_gather_edges = messages.size();
@@ -242,7 +235,7 @@ class MisCcliqueRun {
     std::unordered_map<VertexId, char> killed;
     for (std::size_t r = 0; r < n_; ++r) {
       const VertexId v = perm_[r];
-      if (!alive_[v] || killed.count(v) != 0) continue;
+      if (!residual_.alive(v) || killed.count(v) != 0) continue;
       mis_new.push_back(v);
       const auto it = adj.find(v);
       if (it != adj.end()) {
@@ -256,12 +249,13 @@ class MisCcliqueRun {
   const MisCcliqueOptions& options_;
   std::size_t n_;
   cclique::Engine engine_;
+  ResidualGraph residual_;
   std::size_t gather_budget_ = 0;
 
   std::vector<std::uint32_t> perm_;
   std::vector<std::uint32_t> rank_of_;
-  std::vector<char> alive_;
-  std::vector<char> in_mis_;
+  /// Scratch for commit_via_broadcasts; zeroed after each commit.
+  std::vector<char> dying_;
   std::vector<VertexId> mis_;
 };
 

@@ -186,8 +186,9 @@ class MisMpcRun {
 
   /// Plays sequential greedy over the gathered window edges (leader-side):
   /// builds the window adjacency in the reusable CSR scratch, walks ranks
-  /// [lo, hi), and returns the joiners.
-  std::vector<VertexId> leader_greedy(const std::vector<Word>& inbox,
+  /// [lo, hi), and returns the joiners. Reads the leader's inbox through
+  /// the zero-copy view; the only materialization is the decoded pair list.
+  std::vector<VertexId> leader_greedy(const mpc::InboxView& inbox,
                                       std::size_t lo, std::size_t hi) {
     pairs_scratch_.clear();
     pairs_scratch_.reserve(inbox.size());
@@ -220,7 +221,7 @@ class MisMpcRun {
       }
     }
     engine_->exchange();
-    const auto& inbox = engine_->inbox(0);
+    const mpc::InboxView inbox = engine_->inbox_view(0);
     result.window_edges_per_phase.push_back(inbox.size());
 
     // Leader: window adjacency + greedy through ranks lo..hi-1. (The
@@ -262,7 +263,7 @@ class MisMpcRun {
       }
     }
     engine_->exchange();
-    const auto& inbox = engine_->inbox(0);
+    const mpc::InboxView inbox = engine_->inbox_view(0);
     result.final_gather_edges = inbox.size();
     commit_mis_members(leader_greedy(inbox, 0, n_));
   }

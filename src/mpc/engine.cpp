@@ -9,13 +9,17 @@ Engine::Engine(Config config) : config_(config) {
     throw std::invalid_argument("Engine: need at least one machine");
   }
   const std::size_t m = config_.num_machines;
-  if (m <= kDenseMachineLimit) {
+  if (m <= config_.dense_machine_limit) {
     boxes_.assign(m * m, {});
   } else {
     out_dests_.assign(m, {});
     out_words_.assign(m, {});
   }
   inbox_.assign(m, {});
+  in_segs_.assign(m, {});
+  recv_total_.assign(m, 0);
+  inbox_cache_.assign(m, {});
+  inbox_cache_valid_.assign(m, 0);
   recv_count_.assign(m, 0);
 }
 
@@ -47,6 +51,54 @@ void Engine::push(std::size_t from, std::size_t to,
                           words.end());
 }
 
+PayloadId Engine::stage_payload(std::span<const Word> words) {
+  staged_payloads_.emplace_back(words.begin(), words.end());
+  return static_cast<PayloadId>(staged_payloads_.size() - 1);
+}
+
+void Engine::push_broadcast(std::size_t from,
+                            std::span<const std::size_t> dests,
+                            PayloadId payload) {
+  check_machine(from);
+  if (payload >= staged_payloads_.size()) {
+    throw std::out_of_range(
+        "Engine: unknown payload id (staged payloads die at exchange; "
+        "re-stage per round)");
+  }
+  const bool empty = staged_payloads_[payload].empty();
+  for (const std::size_t to : dests) {
+    check_machine(to);
+    if (empty) continue;  // an empty payload delivers nothing, like push({})
+    const std::uint64_t seq =
+        !boxes_.empty() ? boxes_[from * config_.num_machines + to].size()
+                        : out_dests_[from].size();
+    shared_sends_.push_back(SharedSend{static_cast<std::uint32_t>(from),
+                                       static_cast<std::uint32_t>(to), payload,
+                                       seq});
+  }
+}
+
+PayloadId Engine::push_broadcast(std::size_t from,
+                                 std::span<const std::size_t> dests,
+                                 std::span<const Word> payload) {
+  const PayloadId pid = stage_payload(payload);
+  push_broadcast(from, dests, pid);
+  return pid;
+}
+
+void Engine::push_gather(std::size_t from, std::size_t to,
+                         std::span<const Word> words) {
+  check_machine(from);
+  check_machine(to);
+  if (words.empty()) return;
+  const PayloadId pid = stage_payload(words);
+  const std::uint64_t seq =
+      !boxes_.empty() ? boxes_[from * config_.num_machines + to].size()
+                      : out_dests_[from].size();
+  shared_sends_.push_back(SharedSend{static_cast<std::uint32_t>(from),
+                                     static_cast<std::uint32_t>(to), pid, seq});
+}
+
 void Engine::check_budget(std::size_t machine, std::size_t words,
                           const char* dir) {
   if (words > config_.words_per_machine) {
@@ -59,44 +111,69 @@ void Engine::check_budget(std::size_t machine, std::size_t words,
   }
 }
 
+void Engine::drop_last_round() {
+  if (!shared_round_) return;
+  for (const std::size_t t : seg_touched_) {
+    in_segs_[t].clear();
+    inbox_cache_valid_[t] = 0;
+  }
+  seg_touched_.clear();
+  delivered_payloads_.clear();
+  shared_round_ = false;
+}
+
 void Engine::exchange() {
   const std::size_t m = config_.num_machines;
-  if (!boxes_.empty()) {
-    // Dense path: pushes pre-sorted the words by (sender, receiver);
-    // delivery is pure bulk copies.
-    for (std::size_t from = 0; from < m; ++from) {
-      std::size_t sent = 0;
-      for (std::size_t to = 0; to < m; ++to) {
-        sent += boxes_[from * m + to].size();
-      }
-      metrics_.max_sent_words = std::max(metrics_.max_sent_words, sent);
-      metrics_.total_words += sent;
-      check_budget(from, sent, "sent");
+  drop_last_round();
+  if (shared_sends_.empty()) {
+    // Payloads staged but never pushed die here, per the lifetime contract.
+    staged_payloads_.clear();
+    if (!boxes_.empty()) {
+      exchange_plain_dense(m);
+    } else {
+      exchange_plain_flat(m);
     }
-    for (std::size_t to = 0; to < m; ++to) {
-      auto& in = inbox_[to];
-      in.clear();
-      std::size_t received = 0;
-      for (std::size_t from = 0; from < m; ++from) {
-        received += boxes_[from * m + to].size();
-      }
-      in.reserve(received);
-      for (std::size_t from = 0; from < m; ++from) {
-        auto& box = boxes_[from * m + to];
-        in.insert(in.end(), box.begin(), box.end());
-        box.clear();
-      }
-      metrics_.max_received_words = std::max(metrics_.max_received_words,
-                                             received);
-      check_budget(to, received, "received");
-      // Whatever a machine received is resident until it processes it.
-      metrics_.peak_storage_words = std::max(metrics_.peak_storage_words,
-                                             received);
-    }
-    ++metrics_.rounds;
-    return;
+  } else {
+    exchange_shared(m);
   }
+  ++metrics_.rounds;
+}
 
+void Engine::exchange_plain_dense(std::size_t m) {
+  // Dense path: pushes pre-sorted the words by (sender, receiver);
+  // delivery is pure bulk copies.
+  for (std::size_t from = 0; from < m; ++from) {
+    std::size_t sent = 0;
+    for (std::size_t to = 0; to < m; ++to) {
+      sent += boxes_[from * m + to].size();
+    }
+    metrics_.max_sent_words = std::max(metrics_.max_sent_words, sent);
+    metrics_.total_words += sent;
+    check_budget(from, sent, "sent");
+  }
+  for (std::size_t to = 0; to < m; ++to) {
+    auto& in = inbox_[to];
+    in.clear();
+    std::size_t received = 0;
+    for (std::size_t from = 0; from < m; ++from) {
+      received += boxes_[from * m + to].size();
+    }
+    in.reserve(received);
+    for (std::size_t from = 0; from < m; ++from) {
+      auto& box = boxes_[from * m + to];
+      in.insert(in.end(), box.begin(), box.end());
+      box.clear();
+    }
+    metrics_.max_received_words = std::max(metrics_.max_received_words,
+                                           received);
+    check_budget(to, received, "received");
+    // Whatever a machine received is resident until it processes it.
+    metrics_.peak_storage_words = std::max(metrics_.peak_storage_words,
+                                           received);
+  }
+}
+
+void Engine::exchange_plain_flat(std::size_t m) {
   // Flat path. Sending side first.
   for (std::size_t from = 0; from < m; ++from) {
     const std::size_t sent = out_words_[from].size();
@@ -176,12 +253,315 @@ void Engine::exchange() {
     metrics_.peak_storage_words = std::max(metrics_.peak_storage_words,
                                            received);
   }
-  ++metrics_.rounds;
+}
+
+std::vector<std::span<const Word>>& Engine::touch_segs(std::size_t to) {
+  if (in_segs_[to].empty()) seg_touched_.push_back(to);
+  return in_segs_[to];
+}
+
+void Engine::deliver_pair_with_shared(std::size_t to,
+                                      std::span<const Word> box,
+                                      std::span<const SharedSend> sends) {
+  // Interleave this pair's unicast words with its shared payloads at the
+  // recorded splice offsets; payload segments alias the stored copy.
+  auto& segs = in_segs_[to];
+  auto& in = inbox_[to];
+  const std::size_t base = in.size();
+  std::size_t cursor = 0;
+  for (const SharedSend& s : sends) {
+    const std::size_t split =
+        std::min<std::size_t>(static_cast<std::size_t>(s.seq), box.size());
+    if (split > cursor) {
+      in.insert(in.end(), box.begin() + static_cast<std::ptrdiff_t>(cursor),
+                box.begin() + static_cast<std::ptrdiff_t>(split));
+      segs.emplace_back(in.data() + base + cursor, split - cursor);
+      cursor = split;
+    }
+    const auto& payload = delivered_payloads_[s.payload];
+    segs.emplace_back(payload.data(), payload.size());
+  }
+  if (box.size() > cursor) {
+    in.insert(in.end(), box.begin() + static_cast<std::ptrdiff_t>(cursor),
+              box.end());
+    segs.emplace_back(in.data() + base + cursor, box.size() - cursor);
+  }
+}
+
+void Engine::exchange_shared(std::size_t m) {
+  shared_round_ = true;
+  delivered_payloads_ = std::move(staged_payloads_);
+  staged_payloads_.clear();
+  // Take the queue by value first: a strict-mode CapacityError below must
+  // not leave stale sends behind — their payload ids would dangle into a
+  // later round's payload store.
+  std::vector<SharedSend> sends = std::move(shared_sends_);
+  shared_sends_.clear();
+  // Sort sends by (sender, receiver); stable keeps each pair's sends in
+  // chronological (push) order, and seq is non-decreasing within a pair.
+  std::stable_sort(sends.begin(), sends.end(),
+                   [](const SharedSend& a, const SharedSend& b) {
+                     return a.from < b.from ||
+                            (a.from == b.from && a.to < b.to);
+                   });
+  shared_sent_.assign(m, 0);
+  shared_recv_.assign(m, 0);
+  for (const SharedSend& s : sends) {
+    const std::size_t len = delivered_payloads_[s.payload].size();
+    shared_sent_[s.from] += len;
+    shared_recv_[s.to] += len;
+  }
+
+  const bool dense = !boxes_.empty();
+
+  // Sending side: unicast + shared, charged at full per-destination size.
+  for (std::size_t from = 0; from < m; ++from) {
+    std::size_t sent = shared_sent_[from];
+    if (dense) {
+      for (std::size_t to = 0; to < m; ++to) {
+        sent += boxes_[from * m + to].size();
+      }
+    } else {
+      sent += out_words_[from].size();
+    }
+    metrics_.max_sent_words = std::max(metrics_.max_sent_words, sent);
+    metrics_.total_words += sent;
+    check_budget(from, sent, "sent");
+  }
+
+  // Unicast receive counts (for exact inbox reservation — segment spans
+  // alias the inbox buffers, so they must never reallocate mid-delivery).
+  std::fill(recv_count_.begin(), recv_count_.end(), 0);
+  if (dense) {
+    for (std::size_t from = 0; from < m; ++from) {
+      for (std::size_t to = 0; to < m; ++to) {
+        recv_count_[to] += boxes_[from * m + to].size();
+      }
+    }
+  } else {
+    for (std::size_t from = 0; from < m; ++from) {
+      const auto& dests = out_dests_[from];
+      for (std::size_t i = 0; i < dests.size();) {
+        const std::uint32_t to = dests[i];
+        std::size_t j = i + 1;
+        while (j < dests.size() && dests[j] == to) ++j;
+        recv_count_[to] += j - i;
+        i = j;
+      }
+    }
+  }
+
+  // Receiving side metrics; register segment lists for machines that get
+  // shared payloads (all other machines keep the single-span fast path).
+  for (std::size_t to = 0; to < m; ++to) {
+    inbox_[to].clear();
+    inbox_[to].reserve(recv_count_[to]);
+    const std::size_t received = recv_count_[to] + shared_recv_[to];
+    metrics_.max_received_words = std::max(metrics_.max_received_words,
+                                           received);
+    check_budget(to, received, "received");
+    metrics_.peak_storage_words = std::max(metrics_.peak_storage_words,
+                                           received);
+    recv_total_[to] = received;
+    if (shared_recv_[to] > 0) touch_segs(to);
+  }
+
+  // Delivery, sender-major so every receiver's segments arrive
+  // sender-ascending.
+  const std::size_t ns = sends.size();
+  std::size_t send_idx = 0;
+  if (dense) {
+    for (std::size_t from = 0; from < m; ++from) {
+      for (std::size_t to = 0; to < m; ++to) {
+        auto& box = boxes_[from * m + to];
+        const std::size_t first = send_idx;
+        while (send_idx < ns && sends[send_idx].from == from &&
+               sends[send_idx].to == to) {
+          ++send_idx;
+        }
+        if (first == send_idx) {
+          if (box.empty()) continue;
+          const std::size_t base = inbox_[to].size();
+          inbox_[to].insert(inbox_[to].end(), box.begin(), box.end());
+          if (shared_recv_[to] > 0) {
+            in_segs_[to].emplace_back(inbox_[to].data() + base, box.size());
+          }
+        } else {
+          // Dense seq is already the within-pair splice offset.
+          deliver_pair_with_shared(
+              to, box,
+              std::span<const SharedSend>{sends.data() + first,
+                                          send_idx - first});
+        }
+        box.clear();
+      }
+    }
+  } else {
+    for (std::size_t from = 0; from < m; ++from) {
+      const auto& dests = out_dests_[from];
+      const Word* words = out_words_[from].data();
+      const std::size_t nw = dests.size();
+      const std::size_t first = send_idx;
+      while (send_idx < ns && sends[send_idx].from == from) {
+        ++send_idx;
+      }
+      if (first == send_idx) {
+        // No shared traffic from this sender: the plain delivery variants,
+        // plus segment emission for receivers that need segment lists.
+        if (nw >= 2 * m) {
+          bucket_count_.assign(m, 0);
+          for (std::size_t i = 0; i < nw; ++i) ++bucket_count_[dests[i]];
+          bucket_cursor_.resize(m);
+          std::size_t run = 0;
+          for (std::size_t to = 0; to < m; ++to) {
+            bucket_cursor_[to] = run;
+            run += bucket_count_[to];
+          }
+          scatter_.resize(nw);
+          for (std::size_t i = 0; i < nw; ++i) {
+            scatter_[bucket_cursor_[dests[i]]++] = words[i];
+          }
+          std::size_t pos = 0;
+          for (std::size_t to = 0; to < m; ++to) {
+            const std::size_t count = bucket_count_[to];
+            if (count > 0) {
+              const std::size_t base = inbox_[to].size();
+              inbox_[to].insert(inbox_[to].end(), scatter_.data() + pos,
+                                scatter_.data() + pos + count);
+              if (shared_recv_[to] > 0) {
+                in_segs_[to].emplace_back(inbox_[to].data() + base, count);
+              }
+            }
+            pos += count;
+          }
+        } else {
+          for (std::size_t i = 0; i < nw;) {
+            const std::uint32_t to = dests[i];
+            std::size_t j = i + 1;
+            while (j < nw && dests[j] == to) ++j;
+            const std::size_t base = inbox_[to].size();
+            inbox_[to].insert(inbox_[to].end(), words + i, words + j);
+            if (shared_recv_[to] > 0) {
+              in_segs_[to].emplace_back(inbox_[to].data() + base, j - i);
+            }
+            i = j;
+          }
+        }
+      } else if (nw == 0) {
+        // Broadcast-only sender (the relay-tree shape): no unicast words,
+        // every splice is trivially 0 — skip the counting sort and emit
+        // the payload segments directly, O(sends) instead of O(machines).
+        sender_sends_.assign(
+            sends.begin() + static_cast<std::ptrdiff_t>(first),
+            sends.begin() + static_cast<std::ptrdiff_t>(send_idx));
+        std::stable_sort(sender_sends_.begin(), sender_sends_.end(),
+                         [](const SharedSend& a, const SharedSend& b) {
+                           return a.to < b.to;
+                         });
+        for (const SharedSend& s : sender_sends_) {
+          const auto& payload = delivered_payloads_[s.payload];
+          in_segs_[s.to].emplace_back(payload.data(), payload.size());
+        }
+      } else {
+        // Shared sender: counting-sort the unicast words so each pair is
+        // one contiguous bucket, compute the within-pair splice offset of
+        // every shared send, then deliver pair by pair.
+        sender_sends_.assign(
+            sends.begin() + static_cast<std::ptrdiff_t>(first),
+            sends.begin() + static_cast<std::ptrdiff_t>(send_idx));
+        std::stable_sort(sender_sends_.begin(), sender_sends_.end(),
+                         [](const SharedSend& a, const SharedSend& b) {
+                           return a.seq < b.seq;
+                         });
+        bucket_count_.assign(m, 0);
+        std::size_t sp = 0;
+        const std::size_t nsend = sender_sends_.size();
+        for (std::size_t i = 0; i < nw; ++i) {
+          while (sp < nsend && sender_sends_[sp].seq <= i) {
+            // Flat seq was the sender-stream position; rewrite it to "how
+            // many unicast words to this dest came before", the splice.
+            sender_sends_[sp].seq = bucket_count_[sender_sends_[sp].to];
+            ++sp;
+          }
+          ++bucket_count_[dests[i]];
+        }
+        while (sp < nsend) {
+          sender_sends_[sp].seq = bucket_count_[sender_sends_[sp].to];
+          ++sp;
+        }
+        bucket_cursor_.resize(m);
+        std::size_t run = 0;
+        for (std::size_t to = 0; to < m; ++to) {
+          bucket_cursor_[to] = run;
+          run += bucket_count_[to];
+        }
+        scatter_.resize(nw);
+        for (std::size_t i = 0; i < nw; ++i) {
+          scatter_[bucket_cursor_[dests[i]]++] = words[i];
+        }
+        // Stable by receiver: within a pair, splice offsets stay in
+        // chronological (non-decreasing) order.
+        std::stable_sort(sender_sends_.begin(), sender_sends_.end(),
+                         [](const SharedSend& a, const SharedSend& b) {
+                           return a.to < b.to;
+                         });
+        std::size_t pos = 0;
+        std::size_t sidx = 0;
+        for (std::size_t to = 0; to < m; ++to) {
+          const std::size_t count = bucket_count_[to];
+          const std::size_t sfirst = sidx;
+          while (sidx < nsend && sender_sends_[sidx].to == to) ++sidx;
+          if (sfirst == sidx) {
+            if (count > 0) {
+              const std::size_t base = inbox_[to].size();
+              inbox_[to].insert(inbox_[to].end(), scatter_.data() + pos,
+                                scatter_.data() + pos + count);
+              if (shared_recv_[to] > 0) {
+                in_segs_[to].emplace_back(inbox_[to].data() + base, count);
+              }
+            }
+          } else {
+            deliver_pair_with_shared(
+                to, std::span<const Word>{scatter_.data() + pos, count},
+                std::span<const SharedSend>{sender_sends_.data() + sfirst,
+                                            sidx - sfirst});
+          }
+          pos += count;
+        }
+      }
+      out_dests_[from].clear();
+      out_words_[from].clear();
+    }
+  }
+}
+
+InboxView Engine::inbox_view(std::size_t machine) const {
+  check_machine(machine);
+  InboxView v;
+  if (shared_round_ && !in_segs_[machine].empty()) {
+    v.segs_ = &in_segs_[machine];
+    v.words_ = recv_total_[machine];
+  } else {
+    const auto& in = inbox_[machine];
+    v.single_ = {in.data(), in.size()};
+    v.words_ = in.size();
+  }
+  return v;
 }
 
 const std::vector<Word>& Engine::inbox(std::size_t machine) const {
   check_machine(machine);
-  return inbox_[machine];
+  if (!shared_round_ || in_segs_[machine].empty()) return inbox_[machine];
+  if (!inbox_cache_valid_[machine]) {
+    auto& cache = inbox_cache_[machine];
+    cache.clear();
+    cache.reserve(recv_total_[machine]);
+    for (const auto seg : in_segs_[machine]) {
+      cache.insert(cache.end(), seg.begin(), seg.end());
+    }
+    inbox_cache_valid_[machine] = 1;
+  }
+  return inbox_cache_[machine];
 }
 
 void Engine::note_storage(std::size_t machine, std::size_t words) {
@@ -190,6 +570,7 @@ void Engine::note_storage(std::size_t machine, std::size_t words) {
 }
 
 void Engine::clear_inboxes() {
+  drop_last_round();
   for (auto& in : inbox_) in.clear();
 }
 

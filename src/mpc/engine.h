@@ -11,6 +11,21 @@
 // enforces capacities, and the experiment harness reads the metrics from
 // here. Algorithms have no way to increment the round counter except by
 // actually communicating.
+//
+// Message plane. Two kinds of traffic flow through an exchange:
+//   * unicast words (`push`), buffered per (sender, receiver) and delivered
+//     by bulk copy, and
+//   * shared payloads (`stage_payload` + `push_broadcast` / `push_gather`),
+//     stored ONCE per staging and delivered as (payload, offset, length)
+//     descriptors — a broadcast of k words to f machines costs O(k + f)
+//     simulator work instead of O(k * f) copies.
+// Inboxes are exposed as ordered segment views (`inbox_view`): each shared
+// payload appears as one segment aliasing the single stored copy, and
+// unicast words as segments into the receiver's inbox buffer. The legacy
+// `inbox()` accessor survives as a lazily-materialized compatibility shim.
+// Zero-copy changes *simulation* cost only: metrics (rounds, sent/received
+// words, violations) account shared payloads at full per-destination size,
+// exactly as if every receiver got its own copy.
 #ifndef MPCG_MPC_ENGINE_H
 #define MPCG_MPC_ENGINE_H
 
@@ -23,6 +38,10 @@
 namespace mpcg::mpc {
 
 using Word = std::uint64_t;
+
+/// Handle to a payload staged for the next exchange (see
+/// Engine::stage_payload). Valid until that exchange() runs.
+using PayloadId = std::uint32_t;
 
 /// Thrown (in strict mode) when a machine exceeds its per-round send or
 /// receive budget, or when a collective cannot fit in machine memory.
@@ -40,6 +59,13 @@ struct Config {
   /// tallied in Metrics::violations (useful for measuring how close an
   /// algorithm runs to the budget).
   bool strict = true;
+  /// Dense/flat exchange crossover: clusters up to this many machines use
+  /// the per-(sender, receiver) box matrix (pushes pre-sort by destination,
+  /// delivery is pure bulk copies); larger clusters use flat per-sender
+  /// outboxes with counting-sort delivery, avoiding the matrix's
+  /// O(machines^2) storage and per-round scan. The default was tuned with
+  /// `tools/bench_exchange_crossover`; re-tune per deployment box.
+  std::size_t dense_machine_limit = 512;
 };
 
 struct Metrics {
@@ -56,6 +82,96 @@ struct Metrics {
   std::size_t violations = 0;
   /// Total words moved across the cluster over all rounds.
   std::size_t total_words = 0;
+};
+
+/// Read-only, zero-copy view of one machine's inbox after an exchange: an
+/// ordered list of word segments whose concatenation is the inbox contents
+/// (sender ids ascending; each sender's pushes in push order, unicast and
+/// shared interleaved chronologically). Segments alias engine-owned storage:
+/// a view is valid until the next exchange() or clear_inboxes(), which
+/// invalidate it (dangling — do not hold across rounds).
+///
+/// Segment structure is guaranteed only as far as: every shared payload
+/// delivered to this machine appears as exactly one contiguous segment, in
+/// its contract position. Unicast words may be split across one or more
+/// segments. Word-level iteration (begin()/end()) hides the seams.
+class InboxView {
+ public:
+  InboxView() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return words_; }
+  [[nodiscard]] bool empty() const noexcept { return words_ == 0; }
+
+  [[nodiscard]] std::size_t num_segments() const noexcept {
+    return segs_ != nullptr ? segs_->size() : (single_.empty() ? 0 : 1);
+  }
+  [[nodiscard]] std::span<const Word> segment(std::size_t i) const noexcept {
+    return segs_ != nullptr ? (*segs_)[i] : single_;
+  }
+
+  /// Appends the full inbox contents to `out` (one bulk copy per segment).
+  void append_to(std::vector<Word>& out) const {
+    out.reserve(out.size() + words_);
+    for (std::size_t s = 0; s < num_segments(); ++s) {
+      const auto seg = segment(s);
+      out.insert(out.end(), seg.begin(), seg.end());
+    }
+  }
+  [[nodiscard]] std::vector<Word> to_vector() const {
+    std::vector<Word> out;
+    append_to(out);
+    return out;
+  }
+
+  /// Forward word iterator over the concatenated segments.
+  class iterator {
+   public:
+    using value_type = Word;
+    using difference_type = std::ptrdiff_t;
+
+    iterator() = default;
+    iterator(const InboxView* view, std::size_t seg) : view_(view), seg_(seg) {
+      settle();
+    }
+    Word operator*() const noexcept { return view_->segment(seg_)[off_]; }
+    iterator& operator++() noexcept {
+      ++off_;
+      settle();
+      return *this;
+    }
+    iterator operator++(int) noexcept {
+      iterator old = *this;
+      ++*this;
+      return old;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) noexcept {
+      return a.seg_ == b.seg_ && a.off_ == b.off_;
+    }
+
+   private:
+    void settle() noexcept {
+      while (view_ != nullptr && seg_ < view_->num_segments() &&
+             off_ >= view_->segment(seg_).size()) {
+        ++seg_;
+        off_ = 0;
+      }
+    }
+    const InboxView* view_ = nullptr;
+    std::size_t seg_ = 0;
+    std::size_t off_ = 0;
+  };
+  [[nodiscard]] iterator begin() const noexcept { return {this, 0}; }
+  [[nodiscard]] iterator end() const noexcept {
+    return {this, num_segments()};
+  }
+
+ private:
+  friend class Engine;
+  /// Fast path: a view that is one contiguous unicast range.
+  std::span<const Word> single_{};
+  /// Segmented path: borrowed from the engine (nullptr on the fast path).
+  const std::vector<std::span<const Word>>* segs_ = nullptr;
+  std::size_t words_ = 0;
 };
 
 class Engine {
@@ -90,14 +206,46 @@ class Engine {
   /// Queues a word span (one bulk fill + one bulk copy).
   void push(std::size_t from, std::size_t to, std::span<const Word> words);
 
+  /// Stores one copy of `words` for the next exchange and returns a handle
+  /// any machine may push_broadcast against — so a relay round where many
+  /// senders forward the same payload stores it once, total. The handle
+  /// dies at the next exchange(); re-stage per round.
+  PayloadId stage_payload(std::span<const Word> words);
+
+  /// Queues the staged payload from `from` to every machine in `dests`:
+  /// O(|dests|) descriptors, zero word copies. Accounting is unchanged from
+  /// |dests| equivalent span pushes (|payload| words charged per
+  /// destination). An empty payload is a no-op (as an empty push would be).
+  void push_broadcast(std::size_t from, std::span<const std::size_t> dests,
+                      PayloadId payload);
+
+  /// Convenience: stage_payload + push_broadcast in one call.
+  PayloadId push_broadcast(std::size_t from,
+                           std::span<const std::size_t> dests,
+                           std::span<const Word> payload);
+
+  /// Queues `words` from `from` to `to` as one shared-payload segment (one
+  /// stored copy; the receiver's view aliases it instead of re-copying into
+  /// the inbox buffer). The gather half of the message plane: each
+  /// contributed part arrives as exactly one segment.
+  void push_gather(std::size_t from, std::size_t to,
+                   std::span<const Word> words);
+
   /// Executes one communication round: delivers all queued words, enforces
   /// per-machine send/receive budgets, updates metrics, and makes inboxes
-  /// readable. Queued outboxes are cleared.
+  /// readable. Queued outboxes are cleared; views and payloads from the
+  /// previous round are invalidated.
   void exchange();
+
+  /// Zero-copy view of the words delivered to `machine` by the most recent
+  /// exchange (see InboxView for the ordering contract and lifetime).
+  [[nodiscard]] InboxView inbox_view(std::size_t machine) const;
 
   /// Words delivered to `machine` by the most recent exchange, concatenated
   /// in sender order (sender ids ascending; each sender's words in push
-  /// order).
+  /// order). Compatibility shim over inbox_view: rounds that carried no
+  /// shared payloads return the inbox buffer directly; otherwise the
+  /// concatenation is materialized lazily (once) per machine per round.
   [[nodiscard]] const std::vector<Word>& inbox(std::size_t machine) const;
 
   /// Reports `words` of resident state on `machine` for peak-storage
@@ -105,25 +253,42 @@ class Engine {
   /// mode exceeding S throws.
   void note_storage(std::size_t machine, std::size_t words);
 
-  /// Clears all inboxes (outboxes are cleared by exchange()).
+  /// Clears all inboxes (outboxes are cleared by exchange()). Invalidates
+  /// outstanding views.
   void clear_inboxes();
 
  private:
+  /// One queued shared-payload delivery. `seq` snapshots how many unicast
+  /// words the sender had queued (to this receiver on the dense path; in
+  /// total on the flat path) when the shared push happened — the splice
+  /// position that keeps per-sender chronological order in the inbox.
+  struct SharedSend {
+    std::uint32_t from;
+    std::uint32_t to;
+    PayloadId payload;
+    std::uint64_t seq;
+  };
+
   void check_budget(std::size_t machine, std::size_t words, const char* dir);
   void check_machine(std::size_t machine) const;
   [[noreturn]] void throw_bad_machine(std::size_t machine) const;
 
-  /// Dense clusters up to this many machines use the per-(sender,
-  /// receiver) box matrix — pushes pre-sort by destination and delivery is
-  /// pure bulk copies. Beyond it, the matrix's O(machines^2) storage and
-  /// per-round scan dominate, so the flat representation takes over.
-  static constexpr std::size_t kDenseMachineLimit = 512;
+  void drop_last_round();
+  void exchange_plain_dense(std::size_t m);
+  void exchange_plain_flat(std::size_t m);
+  void exchange_shared(std::size_t m);
+  /// Appends `box` to inbox_[to] split around this pair's shared sends
+  /// (whose seq fields hold within-pair splice offsets, chronological
+  /// order), emitting interleaved segments into in_segs_[to].
+  void deliver_pair_with_shared(std::size_t to, std::span<const Word> box,
+                                std::span<const SharedSend> sends);
+  std::vector<std::span<const Word>>& touch_segs(std::size_t to);
 
   Config config_;
   Metrics metrics_;
   /// Dense representation (small clusters): boxes_[from * m + to] holds
-  /// the words queued from `from` to `to`, in push order. Empty when the
-  /// flat representation is active.
+  /// the unicast words queued from `from` to `to`, in push order. Empty
+  /// when the flat representation is active.
   std::vector<std::vector<Word>> boxes_;
   /// Flat per-sender outboxes (large clusters), in push order:
   /// out_words_[from][i] goes to machine out_dests_[from][i]. A round of
@@ -133,13 +298,42 @@ class Engine {
   /// with one bulk copy.
   std::vector<std::vector<std::uint32_t>> out_dests_;
   std::vector<std::vector<Word>> out_words_;
+  /// Unicast words delivered to each machine (shared payloads are viewed in
+  /// place, never copied here).
   std::vector<std::vector<Word>> inbox_;
+
+  // Shared-payload plane. Staged payloads become `delivered_payloads_` at
+  // exchange and stay alive (aliased by views) until the next exchange or
+  // clear_inboxes.
+  std::vector<std::vector<Word>> staged_payloads_;
+  std::vector<std::vector<Word>> delivered_payloads_;
+  std::vector<SharedSend> shared_sends_;
+  /// Per-machine ordered segments for the current round; only filled for
+  /// machines that received at least one shared payload (others use the
+  /// single-span fast path). `seg_touched_` lists the filled machines for
+  /// O(touched) teardown.
+  std::vector<std::vector<std::span<const Word>>> in_segs_;
+  std::vector<std::size_t> seg_touched_;
+  /// Words received this round per machine (unicast + shared), valid for
+  /// machines in seg_touched_.
+  std::vector<std::size_t> recv_total_;
+  bool shared_round_ = false;
+  /// Lazy materializations backing the inbox() shim on shared rounds.
+  mutable std::vector<std::vector<Word>> inbox_cache_;
+  mutable std::vector<char> inbox_cache_valid_;
+
   /// Per-receiver word counts for the current exchange (scratch).
   std::vector<std::size_t> recv_count_;
+  /// Per-machine shared sent/received word totals (scratch, shared rounds).
+  std::vector<std::size_t> shared_sent_;
+  std::vector<std::size_t> shared_recv_;
   /// Counting-sort scratch for scattered senders (see exchange()).
   std::vector<std::size_t> bucket_count_;
   std::vector<std::size_t> bucket_cursor_;
   std::vector<Word> scatter_;
+  /// Flat-path scratch: one sender's shared sends in chronological order,
+  /// with seq rewritten to the within-pair splice offset.
+  std::vector<SharedSend> sender_sends_;
 };
 
 }  // namespace mpcg::mpc

@@ -28,14 +28,22 @@ std::vector<Word> broadcast(Engine& engine, std::size_t root,
     return pos;
   };
 
+  std::vector<std::size_t> dests;
   std::size_t informed = 1;
   while (informed < m) {
+    // One stored copy per round, shared by every relay: each relay's sends
+    // are (destination, payload-id) descriptors, so a round moves O(k)
+    // simulator words no matter the fan-out — the engine still charges
+    // every relay k words per destination.
+    const PayloadId pid = engine.stage_payload(copy);
     const std::size_t senders = informed;
     std::size_t next = informed;
     for (std::size_t s = 0; s < senders && next < m; ++s) {
+      dests.clear();
       for (std::size_t f = 0; f < fanout && next < m; ++f, ++next) {
-        engine.push(machine_of(s), machine_of(next), copy);
+        dests.push_back(machine_of(next));
       }
+      engine.push_broadcast(machine_of(s), dests, pid);
     }
     engine.exchange();
     informed = next;
@@ -48,21 +56,22 @@ std::vector<Word> gather_to(Engine& engine, std::size_t root,
   const std::size_t m = engine.num_machines();
   for (std::size_t i = 0; i < m && i < parts.size(); ++i) {
     if (i == root) continue;  // root's own part needs no communication
-    engine.push(i, root, parts[i]);
+    engine.push_gather(i, root, parts[i]);
   }
   engine.exchange();
-  std::vector<Word> gathered;
   // Reassemble in machine order, substituting root's local part in place.
-  const auto& in = engine.inbox(root);
-  std::size_t cursor = 0;
-  for (std::size_t i = 0; i < parts.size(); ++i) {
+  // Each non-empty part arrived as exactly one shared segment, in sender
+  // order — the reassembly is one bulk copy per part, no per-word walk.
+  const InboxView in = engine.inbox_view(root);
+  std::vector<Word> gathered;
+  gathered.reserve(in.size() + (root < parts.size() ? parts[root].size() : 0));
+  std::size_t seg = 0;
+  for (std::size_t i = 0; i < m && i < parts.size(); ++i) {
     if (i == root) {
       gathered.insert(gathered.end(), parts[i].begin(), parts[i].end());
-    } else {
-      const std::size_t len = parts[i].size();
-      gathered.insert(gathered.end(), in.begin() + static_cast<std::ptrdiff_t>(cursor),
-                      in.begin() + static_cast<std::ptrdiff_t>(cursor + len));
-      cursor += len;
+    } else if (!parts[i].empty()) {
+      const auto s = in.segment(seg++);
+      gathered.insert(gathered.end(), s.begin(), s.end());
     }
   }
   engine.note_storage(root, gathered.size());
@@ -79,7 +88,9 @@ std::vector<std::vector<Word>> all_to_all(
   }
   engine.exchange();
   std::vector<std::vector<Word>> in(m);
-  for (std::size_t j = 0; j < m; ++j) in[j] = engine.inbox(j);
+  for (std::size_t j = 0; j < m; ++j) {
+    engine.inbox_view(j).append_to(in[j]);
+  }
   return in;
 }
 

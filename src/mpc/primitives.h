@@ -19,15 +19,20 @@ namespace mpcg::mpc {
 /// Runs a relay tree whose fan-out is what the send budget allows
 /// (max(1, S / |payload|) targets per relay per round), so a payload close
 /// to S costs about log_f(m) rounds while a small payload costs one round.
-/// Returns the payload as received (identical on every machine — the engine
-/// verified it could be delivered everywhere). Throws CapacityError if
-/// |payload| > S.
+/// Rides the engine's shared-payload plane: the payload is stored once per
+/// relay round and delivered as descriptors, so simulator work is
+/// O(|payload| * rounds + m) instead of O(|payload| * m) — the charged
+/// words are unchanged. Returns the payload as received (identical on
+/// every machine — the engine verified it could be delivered everywhere).
+/// Throws CapacityError if |payload| > S.
 std::vector<Word> broadcast(Engine& engine, std::size_t root,
                             std::span<const Word> payload);
 
 /// All-to-one gather: machine i contributes `parts[i]`; returns the
 /// concatenation (in machine order) as received by `root`. One round.
-/// The gathered size is charged to root's storage.
+/// The gathered size is charged to root's storage. Parts travel as shared
+/// segments (one stored copy each); the returned concatenation is the only
+/// materialization.
 std::vector<Word> gather_to(Engine& engine, std::size_t root,
                             const std::vector<std::vector<Word>>& parts);
 

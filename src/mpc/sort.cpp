@@ -57,7 +57,7 @@ std::vector<std::vector<Word>> distributed_sort(
 
   std::vector<std::vector<Word>> out(m);
   for (std::size_t i = 0; i < m; ++i) {
-    out[i] = engine.inbox(i);
+    engine.inbox_view(i).append_to(out[i]);
     std::sort(out[i].begin(), out[i].end());
     engine.note_storage(i, out[i].size());
   }

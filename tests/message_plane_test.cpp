@@ -1,0 +1,288 @@
+// Zero-copy message plane: inbox-view lifetime/aliasing semantics, the
+// interleaving contract between unicast pushes and shared payloads, the
+// inbox() compatibility shim, and accounting equivalence between shared
+// and materialized delivery. Every scenario runs on both exchange
+// representations (dense box matrix and flat counting-sort), selected via
+// Config::dense_machine_limit.
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mpc/engine.h"
+#include "mpc/primitives.h"
+
+namespace mpcg::mpc {
+namespace {
+
+Engine make_engine(bool flat, std::size_t machines = 4,
+                   std::size_t words = 1 << 12) {
+  Config cfg;
+  cfg.num_machines = machines;
+  cfg.words_per_machine = words;
+  cfg.strict = true;
+  // dense_machine_limit = 0 forces the flat representation even for tiny
+  // clusters, so both delivery paths are testable at the same scale.
+  cfg.dense_machine_limit = flat ? 0 : 512;
+  return Engine(cfg);
+}
+
+std::vector<Word> view_words(const InboxView& view) {
+  return std::vector<Word>(view.begin(), view.end());
+}
+
+class MessagePlane : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MessagePlane, BroadcastDeliversToAllDestinations) {
+  Engine e = make_engine(GetParam());
+  const std::vector<Word> payload{7, 8, 9};
+  const std::vector<std::size_t> dests{0, 2, 3};
+  e.push_broadcast(1, dests, payload);
+  e.exchange();
+  for (const std::size_t d : dests) {
+    EXPECT_EQ(view_words(e.inbox_view(d)), payload) << "machine " << d;
+  }
+  EXPECT_TRUE(e.inbox_view(1).empty());
+}
+
+TEST_P(MessagePlane, SharedPayloadIsAliasedNotCopied) {
+  Engine e = make_engine(GetParam());
+  const std::vector<Word> payload{1, 2, 3, 4};
+  const std::vector<std::size_t> dests{0, 2, 3};
+  e.push_broadcast(1, dests, payload);
+  e.exchange();
+  // Every destination's payload segment points at the same stored words.
+  const std::span<const Word> s0 = e.inbox_view(0).segment(0);
+  for (const std::size_t d : dests) {
+    const InboxView v = e.inbox_view(d);
+    ASSERT_EQ(v.num_segments(), 1U);
+    EXPECT_EQ(v.segment(0).data(), s0.data()) << "machine " << d;
+  }
+}
+
+TEST_P(MessagePlane, InterleavingPreservesPerSenderPushOrder) {
+  Engine e = make_engine(GetParam());
+  const std::vector<std::size_t> to_zero{0};
+  const std::vector<Word> pay_a{100, 101};
+  const std::vector<Word> pay_b{200};
+  // Sender 2, chronologically: unicast 1, broadcast A, unicast 2 3,
+  // broadcast B, unicast 4.
+  e.push(2, 0, Word{1});
+  e.push_broadcast(2, to_zero, pay_a);
+  e.push(2, 0, Word{2});
+  e.push(2, 0, Word{3});
+  e.push_broadcast(2, to_zero, pay_b);
+  e.push(2, 0, Word{4});
+  // Sender 1 contributes after sender 2 queued — inbox order is by sender
+  // id, not arrival order.
+  e.push(1, 0, Word{11});
+  // Sender 3: shared only.
+  e.push_broadcast(3, to_zero, std::span<const Word>(pay_b));
+  e.exchange();
+  const std::vector<Word> expected{11, 1, 100, 101, 2, 3, 200, 4, 200};
+  EXPECT_EQ(view_words(e.inbox_view(0)), expected);
+  EXPECT_EQ(e.inbox(0), expected);  // shim agrees word-for-word
+}
+
+TEST_P(MessagePlane, ShimMatchesViewOnMixedTraffic) {
+  Engine e = make_engine(GetParam());
+  const std::vector<Word> payload{42, 43, 44};
+  for (std::size_t from = 0; from < 4; ++from) {
+    for (std::size_t to = 0; to < 4; ++to) {
+      if (from == to) continue;
+      e.push(from, to, Word{from * 10 + to});
+    }
+    const std::vector<std::size_t> dests{(from + 1) % 4, (from + 2) % 4};
+    e.push_broadcast(from, dests, payload);
+  }
+  e.exchange();
+  for (std::size_t machine = 0; machine < 4; ++machine) {
+    const InboxView v = e.inbox_view(machine);
+    EXPECT_EQ(view_words(v), e.inbox(machine)) << "machine " << machine;
+    EXPECT_EQ(v.size(), e.inbox(machine).size());
+  }
+}
+
+TEST_P(MessagePlane, StagedPayloadSharedAcrossSenders) {
+  Engine e = make_engine(GetParam());
+  const std::vector<Word> payload{5, 6};
+  const PayloadId pid = e.stage_payload(payload);
+  e.push_broadcast(0, std::vector<std::size_t>{1}, pid);
+  e.push_broadcast(2, std::vector<std::size_t>{1, 3}, pid);
+  e.exchange();
+  EXPECT_EQ(view_words(e.inbox_view(1)), (std::vector<Word>{5, 6, 5, 6}));
+  EXPECT_EQ(view_words(e.inbox_view(3)), payload);
+  // Sent words are charged per sender per destination.
+  EXPECT_EQ(e.metrics().total_words, 6U);
+  EXPECT_EQ(e.metrics().max_sent_words, 4U);      // sender 2: two dests
+  EXPECT_EQ(e.metrics().max_received_words, 4U);  // machine 1
+}
+
+TEST_P(MessagePlane, PayloadIdsDieAtExchange) {
+  Engine e = make_engine(GetParam());
+  const std::vector<Word> payload{1};
+  const PayloadId pid = e.push_broadcast(0, std::vector<std::size_t>{1},
+                                         std::span<const Word>(payload));
+  e.exchange();
+  EXPECT_THROW(e.push_broadcast(0, std::vector<std::size_t>{1}, pid),
+               std::out_of_range);
+}
+
+TEST_P(MessagePlane, ViewsDescribeOnlyTheLatestExchange) {
+  Engine e = make_engine(GetParam());
+  const std::vector<Word> payload{1, 2};
+  e.push_broadcast(0, std::vector<std::size_t>{1}, payload);
+  e.exchange();
+  EXPECT_EQ(e.inbox_view(1).size(), 2U);
+  // Next round: different traffic entirely. The old view is invalidated
+  // (its segments aliased per-round storage); a fresh view sees only the
+  // new round.
+  e.push(2, 1, Word{9});
+  e.exchange();
+  EXPECT_EQ(view_words(e.inbox_view(1)), (std::vector<Word>{9}));
+  EXPECT_EQ(e.inbox(1), (std::vector<Word>{9}));
+  // An empty round wipes inboxes too.
+  e.exchange();
+  EXPECT_TRUE(e.inbox_view(1).empty());
+}
+
+TEST_P(MessagePlane, ClearInboxesEmptiesViews) {
+  Engine e = make_engine(GetParam());
+  e.push(0, 1, Word{5});
+  e.push_broadcast(2, std::vector<std::size_t>{1},
+                   std::vector<Word>{6, 7});
+  e.exchange();
+  EXPECT_EQ(e.inbox_view(1).size(), 3U);
+  e.clear_inboxes();
+  EXPECT_TRUE(e.inbox_view(1).empty());
+  EXPECT_TRUE(e.inbox(1).empty());
+}
+
+TEST_P(MessagePlane, EmptyPayloadIsANoOp) {
+  Engine e = make_engine(GetParam());
+  e.push_broadcast(0, std::vector<std::size_t>{1, 2},
+                   std::span<const Word>{});
+  e.push(0, 1, Word{3});
+  e.exchange();
+  EXPECT_EQ(view_words(e.inbox_view(1)), (std::vector<Word>{3}));
+  EXPECT_TRUE(e.inbox_view(2).empty());
+  EXPECT_EQ(e.metrics().total_words, 1U);
+}
+
+TEST_P(MessagePlane, GatherDeliversOneSegmentPerSender) {
+  Engine e = make_engine(GetParam());
+  e.push_gather(1, 0, std::vector<Word>{10, 11});
+  e.push_gather(2, 0, std::vector<Word>{20});
+  e.push_gather(3, 0, std::vector<Word>{30, 31, 32});
+  e.exchange();
+  const InboxView v = e.inbox_view(0);
+  ASSERT_EQ(v.num_segments(), 3U);
+  EXPECT_EQ(v.segment(0)[0], 10U);
+  EXPECT_EQ(v.segment(1)[0], 20U);
+  EXPECT_EQ(v.segment(2).size(), 3U);
+  EXPECT_EQ(view_words(v),
+            (std::vector<Word>{10, 11, 20, 30, 31, 32}));
+}
+
+TEST_P(MessagePlane, AccountingMatchesMaterializedDelivery) {
+  // The same logical traffic, once via shared payloads and once via plain
+  // span pushes, must produce identical metrics and inbox contents —
+  // zero-copy changes simulation cost, not model cost.
+  const std::vector<Word> payload{3, 1, 4, 1, 5};
+  const auto drive = [&](Engine& e, bool shared) {
+    for (std::size_t round = 0; round < 3; ++round) {
+      if (shared) {
+        e.push_broadcast(0, std::vector<std::size_t>{1, 2, 3}, payload);
+        e.push_gather(2, 1, payload);
+      } else {
+        for (const std::size_t to : {1, 2, 3}) {
+          e.push(0, to, payload);
+        }
+        e.push(2, 1, payload);
+      }
+      e.push(3, 1, Word{round});
+      e.exchange();
+    }
+  };
+  for (const bool flat : {false, true}) {
+    Engine shared_e = make_engine(flat);
+    Engine plain_e = make_engine(flat);
+    drive(shared_e, true);
+    drive(plain_e, false);
+    const Metrics& a = shared_e.metrics();
+    const Metrics& b = plain_e.metrics();
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.max_sent_words, b.max_sent_words);
+    EXPECT_EQ(a.max_received_words, b.max_received_words);
+    EXPECT_EQ(a.peak_storage_words, b.peak_storage_words);
+    EXPECT_EQ(a.total_words, b.total_words);
+    EXPECT_EQ(a.violations, b.violations);
+    for (std::size_t machine = 0; machine < 4; ++machine) {
+      EXPECT_EQ(view_words(shared_e.inbox_view(machine)),
+                plain_e.inbox(machine))
+          << "machine " << machine << " flat=" << flat;
+    }
+  }
+}
+
+TEST_P(MessagePlane, StrictBudgetCountsSharedWords) {
+  Engine e = make_engine(GetParam(), 4, 8);
+  std::vector<Word> payload(5);
+  std::iota(payload.begin(), payload.end(), 0);
+  // 2 destinations x 5 words = 10 sent > 8 budget.
+  e.push_broadcast(0, std::vector<std::size_t>{1, 2}, payload);
+  EXPECT_THROW(e.exchange(), CapacityError);
+}
+
+TEST_P(MessagePlane, ReusableAfterSharedCapacityError) {
+  // A strict-mode overflow mid-exchange must not leave stale shared sends
+  // whose payload ids dangle into a later round's payload store.
+  Engine e = make_engine(GetParam(), 4, 4);
+  std::vector<Word> payload(10);
+  std::iota(payload.begin(), payload.end(), 0);
+  e.push_broadcast(0, std::vector<std::size_t>{1, 2}, payload);
+  EXPECT_THROW(e.exchange(), CapacityError);
+  e.push(0, 1, Word{42});
+  e.exchange();
+  const auto words = view_words(e.inbox_view(1));
+  ASSERT_FALSE(words.empty());
+  EXPECT_EQ(words.back(), 42U);
+}
+
+TEST_P(MessagePlane, CollectivesAgreeWithLegacySemantics) {
+  Engine e = make_engine(GetParam(), 6, 1 << 10);
+  std::vector<Word> payload(37);
+  std::iota(payload.begin(), payload.end(), 100);
+  EXPECT_EQ(broadcast(e, 2, payload), payload);
+  std::vector<std::vector<Word>> parts{{1}, {}, {2, 3}, {4}, {}, {5, 6, 7}};
+  EXPECT_EQ(gather_to(e, 1, parts),
+            (std::vector<Word>{1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(all_reduce_sum(e, {1, 2, 3, 4, 5, 6}), 21U);
+  EXPECT_EQ(e.metrics().violations, 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(DenseAndFlat, MessagePlane, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "flat" : "dense";
+                         });
+
+TEST(MessagePlaneConfig, DenseMachineLimitSelectsRepresentation) {
+  // Observable difference is only in performance, but both representations
+  // must satisfy the same contract right at the boundary.
+  for (const std::size_t limit : {0UL, 2UL, 3UL, 512UL}) {
+    Config cfg;
+    cfg.num_machines = 3;
+    cfg.words_per_machine = 64;
+    cfg.dense_machine_limit = limit;
+    Engine e(cfg);
+    e.push(2, 0, Word{22});
+    e.push(1, 0, Word{11});
+    e.push_broadcast(1, std::vector<std::size_t>{0},
+                     std::vector<Word>{99});
+    e.exchange();
+    EXPECT_EQ(e.inbox(0), (std::vector<Word>{11, 99, 22})) << limit;
+  }
+}
+
+}  // namespace
+}  // namespace mpcg::mpc

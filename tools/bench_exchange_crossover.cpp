@@ -1,0 +1,95 @@
+// Re-tunes Config::dense_machine_limit for this box.
+//
+// The engine has two exchange representations: the dense per-(sender,
+// receiver) box matrix (O(m^2) storage, delivery by pure bulk copies) and
+// the flat per-sender outboxes (O(words) storage, counting-sort delivery).
+// The crossover between them is a per-machine-count wall-clock race on a
+// scattered all-to-all workload: both representations move the same words
+// through the same Engine API, only Config::dense_machine_limit differs.
+//
+// Usage: bench_exchange_crossover [rounds] [words_per_machine]
+//   rounds            exchange rounds per timed cell (default 8)
+//   words_per_machine unicast words each machine scatters per round
+//                     (default 4096)
+//
+// Output: one row per machine count with both timings and the winner, then
+// the suggested dense_machine_limit (largest m where dense still wins).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "mpc/engine.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mpcg;
+using mpc::Engine;
+using mpc::Word;
+
+double run_cell(std::size_t machines, std::size_t dense_limit,
+                std::size_t rounds, std::size_t words_per_machine) {
+  mpc::Config cfg;
+  cfg.num_machines = machines;
+  cfg.words_per_machine = std::max<std::size_t>(words_per_machine * 2, 1024);
+  cfg.strict = false;
+  cfg.dense_machine_limit = dense_limit;
+  Engine engine(cfg);
+
+  // Deterministic scattered destinations, the shape of per-edge driver
+  // traffic (rank phases, sparsified iterations): many senders, many
+  // destinations, short same-destination runs.
+  Rng rng(0x0c4055);
+  std::vector<std::uint32_t> dests(words_per_machine);
+  for (auto& d : dests) {
+    d = static_cast<std::uint32_t>(rng() % machines);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t from = 0; from < machines; ++from) {
+      for (std::size_t i = 0; i < dests.size(); ++i) {
+        engine.push(from, (dests[i] + from) % machines,
+                    static_cast<Word>(i));
+      }
+    }
+    engine.exchange();
+  }
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t rounds =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 8;
+  const std::size_t words =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 4096;
+
+  std::printf("# exchange crossover: %zu rounds x %zu words/machine/round\n",
+              rounds, words);
+  std::printf("%10s %14s %14s %8s\n", "machines", "dense_ms", "flat_ms",
+              "winner");
+
+  std::size_t suggested = 0;
+  // The dense matrix allocates m^2 boxes — cap that side of the race at
+  // 4096 machines (the flat side keeps going in real use anyway).
+  for (std::size_t m = 64; m <= 4096; m *= 2) {
+    const double dense = run_cell(m, m, rounds, words);       // force dense
+    const double flat = run_cell(m, 0, rounds, words);        // force flat
+    const bool dense_wins = dense <= flat;
+    if (dense_wins) suggested = m;
+    std::printf("%10zu %14.2f %14.2f %8s\n", m, dense, flat,
+                dense_wins ? "dense" : "flat");
+  }
+  if (suggested == 0) {
+    std::printf("suggested dense_machine_limit: 0 (flat always won)\n");
+  } else {
+    std::printf("suggested dense_machine_limit: %zu\n", suggested);
+  }
+  return 0;
+}
