@@ -51,12 +51,23 @@ void E06_PhasesVsN(benchmark::State& state) {
   state.counters["max_local_edges_over_n"] =
       static_cast<double>(max_local) / static_cast<double>(n);
   state.counters["violations"] = static_cast<double>(r.metrics.violations);
+  // Residual frontier: phase work is proportional to these counts.
+  if (!r.active_per_phase.empty()) {
+    state.counters["frontier_first_phase"] =
+        static_cast<double>(r.active_per_phase.front());
+    state.counters["frontier_last_phase"] =
+        static_cast<double>(r.active_per_phase.back());
+  }
 }
 BENCHMARK(E06_PhasesVsN)
     ->Arg(1 << 10)
     ->Arg(1 << 12)
     ->Arg(1 << 14)
     ->Arg(1 << 16)
+    // 2^18 is the CI smoke row for the matching driver: big enough that
+    // the per-phase frontier loops dominate (what the ActiveSet port
+    // targets), small enough for a PR-gate budget.
+    ->Arg(1 << 18)
     // 2^20 runs ~1024 simulation machines (flat exchange path) and the
     // announce() gather+broadcast traffic dominates — the broadcast-heavy
     // row the zero-copy message plane is tuned against.

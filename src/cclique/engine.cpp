@@ -94,54 +94,68 @@ const std::vector<Message>& Engine::inbox(PlayerId player) const {
   return inbox_.at(player);
 }
 
-std::vector<std::vector<Message>> Engine::lenzen_route(
+const std::vector<std::vector<Message>>& Engine::lenzen_route(
     std::vector<Message> messages) {
   if (!pending_.empty() || !pending_broadcasts_.empty()) {
     throw std::logic_error(
         "lenzen_route: flush queued sends with exchange() first");
   }
-  std::vector<std::vector<Message>> delivered(n_);
+  if (route_delivered_.empty()) route_delivered_.resize(n_);
+  for (const PlayerId p : route_touched_) route_delivered_[p].clear();
+  route_touched_.clear();
 
   // Split into batches, each feasible for Lenzen's scheme: at most n
   // messages per sender and per receiver. A message goes into the first
-  // batch where both its sender and receiver have budget left.
-  std::vector<std::vector<Message>> batches;
-  std::vector<std::vector<std::size_t>> send_load;
-  std::vector<std::vector<std::size_t>> recv_load;
+  // batch where both its sender and receiver have budget left. The batch
+  // buffers and per-batch load counters are persistent; a new batch pays
+  // its O(n) counter allocation once, ever.
+  std::size_t batches_used = 0;
   for (const Message& msg : messages) {
     std::size_t b = 0;
     for (;; ++b) {
-      if (b == batches.size()) {
-        batches.emplace_back();
-        send_load.emplace_back(n_, 0);
-        recv_load.emplace_back(n_, 0);
+      if (b == batches_used) {
+        if (batches_used == route_batches_.size()) {
+          route_batches_.emplace_back();
+          route_send_load_.emplace_back(n_, 0);
+          route_recv_load_.emplace_back(n_, 0);
+        }
+        ++batches_used;
       }
-      if (send_load[b][msg.from] < n_ && recv_load[b][msg.to] < n_) break;
+      if (route_send_load_[b][msg.from] < n_ &&
+          route_recv_load_[b][msg.to] < n_) {
+        break;
+      }
     }
-    batches[b].push_back(msg);
-    ++send_load[b][msg.from];
-    ++recv_load[b][msg.to];
+    route_batches_[b].push_back(msg);
+    ++route_send_load_[b][msg.from];
+    ++route_recv_load_[b][msg.to];
   }
 
   // An overloaded routing request is not a model violation — it is just
   // slower; the extra batches show up in `rounds` and `lenzen_batches`.
-  for (auto& batch : batches) {
+  for (std::size_t b = 0; b < batches_used; ++b) {
+    auto& batch = route_batches_[b];
     // Lenzen's scheme delivers a feasible batch in O(1) rounds; we charge
     // the canonical 2 (distribute to intermediaries, forward to targets).
     metrics_.rounds += 2;
     ++metrics_.lenzen_batches;
     metrics_.total_words += 2 * batch.size();
-    std::vector<std::size_t> recv(n_, 0);
     for (const Message& msg : batch) {
-      delivered[msg.to].push_back(msg);
-      ++recv[msg.to];
+      if (route_delivered_[msg.to].empty()) route_touched_.push_back(msg.to);
+      route_delivered_[msg.to].push_back(msg);
+      // The counter holds this receiver's full batch total by now, so the
+      // per-message max equals the old full post-count scan.
+      metrics_.max_player_received = std::max<std::size_t>(
+          metrics_.max_player_received, route_recv_load_[b][msg.to]);
     }
-    for (std::size_t p = 0; p < n_; ++p) {
-      metrics_.max_player_received =
-          std::max(metrics_.max_player_received, recv[p]);
+    // Reset the touched load entries for the next call.
+    for (const Message& msg : batch) {
+      route_send_load_[b][msg.from] = 0;
+      route_recv_load_[b][msg.to] = 0;
     }
+    batch.clear();
   }
-  return delivered;
+  return route_delivered_;
 }
 
 }  // namespace mpcg::cclique

@@ -85,9 +85,12 @@ class Engine {
 
   /// Routes an arbitrary message multiset with Lenzen's scheme. Each
   /// feasible batch (<= n per sender and per receiver) costs 2 rounds.
-  /// Returns the messages grouped per destination. Any sends/broadcasts
+  /// Returns the messages grouped per destination, in engine-owned
+  /// persistent scratch (valid until the next lenzen_route call) — a call
+  /// costs O(messages), not O(players), after warm-up. Any sends/broadcasts
   /// already queued must be flushed (exchange()d) first; mixing throws.
-  std::vector<std::vector<Message>> lenzen_route(std::vector<Message> messages);
+  const std::vector<std::vector<Message>>& lenzen_route(
+      std::vector<Message> messages);
 
  private:
   std::size_t n_;
@@ -107,6 +110,15 @@ class Engine {
   /// Inboxes filled by the last exchange (the only ones that need
   /// clearing next round).
   std::vector<PlayerId> inbox_touched_;
+  /// lenzen_route scratch, persistent across calls: per-destination
+  /// delivery buckets (touched-only clearing) and per-batch sender/receiver
+  /// load counters (touched entries reset after routing), so a call
+  /// allocates nothing after warm-up.
+  std::vector<std::vector<Message>> route_delivered_;
+  std::vector<PlayerId> route_touched_;
+  std::vector<std::vector<Message>> route_batches_;
+  std::vector<std::vector<std::uint32_t>> route_send_load_;
+  std::vector<std::vector<std::uint32_t>> route_recv_load_;
 };
 
 }  // namespace mpcg::cclique

@@ -5,6 +5,7 @@
 
 #include "baselines/lmsv_filtering.h"
 #include "core/rounding.h"
+#include "graph/active_set.h"
 #include "graph/subgraph.h"
 #include "graph/validation.h"
 #include "util/rng.h"
@@ -36,13 +37,15 @@ IntegralMatchingResult integral_matching(
 
   // --- Main path: iterate algorithm A. ---
   std::vector<EdgeId> a_matching;
-  std::vector<char> vertex_gone(n, 0);  // matched & removed so far
+  // Unmatched frontier, maintained incrementally: each rounded edge
+  // deactivates its endpoints, so building the iteration's residual costs
+  // O(remaining) instead of an O(n) rescan.
+  ActiveSet remaining_set(n);
+  std::vector<VertexId> remaining;
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
     // Residual graph on the unmatched vertices.
-    std::vector<VertexId> remaining;
-    for (VertexId v = 0; v < n; ++v) {
-      if (!vertex_gone[v]) remaining.push_back(v);
-    }
+    const auto actives = remaining_set.actives();
+    remaining.assign(actives.begin(), actives.end());
     const InducedSubgraph sub = induced_subgraph(g, remaining);
     if (sub.graph.num_edges() == 0) break;
 
@@ -78,8 +81,8 @@ IntegralMatchingResult integral_matching(
     for (const EdgeId le : rounded) {
       const Edge ed = sub.graph.edge(le);
       a_matching.push_back(sub.to_parent_edge[le]);
-      vertex_gone[sub.to_parent_vertex[ed.u]] = 1;
-      vertex_gone[sub.to_parent_vertex[ed.v]] = 1;
+      remaining_set.deactivate(sub.to_parent_vertex[ed.u]);
+      remaining_set.deactivate(sub.to_parent_vertex[ed.v]);
     }
   }
   result.a_path_size = a_matching.size();

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/central.h"
+#include "graph/active_set.h"
 #include "graph/residual.h"
 #include "mpc/primitives.h"
 #include "util/rng.h"
@@ -18,10 +19,19 @@ using mpc::Word;
 
 constexpr std::uint32_t kActive = MatchingMpcResult::kActive;
 
+// Residual-proportional driver: every per-phase loop runs over the active
+// frontier (ActiveSet) instead of 0..n, per-phase scratch is sized to the
+// phase's active count via the dense remap and reused across phases, and
+// the home-side load sums (y_old, load_of) are cached with dirty-bit
+// bookkeeping. Every recomputation is the same ascending alive-arc scan as
+// the pre-ActiveSet implementation, so all floating-point sums keep their
+// summation order and outputs/freeze times/Metrics are bit-identical (see
+// DESIGN.md, "ActiveSet & dirty-load bookkeeping"; pinned by
+// tests/matching_regression_test.cpp).
 class MatchingMpcRun {
  public:
   MatchingMpcRun(const Graph& g, const MatchingMpcOptions& options)
-      : g_(g), o_(options), n_(g.num_vertices()), residual_(g) {
+      : g_(g), o_(options), n_(g.num_vertices()), residual_(g), active_(n_) {
     if (!(o_.eps > 0.0) || o_.eps > 0.5) {
       throw std::invalid_argument("matching_mpc: eps must be in (0, 1/2]");
     }
@@ -67,6 +77,21 @@ class MatchingMpcRun {
     weight_cache_.push_back(w0_);
     freeze_at_.assign(n_, kActive);
     removed_.assign(n_, 0);
+
+    // Dirty-load bookkeeping state. With nobody frozen yet, every y_old is
+    // the empty sum (exactly 0.0), so the y_old caches start clean; the
+    // load caches start dirty (never computed).
+    y_old_cache_.assign(n_, 0.0);
+    load_cache_.assign(n_, 0.0);
+    load_stamp_.assign(n_, 0);
+    dirty_.assign(n_, kLoadDirty);
+    active_nbr_cnt_.resize(n_);
+    for (VertexId v = 0; v < n_; ++v) {
+      active_nbr_cnt_[v] = static_cast<std::uint32_t>(g.degree(v));
+    }
+    local_adj_.emplace(n_);
+    announce_parts_.resize(machines_);
+    phase_machine_.assign(n_, kNoMachine);
   }
 
   MatchingMpcResult run() {
@@ -114,6 +139,14 @@ class MatchingMpcRun {
   }
 
  private:
+  /// Dirty bits per vertex: set both when a neighbor's freeze/removal state
+  /// changes, cleared individually by the corresponding refresh.
+  static constexpr std::uint8_t kYOldDirty = 1;
+  static constexpr std::uint8_t kLoadDirty = 2;
+  static constexpr std::uint8_t kBothDirty = kYOldDirty | kLoadDirty;
+  /// phase_machine_ sentinel: never equals a real machine id (m <= sqrt(n)).
+  static constexpr std::uint32_t kNoMachine = 0xffffffffU;
+
   [[nodiscard]] double weight_at(std::uint64_t iteration) const {
     while (weight_cache_.size() <= iteration) {
       weight_cache_.push_back(weight_cache_.back() / (1.0 - o_.eps));
@@ -125,40 +158,135 @@ class MatchingMpcRun {
     return removed_[v] == 0;
   }
 
-  [[nodiscard]] bool active(VertexId v) const noexcept {
-    return in_graph(v) && freeze_at_[v] == kActive;
+  /// Takes v off the active frontier: O(1), plus the sentinel that keeps
+  /// the per-phase machine lookup (see distribute loop) self-invalidating.
+  void leave_frontier(VertexId v) {
+    active_.deactivate(v);
+    phase_machine_[v] = kNoMachine;
+  }
+
+  /// Records that v left the active frontier (froze or was removed): its
+  /// surviving neighbors' cached sums are stale, and — if v was active at
+  /// the event — each of them has one fewer active neighbor. O(residual
+  /// degree of v), paid at most twice per vertex (freeze, then removal).
+  void mark_state_change(VertexId v, bool was_active) {
+    for (const Arc& a : residual_.alive_arcs(v)) {
+      dirty_[a.to] = kBothDirty;
+      if (was_active) --active_nbr_cnt_[a.to];
+    }
+    dirty_[v] = kBothDirty;
+  }
+
+  /// y_old of v — the frozen-neighbor contribution, recomputed only when a
+  /// neighbor changed state, by the same ascending alive-arc scan the
+  /// per-phase full recomputation used (identical summation order).
+  void refresh_y_old(VertexId v) {
+    if ((dirty_[v] & kYOldDirty) == 0) return;
+    if (active_nbr_cnt_[v] == residual_.residual_degree(v)) {
+      // No alive neighbor is frozen: the scan would add nothing.
+      y_old_cache_[v] = 0.0;
+      dirty_[v] &= static_cast<std::uint8_t>(~kYOldDirty);
+      return;
+    }
+    double y = 0.0;
+    const auto arcs = residual_.alive_arcs(v);
+    (void)weight_at(t_);  // pre-extends the cache: every freeze time is <= t_
+    const double* w = weight_cache_.data();
+    for (std::size_t idx = 0; idx < arcs.size(); ++idx) {
+      if (idx + 8 < arcs.size()) {
+        __builtin_prefetch(&freeze_at_[arcs[idx + 8].to]);
+      }
+      const std::uint32_t tf = freeze_at_[arcs[idx].to];
+      if (tf != kActive) y += w[tf];
+    }
+    y_old_cache_[v] = y;
+    dirty_[v] &= static_cast<std::uint8_t>(~kYOldDirty);
+  }
+
+  /// The value a load scan produces when all `count` terms are the same
+  /// weight `w`: w added to 0.0 `count` times, left to right — computed
+  /// once per (w, count) prefix via a running table, so uniform
+  /// neighborhoods (nothing frozen nearby — the common case while the
+  /// frontier is still wide) cost O(1) instead of O(degree). Bit-identical
+  /// to the scan by construction: the table entries ARE the sequential
+  /// partial sums.
+  [[nodiscard]] double repeated_sum(double w, std::size_t count) {
+    if (repsum_.empty() || repsum_w_ != w) {
+      repsum_.assign(1, 0.0);
+      repsum_w_ = w;
+    }
+    while (repsum_.size() <= count) {
+      repsum_.push_back(repsum_.back() + w);
+    }
+    return repsum_[count];
   }
 
   /// Load of v in G[V'] at global iteration `now` (derived state; homes can
   /// compute this locally because freeze times are common knowledge).
-  /// Iterates only in-graph neighbors — alive_arcs is stable, so the
-  /// floating-point summation order matches a filtered scan of g_.arcs(v).
+  /// Cached: a clean value is reused when it cannot depend on `now` — v is
+  /// frozen (every term min(freeze_v, freeze_u, now) is already pinned
+  /// below now), v has no alive active neighbor (same), or `now` is the
+  /// stamp it was computed at. Recomputation is the ascending alive-arc
+  /// scan, so reused and recomputed values are bit-identical.
   [[nodiscard]] double load_of(VertexId v, std::uint64_t now) {
-    double y = 0.0;
-    for (const Arc& a : residual_.alive_arcs(v)) {
-      const std::uint64_t tf =
-          std::min<std::uint64_t>({freeze_at_[v], freeze_at_[a.to], now});
-      y += weight_at(tf);
+    if ((dirty_[v] & kLoadDirty) == 0 &&
+        (load_stamp_[v] == now || freeze_at_[v] != kActive ||
+         active_nbr_cnt_[v] == 0)) {
+      return load_cache_[v];
     }
+    double y;
+    const std::size_t deg = residual_.residual_degree(v);
+    if (freeze_at_[v] == kActive && active_nbr_cnt_[v] == deg) {
+      // Uniform neighborhood: v and every alive neighbor are active, so
+      // each of the `deg` scan terms is exactly weight_at(now).
+      y = repeated_sum(weight_at(now), deg);
+    } else {
+      y = 0.0;
+      const auto arcs = residual_.alive_arcs(v);
+      (void)weight_at(now);  // pre-extends the cache for direct indexing
+      const double* w = weight_cache_.data();
+      const std::uint64_t fvn =
+          std::min<std::uint64_t>(freeze_at_[v], now);
+      for (std::size_t idx = 0; idx < arcs.size(); ++idx) {
+        if (idx + 8 < arcs.size()) {
+          __builtin_prefetch(&freeze_at_[arcs[idx + 8].to]);
+        }
+        const std::uint64_t tf =
+            std::min<std::uint64_t>(freeze_at_[arcs[idx].to], fvn);
+        y += w[tf];
+      }
+    }
+    load_cache_[v] = y;
+    load_stamp_[v] = now;
+    dirty_[v] &= static_cast<std::uint8_t>(~kLoadDirty);
     return y;
   }
 
   /// Announces freshly decided vertices (frozen with their iteration, or
   /// removed) to the whole cluster: gather at the leader, broadcast the
   /// concatenation. Keeps freeze times common knowledge. ~3 rounds; skipped
-  /// when there is nothing to announce.
+  /// when there is nothing to announce. The per-home staging vectors are
+  /// persistent; only the homes actually touched are cleared afterwards.
   void announce(const std::vector<std::pair<VertexId, std::uint64_t>>& frozen,
                 const std::vector<VertexId>& removed) {
     if (frozen.empty() && removed.empty()) return;
-    std::vector<std::vector<Word>> parts(machines_);
+    const auto stage = [&](VertexId v, Word word) {
+      auto& part = announce_parts_[home_[v]];
+      if (part.empty()) announce_touched_.push_back(home_[v]);
+      part.push_back(word);
+    };
     for (const auto& [v, tf] : frozen) {
-      parts[home_[v]].push_back((static_cast<Word>(v) << 32) | tf);
+      stage(v, (static_cast<Word>(v) << 32) | tf);
     }
     for (const VertexId v : removed) {
-      parts[home_[v]].push_back((static_cast<Word>(v) << 32) | 0xffffffffULL);
+      stage(v, (static_cast<Word>(v) << 32) | 0xffffffffULL);
     }
-    const auto gathered = mpc::gather_to(*engine_, 0, parts);
-    mpc::broadcast(*engine_, 0, gathered);
+    const auto gathered = mpc::gather_to(*engine_, 0, announce_parts_);
+    mpc::broadcast_view(*engine_, 0, gathered);
+    for (const std::uint32_t h : announce_touched_) {
+      announce_parts_[h].clear();
+    }
+    announce_touched_.clear();
   }
 
   void run_phase(double d, Rng& phase_rng, MatchingMpcResult& result) {
@@ -173,82 +301,85 @@ class MatchingMpcRun {
     const std::uint64_t part_seed = phase_rng();
     {
       const Word payload[] = {part_seed};
-      mpc::broadcast(*engine_, 0, payload);
+      mpc::broadcast_view(*engine_, 0, payload);
     }
-    std::vector<std::uint32_t> machine_of(n_);
-    for (VertexId v = 0; v < n_; ++v) {
-      machine_of[v] =
-          static_cast<std::uint32_t>(mix64(part_seed, v) % m);
+
+    // Phase-start frontier: dense remap, so every per-phase scratch below
+    // is sized to k = |active| and reused across phases. The snapshot (and
+    // the dense ids) stay valid across mid-phase freezes.
+    const auto snapshot = active_.remap();
+    const std::size_t k = snapshot.size();
+    result.active_per_phase.push_back(k);
+    machine_of_.resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      machine_of_[i] =
+          static_cast<std::uint32_t>(mix64(part_seed, snapshot[i]) % m);
+      // Neighbor-side view of the same assignment: one n-indexed word per
+      // vertex, kNoMachine once a vertex leaves the frontier, so the
+      // distribute loop answers "active AND on my machine?" with a single
+      // load instead of three dependent ones.
+      phase_machine_[snapshot[i]] = machine_of_[i];
     }
 
     // Line (b): y_old — the frozen contribution, constant over the phase.
-    // Computed at each vertex's home from common knowledge. alive_arcs
-    // yields exactly the in-graph neighbors, in the same (ascending) order
-    // a filtered full-adjacency scan would visit them.
-    std::vector<double> y_old(n_, 0.0);
-    for (VertexId v = 0; v < n_; ++v) {
-      if (!active(v)) continue;
-      double y = 0.0;
-      for (const Arc& a : residual_.alive_arcs(v)) {
-        if (freeze_at_[a.to] != kActive) {
-          y += weight_at(freeze_at_[a.to]);
-        }
-      }
-      y_old[v] = y;
-    }
+    // Computed at each vertex's home from common knowledge; only vertices
+    // whose neighborhood changed state since their last refresh rescan.
+    for (const VertexId v : snapshot) refresh_y_old(v);
 
     // Distribute the induced active subgraphs: each active edge with both
     // endpoints on the same simulation machine moves from its (lower
     // endpoint's) home shard to that machine; each active vertex's
     // (id, y_old) record moves from its home. Real pushes, one round.
-    // Iterating active vertices in id order and their alive upper arcs
-    // visits the active edges in edge-id (lexicographic) order, exactly as
-    // a full edge-list scan would — touching only residual arcs.
-    std::vector<std::vector<std::pair<VertexId, VertexId>>> local_edges(m);
-    for (VertexId v = 0; v < n_; ++v) {
-      if (!active(v)) continue;
-      for (const Arc& a : residual_.alive_upper_arcs(v)) {
-        if (!active(a.to)) continue;
-        if (machine_of[v] != machine_of[a.to]) continue;
-        const std::size_t target = machine_of[v];
-        engine_->push(home_[v], target,
-                      (static_cast<Word>(v) << 32) | a.to);
-        local_edges[target].emplace_back(v, a.to);
+    // Iterating the frontier in id order and each vertex's alive upper
+    // arcs visits the active edges in edge-id (lexicographic) order,
+    // exactly as a full edge-list scan would — touching only residual arcs.
+    machine_edges_.assign(m, 0);
+    local_pairs_.clear();
+    for (std::size_t i = 0; i < k; ++i) {
+      const VertexId v = snapshot[i];
+      const std::uint32_t mv = machine_of_[i];
+      const auto arcs = residual_.alive_upper_arcs(v);
+      for (std::size_t idx = 0; idx < arcs.size(); ++idx) {
+        if (idx + 8 < arcs.size()) {
+          __builtin_prefetch(&phase_machine_[arcs[idx + 8].to]);
+        }
+        const VertexId u = arcs[idx].to;
+        // Equal iff u is still active (sentinel otherwise) and landed on
+        // v's machine — the same filter as active(u) && same-machine.
+        if (phase_machine_[u] != mv) continue;
+        engine_->push(home_[v], mv, (static_cast<Word>(v) << 32) | u);
+        local_pairs_.emplace_back(
+            static_cast<VertexId>(i),
+            static_cast<VertexId>(active_.dense_index(u)));
+        ++machine_edges_[mv];
       }
     }
-    for (VertexId v = 0; v < n_; ++v) {
-      if (!active(v)) continue;
-      engine_->push(home_[v], machine_of[v], v);
+    for (const VertexId v : snapshot) {
+      engine_->push(home_[v], machine_of_[active_.dense_index(v)], v);
     }
     engine_->exchange();
 
     std::size_t max_local_edges = 0;
     for (std::size_t i = 0; i < m; ++i) {
-      max_local_edges = std::max(max_local_edges, local_edges[i].size());
+      max_local_edges = std::max(max_local_edges, machine_edges_[i]);
     }
     result.max_local_edges_per_phase.push_back(max_local_edges);
 
     // Line (e): local simulation of I iterations on every machine.
-    // Per-vertex local state: active degree within the machine and frozen
-    // local weight, so an iteration is O(active vertices) plus O(degree)
-    // per freeze.
-    std::vector<std::uint32_t> local_deg(n_, 0);
-    std::vector<double> local_frozen_sum(n_, 0.0);
-    std::vector<std::vector<VertexId>> local_adj(n_);
-    for (std::size_t i = 0; i < m; ++i) {
-      for (const auto& [u, v] : local_edges[i]) {
-        ++local_deg[u];
-        ++local_deg[v];
-        local_adj[u].push_back(v);
-        local_adj[v].push_back(u);
-      }
+    // Per-vertex local state — dense-indexed, so it costs O(k) to set up
+    // and the adjacency build costs O(local edges) (CsrScratch): an
+    // iteration is O(still-active vertices) plus O(degree) per freeze.
+    local_adj_->clear();
+    local_adj_->build(local_pairs_);
+    local_deg_.resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      local_deg_[i] =
+          static_cast<std::uint32_t>(local_adj_->neighbors(
+              static_cast<VertexId>(i)).size());
     }
-    std::vector<VertexId> simulated;  // active vertices at phase start
-    for (VertexId v = 0; v < n_; ++v) {
-      if (active(v)) simulated.push_back(v);
-    }
+    local_frozen_sum_.assign(k, 0.0);
 
-    std::vector<std::pair<VertexId, std::uint64_t>> frozen_this_phase;
+    frozen_this_phase_.clear();
     const std::uint64_t t_start = t_;
     for (std::size_t it = 0; it < iters; ++it) {
       const std::uint64_t tau = t_start + it;
@@ -257,29 +388,34 @@ class MatchingMpcRun {
       if (o_.record_trace) {
         trace_row.emplace(n_, std::numeric_limits<double>::quiet_NaN());
       }
-      // (A) freeze against the shared thresholds, simultaneously.
-      std::vector<VertexId> newly_frozen;
-      for (const VertexId v : simulated) {
-        if (freeze_at_[v] != kActive) continue;
+      // (A) freeze against the shared thresholds, simultaneously. The
+      // active list self-compacts, so vertices frozen in earlier
+      // iterations are paid for once, not rescanned every iteration.
+      newly_frozen_.clear();
+      for (const VertexId v : active_.actives()) {
+        const std::uint32_t i = active_.dense_index(v);
         const double y_tilde =
             static_cast<double>(m) *
-                (local_frozen_sum[v] +
-                 static_cast<double>(local_deg[v]) * w_tau) +
-            y_old[v];
+                (local_frozen_sum_[i] +
+                 static_cast<double>(local_deg_[i]) * w_tau) +
+            y_old_cache_[v];
         if (trace_row) (*trace_row)[v] = y_tilde;
         const double threshold =
             central_threshold(o_.threshold_seed, v, tau, o_.eps,
                               o_.use_random_thresholds);
-        if (y_tilde >= threshold) newly_frozen.push_back(v);
+        if (y_tilde >= threshold) newly_frozen_.push_back(v);
       }
-      for (const VertexId v : newly_frozen) {
+      for (const VertexId v : newly_frozen_) {
         freeze_at_[v] = static_cast<std::uint32_t>(tau);
-        frozen_this_phase.emplace_back(v, tau);
+        frozen_this_phase_.emplace_back(v, tau);
+        leave_frontier(v);
       }
       // (B) is implicit (weights are derived); update local views of the
       // newly frozen vertices' edges.
-      for (const VertexId v : newly_frozen) {
-        for (const VertexId u : local_adj[v]) {
+      for (const VertexId v : newly_frozen_) {
+        const std::uint32_t vi = active_.dense_index(v);
+        for (const VertexId ui : local_adj_->neighbors(vi)) {
+          const VertexId u = active_.vertex_at(ui);
           if (freeze_at_[u] != kActive &&
               freeze_at_[u] < tau) {
             continue;  // edge already froze earlier
@@ -289,10 +425,10 @@ class MatchingMpcRun {
           }
           // Edge (v,u) freezes at w_tau for the still-active (or
           // simultaneously frozen) partner's bookkeeping.
-          if (local_deg[u] > 0) --local_deg[u];
-          local_frozen_sum[u] += w_tau;
-          if (local_deg[v] > 0) --local_deg[v];
-          local_frozen_sum[v] += w_tau;
+          if (local_deg_[ui] > 0) --local_deg_[ui];
+          local_frozen_sum_[ui] += w_tau;
+          if (local_deg_[vi] > 0) --local_deg_[vi];
+          local_frozen_sum_[vi] += w_tau;
         }
       }
       if (trace_row) result.y_tilde_trace.push_back(std::move(*trace_row));
@@ -300,35 +436,55 @@ class MatchingMpcRun {
     }
 
     // Machines report the freeze decisions; they become common knowledge.
-    for (const auto& [v, tf] : frozen_this_phase) {
-      engine_->push(machine_of[v], home_[v], (static_cast<Word>(v) << 32) | tf);
+    for (const auto& [v, tf] : frozen_this_phase_) {
+      engine_->push(machine_of_[active_.dense_index(v)], home_[v],
+                    (static_cast<Word>(v) << 32) | tf);
     }
     engine_->exchange();
 
+    // The phase's freezes become visible to the home-side load sums below.
+    for (const auto& [v, tf] : frozen_this_phase_) {
+      mark_state_change(v, /*was_active=*/true);
+    }
+
     // Lines (g)-(h): loads on G[V'] from reconciled weights (local at
     // homes). Lines (i)-(j): heavy removal, then end-of-phase freezing.
-    std::vector<VertexId> removed_now;
-    std::vector<std::pair<VertexId, std::uint64_t>> frozen_now;
-    for (VertexId v = 0; v < n_; ++v) {
-      if (!in_graph(v)) continue;
-      if (freeze_at_[v] != kActive && freeze_at_[v] < t_start) continue;
+    // Candidates are exactly the vertices the old 0..n scan would visit:
+    // still-active, frozen this phase, or frozen at the previous phase
+    // boundary (their freeze iteration equals this phase's t_start, so the
+    // old `freeze_at < t_start` skip did not exclude them). load_of is
+    // pure until the batch below, so visiting order does not matter.
+    removed_now_.clear();
+    frozen_now_.clear();
+    const auto consider = [&](VertexId v) {
       const double y = load_of(v, t_);
       if (y > 1.0) {
-        removed_now.push_back(v);
+        removed_now_.push_back(v);
       } else if (y > 1.0 - 2.0 * o_.eps && freeze_at_[v] == kActive) {
-        frozen_now.push_back({v, t_});
+        frozen_now_.push_back({v, t_});
       }
+    };
+    for (const VertexId v : active_.actives()) consider(v);
+    for (const auto& [v, tf] : frozen_this_phase_) consider(v);
+    for (const VertexId v : boundary_frozen_) {
+      if (in_graph(v)) consider(v);
     }
-    for (const VertexId v : removed_now) {
+    for (const VertexId v : removed_now_) {
+      mark_state_change(v, /*was_active=*/freeze_at_[v] == kActive);
       removed_[v] = 1;
       freeze_at_[v] = kActive;  // removed, not frozen
+      leave_frontier(v);
       residual_.kill(v);
     }
-    for (const auto& [v, tf] : frozen_now) {
+    for (const auto& [v, tf] : frozen_now_) {
       freeze_at_[v] = static_cast<std::uint32_t>(tf);
+      leave_frontier(v);
+      mark_state_change(v, /*was_active=*/true);
     }
-    announce(frozen_now, removed_now);
-    announce(frozen_this_phase, {});
+    boundary_frozen_.clear();
+    for (const auto& [v, tf] : frozen_now_) boundary_frozen_.push_back(v);
+    announce(frozen_now_, removed_now_);
+    announce(frozen_this_phase_, kNoRemovals);
   }
 
   /// Line (4): direct simulation of Central-Rand until every edge of
@@ -342,18 +498,14 @@ class MatchingMpcRun {
       if (result.tail_iterations > guard) {
         throw std::logic_error("matching_mpc tail: did not terminate (bug)");
       }
-      // Any active-active edge left? Scan only the residual (in-graph)
-      // vertices and arcs, with early exit.
+      // Any active-active edge left? active_nbr_cnt_ counts exactly the
+      // alive active neighbors, so scan the frontier with early exit.
       bool any_active_edge = false;
-      for (const VertexId v : residual_.alive_vertices()) {
-        if (freeze_at_[v] != kActive) continue;
-        for (const Arc& a : residual_.alive_upper_arcs(v)) {
-          if (active(a.to)) {
-            any_active_edge = true;
-            break;
-          }
+      for (const VertexId v : active_.actives()) {
+        if (active_nbr_cnt_[v] > 0) {
+          any_active_edge = true;
+          break;
         }
-        if (any_active_edge) break;
       }
       if (!any_active_edge) break;
 
@@ -361,20 +513,21 @@ class MatchingMpcRun {
       if (o_.record_trace) {
         trace_row.emplace(n_, std::numeric_limits<double>::quiet_NaN());
       }
-      std::vector<std::pair<VertexId, std::uint64_t>> frozen_now;
-      for (VertexId v = 0; v < n_; ++v) {
-        if (!active(v)) continue;
+      frozen_now_.clear();
+      for (const VertexId v : active_.actives()) {
         const double y = load_of(v, t_);
         if (trace_row) (*trace_row)[v] = y;
         const double threshold =
             central_threshold(o_.threshold_seed, v, t_, o_.eps,
                               o_.use_random_thresholds);
-        if (y >= threshold) frozen_now.push_back({v, t_});
+        if (y >= threshold) frozen_now_.push_back({v, t_});
       }
-      for (const auto& [v, tf] : frozen_now) {
+      for (const auto& [v, tf] : frozen_now_) {
         freeze_at_[v] = static_cast<std::uint32_t>(tf);
+        leave_frontier(v);
+        mark_state_change(v, /*was_active=*/true);
       }
-      announce(frozen_now, {});
+      announce(frozen_now_, kNoRemovals);
       if (trace_row) result.y_tilde_trace.push_back(std::move(*trace_row));
       ++t_;
       ++result.tail_iterations;
@@ -400,6 +553,9 @@ class MatchingMpcRun {
   /// Alive == still in G[V'] (not removed as heavy). Frozen vertices stay
   /// alive; only heavy removals kill.
   ResidualGraph residual_;
+  /// Active == alive and unfrozen — the simulation frontier. Kept in sync
+  /// at every freeze/removal.
+  ActiveSet active_;
   std::size_t machines_ = 0;
   std::size_t words_ = 0;
   std::optional<mpc::Engine> engine_;
@@ -411,6 +567,42 @@ class MatchingMpcRun {
   std::size_t last_phase_iterations_ = 0;
   std::vector<std::uint32_t> freeze_at_;
   std::vector<char> removed_;
+
+  // Dirty-load bookkeeping (see DESIGN.md).
+  std::vector<double> y_old_cache_;
+  std::vector<double> load_cache_;
+  std::vector<std::uint64_t> load_stamp_;
+  std::vector<std::uint8_t> dirty_;
+  /// Number of alive, active neighbors of each vertex.
+  std::vector<std::uint32_t> active_nbr_cnt_;
+
+  // Per-phase scratch, dense-indexed and reused across phases (no O(n)
+  // allocation after warm-up).
+  std::vector<std::uint32_t> machine_of_;
+  /// Per-vertex machine of the current phase (kNoMachine once off the
+  /// frontier) — the neighbor-side lookup of the distribute loop.
+  std::vector<std::uint32_t> phase_machine_;
+  /// Sequential partial sums of repsum_w_ (see repeated_sum).
+  std::vector<double> repsum_;
+  double repsum_w_ = 0.0;
+  std::vector<std::uint32_t> local_deg_;
+  std::vector<double> local_frozen_sum_;
+  std::optional<CsrScratch> local_adj_;
+  std::vector<std::pair<VertexId, VertexId>> local_pairs_;
+  std::vector<std::size_t> machine_edges_;
+  std::vector<std::pair<VertexId, std::uint64_t>> frozen_this_phase_;
+  std::vector<VertexId> newly_frozen_;
+  std::vector<VertexId> removed_now_;
+  std::vector<std::pair<VertexId, std::uint64_t>> frozen_now_;
+  /// Vertices frozen at the previous phase's boundary (freeze iteration ==
+  /// the next phase's t_start): the old full scan still considered them
+  /// for heavy removal one more time.
+  std::vector<VertexId> boundary_frozen_;
+  const std::vector<VertexId> kNoRemovals;
+
+  // Persistent announce staging (one vector per home machine).
+  std::vector<std::vector<Word>> announce_parts_;
+  std::vector<std::uint32_t> announce_touched_;
 };
 
 }  // namespace

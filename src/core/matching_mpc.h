@@ -84,6 +84,9 @@ struct MatchingMpcResult {
   /// any machine received, in edges (Lemma 4.7 says O(n)).
   std::vector<std::size_t> machines_per_phase;
   std::vector<std::size_t> max_local_edges_per_phase;
+  /// Per phase: active (alive and unfrozen) vertices at phase start — the
+  /// residual frontier the phase's work is proportional to.
+  std::vector<std::size_t> active_per_phase;
 
   mpc::Metrics metrics;
 

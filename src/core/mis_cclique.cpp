@@ -170,7 +170,7 @@ class MisCcliqueRun {
       }
     }
     result.window_edges_per_phase.push_back(messages.size());
-    const auto delivered = engine_.lenzen_route(std::move(messages));
+    const auto& delivered = engine_.lenzen_route(std::move(messages));
 
     std::unordered_map<VertexId, std::vector<VertexId>> adj;
     for (const Message& msg : delivered[0]) {
@@ -223,7 +223,7 @@ class MisCcliqueRun {
       }
     }
     result.final_gather_edges = messages.size();
-    const auto delivered = engine_.lenzen_route(std::move(messages));
+    const auto& delivered = engine_.lenzen_route(std::move(messages));
 
     std::unordered_map<VertexId, std::vector<VertexId>> adj;
     for (const Message& msg : delivered[0]) {

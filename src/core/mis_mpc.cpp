@@ -94,7 +94,7 @@ class MisMpcRun {
     perm_ = random_permutation(n_, rng);
     {
       std::vector<Word> payload(perm_.begin(), perm_.end());
-      mpc::broadcast(*engine_, 0, payload);
+      mpc::broadcast_view(*engine_, 0, payload);
     }
     rank_of_ = invert_permutation(perm_);
 
@@ -161,7 +161,7 @@ class MisMpcRun {
   void commit_mis_members(const std::vector<VertexId>& mis_new) {
     if (mis_new.empty()) return;
     std::vector<Word> payload(mis_new.begin(), mis_new.end());
-    mpc::broadcast(*engine_, 0, payload);
+    mpc::broadcast_view(*engine_, 0, payload);
 
     // Deaths: the members and their alive neighborhoods, announced in
     // ascending vertex order.
@@ -178,7 +178,7 @@ class MisMpcRun {
       }
     }
     const auto gathered = mpc::gather_to(*engine_, 0, dead_parts);
-    mpc::broadcast(*engine_, 0, gathered);
+    mpc::broadcast_view(*engine_, 0, gathered);
     residual_.kill_batch(died);
     for (const VertexId v : died) dying_[v] = 0;
     mis_.insert(mis_.end(), mis_new.begin(), mis_new.end());

@@ -20,12 +20,16 @@ class PathSearch {
              std::vector<char>& claimed, Rng& rng, std::size_t max_edges,
              std::size_t budget)
       : g_(g), partner_(partner), claimed_(claimed), rng_(rng),
-        max_edges_(max_edges), budget_(budget),
+        max_edges_(max_edges), full_budget_(budget),
         in_path_(g.num_vertices(), 0) {}
 
   /// Tries to find an augmenting path starting at free vertex `root`;
   /// on success the path (v0, u1, w1, ..., u_t) is left in `path_`.
+  /// The expansion budget resets per call, so one PathSearch serves a
+  /// whole pass (the O(n) in_path_ scratch is allocated once per pass,
+  /// not once per root).
   bool grow(VertexId root) {
+    budget_ = full_budget_;
     path_.clear();
     path_.push_back(root);
     in_path_[root] = 1;
@@ -76,7 +80,8 @@ class PathSearch {
   std::vector<char>& claimed_;
   Rng& rng_;
   std::size_t max_edges_;
-  std::size_t budget_;
+  std::size_t full_budget_;
+  std::size_t budget_ = 0;
   std::vector<char> in_path_;
   std::vector<VertexId> path_;
 };
@@ -91,6 +96,40 @@ void flip_path(std::vector<VertexId>& partner,
   }
 }
 
+/// Shared pass body: shuffles `free_vertices` in place with `rng`, then
+/// grows and flips disjoint augmenting paths. When `free_set` is given,
+/// the endpoints matched by a flip are deactivated (the interior of a
+/// path was already matched).
+std::size_t run_augmenting_pass(const Graph& g,
+                                std::vector<VertexId>& partner,
+                                std::size_t k, Rng& rng,
+                                std::vector<VertexId>& free_vertices,
+                                ActiveSet* free_set) {
+  // Random start order.
+  for (std::size_t i = free_vertices.size(); i > 1; --i) {
+    std::swap(free_vertices[i - 1], free_vertices[rng.next_below(i)]);
+  }
+
+  std::vector<char> claimed(g.num_vertices(), 0);
+  const std::size_t max_edges = 2 * k + 1;
+  const std::size_t budget = 200 + 40 * k * k;
+  PathSearch search(g, partner, claimed, rng, max_edges, budget);
+  std::size_t flipped = 0;
+  for (const VertexId root : free_vertices) {
+    if (claimed[root] || partner[root] != kUnmatched) continue;
+    if (search.grow(root)) {
+      flip_path(partner, search.path());
+      for (const VertexId v : search.path()) claimed[v] = 1;
+      if (free_set != nullptr) {
+        free_set->deactivate(search.path().front());
+        free_set->deactivate(search.path().back());
+      }
+      ++flipped;
+    }
+  }
+  return flipped;
+}
+
 }  // namespace
 
 std::size_t augmenting_paths_pass(const Graph& g,
@@ -102,25 +141,19 @@ std::size_t augmenting_paths_pass(const Graph& g,
   for (VertexId v = 0; v < n; ++v) {
     if (partner[v] == kUnmatched && g.degree(v) > 0) free_vertices.push_back(v);
   }
-  // Random start order.
-  for (std::size_t i = free_vertices.size(); i > 1; --i) {
-    std::swap(free_vertices[i - 1], free_vertices[rng.next_below(i)]);
-  }
+  return run_augmenting_pass(g, partner, k, rng, free_vertices, nullptr);
+}
 
-  std::vector<char> claimed(n, 0);
-  const std::size_t max_edges = 2 * k + 1;
-  const std::size_t budget = 200 + 40 * k * k;
-  std::size_t flipped = 0;
-  for (const VertexId root : free_vertices) {
-    if (claimed[root] || partner[root] != kUnmatched) continue;
-    PathSearch search(g, partner, claimed, rng, max_edges, budget);
-    if (search.grow(root)) {
-      flip_path(partner, search.path());
-      for (const VertexId v : search.path()) claimed[v] = 1;
-      ++flipped;
-    }
-  }
-  return flipped;
+std::size_t augmenting_paths_pass(const Graph& g,
+                                  std::vector<VertexId>& partner,
+                                  std::size_t k, std::uint64_t seed,
+                                  ActiveSet& free_set) {
+  Rng rng(seed);
+  // The maintained set is exactly {unmatched, degree > 0}, ascending — the
+  // same roots (and thus the same shuffle and flips) as the O(n) rescan.
+  const auto actives = free_set.actives();
+  std::vector<VertexId> free_vertices(actives.begin(), actives.end());
+  return run_augmenting_pass(g, partner, k, rng, free_vertices, &free_set);
 }
 
 bool has_short_augmenting_path(const Graph& g,
@@ -201,11 +234,18 @@ OnePlusEpsResult one_plus_eps_matching(const Graph& g,
   result.total_rounds = base_run.total_rounds;
 
   auto partner = partner_array(g, base_run.matching);
+  // Free-vertex frontier maintained across passes: augmentation only ever
+  // matches vertices, so the set shrinks monotonically and each pass costs
+  // O(free), not O(n).
+  ActiveSet free_set(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (partner[v] != kUnmatched || g.degree(v) == 0) free_set.deactivate(v);
+  }
   std::size_t stall = 0;
   for (std::size_t pass = 0; pass < max_passes && stall < stall_limit;
        ++pass) {
     const std::size_t flipped = augmenting_paths_pass(
-        g, partner, k, mix64(options.seed, 0xcc, pass));
+        g, partner, k, mix64(options.seed, 0xcc, pass), free_set);
     ++result.augmenting_passes;
     result.paths_flipped += flipped;
     result.total_rounds += 2 * k + 2;  // one pass is O(k) model rounds

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/integral_matching.h"
+#include "graph/active_set.h"
 #include "graph/graph.h"
 
 namespace mpcg {
@@ -54,6 +55,16 @@ struct OnePlusEpsResult {
 std::size_t augmenting_paths_pass(const Graph& g,
                                   std::vector<VertexId>& partner,
                                   std::size_t k, std::uint64_t seed);
+
+/// The driver-loop variant: draws the pass's roots from `free_set` (the
+/// still-unmatched vertices with positive degree, maintained incrementally
+/// across passes — augmentation only ever shrinks it) instead of an O(n)
+/// rescan, and deactivates the endpoints it matches. Behaviorally identical
+/// to the O(n)-scan overload for a consistently maintained set.
+std::size_t augmenting_paths_pass(const Graph& g,
+                                  std::vector<VertexId>& partner,
+                                  std::size_t k, std::uint64_t seed,
+                                  ActiveSet& free_set);
 
 /// Exhaustive bounded-depth check (blossom-unaware; may overcount on odd
 /// structures but never misses a simple short path on the graphs the tests

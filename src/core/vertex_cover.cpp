@@ -12,6 +12,7 @@ VertexCoverResult minimum_vertex_cover_mpc(const Graph& g,
   result.dual_certificate = fractional_weight(run.x);
   result.rounds = run.metrics.rounds;
   result.phases = run.phases;
+  result.frontier_per_phase = run.active_per_phase;
   return result;
 }
 

@@ -21,6 +21,10 @@ struct VertexCoverResult {
   double dual_certificate = 0.0;
   std::size_t rounds = 0;
   std::size_t phases = 0;
+  /// Active frontier at each phase start of the underlying MPC-Simulation
+  /// run — the per-phase cost driver after the ActiveSet port (shrinks as
+  /// vertices freeze into the cover).
+  std::vector<std::size_t> frontier_per_phase;
 };
 
 /// (2 + 50 eps)-approximate minimum vertex cover in O(log log n) MPC

@@ -6,6 +6,7 @@
 
 #include "baselines/israeli_itai.h"
 #include "baselines/lmsv_filtering.h"
+#include "graph/active_set.h"
 #include "graph/validation.h"
 #include "util/rng.h"
 
@@ -52,15 +53,18 @@ WeightedMatchingResult weighted_matching(const Graph& g,
   result.num_classes = classes.size();
 
   // Heaviest class first: maximal matching among still-free vertices via
-  // the filtering subroutine on the class subgraph.
-  std::vector<char> matched(n, 0);
+  // the filtering subroutine on the class subgraph. The free frontier only
+  // shrinks; once fewer than two vertices remain free, no lighter class
+  // can contribute an edge and the sweep stops early.
+  ActiveSet free_set(n);
   for (std::size_t j = 0; j < classes.size(); ++j) {
     if (classes[j].empty()) continue;
+    if (free_set.size() < 2) break;
     GraphBuilder builder(n);
     std::size_t usable = 0;
     for (const EdgeId e : classes[j]) {
       const Edge ed = g.edge(e);
-      if (!matched[ed.u] && !matched[ed.v]) {
+      if (free_set.active(ed.u) && free_set.active(ed.v)) {
         builder.add_edge(ed.u, ed.v);
         ++usable;
       }
@@ -81,8 +85,8 @@ WeightedMatchingResult weighted_matching(const Graph& g,
     }
     for (const EdgeId ce : class_matching) {
       const Edge ed = class_graph.edge(ce);
-      matched[ed.u] = 1;
-      matched[ed.v] = 1;
+      free_set.deactivate(ed.u);
+      free_set.deactivate(ed.v);
       const EdgeId parent = g.find_edge(ed.u, ed.v);
       result.matching.push_back(parent);
       result.weight += weights[parent];

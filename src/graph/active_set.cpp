@@ -1,0 +1,33 @@
+#include "graph/active_set.h"
+
+namespace mpcg {
+
+ActiveSet::ActiveSet(std::size_t n)
+    : active_(n, 1), list_(n), list_end_(n), count_(n), dense_(n, 0) {
+  for (VertexId v = 0; v < n; ++v) list_[v] = v;
+}
+
+std::span<const VertexId> ActiveSet::actives() {
+  std::size_t read = 0;
+  while (read < list_end_ && active_[list_[read]]) ++read;
+  if (read < list_end_) {
+    std::size_t write = read;
+    for (++read; read < list_end_; ++read) {
+      const VertexId v = list_[read];
+      if (active_[v]) list_[write++] = v;
+    }
+    list_end_ = write;
+  }
+  return {list_.data(), list_end_};
+}
+
+std::span<const VertexId> ActiveSet::remap() {
+  const auto compacted = actives();
+  snapshot_.assign(compacted.begin(), compacted.end());
+  for (std::uint32_t i = 0; i < snapshot_.size(); ++i) {
+    dense_[snapshot_[i]] = i;
+  }
+  return {snapshot_.data(), snapshot_.size()};
+}
+
+}  // namespace mpcg

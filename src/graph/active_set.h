@@ -1,0 +1,108 @@
+// Incrementally maintained active-vertex set with a per-phase dense remap.
+//
+// The matching driver (Section 4.3) and its dependants repeatedly shrink an
+// *active* frontier: vertices freeze or are removed, never the reverse. The
+// paper's charging argument prices each phase at the size of the still-active
+// frontier, so the drivers must be able to (a) iterate exactly the active
+// vertices, (b) deactivate in O(1), and (c) size per-phase scratch to the
+// phase's active count instead of n.
+//
+// ActiveSet provides all three:
+//   - an active flag per vertex and an O(1), idempotent deactivate();
+//   - a lazily compacted active list: actives() returns the active vertices
+//     in ascending id order, paying for each deactivated entry at most once,
+//     ever (the same discipline as ResidualGraph::alive_vertices);
+//   - a dense-index remap: remap() snapshots the current actives into a
+//     stable buffer and assigns dense ids 0..k-1 in ascending vertex order,
+//     so per-phase scratch (machine assignments, local degrees, local
+//     adjacency) can be vectors of length k that are reused across phases.
+//     The snapshot and the dense ids stay valid across later deactivations
+//     and actives() compactions, until the next remap().
+//
+// Iteration order is stable (always ascending vertex id), which is what lets
+// drivers that sum floating-point contributions while iterating actives keep
+// bit-identical results after porting (see DESIGN.md, "ActiveSet &
+// dirty-load bookkeeping").
+#ifndef MPCG_GRAPH_ACTIVE_SET_H
+#define MPCG_GRAPH_ACTIVE_SET_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcg {
+
+class ActiveSet {
+ public:
+  /// All `n` vertices start active.
+  explicit ActiveSet(std::size_t n);
+
+  [[nodiscard]] std::size_t universe_size() const noexcept {
+    return active_.size();
+  }
+
+  /// Number of currently active vertices. O(1).
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+  [[nodiscard]] bool active(VertexId v) const noexcept {
+    return active_[v] != 0;
+  }
+
+  /// O(1); no-op if already inactive. There is no reactivate: the frontier
+  /// only shrinks, which is what makes the lazy compaction amortized-free.
+  void deactivate(VertexId v) noexcept {
+    if (active_[v]) {
+      active_[v] = 0;
+      --count_;
+    }
+  }
+
+  /// Currently active vertices, ascending by id. Compacts lazily: each
+  /// deactivated entry is paid for at most once. The span is valid until
+  /// the next actives() or remap() call; deactivations during iteration do
+  /// not invalidate it but leave stale entries the caller must filter with
+  /// active().
+  [[nodiscard]] std::span<const VertexId> actives();
+
+  /// Compacts like actives(), snapshots the result into a separate stable
+  /// buffer, and assigns dense indices 0..k-1 in ascending vertex order.
+  /// The returned span (the snapshot) and dense_index()/vertex_at() stay
+  /// valid across subsequent deactivations and actives() calls, until the
+  /// next remap() — this is the per-phase contract: scratch indexed by
+  /// dense id survives mid-phase deactivations.
+  std::span<const VertexId> remap();
+
+  /// Dense index assigned at the last remap(). Only meaningful for vertices
+  /// that were active then.
+  [[nodiscard]] std::uint32_t dense_index(VertexId v) const noexcept {
+    return dense_[v];
+  }
+
+  /// Inverse of dense_index, into the last remap()'s snapshot.
+  [[nodiscard]] VertexId vertex_at(std::uint32_t dense) const noexcept {
+    return snapshot_[dense];
+  }
+
+  /// Size of the last remap()'s snapshot (k).
+  [[nodiscard]] std::size_t dense_size() const noexcept {
+    return snapshot_.size();
+  }
+
+ private:
+  std::vector<char> active_;
+  /// Lazily compacted active list (ascending id); entries beyond list_end_
+  /// are garbage.
+  std::vector<VertexId> list_;
+  std::size_t list_end_ = 0;
+  std::size_t count_ = 0;
+  /// Last remap()'s actives (ascending) — the dense->vertex map.
+  std::vector<VertexId> snapshot_;
+  /// vertex -> dense index at last remap (stale for then-inactive vertices).
+  std::vector<std::uint32_t> dense_;
+};
+
+}  // namespace mpcg
+
+#endif  // MPCG_GRAPH_ACTIVE_SET_H

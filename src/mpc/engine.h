@@ -241,6 +241,15 @@ class Engine {
   /// exchange (see InboxView for the ordering contract and lifetime).
   [[nodiscard]] InboxView inbox_view(std::size_t machine) const;
 
+  /// The stored words of a payload delivered by the most recent exchange(),
+  /// addressed by the PayloadId stage_payload returned before it. Aliases
+  /// engine-owned storage: valid until the next exchange() or
+  /// clear_inboxes(). This is how span-returning collectives
+  /// (mpc::broadcast_view) hand out the delivered payload without a copy.
+  [[nodiscard]] std::span<const Word> delivered_payload(PayloadId id) const {
+    return delivered_payloads_.at(id);
+  }
+
   /// Words delivered to `machine` by the most recent exchange, concatenated
   /// in sender order (sender ids ascending; each sender's words in push
   /// order). Compatibility shim over inbox_view: rounds that carried no

@@ -6,14 +6,20 @@ namespace mpcg::mpc {
 
 std::vector<Word> broadcast(Engine& engine, std::size_t root,
                             std::span<const Word> payload) {
+  std::vector<Word> copy(payload.begin(), payload.end());
+  broadcast_view(engine, root, copy);
+  return copy;
+}
+
+std::span<const Word> broadcast_view(Engine& engine, std::size_t root,
+                                     std::span<const Word> payload) {
   const std::size_t m = engine.num_machines();
   if (payload.size() > engine.capacity() && engine.strict()) {
     // Non-strict mode proceeds; the per-round exchange checks tally the
     // violations so under-provisioning is observable, not fatal.
     throw CapacityError("broadcast payload exceeds machine memory");
   }
-  std::vector<Word> copy(payload.begin(), payload.end());
-  if (m == 1) return copy;
+  if (m == 1) return payload;
 
   // Relay tree over machine ids reordered so the root is position 0.
   // Position p holds the payload once informed; each informed position
@@ -30,12 +36,13 @@ std::vector<Word> broadcast(Engine& engine, std::size_t root,
 
   std::vector<std::size_t> dests;
   std::size_t informed = 1;
+  PayloadId pid = 0;
   while (informed < m) {
     // One stored copy per round, shared by every relay: each relay's sends
     // are (destination, payload-id) descriptors, so a round moves O(k)
     // simulator words no matter the fan-out — the engine still charges
     // every relay k words per destination.
-    const PayloadId pid = engine.stage_payload(copy);
+    pid = engine.stage_payload(payload);
     const std::size_t senders = informed;
     std::size_t next = informed;
     for (std::size_t s = 0; s < senders && next < m; ++s) {
@@ -48,7 +55,8 @@ std::vector<Word> broadcast(Engine& engine, std::size_t root,
     engine.exchange();
     informed = next;
   }
-  return copy;
+  // The last relay round's stored copy is what every machine now holds.
+  return engine.delivered_payload(pid);
 }
 
 std::vector<Word> gather_to(Engine& engine, std::size_t root,
@@ -105,7 +113,7 @@ std::uint64_t all_reduce_sum(Engine& engine,
   std::uint64_t total = 0;
   for (const Word w : gathered) total += w;
   const Word payload[] = {total};
-  broadcast(engine, 0, payload);
+  broadcast_view(engine, 0, payload);
   return total;
 }
 
@@ -120,7 +128,7 @@ std::uint64_t all_reduce_max(Engine& engine,
   std::uint64_t best = 0;
   for (const Word w : gathered) best = std::max(best, w);
   const Word payload[] = {best};
-  broadcast(engine, 0, payload);
+  broadcast_view(engine, 0, payload);
   return best;
 }
 

@@ -28,6 +28,16 @@ namespace mpcg::mpc {
 std::vector<Word> broadcast(Engine& engine, std::size_t root,
                             std::span<const Word> payload);
 
+/// broadcast() without the materialized return value: identical relay
+/// schedule, rounds, and Metrics, but the result is a zero-copy view of the
+/// delivered payload. The span aliases engine-owned storage and is valid
+/// until the next exchange() or clear_inboxes() — except on single-machine
+/// clusters, where no exchange happens and the input span itself is
+/// returned (valid as long as the caller's payload). Callers that must hold
+/// the words across rounds should use broadcast().
+std::span<const Word> broadcast_view(Engine& engine, std::size_t root,
+                                     std::span<const Word> payload);
+
 /// All-to-one gather: machine i contributes `parts[i]`; returns the
 /// concatenation (in machine order) as received by `root`. One round.
 /// The gathered size is charged to root's storage. Parts travel as shared

@@ -34,19 +34,23 @@ std::vector<std::vector<Word>> distributed_sort(
   auto samples = gather_to(engine, 0, sample_parts);
   std::sort(samples.begin(), samples.end());
 
-  // Leader picks m-1 splitters; round(s) 2: broadcast them.
+  // Leader picks m-1 splitters; round(s) 2: broadcast them. The view
+  // aliases the delivered payload (no copy back into a vector); it stays
+  // valid through the push loop below and dies at that exchange.
   std::vector<Word> splitters;
   if (!samples.empty()) {
     for (std::size_t k = 1; k < m; ++k) {
       splitters.push_back(samples[k * samples.size() / m]);
     }
   }
-  splitters = broadcast(engine, 0, splitters);
+  const std::span<const Word> splitter_view =
+      broadcast_view(engine, 0, splitters);
 
   // Round 3: route each element to its bucket machine.
   const auto bucket_of = [&](Word w) {
-    const auto it = std::upper_bound(splitters.begin(), splitters.end(), w);
-    return static_cast<std::size_t>(it - splitters.begin());
+    const auto it =
+        std::upper_bound(splitter_view.begin(), splitter_view.end(), w);
+    return static_cast<std::size_t>(it - splitter_view.begin());
   };
   for (std::size_t i = 0; i < m; ++i) {
     for (const Word w : local[i]) {

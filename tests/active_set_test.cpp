@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/active_set.h"
+#include "util/rng.h"
+
+namespace mpcg {
+namespace {
+
+TEST(ActiveSet, StartsAllActive) {
+  ActiveSet s(5);
+  EXPECT_EQ(s.universe_size(), 5U);
+  EXPECT_EQ(s.size(), 5U);
+  const auto all = s.actives();
+  ASSERT_EQ(all.size(), 5U);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_TRUE(s.active(v));
+    EXPECT_EQ(all[v], v);
+  }
+}
+
+TEST(ActiveSet, DeactivateIsIdempotent) {
+  ActiveSet s(4);
+  s.deactivate(2);
+  s.deactivate(2);
+  EXPECT_EQ(s.size(), 3U);
+  EXPECT_FALSE(s.active(2));
+  const auto a = s.actives();
+  EXPECT_EQ(std::vector<VertexId>(a.begin(), a.end()),
+            (std::vector<VertexId>{0, 1, 3}));
+}
+
+TEST(ActiveSet, ActivesStayAscendingUnderArbitraryKillOrder) {
+  ActiveSet s(10);
+  for (const VertexId v : {7, 0, 9, 3}) s.deactivate(v);
+  const auto a = s.actives();
+  EXPECT_EQ(std::vector<VertexId>(a.begin(), a.end()),
+            (std::vector<VertexId>{1, 2, 4, 5, 6, 8}));
+}
+
+TEST(ActiveSet, RemapAssignsAscendingDenseIds) {
+  ActiveSet s(6);
+  s.deactivate(1);
+  s.deactivate(4);
+  const auto snap = s.remap();
+  ASSERT_EQ(snap.size(), 4U);
+  EXPECT_EQ(s.dense_size(), 4U);
+  const VertexId expected[] = {0, 2, 3, 5};
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap[i], expected[i]);
+    EXPECT_EQ(s.dense_index(expected[i]), i);
+    EXPECT_EQ(s.vertex_at(i), expected[i]);
+  }
+}
+
+TEST(ActiveSet, SnapshotSurvivesLaterDeactivationsAndCompactions) {
+  // The per-phase contract: dense ids and the snapshot must stay valid
+  // while the frontier keeps shrinking and actives() keeps compacting.
+  ActiveSet s(8);
+  const auto snap = s.remap();
+  ASSERT_EQ(snap.size(), 8U);
+  s.deactivate(3);
+  s.deactivate(6);
+  (void)s.actives();  // forces a compaction of the live list
+  s.deactivate(0);
+  const auto live = s.actives();
+  EXPECT_EQ(std::vector<VertexId>(live.begin(), live.end()),
+            (std::vector<VertexId>{1, 2, 4, 5, 7}));
+  // Snapshot still maps every phase-start vertex, active or not.
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_EQ(snap[s.dense_index(v)], v);
+    EXPECT_EQ(s.vertex_at(s.dense_index(v)), v);
+  }
+}
+
+TEST(ActiveSet, EmptyUniverse) {
+  ActiveSet s(0);
+  EXPECT_EQ(s.size(), 0U);
+  EXPECT_TRUE(s.actives().empty());
+  EXPECT_TRUE(s.remap().empty());
+}
+
+TEST(ActiveSet, DrainCompletely) {
+  ActiveSet s(3);
+  for (VertexId v = 0; v < 3; ++v) s.deactivate(v);
+  EXPECT_EQ(s.size(), 0U);
+  EXPECT_TRUE(s.actives().empty());
+  EXPECT_TRUE(s.remap().empty());
+  EXPECT_EQ(s.dense_size(), 0U);
+}
+
+/// Randomized coupling against the naive full-scan model: a plain flag
+/// array re-scanned from scratch must agree with the incremental structure
+/// after every operation batch.
+TEST(ActiveSet, RandomizedCouplingVsNaiveModel) {
+  Rng rng(0xac71);
+  for (std::size_t trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.next_below(300);
+    ActiveSet s(n);
+    std::vector<char> model(n, 1);
+
+    while (true) {
+      // A batch of random deactivations (possibly repeats / already-dead).
+      const std::size_t batch = rng.next_below(n / 2 + 2);
+      for (std::size_t i = 0; i < batch; ++i) {
+        const VertexId v = static_cast<VertexId>(rng.next_below(n));
+        s.deactivate(v);
+        model[v] = 0;
+      }
+
+      std::vector<VertexId> expected;
+      for (VertexId v = 0; v < n; ++v) {
+        if (model[v]) expected.push_back(v);
+      }
+      ASSERT_EQ(s.size(), expected.size());
+      for (VertexId v = 0; v < n; ++v) {
+        ASSERT_EQ(s.active(v), model[v] != 0);
+      }
+
+      // Alternate between plain iteration and the dense remap.
+      if (rng.next_below(2) == 0) {
+        const auto a = s.actives();
+        ASSERT_EQ(std::vector<VertexId>(a.begin(), a.end()), expected);
+      } else {
+        const auto snap = s.remap();
+        ASSERT_EQ(std::vector<VertexId>(snap.begin(), snap.end()), expected);
+        ASSERT_EQ(s.dense_size(), expected.size());
+        for (std::uint32_t i = 0; i < expected.size(); ++i) {
+          ASSERT_EQ(s.dense_index(expected[i]), i);
+          ASSERT_EQ(s.vertex_at(i), expected[i]);
+        }
+      }
+      if (expected.empty()) break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpcg

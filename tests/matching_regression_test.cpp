@@ -1,0 +1,127 @@
+// Bit-identity regression for the ActiveSet / dirty-load port of
+// matching_mpc (PR 3): the driver's per-phase loops moved from 0..n scans
+// onto the incrementally maintained active frontier, and the home-side load
+// sums (y_old, load_of) became cached with dirty-bit invalidation. Those
+// are representation/scheduling changes only — every recomputation uses the
+// same ascending alive-arc scan, so outputs (x bit patterns), freeze
+// iterations, covers, AND engine Metrics must be byte-identical to the
+// pre-ActiveSet implementation.
+//
+// The constants below were produced by the PR 2 code for these exact
+// (family, n, seed) rows; a mismatch means observable behavior changed,
+// which must be deliberate. Sizes 2^12-2^14 exercise multiple phases, the
+// direct-simulation tail, heavy removals (gnp_dense), skewed degrees
+// (rmat), and the adversarial-hub profile (star, which freezes the hub and
+// ends with an empty tail).
+#include <gtest/gtest.h>
+
+#include "core/matching_mpc.h"
+#include "gen/families.h"
+
+namespace mpcg {
+namespace {
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct GoldenRow {
+  const char* family;
+  std::size_t n;
+  std::uint64_t seed;
+  std::size_t num_edges;
+  std::uint64_t x_hash;
+  std::size_t phases;
+  std::size_t total_iterations;
+  std::size_t tail_iterations;
+  std::size_t cover_size;
+  std::uint64_t cover_hash;
+  std::uint64_t freeze_hash;
+  struct {
+    std::size_t rounds;
+    std::size_t max_sent_words;
+    std::size_t max_received_words;
+    std::size_t peak_storage_words;
+    std::size_t violations;
+    std::size_t total_words;
+  } metrics;
+};
+
+// Captured from the PR 2 implementation (pre-ActiveSet) on this machine;
+// all values are platform-stable given IEEE doubles and fixed seeds.
+constexpr GoldenRow kGolden[] = {
+    {"gnp_sparse", 4096, 101, 12181U, 12922030869467019367ULL,
+     8U, 78U, 31U, 3012U, 4332438979687381650ULL, 18417938390521569846ULL,
+     {82U, 16569U, 1071U, 1071U, 0U, 233365U}},
+    {"gnp_dense", 4096, 102, 49474U, 146006109121181125ULL,
+     8U, 69U, 22U, 3817U, 2369953190310012817ULL, 5806318738234059933ULL,
+     {77U, 32725U, 1843U, 2391U, 0U, 305849U}},
+    {"rmat", 8192, 103, 32525U, 10841750103776352437ULL,
+     9U, 86U, 31U, 4134U, 11171903701852610807ULL, 12885608955351545342ULL,
+     {107U, 25650U, 1954U, 1954U, 0U, 468611U}},
+    {"star", 4096, 104, 4095U, 13133939332728329646ULL,
+     8U, 47U, 0U, 1U, 3554543661169652019ULL, 14091693007061396455ULL,
+     {26U, 146U, 710U, 4501U, 0U, 33401U}},
+    {"gnp_sparse", 16384, 105, 49223U, 12830451449563884107ULL,
+     9U, 93U, 33U, 12062U, 16332650029927574920ULL, 16105157543872013877ULL,
+     {94U, 130781U, 4263U, 4263U, 0U, 1720711U}},
+};
+
+class MatchingRegression : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MatchingRegression, BitIdenticalToPreActiveSetPath) {
+  const GoldenRow& row = kGolden[GetParam()];
+  const Graph g = graph_family(row.family, row.n, row.seed);
+  ASSERT_EQ(g.num_edges(), row.num_edges);
+
+  MatchingMpcOptions opt;
+  opt.eps = 0.1;
+  opt.seed = row.seed;
+  opt.threshold_seed = row.seed + 1;
+  const auto r = matching_mpc(g, opt);
+
+  EXPECT_EQ(r.phases, row.phases);
+  EXPECT_EQ(r.total_iterations, row.total_iterations);
+  EXPECT_EQ(r.tail_iterations, row.tail_iterations);
+  EXPECT_EQ(r.cover.size(), row.cover_size);
+  EXPECT_EQ(fnv1a(r.x.data(), r.x.size() * sizeof(double)), row.x_hash);
+  EXPECT_EQ(fnv1a(r.cover.data(), r.cover.size() * sizeof(VertexId)),
+            row.cover_hash);
+  EXPECT_EQ(fnv1a(r.freeze_iteration.data(),
+                  r.freeze_iteration.size() * sizeof(std::uint32_t)),
+            row.freeze_hash);
+
+  EXPECT_EQ(r.metrics.rounds, row.metrics.rounds);
+  EXPECT_EQ(r.metrics.max_sent_words, row.metrics.max_sent_words);
+  EXPECT_EQ(r.metrics.max_received_words, row.metrics.max_received_words);
+  EXPECT_EQ(r.metrics.peak_storage_words, row.metrics.peak_storage_words);
+  EXPECT_EQ(r.metrics.violations, row.metrics.violations);
+  EXPECT_EQ(r.metrics.total_words, row.metrics.total_words);
+
+  // Structural sanity of the new frontier telemetry: one entry per phase,
+  // non-increasing (the frontier only shrinks), starting at n.
+  ASSERT_EQ(r.active_per_phase.size(), r.phases);
+  for (std::size_t p = 0; p + 1 < r.active_per_phase.size(); ++p) {
+    EXPECT_GE(r.active_per_phase[p], r.active_per_phase[p + 1]);
+  }
+  if (!r.active_per_phase.empty()) {
+    EXPECT_EQ(r.active_per_phase.front(), g.num_vertices());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, MatchingRegression,
+                         ::testing::Range<std::size_t>(0, std::size(kGolden)),
+                         [](const auto& info) {
+                           const GoldenRow& row = kGolden[info.param];
+                           return std::string(row.family) + "_" +
+                                  std::to_string(row.n);
+                         });
+
+}  // namespace
+}  // namespace mpcg

@@ -66,18 +66,30 @@ def aggregate(rows):
 
 
 def print_table(series_by_file, families):
+    # The first input file is the baseline: every later file's rows get a
+    # per-PR speedup column (baseline wall_ms / this wall_ms for the same
+    # benchmark name, min-of-N on both sides).
+    labels = list(series_by_file)
+    baseline = series_by_file[labels[0]] if labels else {}
     header = f"{'family/name':<40} {'file':<20} {'n':>10} {'rounds':>8} " \
-             f"{'wall_ms':>12} {'peak_words':>12}"
+             f"{'wall_ms':>12} {'peak_words':>12} {'speedup':>8}"
     print(header)
     print("-" * len(header))
     for fam in families:
         for label, best in series_by_file.items():
             for name, row in sorted(best.get(fam, {}).items(),
                                     key=lambda kv: kv[1].get("n", 0)):
+                base_row = baseline.get(fam, {}).get(name)
+                wall = row.get("wall_ms", 0.0)
+                if label == labels[0] or base_row is None or wall <= 0.0:
+                    speedup = ""
+                else:
+                    speedup = f"{base_row.get('wall_ms', 0.0) / wall:.2f}x"
                 print(f"{name:<40} {label:<20} {row.get('n', 0):>10} "
                       f"{row.get('rounds', 0):>8} "
-                      f"{row.get('wall_ms', 0.0):>12.3f} "
-                      f"{row.get('peak_words', 0):>12}")
+                      f"{wall:>12.3f} "
+                      f"{row.get('peak_words', 0):>12} "
+                      f"{speedup:>8}")
 
 
 def plot(series_by_file, families, out_dir):
