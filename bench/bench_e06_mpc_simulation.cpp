@@ -75,6 +75,58 @@ BENCHMARK(E06_PhasesVsN)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// Frontier-decay rows: workloads whose active frontier collapses early
+// (rmat's skewed degrees, star's hub freeze) rather than staying ~full
+// until the tail like gnp. Phase edge work is ActiveArcs-proportional, so
+// these rows are where the second-level compaction shows: the per-phase
+// frontier-arc counters report how fast the scanned edge set shrinks
+// relative to the (alive) edge set a frontier-insensitive scan would keep
+// touching.
+void E06_FrontierDecay(benchmark::State& state, const char* family) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = graph_family(family, n, 19);
+  MatchingMpcResult r;
+  double wall_ms = 0.0;
+  for (auto _ : state) {
+    const WallTimer timer;
+    r = matching_mpc(g, opts(19));
+    wall_ms = timer.elapsed_ms();
+    benchmark::DoNotOptimize(r.x.data());
+  }
+  emit_json_line(std::string("E06_FrontierDecay/") + family + "/" +
+                     std::to_string(n),
+                 n, g.num_edges(), r.metrics.rounds, wall_ms,
+                 r.metrics.peak_storage_words);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["phases"] = static_cast<double>(r.phases);
+  state.counters["engine_rounds"] = static_cast<double>(r.metrics.rounds);
+  // Per-phase frontier-arc telemetry: total arcs the distribute loops
+  // scanned across the run, versus what a full alive-arc rescan per phase
+  // would have cost — the ActiveArcs win is the ratio.
+  std::size_t frontier_arc_total = 0;
+  for (const std::size_t e : r.frontier_edges_per_phase) {
+    frontier_arc_total += e;
+  }
+  state.counters["frontier_arcs_total"] =
+      static_cast<double>(frontier_arc_total);
+  state.counters["full_rescan_arcs"] =
+      static_cast<double>(g.num_edges() * r.phases);
+  state.counters["frontier_arc_fraction"] =
+      r.phases == 0 ? 1.0
+                    : static_cast<double>(frontier_arc_total) /
+                          static_cast<double>(g.num_edges() * r.phases);
+  if (!r.frontier_edges_per_phase.empty()) {
+    state.counters["frontier_edges_first_phase"] =
+        static_cast<double>(r.frontier_edges_per_phase.front());
+    state.counters["frontier_edges_last_phase"] =
+        static_cast<double>(r.frontier_edges_per_phase.back());
+  }
+  if (!r.active_per_phase.empty()) {
+    state.counters["frontier_last_phase"] =
+        static_cast<double>(r.active_per_phase.back());
+  }
+}
+
 void E06_Approximation(benchmark::State& state, const char* family) {
   const Graph g = graph_family(family, 1 << 10, 17);
   MatchingMpcResult r;
@@ -112,6 +164,17 @@ void register_all() {
     benchmark::RegisterBenchmark(
         (std::string("E06_Approximation/") + family).c_str(),
         [family](benchmark::State& s) { E06_Approximation(s, family); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  // Frontier-decay workloads (see E06_FrontierDecay): 2^18 is the CI smoke
+  // size, 2^20 the headline row next to the gnp 2^20 one.
+  for (const char* family : {"rmat", "star", "power_law"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("E06_FrontierDecay/") + family).c_str(),
+        [family](benchmark::State& s) { E06_FrontierDecay(s, family); })
+        ->Arg(1 << 18)
+        ->Arg(1 << 20)
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
   }

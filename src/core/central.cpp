@@ -1,5 +1,6 @@
 #include "core/central.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -11,8 +12,34 @@ double central_threshold(std::uint64_t threshold_seed, VertexId v,
                          std::uint64_t t, double eps,
                          bool random_thresholds) {
   if (!random_thresholds) return 1.0 - 2.0 * eps;
-  const double u = stateless_uniform(threshold_seed, v, t);
-  return (1.0 - 4.0 * eps) + 2.0 * eps * u;
+  // stateless_uniform(s, v, t) reads mix64(s, v, t) = mix64(mix64(s, v), t),
+  // so routing through the split helper is the identical draw.
+  return central_threshold_from_mix(mix64(threshold_seed, v), t, eps);
+}
+
+ThresholdBatch::ThresholdBatch(std::uint64_t threshold_seed, double eps,
+                               bool random_thresholds,
+                               std::size_t num_vertices)
+    : eps_(eps), fixed_(1.0 - 2.0 * eps), random_(random_thresholds) {
+  if (random_) {
+    vertex_mix_.resize(num_vertices);
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      vertex_mix_[v] = mix64(threshold_seed, v);
+    }
+  }
+}
+
+void ThresholdBatch::fill(std::span<const VertexId> vertices, std::uint64_t t,
+                          std::vector<double>& out) const {
+  out.resize(vertices.size());
+  if (!random_) {
+    std::fill(out.begin(), out.end(), fixed_);
+    return;
+  }
+  const std::uint64_t* mix = vertex_mix_.data();
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    out[i] = central_threshold_from_mix(mix[vertices[i]], t, eps_);
+  }
 }
 
 CentralResult central_fractional_matching(const Graph& g,

@@ -22,9 +22,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/rng.h"
 
 namespace mpcg {
 
@@ -69,6 +71,62 @@ struct CentralResult {
 [[nodiscard]] double central_threshold(std::uint64_t threshold_seed,
                                        VertexId v, std::uint64_t t,
                                        double eps, bool random_thresholds);
+
+/// The random-threshold draw split at its two-level hash: `vertex_mix` is
+/// mix64(threshold_seed, v) — constant across iterations — and only the
+/// second-level mix with t happens here. Because mix64(s, v, t) is defined
+/// as mix64(mix64(s, v), t), this is bit-for-bit the same T_{v,t} as
+/// central_threshold with random_thresholds — the identity ThresholdBatch
+/// relies on (this function is the single definition both paths compile).
+[[nodiscard]] inline double central_threshold_from_mix(
+    std::uint64_t vertex_mix, std::uint64_t t, double eps) noexcept {
+  const double u =
+      static_cast<double>(mix64(vertex_mix, t) >> 11) * 0x1.0p-53;
+  return (1.0 - 4.0 * eps) + 2.0 * eps * u;
+}
+
+/// Cached evaluation of the threshold stream T_{v,t}: the per-vertex
+/// first-level mix is computed once at construction, so every draw costs
+/// one second-level hash instead of the two-level mix64(seed, v, t)
+/// re-derivation of a scattered central_threshold call. The matching
+/// driver draws through threshold() for the (floor-filtered) candidates
+/// of each iteration; fill() is the whole-span form for consumers that
+/// want an iteration's draws in one pass. With fixed thresholds (Central
+/// rather than Central-Rand) no cache is built and every draw is the
+/// constant.
+class ThresholdBatch {
+ public:
+  ThresholdBatch(std::uint64_t threshold_seed, double eps,
+                 bool random_thresholds, std::size_t num_vertices);
+
+  /// out[i] = T_{vertices[i], t}, resized to vertices.size(). Bit-identical
+  /// to calling central_threshold per vertex.
+  void fill(std::span<const VertexId> vertices, std::uint64_t t,
+            std::vector<double>& out) const;
+
+  /// Single draw through the cache (candidate evaluation after the floor
+  /// filter; one second-level hash).
+  [[nodiscard]] double threshold(VertexId v, std::uint64_t t) const noexcept {
+    if (!random_) return fixed_;
+    return central_threshold_from_mix(vertex_mix_[v], t, eps_);
+  }
+
+  /// Smallest value any draw of this stream can take: 1-4eps for the
+  /// random stream (T = (1-4eps) + 2eps*u with u >= 0 never rounds below
+  /// the base), 1-2eps fixed. A load strictly below this floor loses the
+  /// `load >= T` comparison for every possible draw, so the draw can be
+  /// skipped without sampling it — the stream is stateless, skipped draws
+  /// change nothing downstream (the driver's floor filter).
+  [[nodiscard]] double lower_bound() const noexcept {
+    return random_ ? 1.0 - 4.0 * eps_ : fixed_;
+  }
+
+ private:
+  std::vector<std::uint64_t> vertex_mix_;
+  double eps_;
+  double fixed_;
+  bool random_;
+};
 
 }  // namespace mpcg
 

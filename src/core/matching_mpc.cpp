@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 
 #include "core/central.h"
+#include "graph/active_arcs.h"
 #include "graph/active_set.h"
 #include "graph/residual.h"
 #include "mpc/primitives.h"
+#include "util/memory.h"
 #include "util/rng.h"
 
 namespace mpcg {
@@ -23,15 +26,26 @@ constexpr std::uint32_t kActive = MatchingMpcResult::kActive;
 // frontier (ActiveSet) instead of 0..n, per-phase scratch is sized to the
 // phase's active count via the dense remap and reused across phases, and
 // the home-side load sums (y_old, load_of) are cached with dirty-bit
-// bookkeeping. Every recomputation is the same ascending alive-arc scan as
-// the pre-ActiveSet implementation, so all floating-point sums keep their
-// summation order and outputs/freeze times/Metrics are bit-identical (see
-// DESIGN.md, "ActiveSet & dirty-load bookkeeping"; pinned by
+// bookkeeping. Per-phase *edge* work rides ActiveArcs, the second-level
+// compaction that squeezes frozen neighbors out of the arc lists: the
+// distribute loop iterates only frontier-internal arcs, the y_old rescan
+// iterates only the frozen complement, and the departure walks (the
+// announce batches) touch only still-active neighbors. Thresholds are
+// drawn through ThresholdBatch's cached per-vertex first-level mix — and
+// only for floor-clearing candidates — instead of scattered two-level
+// hashes. Every recomputation keeps the ascending neighbor order of the
+// pre-port alive-arc scan (the frozen scan performs exactly the additions
+// the old `if (frozen)` filter performed), so all floating-point sums keep
+// their summation order and outputs/freeze times/Metrics are bit-identical
+// (see DESIGN.md, "ActiveArcs & batched thresholds"; pinned by
 // tests/matching_regression_test.cpp).
 class MatchingMpcRun {
  public:
   MatchingMpcRun(const Graph& g, const MatchingMpcOptions& options)
-      : g_(g), o_(options), n_(g.num_vertices()), residual_(g), active_(n_) {
+      : g_(g), o_(options), n_(g.num_vertices()), residual_(g), active_(n_),
+        active_arcs_(residual_, active_),
+        thresholds_(options.threshold_seed, options.eps,
+                    options.use_random_thresholds, n_) {
     if (!(o_.eps > 0.0) || o_.eps > 0.5) {
       throw std::invalid_argument("matching_mpc: eps must be in (0, 1/2]");
     }
@@ -76,22 +90,41 @@ class MatchingMpcRun {
     w0_ = (1.0 - 2.0 * o_.eps) / static_cast<double>(std::max<std::size_t>(n_, 1));
     weight_cache_.push_back(w0_);
     freeze_at_.assign(n_, kActive);
+    freeze16_.assign(n_, kFrozen16Max);
+    freeze8_.assign(n_, kFrozen8Max);
     removed_.assign(n_, 0);
 
     // Dirty-load bookkeeping state. With nobody frozen yet, every y_old is
     // the empty sum (exactly 0.0), so the y_old caches start clean; the
-    // load caches start dirty (never computed).
+    // load caches start dirty (never computed). The alive-active-neighbor
+    // counts live in ActiveArcs (active_degree).
     y_old_cache_.assign(n_, 0.0);
     load_cache_.assign(n_, 0.0);
     load_stamp_.assign(n_, 0);
     dirty_.assign(n_, kLoadDirty);
-    active_nbr_cnt_.resize(n_);
-    for (VertexId v = 0; v < n_; ++v) {
-      active_nbr_cnt_[v] = static_cast<std::uint32_t>(g.degree(v));
-    }
     local_adj_.emplace(n_);
     announce_parts_.resize(machines_);
-    phase_machine_.assign(n_, kNoMachine);
+    phase_machine_.resize(n_);
+    phase_machine8_.resize(n_);
+
+    // Flat neighbor-id CSR: the load rescans and the departure walks only
+    // ever read neighbor ids, so give them a 4-byte stream instead of the
+    // 8-byte Arc stream (half the memory traffic on the hottest scans).
+    // Valid as the alive view of any vertex that has not lost a neighbor
+    // — the overwhelmingly common case, since only heavy removals kill.
+    nbr_off_.resize(n_ + 1);
+    std::size_t cursor = 0;
+    for (VertexId v = 0; v < n_; ++v) {
+      nbr_off_[v] = cursor;
+      cursor += g.degree(v);
+    }
+    nbr_off_[n_] = cursor;
+    nbr_ids_ = std::make_unique_for_overwrite<VertexId[]>(cursor);
+    advise_huge_pages(nbr_ids_.get(), cursor * sizeof(VertexId));
+    for (VertexId v = 0; v < n_; ++v) {
+      std::size_t write = nbr_off_[v];
+      for (const Arc& a : g.arcs(v)) nbr_ids_[write++] = a.to;
+    }
   }
 
   MatchingMpcResult run() {
@@ -116,13 +149,32 @@ class MatchingMpcRun {
 
     run_tail(result);
 
-    // Outputs: weights from freeze times; cover = frozen + removed.
-    for (EdgeId e = 0; e < g_.num_edges(); ++e) {
-      const Edge ed = g_.edge(e);
-      if (removed_[ed.u] || removed_[ed.v]) continue;  // x stays 0
-      const std::uint64_t tf =
-          std::min<std::uint64_t>({freeze_at_[ed.u], freeze_at_[ed.v], t_});
-      result.x[e] = weight_at(tf);
+    // Outputs: weights from freeze times; cover = frozen + removed. The
+    // 16-bit freeze mirror halves the scattered endpoint gathers (exact:
+    // saturated entries min() to t_ just as their 32-bit values would).
+    (void)weight_at(t_);
+    const std::span<const Edge> edges = g_.edges();
+    if (t_ < kFrozen16Max) {
+      const std::uint16_t* f16 = freeze16_.data();
+      const auto t16 = static_cast<std::uint16_t>(t_);
+      for (EdgeId e = 0; e < edges.size(); ++e) {
+        if (e + 16 < edges.size()) {
+          __builtin_prefetch(&f16[edges[e + 16].v]);
+        }
+        const Edge ed = edges[e];
+        if (removed_[ed.u] || removed_[ed.v]) continue;  // x stays 0
+        const std::uint16_t tf = std::min<std::uint16_t>(
+            {f16[ed.u], f16[ed.v], t16});
+        result.x[e] = weight_cache_[tf];
+      }
+    } else {
+      for (EdgeId e = 0; e < edges.size(); ++e) {
+        const Edge ed = edges[e];
+        if (removed_[ed.u] || removed_[ed.v]) continue;  // x stays 0
+        const std::uint64_t tf = std::min<std::uint64_t>(
+            {freeze_at_[ed.u], freeze_at_[ed.v], t_});
+        result.x[e] = weight_at(tf);
+      }
     }
     for (VertexId v = 0; v < n_; ++v) {
       if (removed_[v]) {
@@ -144,8 +196,28 @@ class MatchingMpcRun {
   static constexpr std::uint8_t kYOldDirty = 1;
   static constexpr std::uint8_t kLoadDirty = 2;
   static constexpr std::uint8_t kBothDirty = kYOldDirty | kLoadDirty;
-  /// phase_machine_ sentinel: never equals a real machine id (m <= sqrt(n)).
-  static constexpr std::uint32_t kNoMachine = 0xffffffffU;
+  /// Saturation values of the narrow freeze-time mirrors (see freeze16_).
+  static constexpr std::uint16_t kFrozen16Max = 0xffff;
+  static constexpr std::uint8_t kFrozen8Max = 0xff;
+  /// Relative inflation applied to every provable-skip bound. The bounds
+  /// compare against sums of up to max-degree non-negative terms, whose
+  /// floating-point evaluations drift from the exact values by at most
+  /// ~(terms * 2^-52) relatively on either side; 1e-5 dominates several
+  /// times that for any degree a 32-bit vertex id permits, while costing
+  /// nothing against the ~0.1-wide gaps the bounds are compared across.
+  static constexpr double kBoundSlack = 1e-5;
+
+  /// Single point of truth for freeze-time updates: keeps the narrow
+  /// mirrors in sync (saturating — kActive and any iteration at or above
+  /// the mirror's cap both store the cap, which min()s correctly against
+  /// any fvn below it).
+  void set_freeze(VertexId v, std::uint32_t tf) noexcept {
+    freeze_at_[v] = tf;
+    freeze16_[v] = static_cast<std::uint16_t>(
+        std::min<std::uint32_t>(tf, kFrozen16Max));
+    freeze8_[v] =
+        static_cast<std::uint8_t>(std::min<std::uint32_t>(tf, kFrozen8Max));
+  }
 
   [[nodiscard]] double weight_at(std::uint64_t iteration) const {
     while (weight_cache_.size() <= iteration) {
@@ -158,46 +230,85 @@ class MatchingMpcRun {
     return removed_[v] == 0;
   }
 
-  /// Takes v off the active frontier: O(1), plus the sentinel that keeps
-  /// the per-phase machine lookup (see distribute loop) self-invalidating.
-  void leave_frontier(VertexId v) {
-    active_.deactivate(v);
-    phase_machine_[v] = kNoMachine;
+  /// Takes v off the active frontier: O(1). (The distribute loop iterates
+  /// ActiveArcs lists, whose entries are active by construction, so no
+  /// per-vertex machine sentinel is needed.)
+  void leave_frontier(VertexId v) { active_.deactivate(v); }
+
+  /// Records that v froze (left the frontier but stays alive): its
+  /// *still-active* neighbors' cached sums are stale, each has one fewer
+  /// active neighbor, and their ActiveArcs lists must squeeze v out —
+  /// the batch freeze notification the announce batches carry. The walk
+  /// streams the flat neighbor-id row with an active-flag filter (active
+  /// implies alive, so dead entries drop out for free) instead of
+  /// compacting v's own ActiveArcs lists, which nothing will read again.
+  /// Frozen neighbors need no marks: a frozen vertex's y_old is never
+  /// queried again, and its cached load cannot change under a later
+  /// freeze (every affected term is already pinned at its own earlier
+  /// freeze iteration), so reuse equals recomputation bit for bit.
+  void mark_frozen(VertexId v) {
+    const VertexId* ids = nbr_ids_.get() + nbr_off_[v];
+    const std::size_t len = nbr_off_[v + 1] - nbr_off_[v];
+    for (std::size_t i = 0; i < len; ++i) {
+      const VertexId u = ids[i];
+      if (!active_.active(u)) continue;
+      dirty_[u] = kBothDirty;
+      active_arcs_.neighbor_left_frontier(u);
+    }
+    dirty_[v] = kBothDirty;
   }
 
-  /// Records that v left the active frontier (froze or was removed): its
-  /// surviving neighbors' cached sums are stale, and — if v was active at
-  /// the event — each of them has one fewer active neighbor. O(residual
-  /// degree of v), paid at most twice per vertex (freeze, then removal).
-  void mark_state_change(VertexId v, bool was_active) {
+  /// Records that v is being removed (killed in the residual): unlike a
+  /// freeze this changes *every* alive neighbor's load sum (the edge
+  /// disappears), so all of them go dirty; active ones additionally lose
+  /// an active neighbor, frozen ones must drop v from their frozen lists.
+  /// O(residual degree of v), paid at most once per vertex.
+  void mark_removed(VertexId v, bool was_active) {
     for (const Arc& a : residual_.alive_arcs(v)) {
       dirty_[a.to] = kBothDirty;
-      if (was_active) --active_nbr_cnt_[a.to];
+      if (was_active) {
+        active_arcs_.neighbor_left_frontier(a.to);
+      } else {
+        active_arcs_.frozen_neighbor_removed(a.to);
+      }
     }
     dirty_[v] = kBothDirty;
   }
 
   /// y_old of v — the frozen-neighbor contribution, recomputed only when a
-  /// neighbor changed state, by the same ascending alive-arc scan the
-  /// per-phase full recomputation used (identical summation order).
+  /// neighbor changed state, by scanning exactly the frozen complement of
+  /// v's arc list (ActiveArcs). The old full alive-arc scan only ever
+  /// *added* on frozen entries, ascending by neighbor id — which is
+  /// precisely the frozen list's order — so the sum is bit-identical while
+  /// the scan skips the (typically much longer) active part entirely.
   void refresh_y_old(VertexId v) {
     if ((dirty_[v] & kYOldDirty) == 0) return;
-    if (active_nbr_cnt_[v] == residual_.residual_degree(v)) {
+    if (active_arcs_.active_degree(v) == residual_.residual_degree(v)) {
       // No alive neighbor is frozen: the scan would add nothing.
       y_old_cache_[v] = 0.0;
       dirty_[v] &= static_cast<std::uint8_t>(~kYOldDirty);
       return;
     }
     double y = 0.0;
-    const auto arcs = residual_.alive_arcs(v);
+    const auto frozen = active_arcs_.frozen_neighbors(v);
     (void)weight_at(t_);  // pre-extends the cache: every freeze time is <= t_
     const double* w = weight_cache_.data();
-    for (std::size_t idx = 0; idx < arcs.size(); ++idx) {
-      if (idx + 8 < arcs.size()) {
-        __builtin_prefetch(&freeze_at_[arcs[idx + 8].to]);
+    if (t_ < kFrozen16Max) {
+      // Every freeze time so far is below the mirror's saturation point.
+      const std::uint16_t* f16 = freeze16_.data();
+      for (std::size_t idx = 0; idx < frozen.size(); ++idx) {
+        if (idx + 8 < frozen.size()) {
+          __builtin_prefetch(&f16[frozen[idx + 8]]);
+        }
+        y += w[f16[frozen[idx]]];
       }
-      const std::uint32_t tf = freeze_at_[arcs[idx].to];
-      if (tf != kActive) y += w[tf];
+    } else {
+      for (std::size_t idx = 0; idx < frozen.size(); ++idx) {
+        if (idx + 8 < frozen.size()) {
+          __builtin_prefetch(&freeze_at_[frozen[idx + 8]]);
+        }
+        y += w[freeze_at_[frozen[idx]]];
+      }
     }
     y_old_cache_[v] = y;
     dirty_[v] &= static_cast<std::uint8_t>(~kYOldDirty);
@@ -227,39 +338,83 @@ class MatchingMpcRun {
   /// frozen (every term min(freeze_v, freeze_u, now) is already pinned
   /// below now), v has no alive active neighbor (same), or `now` is the
   /// stamp it was computed at. Recomputation is the ascending alive-arc
-  /// scan, so reused and recomputed values are bit-identical.
+  /// scan (served from graph storage while nothing near v has died — no
+  /// per-freeze list maintenance, which is why this deliberately does NOT
+  /// walk the ActiveArcs partition), so reused and recomputed values are
+  /// bit-identical.
   [[nodiscard]] double load_of(VertexId v, std::uint64_t now) {
     if ((dirty_[v] & kLoadDirty) == 0 &&
         (load_stamp_[v] == now || freeze_at_[v] != kActive ||
-         active_nbr_cnt_[v] == 0)) {
+         active_arcs_.active_degree(v) == 0)) {
       return load_cache_[v];
     }
     double y;
     const std::size_t deg = residual_.residual_degree(v);
-    if (freeze_at_[v] == kActive && active_nbr_cnt_[v] == deg) {
+    if (freeze_at_[v] == kActive && active_arcs_.active_degree(v) == deg) {
       // Uniform neighborhood: v and every alive neighbor are active, so
       // each of the `deg` scan terms is exactly weight_at(now).
       y = repeated_sum(weight_at(now), deg);
     } else {
-      y = 0.0;
-      const auto arcs = residual_.alive_arcs(v);
       (void)weight_at(now);  // pre-extends the cache for direct indexing
       const double* w = weight_cache_.data();
       const std::uint64_t fvn =
           std::min<std::uint64_t>(freeze_at_[v], now);
-      for (std::size_t idx = 0; idx < arcs.size(); ++idx) {
-        if (idx + 8 < arcs.size()) {
-          __builtin_prefetch(&freeze_at_[arcs[idx + 8].to]);
-        }
-        const std::uint64_t tf =
-            std::min<std::uint64_t>(freeze_at_[arcs[idx].to], fvn);
-        y += w[tf];
+      if (deg == g_.degree(v)) {
+        // No neighbor of v ever died: the alive view is the full row, so
+        // stream the 4-byte neighbor ids instead of the 8-byte arcs.
+        y = capped_sum(nbr_ids_.get() + nbr_off_[v], deg, fvn, w);
+      } else {
+        const auto arcs = residual_.alive_arcs(v);
+        y = capped_sum(arcs.data(), arcs.size(), fvn, w);
       }
     }
     load_cache_[v] = y;
     load_stamp_[v] = now;
     dirty_[v] &= static_cast<std::uint8_t>(~kLoadDirty);
     return y;
+  }
+
+  static VertexId to_of(VertexId v) noexcept { return v; }
+  static VertexId to_of(const Arc& a) noexcept { return a.to; }
+
+  /// The capped load scan: sum of w[min(freeze(u), fvn)] over the given
+  /// neighbor entries, in order. Dispatches to the narrowest exact freeze
+  /// mirror (a saturated entry min()s to fvn exactly as the full-width
+  /// value would whenever fvn is below the mirror's cap), which keeps the
+  /// gather table L2-sized on the hot path.
+  template <typename Entry>
+  [[nodiscard]] double capped_sum(const Entry* entries, std::size_t len,
+                                  std::uint64_t fvn, const double* w) const {
+    double y = 0.0;
+    if (fvn < kFrozen8Max) {
+      const std::uint8_t* f8 = freeze8_.data();
+      const auto fvn8 = static_cast<std::uint8_t>(fvn);
+      for (std::size_t i = 0; i < len; ++i) {
+        y += w[std::min<std::uint8_t>(f8[to_of(entries[i])], fvn8)];
+      }
+    } else if (fvn < kFrozen16Max) {
+      const std::uint16_t* f16 = freeze16_.data();
+      const auto fvn16 = static_cast<std::uint16_t>(fvn);
+      for (std::size_t i = 0; i < len; ++i) {
+        if (i + 8 < len) __builtin_prefetch(&f16[to_of(entries[i + 8])]);
+        y += w[std::min<std::uint16_t>(f16[to_of(entries[i])], fvn16)];
+      }
+    } else {
+      for (std::size_t i = 0; i < len; ++i) {
+        if (i + 8 < len) __builtin_prefetch(&freeze_at_[to_of(entries[i + 8])]);
+        y += w[std::min<std::uint64_t>(freeze_at_[to_of(entries[i])], fvn)];
+      }
+    }
+    return y;
+  }
+
+  /// load_of for a vertex known active and uniform, without touching the
+  /// cache: the value is an O(1) table read and re-deriving it later is as
+  /// cheap as reusing it, so skipping the cache write (and the dirty-bit
+  /// clear) saves three scattered stores per query. Leaving the entry
+  /// dirty only means a later query recomputes — bit-identically.
+  [[nodiscard]] double uniform_load(std::size_t deg, std::uint64_t now) {
+    return repeated_sum(weight_at(now), deg);
   }
 
   /// Announces freshly decided vertices (frozen with their iteration, or
@@ -314,48 +469,83 @@ class MatchingMpcRun {
     for (std::size_t i = 0; i < k; ++i) {
       machine_of_[i] =
           static_cast<std::uint32_t>(mix64(part_seed, snapshot[i]) % m);
-      // Neighbor-side view of the same assignment: one n-indexed word per
-      // vertex, kNoMachine once a vertex leaves the frontier, so the
-      // distribute loop answers "active AND on my machine?" with a single
-      // load instead of three dependent ones.
+      // Neighbor-side view of the same assignment (ActiveArcs entries are
+      // active by construction, so no activity check is left to do). The
+      // distribute filter reads the byte table — cache-resident at any n
+      // where this loop matters, and exact whenever m <= 256; the word
+      // table breaks the rare byte collisions of the few large-m phases.
       phase_machine_[snapshot[i]] = machine_of_[i];
+      phase_machine8_[snapshot[i]] =
+          static_cast<std::uint8_t>(machine_of_[i]);
     }
 
     // Line (b): y_old — the frozen contribution, constant over the phase.
     // Computed at each vertex's home from common knowledge; only vertices
-    // whose neighborhood changed state since their last refresh rescan.
+    // whose neighborhood changed state since their last refresh rescan —
+    // and only their frozen complement, via ActiveArcs.
     for (const VertexId v : snapshot) refresh_y_old(v);
+
+    // Phase-level freeze bound: every estimate the phase can produce is,
+    // in exact arithmetic, at most m * (d_res * w_last) + max_yold (local
+    // degrees are bounded by residual degrees, weights peak at the last
+    // iteration, frozen sums start at zero). When even that — inflated by
+    // kBoundSlack against the floating-point drift — stays below the
+    // threshold stream's floor, no iteration of this phase can freeze
+    // anything: the local simulation state and every sweep are provably
+    // no-ops and are skipped wholesale, leaving exactly the engine
+    // traffic (which the model charges for regardless). Tracing runs
+    // evaluate everything, as ever.
+    const double floor_t = thresholds_.lower_bound();
+    double max_yold = 0.0;
+    for (const VertexId v : snapshot) {
+      max_yold = std::max(max_yold, y_old_cache_[v]);
+    }
+    const double w_last = weight_at(t_ + iters - 1);
+    const bool phase_can_freeze =
+        o_.record_trace ||
+        (static_cast<double>(m) *
+             (static_cast<double>(residual_.max_alive_degree()) * w_last) +
+         max_yold) *
+                (1.0 + kBoundSlack) >=
+            floor_t;
 
     // Distribute the induced active subgraphs: each active edge with both
     // endpoints on the same simulation machine moves from its (lower
     // endpoint's) home shard to that machine; each active vertex's
     // (id, y_old) record moves from its home. Real pushes, one round.
-    // Iterating the frontier in id order and each vertex's alive upper
-    // arcs visits the active edges in edge-id (lexicographic) order,
-    // exactly as a full edge-list scan would — touching only residual arcs.
+    // Iterating the frontier in id order and each vertex's *active* upper
+    // neighbors (ActiveArcs) visits the frontier-internal edges in edge-id
+    // (lexicographic) order, exactly as the old alive-arc scan with its
+    // activity filter did — but without ever touching frozen arcs, so this
+    // loop's cost is proportional to the frontier-internal edge count.
     machine_edges_.assign(m, 0);
     local_pairs_.clear();
+    std::size_t frontier_edges = 0;
+    const bool byte_exact = m <= 256;
     for (std::size_t i = 0; i < k; ++i) {
       const VertexId v = snapshot[i];
       const std::uint32_t mv = machine_of_[i];
-      const auto arcs = residual_.alive_upper_arcs(v);
-      for (std::size_t idx = 0; idx < arcs.size(); ++idx) {
-        if (idx + 8 < arcs.size()) {
-          __builtin_prefetch(&phase_machine_[arcs[idx + 8].to]);
-        }
-        const VertexId u = arcs[idx].to;
-        // Equal iff u is still active (sentinel otherwise) and landed on
-        // v's machine — the same filter as active(u) && same-machine.
-        if (phase_machine_[u] != mv) continue;
+      const auto mv8 = static_cast<std::uint8_t>(mv);
+      const auto uppers = active_arcs_.active_upper_neighbors(v);
+      frontier_edges += uppers.size();
+      for (std::size_t idx = 0; idx < uppers.size(); ++idx) {
+        const VertexId u = uppers[idx];
+        if (phase_machine8_[u] != mv8) continue;
+        if (!byte_exact && phase_machine_[u] != mv) continue;
         engine_->push(home_[v], mv, (static_cast<Word>(v) << 32) | u);
-        local_pairs_.emplace_back(
-            static_cast<VertexId>(i),
-            static_cast<VertexId>(active_.dense_index(u)));
+        if (phase_can_freeze) {
+          local_pairs_.emplace_back(
+              static_cast<VertexId>(i),
+              static_cast<VertexId>(active_.dense_index(u)));
+        }
         ++machine_edges_[mv];
       }
     }
-    for (const VertexId v : snapshot) {
-      engine_->push(home_[v], machine_of_[active_.dense_index(v)], v);
+    result.frontier_edges_per_phase.push_back(frontier_edges);
+    // remap() assigns dense ids in ascending snapshot order, so the dense
+    // index of snapshot[i] is i — no lookup needed.
+    for (std::size_t i = 0; i < k; ++i) {
+      engine_->push(home_[snapshot[i]], machine_of_[i], snapshot[i]);
     }
     engine_->exchange();
 
@@ -369,21 +559,43 @@ class MatchingMpcRun {
     // Per-vertex local state — dense-indexed, so it costs O(k) to set up
     // and the adjacency build costs O(local edges) (CsrScratch): an
     // iteration is O(still-active vertices) plus O(degree) per freeze.
-    local_adj_->clear();
-    local_adj_->build(local_pairs_);
-    local_deg_.resize(k);
-    for (std::size_t i = 0; i < k; ++i) {
-      local_deg_[i] =
-          static_cast<std::uint32_t>(local_adj_->neighbors(
-              static_cast<VertexId>(i)).size());
-    }
-    local_frozen_sum_.assign(k, 0.0);
-
+    // All of it skipped when the phase bound proved no freeze possible.
     frozen_this_phase_.clear();
     const std::uint64_t t_start = t_;
-    for (std::size_t it = 0; it < iters; ++it) {
+    std::uint32_t max_ld = 0;
+    if (phase_can_freeze) {
+      local_adj_->clear();
+      local_adj_->build(local_pairs_);
+      local_deg_.resize(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        local_deg_[i] = local_adj_->degree(static_cast<VertexId>(i));
+        max_ld = std::max(max_ld, local_deg_[i]);
+      }
+      local_frozen_sum_.assign(k, 0.0);
+    }
+    for (std::size_t it = 0; phase_can_freeze && it < iters; ++it) {
       const std::uint64_t tau = t_start + it;
       const double w_tau = weight_at(tau);
+      // Per-iteration refinement of the phase bound, valid while nothing
+      // froze this phase (then every local_frozen_sum_ is exactly 0 and
+      // local_deg_ is pristine): each y~ = m*(0 + ld*w) + y_old is, in
+      // exact arithmetic, at most m*max_ld*w + max_yold, and the same
+      // kBoundSlack inflation covers the floating-point drift.
+      // Below the floor, the whole iteration's sweep (and draws) is
+      // skipped in O(1) — bit-identical, since it provably produces no
+      // freeze. record_trace needs every estimate reported, so tracing
+      // runs disable the skip.
+      if (!o_.record_trace && frozen_this_phase_.empty()) {
+        const double ub =
+            (static_cast<double>(m) *
+                 (static_cast<double>(max_ld) * w_tau) +
+             max_yold) *
+            (1.0 + kBoundSlack);
+        if (ub < floor_t) {
+          ++t_;
+          continue;
+        }
+      }
       std::optional<std::vector<double>> trace_row;
       if (o_.record_trace) {
         trace_row.emplace(n_, std::numeric_limits<double>::quiet_NaN());
@@ -391,22 +603,35 @@ class MatchingMpcRun {
       // (A) freeze against the shared thresholds, simultaneously. The
       // active list self-compacts, so vertices frozen in earlier
       // iterations are paid for once, not rescanned every iteration.
+      // Two passes: first one vectorized sweep computes every frontier
+      // vertex's estimate into a dense-indexed scratch, then thresholds
+      // are drawn — through the batch's cached per-vertex first-level mix,
+      // one second-level hash each — only for the vertices at or above the
+      // stream's floor. A draw for anything below the floor loses the
+      // comparison no matter what it samples, and the stream is stateless,
+      // so skipping it is bit-identical (see ThresholdBatch::lower_bound).
       newly_frozen_.clear();
-      for (const VertexId v : active_.actives()) {
+      const auto frontier = active_.actives();
+      y_scratch_.resize(frontier.size());
+      for (std::size_t fi = 0; fi < frontier.size(); ++fi) {
+        const VertexId v = frontier[fi];
         const std::uint32_t i = active_.dense_index(v);
-        const double y_tilde =
+        y_scratch_[fi] =
             static_cast<double>(m) *
                 (local_frozen_sum_[i] +
                  static_cast<double>(local_deg_[i]) * w_tau) +
             y_old_cache_[v];
-        if (trace_row) (*trace_row)[v] = y_tilde;
-        const double threshold =
-            central_threshold(o_.threshold_seed, v, tau, o_.eps,
-                              o_.use_random_thresholds);
-        if (y_tilde >= threshold) newly_frozen_.push_back(v);
+        if (trace_row) (*trace_row)[v] = y_scratch_[fi];
+      }
+      for (std::size_t fi = 0; fi < frontier.size(); ++fi) {
+        if (y_scratch_[fi] < floor_t) continue;
+        const VertexId v = frontier[fi];
+        if (y_scratch_[fi] >= thresholds_.threshold(v, tau)) {
+          newly_frozen_.push_back(v);
+        }
       }
       for (const VertexId v : newly_frozen_) {
-        freeze_at_[v] = static_cast<std::uint32_t>(tau);
+        set_freeze(v, static_cast<std::uint32_t>(tau));
         frozen_this_phase_.emplace_back(v, tau);
         leave_frontier(v);
       }
@@ -435,6 +660,8 @@ class MatchingMpcRun {
       ++t_;
     }
 
+    if (!phase_can_freeze) t_ += iters;
+
     // Machines report the freeze decisions; they become common knowledge.
     for (const auto& [v, tf] : frozen_this_phase_) {
       engine_->push(machine_of_[active_.dense_index(v)], home_[v],
@@ -442,9 +669,12 @@ class MatchingMpcRun {
     }
     engine_->exchange();
 
-    // The phase's freezes become visible to the home-side load sums below.
+    // The phase's freezes become visible to the home-side load sums below:
+    // the batch the machines just announced is walked once, marking each
+    // leaver's still-active neighbors (same-batch leavers were already
+    // deactivated, so the walks skip them — their own self-marks suffice).
     for (const auto& [v, tf] : frozen_this_phase_) {
-      mark_state_change(v, /*was_active=*/true);
+      mark_frozen(v);
     }
 
     // Lines (g)-(h): loads on G[V'] from reconciled weights (local at
@@ -456,30 +686,70 @@ class MatchingMpcRun {
     // pure until the batch below, so visiting order does not matter.
     removed_now_.clear();
     frozen_now_.clear();
-    const auto consider = [&](VertexId v) {
-      const double y = load_of(v, t_);
-      if (y > 1.0) {
-        removed_now_.push_back(v);
-      } else if (y > 1.0 - 2.0 * o_.eps && freeze_at_[v] == kActive) {
-        frozen_now_.push_back({v, t_});
+    // Every load term w[min(tf, fvn)] is at most w[t_] (weights grow, the
+    // caps only shrink), so every load is at most max_alive_degree * w[t_]
+    // in exact arithmetic; with the same kBoundSlack inflation as the
+    // iteration bound, a value below the freeze bar proves the whole
+    // phase-end sweep changes nothing and it is skipped in O(1).
+    const std::size_t dmax = residual_.max_alive_degree();
+    const bool sweep_can_fire =
+        static_cast<double>(dmax) * weight_at(t_) * (1.0 + kBoundSlack) >
+        1.0 - 2.0 * o_.eps;
+    if (sweep_can_fire) {
+      // A uniform-active vertex's load is repeated_sum(w_now, deg) — a
+      // function of its degree alone, and non-decreasing in it (w > 0). So
+      // the load comparisons collapse to degree comparisons against the
+      // smallest degrees whose table value clears each bar, computed once
+      // per phase end; the sweep then classifies uniform vertices with two
+      // integer compares and no load evaluation at all (bit-identical by
+      // monotonicity of the sequential partial sums).
+      std::size_t d_frz = dmax + 1;
+      std::size_t d_rem = dmax + 1;
+      {
+        const double w_now = weight_at(t_);
+        for (std::size_t dd = 0; dd <= dmax; ++dd) {
+          const double y = repeated_sum(w_now, dd);
+          if (d_frz > dmax && y > 1.0 - 2.0 * o_.eps) d_frz = dd;
+          if (y > 1.0) {
+            d_rem = dd;
+            break;
+          }
+        }
       }
-    };
-    for (const VertexId v : active_.actives()) consider(v);
-    for (const auto& [v, tf] : frozen_this_phase_) consider(v);
-    for (const VertexId v : boundary_frozen_) {
-      if (in_graph(v)) consider(v);
-    }
+      const auto consider = [&](VertexId v) {
+        const std::size_t deg = residual_.residual_degree(v);
+        if (freeze_at_[v] == kActive && active_arcs_.active_degree(v) == deg) {
+          if (deg >= d_rem) {
+            removed_now_.push_back(v);
+          } else if (deg >= d_frz) {
+            frozen_now_.push_back({v, t_});
+          }
+          return;
+        }
+        const double y = load_of(v, t_);
+        if (y > 1.0) {
+          removed_now_.push_back(v);
+        } else if (y > 1.0 - 2.0 * o_.eps && freeze_at_[v] == kActive) {
+          frozen_now_.push_back({v, t_});
+        }
+      };
+      for (const VertexId v : active_.actives()) consider(v);
+      for (const auto& [v, tf] : frozen_this_phase_) consider(v);
+      for (const VertexId v : boundary_frozen_) {
+        if (in_graph(v)) consider(v);
+      }
+    }  // sweep_can_fire
     for (const VertexId v : removed_now_) {
-      mark_state_change(v, /*was_active=*/freeze_at_[v] == kActive);
+      mark_removed(v, /*was_active=*/freeze_at_[v] == kActive);
       removed_[v] = 1;
-      freeze_at_[v] = kActive;  // removed, not frozen
+      set_freeze(v, kActive);  // removed, not frozen
       leave_frontier(v);
       residual_.kill(v);
     }
     for (const auto& [v, tf] : frozen_now_) {
-      freeze_at_[v] = static_cast<std::uint32_t>(tf);
+      set_freeze(v, static_cast<std::uint32_t>(tf));
       leave_frontier(v);
-      mark_state_change(v, /*was_active=*/true);
+      mark_frozen(v);
     }
     boundary_frozen_.clear();
     for (const auto& [v, tf] : frozen_now_) boundary_frozen_.push_back(v);
@@ -490,19 +760,35 @@ class MatchingMpcRun {
   /// Line (4): direct simulation of Central-Rand until every edge of
   /// G[V'] is frozen. Homes compute loads locally (common knowledge) and
   /// newly frozen vertices are announced each iteration.
+  ///
+  /// The per-iteration sweep runs over a worklist seeded with the frontier
+  /// and compacted as vertices freeze. The tail never removes a vertex, so
+  /// a worklist member with no active neighbor has a load that is pinned
+  /// for the rest of the tail; once that load is below the threshold
+  /// stream's floor the vertex can never freeze again and drops out of the
+  /// sweep for good (it simply stays active when the tail ends, exactly as
+  /// before — nothing downstream reads it). Vertices that can still freeze
+  /// draw their threshold through the batch cache, and only when their
+  /// load reaches the floor. With record_trace every active vertex's load
+  /// must be reported each iteration, so the trace path keeps the full
+  /// frontier sweep.
   void run_tail(MatchingMpcResult& result) {
     const std::size_t guard =
         2 + static_cast<std::size_t>(
                 std::ceil(std::log(1.0 / w0_) / -std::log1p(-o_.eps)));
+    const double floor_t = thresholds_.lower_bound();
+    const auto frontier = active_.actives();
+    tail_work_.assign(frontier.begin(), frontier.end());
     while (true) {
       if (result.tail_iterations > guard) {
         throw std::logic_error("matching_mpc tail: did not terminate (bug)");
       }
-      // Any active-active edge left? active_nbr_cnt_ counts exactly the
-      // alive active neighbors, so scan the frontier with early exit.
+      // Any active-active edge left? ActiveArcs counts exactly the alive
+      // active neighbors; dropped worklist members all had count 0, so the
+      // early-exit scan over the worklist answers for the whole frontier.
       bool any_active_edge = false;
-      for (const VertexId v : active_.actives()) {
-        if (active_nbr_cnt_[v] > 0) {
+      for (const VertexId v : tail_work_) {
+        if (active_.active(v) && active_arcs_.active_degree(v) > 0) {
           any_active_edge = true;
           break;
         }
@@ -514,18 +800,48 @@ class MatchingMpcRun {
         trace_row.emplace(n_, std::numeric_limits<double>::quiet_NaN());
       }
       frozen_now_.clear();
-      for (const VertexId v : active_.actives()) {
-        const double y = load_of(v, t_);
-        if (trace_row) (*trace_row)[v] = y;
-        const double threshold =
-            central_threshold(o_.threshold_seed, v, t_, o_.eps,
-                              o_.use_random_thresholds);
-        if (y >= threshold) frozen_now_.push_back({v, t_});
+      // Degree bar for uniform vertices this iteration: the smallest
+      // degree whose all-active load reaches the threshold floor (exact —
+      // every smaller degree's table value was checked below the floor).
+      const std::size_t dmax = residual_.max_alive_degree();
+      std::size_t d_floor = dmax + 1;
+      const double w_now = weight_at(t_);
+      for (std::size_t dd = 0; dd <= dmax; ++dd) {
+        if (repeated_sum(w_now, dd) >= floor_t) {
+          d_floor = dd;
+          break;
+        }
       }
+      std::size_t write = 0;
+      for (std::size_t i = 0; i < tail_work_.size(); ++i) {
+        const VertexId v = tail_work_[i];
+        if (!active_.active(v)) continue;  // froze in an earlier iteration
+        const std::size_t deg = residual_.residual_degree(v);
+        const std::size_t adeg = active_arcs_.active_degree(v);
+        const bool uniform = adeg == deg;
+        if (uniform && deg < d_floor && !trace_row) {
+          // Below the floor for sure; with no active neighbor the load is
+          // pinned below it forever — drop from the sweep for good.
+          if (adeg > 0) tail_work_[write++] = v;
+          continue;
+        }
+        const double y = uniform ? uniform_load(deg, t_) : load_of(v, t_);
+        if (trace_row) (*trace_row)[v] = y;
+        if (y < floor_t) {
+          // (kept for the trace path, which reports every active load)
+          if (adeg > 0 || trace_row) tail_work_[write++] = v;
+          continue;
+        }
+        tail_work_[write++] = v;
+        if (y >= thresholds_.threshold(v, t_)) {
+          frozen_now_.push_back({v, t_});
+        }
+      }
+      tail_work_.resize(write);
       for (const auto& [v, tf] : frozen_now_) {
-        freeze_at_[v] = static_cast<std::uint32_t>(tf);
+        set_freeze(v, static_cast<std::uint32_t>(tf));
         leave_frontier(v);
-        mark_state_change(v, /*was_active=*/true);
+        mark_frozen(v);
       }
       announce(frozen_now_, kNoRemovals);
       if (trace_row) result.y_tilde_trace.push_back(std::move(*trace_row));
@@ -556,6 +872,11 @@ class MatchingMpcRun {
   /// Active == alive and unfrozen — the simulation frontier. Kept in sync
   /// at every freeze/removal.
   ActiveSet active_;
+  /// Second-level compaction: per-vertex active/frozen neighbor partition
+  /// over residual_, updated by the freeze/removal batch walks.
+  ActiveArcs active_arcs_;
+  /// Batched T_{v,t} draws (per-vertex first-level mix cached once).
+  ThresholdBatch thresholds_;
   std::size_t machines_ = 0;
   std::size_t words_ = 0;
   std::optional<mpc::Engine> engine_;
@@ -566,22 +887,35 @@ class MatchingMpcRun {
   std::uint64_t t_ = 0;
   std::size_t last_phase_iterations_ = 0;
   std::vector<std::uint32_t> freeze_at_;
+  /// Saturating 16-bit mirror of freeze_at_ — the gather target of the hot
+  /// load/output scans (see set_freeze; exact wherever the capping
+  /// iteration is below 0xffff, which the scans check).
+  std::vector<std::uint16_t> freeze16_;
+  std::vector<std::uint8_t> freeze8_;
   std::vector<char> removed_;
 
-  // Dirty-load bookkeeping (see DESIGN.md).
+  // Dirty-load bookkeeping (see DESIGN.md). The alive-active-neighbor
+  // counts live in active_arcs_.
   std::vector<double> y_old_cache_;
   std::vector<double> load_cache_;
   std::vector<std::uint64_t> load_stamp_;
   std::vector<std::uint8_t> dirty_;
-  /// Number of alive, active neighbors of each vertex.
-  std::vector<std::uint32_t> active_nbr_cnt_;
 
   // Per-phase scratch, dense-indexed and reused across phases (no O(n)
   // allocation after warm-up).
   std::vector<std::uint32_t> machine_of_;
-  /// Per-vertex machine of the current phase (kNoMachine once off the
-  /// frontier) — the neighbor-side lookup of the distribute loop.
+  /// Per-vertex machine of the current phase — the neighbor-side lookup of
+  /// the distribute loop (only read for currently active vertices, which
+  /// were necessarily in the phase snapshot). The byte table is the
+  /// primary filter (cache-resident); the word table confirms matches in
+  /// the rare phases with more than 256 machines.
   std::vector<std::uint32_t> phase_machine_;
+  std::vector<std::uint8_t> phase_machine8_;
+  /// Per-iteration load estimates, frontier-indexed (the vectorized first
+  /// pass of the freeze loop).
+  std::vector<double> y_scratch_;
+  /// Tail sweep worklist (see run_tail).
+  std::vector<VertexId> tail_work_;
   /// Sequential partial sums of repsum_w_ (see repeated_sum).
   std::vector<double> repsum_;
   double repsum_w_ = 0.0;
@@ -603,6 +937,11 @@ class MatchingMpcRun {
   // Persistent announce staging (one vector per home machine).
   std::vector<std::vector<Word>> announce_parts_;
   std::vector<std::uint32_t> announce_touched_;
+
+  /// Flat neighbor-id CSR over the full graph (see constructor): the
+  /// 4-byte stream behind the load rescans and departure walks.
+  std::vector<std::size_t> nbr_off_;
+  std::unique_ptr<VertexId[]> nbr_ids_;
 };
 
 }  // namespace

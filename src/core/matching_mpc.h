@@ -87,6 +87,10 @@ struct MatchingMpcResult {
   /// Per phase: active (alive and unfrozen) vertices at phase start — the
   /// residual frontier the phase's work is proportional to.
   std::vector<std::size_t> active_per_phase;
+  /// Per phase: frontier-internal (active-active) edges at phase start —
+  /// what the distribute loop actually scans (ActiveArcs); the per-phase
+  /// edge work is proportional to this, not to all alive edges.
+  std::vector<std::size_t> frontier_edges_per_phase;
 
   mpc::Metrics metrics;
 

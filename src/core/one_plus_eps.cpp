@@ -99,18 +99,22 @@ void flip_path(std::vector<VertexId>& partner,
 /// Shared pass body: shuffles `free_vertices` in place with `rng`, then
 /// grows and flips disjoint augmenting paths. When `free_set` is given,
 /// the endpoints matched by a flip are deactivated (the interior of a
-/// path was already matched).
+/// path was already matched). `claimed` is caller-owned persistent
+/// scratch, all-zero on entry; the pass records which flags it set and
+/// clears exactly those before returning, so a driver looping passes pays
+/// O(claimed vertices) per pass instead of an O(n) allocate-and-zero.
 std::size_t run_augmenting_pass(const Graph& g,
                                 std::vector<VertexId>& partner,
                                 std::size_t k, Rng& rng,
                                 std::vector<VertexId>& free_vertices,
-                                ActiveSet* free_set) {
+                                ActiveSet* free_set,
+                                std::vector<char>& claimed,
+                                std::vector<VertexId>& claimed_touched) {
   // Random start order.
   for (std::size_t i = free_vertices.size(); i > 1; --i) {
     std::swap(free_vertices[i - 1], free_vertices[rng.next_below(i)]);
   }
 
-  std::vector<char> claimed(g.num_vertices(), 0);
   const std::size_t max_edges = 2 * k + 1;
   const std::size_t budget = 200 + 40 * k * k;
   PathSearch search(g, partner, claimed, rng, max_edges, budget);
@@ -119,7 +123,10 @@ std::size_t run_augmenting_pass(const Graph& g,
     if (claimed[root] || partner[root] != kUnmatched) continue;
     if (search.grow(root)) {
       flip_path(partner, search.path());
-      for (const VertexId v : search.path()) claimed[v] = 1;
+      for (const VertexId v : search.path()) {
+        claimed[v] = 1;
+        claimed_touched.push_back(v);
+      }
       if (free_set != nullptr) {
         free_set->deactivate(search.path().front());
         free_set->deactivate(search.path().back());
@@ -127,6 +134,8 @@ std::size_t run_augmenting_pass(const Graph& g,
       ++flipped;
     }
   }
+  for (const VertexId v : claimed_touched) claimed[v] = 0;
+  claimed_touched.clear();
   return flipped;
 }
 
@@ -141,19 +150,34 @@ std::size_t augmenting_paths_pass(const Graph& g,
   for (VertexId v = 0; v < n; ++v) {
     if (partner[v] == kUnmatched && g.degree(v) > 0) free_vertices.push_back(v);
   }
-  return run_augmenting_pass(g, partner, k, rng, free_vertices, nullptr);
+  std::vector<char> claimed(n, 0);
+  std::vector<VertexId> touched;
+  return run_augmenting_pass(g, partner, k, rng, free_vertices, nullptr,
+                             claimed, touched);
+}
+
+std::size_t augmenting_paths_pass(const Graph& g,
+                                  std::vector<VertexId>& partner,
+                                  std::size_t k, std::uint64_t seed,
+                                  ActiveSet& free_set,
+                                  AugmentingPassScratch& scratch) {
+  Rng rng(seed);
+  // The maintained set is exactly {unmatched, degree > 0}, ascending — the
+  // same roots (and thus the same shuffle and flips) as the O(n) rescan.
+  const auto actives = free_set.actives();
+  scratch.free_vertices.assign(actives.begin(), actives.end());
+  if (scratch.claimed.empty()) scratch.claimed.assign(g.num_vertices(), 0);
+  return run_augmenting_pass(g, partner, k, rng, scratch.free_vertices,
+                             &free_set, scratch.claimed,
+                             scratch.claimed_touched);
 }
 
 std::size_t augmenting_paths_pass(const Graph& g,
                                   std::vector<VertexId>& partner,
                                   std::size_t k, std::uint64_t seed,
                                   ActiveSet& free_set) {
-  Rng rng(seed);
-  // The maintained set is exactly {unmatched, degree > 0}, ascending — the
-  // same roots (and thus the same shuffle and flips) as the O(n) rescan.
-  const auto actives = free_set.actives();
-  std::vector<VertexId> free_vertices(actives.begin(), actives.end());
-  return run_augmenting_pass(g, partner, k, rng, free_vertices, &free_set);
+  AugmentingPassScratch scratch;
+  return augmenting_paths_pass(g, partner, k, seed, free_set, scratch);
 }
 
 bool has_short_augmenting_path(const Graph& g,
@@ -242,10 +266,13 @@ OnePlusEpsResult one_plus_eps_matching(const Graph& g,
     if (partner[v] != kUnmatched || g.degree(v) == 0) free_set.deactivate(v);
   }
   std::size_t stall = 0;
+  // Persistent pass scratch: the claimed flags are cleared touched-only at
+  // the end of every pass, so the loop never pays an O(n) zeroing again.
+  AugmentingPassScratch scratch;
   for (std::size_t pass = 0; pass < max_passes && stall < stall_limit;
        ++pass) {
     const std::size_t flipped = augmenting_paths_pass(
-        g, partner, k, mix64(options.seed, 0xcc, pass), free_set);
+        g, partner, k, mix64(options.seed, 0xcc, pass), free_set, scratch);
     ++result.augmenting_passes;
     result.paths_flipped += flipped;
     result.total_rounds += 2 * k + 2;  // one pass is O(k) model rounds

@@ -56,11 +56,28 @@ std::size_t augmenting_paths_pass(const Graph& g,
                                   std::vector<VertexId>& partner,
                                   std::size_t k, std::uint64_t seed);
 
+/// Reusable scratch for a pass loop: the claimed flags persist across
+/// passes (all-zero between them — each pass clears exactly the flags it
+/// set, via the touched list), so repeated passes cost O(touched) to reset
+/// instead of an O(n) allocate-and-zero per pass.
+struct AugmentingPassScratch {
+  std::vector<char> claimed;
+  std::vector<VertexId> claimed_touched;
+  std::vector<VertexId> free_vertices;
+};
+
 /// The driver-loop variant: draws the pass's roots from `free_set` (the
 /// still-unmatched vertices with positive degree, maintained incrementally
 /// across passes — augmentation only ever shrinks it) instead of an O(n)
 /// rescan, and deactivates the endpoints it matches. Behaviorally identical
 /// to the O(n)-scan overload for a consistently maintained set.
+std::size_t augmenting_paths_pass(const Graph& g,
+                                  std::vector<VertexId>& partner,
+                                  std::size_t k, std::uint64_t seed,
+                                  ActiveSet& free_set,
+                                  AugmentingPassScratch& scratch);
+
+/// Convenience overload with throwaway scratch (single passes, tests).
 std::size_t augmenting_paths_pass(const Graph& g,
                                   std::vector<VertexId>& partner,
                                   std::size_t k, std::uint64_t seed,

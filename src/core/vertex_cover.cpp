@@ -13,6 +13,7 @@ VertexCoverResult minimum_vertex_cover_mpc(const Graph& g,
   result.rounds = run.metrics.rounds;
   result.phases = run.phases;
   result.frontier_per_phase = run.active_per_phase;
+  result.frontier_edges_per_phase = run.frontier_edges_per_phase;
   return result;
 }
 

@@ -25,6 +25,9 @@ struct VertexCoverResult {
   /// run — the per-phase cost driver after the ActiveSet port (shrinks as
   /// vertices freeze into the cover).
   std::vector<std::size_t> frontier_per_phase;
+  /// Frontier-internal edges at each phase start — the per-phase *edge*
+  /// cost driver after the ActiveArcs port.
+  std::vector<std::size_t> frontier_edges_per_phase;
 };
 
 /// (2 + 50 eps)-approximate minimum vertex cover in O(log log n) MPC

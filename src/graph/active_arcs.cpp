@@ -1,0 +1,116 @@
+#include "graph/active_arcs.h"
+
+#include "util/memory.h"
+
+namespace mpcg {
+
+ActiveArcs::ActiveArcs(ResidualGraph& residual, const ActiveSet& active)
+    : residual_(&residual), active_(&active) {
+  const Graph& g = residual.graph();
+  const std::size_t n = g.num_vertices();
+  // Contract: constructed while the frontier is still all-active, so every
+  // alive neighbor is an active neighbor and no list needs materializing.
+  active_deg_.resize(n);
+  stale_.assign(n, 0);
+  offsets_.resize(n + 1);
+  active_end_.assign(n, kLazy);
+  upper_begin_.assign(n, 0);
+  frozen_end_.assign(n, 0);
+  std::size_t cursor = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    offsets_[v] = cursor;
+    active_deg_[v] = static_cast<std::uint32_t>(residual.residual_degree(v));
+    cursor += g.degree(v);
+  }
+  offsets_[n] = cursor;
+}
+
+void ActiveArcs::ensure_buffers() {
+  if (active_buf_ == nullptr && offsets_.back() > 0) {
+    active_buf_ = std::make_unique_for_overwrite<VertexId[]>(offsets_.back());
+    frozen_buf_ = std::make_unique_for_overwrite<VertexId[]>(offsets_.back());
+    advise_huge_pages(active_buf_.get(), offsets_.back() * sizeof(VertexId));
+    advise_huge_pages(frozen_buf_.get(), offsets_.back() * sizeof(VertexId));
+  }
+}
+
+void ActiveArcs::materialize(VertexId v) {
+  ensure_buffers();
+  const std::size_t begin = offsets_[v];
+  std::size_t active_write = begin;
+  std::size_t frozen_write = begin;
+  std::size_t upper = begin;
+  for (const Arc& a : residual_->alive_arcs(v)) {
+    if (active_->active(a.to)) {
+      if (a.to <= v) upper = active_write + 1;
+      active_buf_[active_write++] = a.to;
+    } else {
+      frozen_buf_[frozen_write++] = a.to;
+    }
+  }
+  active_end_[v] = active_write;
+  upper_begin_[v] = upper;
+  frozen_end_[v] = frozen_write;
+  stale_[v] = 0;
+}
+
+void ActiveArcs::compact(VertexId v) {
+  const std::size_t begin = offsets_[v];
+  // The frozen list only exists for the consumers of an *active* vertex
+  // (the y_old rescan); once v has left the frontier its lists are walked
+  // at most once more, by the departure notification, which reads only the
+  // active side — so a departed vertex's compaction drops its departed
+  // neighbors instead of merging them over.
+  const bool keep_frozen = active_->active(v);
+  moved_.clear();
+  if (stale_[v] & kActiveStale) {
+    std::size_t write = begin;
+    std::size_t upper = begin;
+    for (std::size_t read = begin; read < active_end_[v]; ++read) {
+      const VertexId u = active_buf_[read];
+      if (active_->active(u)) {
+        if (u <= v) upper = write + 1;
+        active_buf_[write++] = u;
+      } else if (keep_frozen && residual_->alive(u)) {
+        moved_.push_back(u);  // froze: joins the frozen list below
+      }  // else: removed (or v departed) — drops from the partition
+    }
+    active_end_[v] = write;
+    upper_begin_[v] = upper;
+  }
+  const bool frozen_stale = (stale_[v] & kFrozenStale) != 0;
+  if (!moved_.empty() || (frozen_stale && keep_frozen)) {
+    // Rebuild the frozen list as a merge of the surviving old entries and
+    // the just-departed actives; both inputs are ascending (the old list by
+    // invariant, the moved entries as a subsequence of the active list), so
+    // the result keeps ascending id order.
+    frozen_scratch_.assign(frozen_buf_.get() + begin,
+                           frozen_buf_.get() + frozen_end_[v]);
+    std::size_t write = begin;
+    std::size_t mi = 0;
+    for (const VertexId u : frozen_scratch_) {
+      if (frozen_stale && !residual_->alive(u)) continue;
+      while (mi < moved_.size() && moved_[mi] < u) {
+        frozen_buf_[write++] = moved_[mi++];
+      }
+      frozen_buf_[write++] = u;
+    }
+    while (mi < moved_.size()) frozen_buf_[write++] = moved_[mi++];
+    frozen_end_[v] = write;
+  }
+  stale_[v] = 0;
+}
+
+void ActiveArcs::notify_left(std::span<const VertexId> departed) {
+  for (const VertexId x : departed) {
+    for (const VertexId u : active_neighbors(x)) {
+      // x's list is only filtered lazily, so on the clean path it can
+      // still hold same-batch departures — skip them here to keep the
+      // "no cross-marks between batch members" contract exact.
+      if (!active_->active(u)) continue;
+      neighbor_left_frontier(u);
+    }
+  }
+}
+
+}  // namespace mpcg

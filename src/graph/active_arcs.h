@@ -1,0 +1,177 @@
+// Second-level compaction over ResidualGraph: per-vertex neighbor lists
+// with *frozen* (frontier-departed but still alive) neighbors squeezed out,
+// the way ResidualGraph squeezes dead ones.
+//
+// The matching driver's phase cost (paper, Section 4.3; charging argument
+// of the round compression) is supposed to be proportional to the edges
+// *internal to the active frontier*, not to all alive edges: frozen
+// vertices stay alive in G[V'] until a heavy removal kills them, so on
+// workloads where the frontier decays early the alive-arc lists stay fat
+// long after the frontier has emptied. ActiveArcs partitions each vertex's
+// alive neighbors into two ascending lists:
+//
+//   active_neighbors(v)  — alive neighbors still on the frontier (what the
+//                          per-phase distribute loop iterates), and
+//   frozen_neighbors(v)  — alive neighbors that left it (what the y_old
+//                          frozen-contribution rescan iterates),
+//
+// both maintained with the same dirty-bit lazy compaction discipline as
+// ResidualGraph: a departure marks the affected lists stale in O(1) per
+// incident list, and the next query pays one stable filtering pass. Both
+// lists preserve ascending neighbor-id order, so a consumer that sums
+// floating-point contributions while scanning stays bit-identical to the
+// full alive-arc scan it replaces (the frozen scan performs exactly the
+// additions the old `if (frozen) y += w[tf]` filter performed, in the same
+// order; see DESIGN.md, "ActiveArcs & batched thresholds").
+//
+// Event protocol (driver-facing; ActiveArcs never polls, it is told):
+//   * a vertex x leaves the frontier (freeze, or removal while active):
+//     after deactivating x in the ActiveSet, call neighbor_left_frontier(u)
+//     for every still-active neighbor u of x — or notify_left({x, ...}) to
+//     batch it. Same-batch departures need no cross-marks: an inactive
+//     vertex's lists are never read again.
+//   * a *frozen* vertex x is removed (killed in the residual): call
+//     frozen_neighbor_removed(u) for every alive neighbor u, so u's frozen
+//     list drops x on its next compaction. Removals of *active* vertices
+//     go through neighbor_left_frontier — the compaction consults
+//     ResidualGraph::alive and drops the dead entry instead of moving it.
+#ifndef MPCG_GRAPH_ACTIVE_ARCS_H
+#define MPCG_GRAPH_ACTIVE_ARCS_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/active_set.h"
+#include "graph/graph.h"
+#include "graph/residual.h"
+
+namespace mpcg {
+
+class ActiveArcs {
+ public:
+  /// Wraps the residual view and the frontier set the partition is defined
+  /// against. Assumes the frontier starts all-active (as ActiveSet does);
+  /// O(n) construction, no arc copies until a vertex's lists are first
+  /// compacted.
+  ActiveArcs(ResidualGraph& residual, const ActiveSet& active);
+
+  /// Number of active (frontier) neighbors of v. O(1). Maintained by the
+  /// notification protocol; only meaningful while v itself is active (a
+  /// departed vertex's counter goes stale, matching the lists).
+  [[nodiscard]] std::size_t active_degree(VertexId v) const noexcept {
+    return active_deg_[v];
+  }
+
+  /// Active neighbors of v, ascending by id. O(1) when nothing changed
+  /// since the last query; a stale list pays one filtering pass (departed
+  /// entries move to the frozen list, dead ones drop). The span is valid
+  /// until the next ActiveArcs call for the same vertex. Callable for an
+  /// inactive v (the departure walk): it returns v's still-active
+  /// neighbors, excluding same-batch departures. Inline fast path: these
+  /// sit in the distribute loop, the hottest per-arc code in the driver.
+  [[nodiscard]] std::span<const VertexId> active_neighbors(VertexId v) {
+    if (active_end_[v] == kLazy) {
+      materialize(v);
+    } else if (stale_[v] != 0) {
+      compact(v);
+    }
+    return {active_buf_.get() + offsets_[v],
+            active_buf_.get() + active_end_[v]};
+  }
+
+  /// The suffix of active_neighbors(v) with id greater than v. O(1): the
+  /// split position is recorded while the list is written (materialize/
+  /// compact), so no per-query search. `for v in frontier: for u in
+  /// active_upper_neighbors(v)` visits every frontier-internal edge
+  /// exactly once, in edge-id (lexicographic) order — the distribute
+  /// loop's iteration.
+  [[nodiscard]] std::span<const VertexId> active_upper_neighbors(VertexId v) {
+    if (active_end_[v] == kLazy) {
+      materialize(v);
+    } else if (stale_[v] != 0) {
+      compact(v);
+    }
+    return {active_buf_.get() + upper_begin_[v],
+            active_buf_.get() + active_end_[v]};
+  }
+
+  /// Alive-but-departed (frozen) neighbors of v, ascending by id — the
+  /// complement of active_neighbors(v) within the alive neighborhood.
+  /// Only meaningful while v is active: a departed vertex's frozen list is
+  /// no longer maintained (its compactions drop departed neighbors
+  /// instead of merging them over — nothing reads them again).
+  [[nodiscard]] std::span<const VertexId> frozen_neighbors(VertexId v) {
+    if (active_end_[v] == kLazy) {
+      // Lazy and clean: no neighbor of v ever left the frontier or died,
+      // so the frozen list is empty without materializing anything.
+      if (stale_[v] == 0) return {};
+      materialize(v);
+    } else if (stale_[v] != 0) {
+      compact(v);
+    }
+    return {frozen_buf_.get() + offsets_[v],
+            frozen_buf_.get() + frozen_end_[v]};
+  }
+
+  /// O(1): an active neighbor of v just left the frontier (froze, or was
+  /// removed while active). Decrements the active degree and marks v's
+  /// lists stale. Call once per departed neighbor.
+  void neighbor_left_frontier(VertexId v) noexcept {
+    --active_deg_[v];
+    stale_[v] |= kActiveStale;
+  }
+
+  /// O(1): a *frozen* neighbor of v was removed from the graph. Marks v's
+  /// frozen list stale (the active list and degree are untouched).
+  void frozen_neighbor_removed(VertexId v) noexcept {
+    stale_[v] |= kFrozenStale;
+  }
+
+  /// Batch form of the freeze notification: for every departed vertex
+  /// (already deactivated in the ActiveSet), walks its still-active
+  /// neighbors and applies neighbor_left_frontier. Drivers that fuse their
+  /// own per-neighbor bookkeeping into the walk (matching_mpc) iterate
+  /// active_neighbors themselves instead.
+  void notify_left(std::span<const VertexId> departed);
+
+ private:
+  static constexpr std::uint8_t kActiveStale = 1;
+  static constexpr std::uint8_t kFrozenStale = 2;
+  /// active_end_ value for a vertex whose lists were never materialized:
+  /// its partition is still "every alive neighbor, split by the current
+  /// flags", served by one residual scan on first query.
+  static constexpr std::size_t kLazy = static_cast<std::size_t>(-1);
+
+  void ensure_buffers();
+  /// First-touch split of residual alive arcs into the two lists (out of
+  /// line: the cold half of the inline accessors above).
+  void materialize(VertexId v);
+  /// Filtering pass over materialized, stale lists: departed actives move
+  /// to the frozen list (merged, order preserved), dead entries drop.
+  void compact(VertexId v);
+
+  ResidualGraph* residual_;
+  const ActiveSet* active_;
+  std::vector<std::uint32_t> active_deg_;
+  std::vector<std::uint8_t> stale_;
+  /// Per-vertex segments, capacity = full graph degree (address space
+  /// only; pages are touched as vertices materialize):
+  /// active list in active_buf_[offsets_[v], active_end_[v]), with the
+  /// first id greater than v at upper_begin_[v];
+  /// frozen list in frozen_buf_[offsets_[v], frozen_end_[v]).
+  std::vector<std::size_t> offsets_;
+  std::vector<std::size_t> active_end_;
+  std::vector<std::size_t> upper_begin_;
+  std::vector<std::size_t> frozen_end_;
+  std::unique_ptr<VertexId[]> active_buf_;
+  std::unique_ptr<VertexId[]> frozen_buf_;
+  /// Merge scratch for frozen-list rebuilds.
+  std::vector<VertexId> moved_;
+  std::vector<VertexId> frozen_scratch_;
+};
+
+}  // namespace mpcg
+
+#endif  // MPCG_GRAPH_ACTIVE_ARCS_H

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/memory.h"
+
 namespace mpcg {
 
 ResidualGraph::ResidualGraph(const Graph& g)
@@ -114,6 +116,7 @@ ResidualGraph& ResidualGraph::operator=(const ResidualGraph& other) {
 void ResidualGraph::ensure_arc_buffer() {
   if (arcs_ == nullptr && offsets_.back() > 0) {
     arcs_ = std::make_unique_for_overwrite<Arc[]>(offsets_.back());
+    advise_huge_pages(arcs_.get(), offsets_.back() * sizeof(Arc));
   }
 }
 

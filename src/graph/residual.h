@@ -209,6 +209,12 @@ class CsrScratch {
     return {flat_.data() + start_[v], flat_.data() + start_[v] + degree_[v]};
   }
 
+  /// Degree of v in the last build (0 if untouched) — one array read,
+  /// for consumers that size per-vertex state without walking neighbors.
+  [[nodiscard]] std::uint32_t degree(VertexId v) const noexcept {
+    return degree_[v];
+  }
+
   /// Vertices with at least one neighbor in the last build.
   [[nodiscard]] const std::vector<VertexId>& touched() const noexcept {
     return touched_;

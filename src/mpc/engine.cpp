@@ -9,7 +9,14 @@ Engine::Engine(Config config) : config_(config) {
     throw std::invalid_argument("Engine: need at least one machine");
   }
   const std::size_t m = config_.num_machines;
-  if (m <= config_.dense_machine_limit) {
+  // Adaptive mode starts from the same shape the static rule would pick at
+  // the tuned default, then re-decides per flush (see adapt_path).
+  const std::size_t start_limit =
+      config_.dense_machine_limit == Config::kAdaptive
+          ? kAdaptiveDenseCap
+          : config_.dense_machine_limit;
+  dense_active_ = m <= start_limit;
+  if (dense_active_) {
     boxes_.assign(m * m, {});
   } else {
     out_dests_.assign(m, {});
@@ -36,11 +43,35 @@ void Engine::throw_bad_machine(std::size_t machine) const {
   throw std::out_of_range("Engine: unreachable");
 }
 
+void Engine::set_path(bool dense) {
+  if (dense == dense_active_) return;
+  const std::size_t m = config_.num_machines;
+  if (dense && boxes_.empty()) boxes_.assign(m * m, {});
+  if (!dense && out_dests_.empty()) {
+    out_dests_.assign(m, {});
+    out_words_.assign(m, {});
+  }
+  dense_active_ = dense;
+}
+
+void Engine::adapt_path(std::size_t words, std::size_t runs) {
+  if (config_.dense_machine_limit != Config::kAdaptive) return;
+  const std::size_t m = config_.num_machines;
+  if (m > kAdaptiveDenseCap) return;  // matrix storage/scan out of budget
+  if (words == 0) return;             // no unicast traffic: no signal
+  // Bulky per-pair traffic amortizes the O(m^2) matrix scan and enjoys the
+  // pre-sorted bulk-copy delivery; scattered short runs pay the flat
+  // path's per-word cost anyway but skip the scan. Thresholds validated
+  // with tools/bench_exchange_crossover (--adaptive column).
+  const bool want_dense = words >= 8 * runs && 2 * words >= m * m;
+  set_path(want_dense);
+}
+
 void Engine::push(std::size_t from, std::size_t to,
                   std::span<const Word> words) {
   check_machine(from);
   check_machine(to);
-  if (!boxes_.empty()) {
+  if (dense_active_) {
     auto& box = boxes_[from * config_.num_machines + to];
     box.insert(box.end(), words.begin(), words.end());
     return;
@@ -70,8 +101,8 @@ void Engine::push_broadcast(std::size_t from,
     check_machine(to);
     if (empty) continue;  // an empty payload delivers nothing, like push({})
     const std::uint64_t seq =
-        !boxes_.empty() ? boxes_[from * config_.num_machines + to].size()
-                        : out_dests_[from].size();
+        dense_active_ ? boxes_[from * config_.num_machines + to].size()
+                      : out_dests_[from].size();
     shared_sends_.push_back(SharedSend{static_cast<std::uint32_t>(from),
                                        static_cast<std::uint32_t>(to), payload,
                                        seq});
@@ -93,8 +124,8 @@ void Engine::push_gather(std::size_t from, std::size_t to,
   if (words.empty()) return;
   const PayloadId pid = stage_payload(words);
   const std::uint64_t seq =
-      !boxes_.empty() ? boxes_[from * config_.num_machines + to].size()
-                      : out_dests_[from].size();
+      dense_active_ ? boxes_[from * config_.num_machines + to].size()
+                    : out_dests_[from].size();
   shared_sends_.push_back(SharedSend{static_cast<std::uint32_t>(from),
                                      static_cast<std::uint32_t>(to), pid, seq});
 }
@@ -128,7 +159,7 @@ void Engine::exchange() {
   if (shared_sends_.empty()) {
     // Payloads staged but never pushed die here, per the lifetime contract.
     staged_payloads_.clear();
-    if (!boxes_.empty()) {
+    if (dense_active_) {
       exchange_plain_dense(m);
     } else {
       exchange_plain_flat(m);
@@ -142,11 +173,16 @@ void Engine::exchange() {
 void Engine::exchange_plain_dense(std::size_t m) {
   // Dense path: pushes pre-sorted the words by (sender, receiver);
   // delivery is pure bulk copies.
+  std::size_t flush_words = 0;
+  std::size_t flush_runs = 0;
   for (std::size_t from = 0; from < m; ++from) {
     std::size_t sent = 0;
     for (std::size_t to = 0; to < m; ++to) {
-      sent += boxes_[from * m + to].size();
+      const std::size_t box_words = boxes_[from * m + to].size();
+      sent += box_words;
+      flush_runs += box_words != 0;
     }
+    flush_words += sent;
     metrics_.max_sent_words = std::max(metrics_.max_sent_words, sent);
     metrics_.total_words += sent;
     check_budget(from, sent, "sent");
@@ -171,12 +207,16 @@ void Engine::exchange_plain_dense(std::size_t m) {
     metrics_.peak_storage_words = std::max(metrics_.peak_storage_words,
                                            received);
   }
+  adapt_path(flush_words, flush_runs);
 }
 
 void Engine::exchange_plain_flat(std::size_t m) {
   // Flat path. Sending side first.
+  std::size_t flush_words = 0;
+  std::size_t flush_runs = 0;
   for (std::size_t from = 0; from < m; ++from) {
     const std::size_t sent = out_words_[from].size();
+    flush_words += sent;
     metrics_.max_sent_words = std::max(metrics_.max_sent_words, sent);
     metrics_.total_words += sent;
     check_budget(from, sent, "sent");
@@ -192,6 +232,7 @@ void Engine::exchange_plain_flat(std::size_t m) {
       std::size_t j = i + 1;
       while (j < dests.size() && dests[j] == to) ++j;
       recv_count_[to] += j - i;
+      ++flush_runs;
       i = j;
     }
   }
@@ -253,6 +294,7 @@ void Engine::exchange_plain_flat(std::size_t m) {
     metrics_.peak_storage_words = std::max(metrics_.peak_storage_words,
                                            received);
   }
+  adapt_path(flush_words, flush_runs);
 }
 
 std::vector<std::span<const Word>>& Engine::touch_segs(std::size_t to) {
@@ -312,7 +354,7 @@ void Engine::exchange_shared(std::size_t m) {
     shared_recv_[s.to] += len;
   }
 
-  const bool dense = !boxes_.empty();
+  const bool dense = dense_active_;
 
   // Sending side: unicast + shared, charged at full per-destination size.
   for (std::size_t from = 0; from < m; ++from) {
@@ -331,21 +373,29 @@ void Engine::exchange_shared(std::size_t m) {
 
   // Unicast receive counts (for exact inbox reservation — segment spans
   // alias the inbox buffers, so they must never reallocate mid-delivery).
+  // The same pass measures the flush's unicast shape for adapt_path.
+  std::size_t flush_words = 0;
+  std::size_t flush_runs = 0;
   std::fill(recv_count_.begin(), recv_count_.end(), 0);
   if (dense) {
     for (std::size_t from = 0; from < m; ++from) {
       for (std::size_t to = 0; to < m; ++to) {
-        recv_count_[to] += boxes_[from * m + to].size();
+        const std::size_t box_words = boxes_[from * m + to].size();
+        recv_count_[to] += box_words;
+        flush_words += box_words;
+        flush_runs += box_words != 0;
       }
     }
   } else {
     for (std::size_t from = 0; from < m; ++from) {
       const auto& dests = out_dests_[from];
+      flush_words += dests.size();
       for (std::size_t i = 0; i < dests.size();) {
         const std::uint32_t to = dests[i];
         std::size_t j = i + 1;
         while (j < dests.size() && dests[j] == to) ++j;
         recv_count_[to] += j - i;
+        ++flush_runs;
         i = j;
       }
     }
@@ -533,6 +583,7 @@ void Engine::exchange_shared(std::size_t m) {
       out_words_[from].clear();
     }
   }
+  adapt_path(flush_words, flush_runs);
 }
 
 InboxView Engine::inbox_view(std::size_t machine) const {

@@ -59,13 +59,26 @@ struct Config {
   /// tallied in Metrics::violations (useful for measuring how close an
   /// algorithm runs to the budget).
   bool strict = true;
-  /// Dense/flat exchange crossover: clusters up to this many machines use
-  /// the per-(sender, receiver) box matrix (pushes pre-sort by destination,
-  /// delivery is pure bulk copies); larger clusters use flat per-sender
-  /// outboxes with counting-sort delivery, avoiding the matrix's
-  /// O(machines^2) storage and per-round scan. The default was tuned with
-  /// `tools/bench_exchange_crossover`; re-tune per deployment box.
-  std::size_t dense_machine_limit = 512;
+  /// Dense/flat exchange representation: the per-(sender, receiver) box
+  /// matrix (pushes pre-sort by destination, delivery is pure bulk copies,
+  /// but O(machines^2) storage and a full matrix scan per round) versus
+  /// flat per-sender outboxes with counting-sort delivery (O(words)
+  /// storage, a few extra ops per word).
+  ///
+  /// With the default `kAdaptive`, the engine picks the path per flush
+  /// from the traffic it just delivered — total unicast words versus
+  /// occupied (sender, receiver) runs: bulky per-pair traffic that
+  /// amortizes the matrix scan switches to dense, scattered short-run
+  /// traffic switches to flat (both representations deliver identical
+  /// inboxes and metrics, so switching is observable only as wall-clock;
+  /// see `tools/bench_exchange_crossover --adaptive`). The dense matrix is
+  /// never chosen above kAdaptiveDenseCap machines.
+  ///
+  /// Any explicit value overrides adaptivity with the old static rule:
+  /// clusters up to the limit are dense, larger ones flat (0 forces flat
+  /// everywhere — how tests pin one representation).
+  static constexpr std::size_t kAdaptive = static_cast<std::size_t>(-1);
+  std::size_t dense_machine_limit = kAdaptive;
 };
 
 struct Metrics {
@@ -195,7 +208,7 @@ class Engine {
         [[unlikely]] {
       throw_bad_machine(from >= config_.num_machines ? from : to);
     }
-    if (!boxes_.empty()) {
+    if (dense_active_) {
       boxes_[from * config_.num_machines + to].push_back(word);
     } else {
       out_dests_[from].push_back(static_cast<std::uint32_t>(to));
@@ -286,6 +299,16 @@ class Engine {
   void exchange_plain_dense(std::size_t m);
   void exchange_plain_flat(std::size_t m);
   void exchange_shared(std::size_t m);
+  /// Switches the staging representation (both are kept allocated once
+  /// used; only callable between flushes, when all outboxes are empty).
+  void set_path(bool dense);
+  /// Per-flush adaptive path choice from the shape of the unicast traffic
+  /// just delivered: `words` moved across `runs` maximal same-destination
+  /// stretches. No-op unless Config::dense_machine_limit is kAdaptive.
+  void adapt_path(std::size_t words, std::size_t runs);
+  /// Largest cluster the adaptive mode will ever give the dense matrix
+  /// (its storage and per-round scan are O(machines^2)).
+  static constexpr std::size_t kAdaptiveDenseCap = 512;
   /// Appends `box` to inbox_[to] split around this pair's shared sends
   /// (whose seq fields hold within-pair splice offsets, chronological
   /// order), emitting interleaved segments into in_segs_[to].
@@ -295,6 +318,10 @@ class Engine {
 
   Config config_;
   Metrics metrics_;
+  /// Which staging representation push() writes to. Fixed by
+  /// dense_machine_limit when that is explicit; re-decided per flush by
+  /// adapt_path() in the default adaptive mode.
+  bool dense_active_ = false;
   /// Dense representation (small clusters): boxes_[from * m + to] holds
   /// the unicast words queued from `from` to `to`, in push order. Empty
   /// when the flat representation is active.

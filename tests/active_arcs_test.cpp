@@ -1,0 +1,229 @@
+// ActiveArcs: the second-level compaction over ResidualGraph that
+// partitions each vertex's alive neighbors into an active (frontier) list
+// and a frozen complement, both ascending, under the driver's event
+// protocol (deactivate-then-notify for departures, notify-then-kill for
+// removals). The randomized suite couples the compacted iteration against
+// a naive model recomputed from scratch off the graph + flags after every
+// event batch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <span>
+#include <vector>
+
+#include "core/central.h"
+#include "gen/families.h"
+#include "graph/active_arcs.h"
+#include "graph/active_set.h"
+#include "graph/residual.h"
+#include "util/rng.h"
+
+namespace mpcg {
+namespace {
+
+std::vector<VertexId> naive_active(const Graph& g, const ResidualGraph& rg,
+                                   const ActiveSet& as, VertexId v) {
+  std::vector<VertexId> out;
+  for (const Arc& a : g.arcs(v)) {
+    if (rg.alive(a.to) && as.active(a.to)) out.push_back(a.to);
+  }
+  return out;
+}
+
+std::vector<VertexId> naive_frozen(const Graph& g, const ResidualGraph& rg,
+                                   const ActiveSet& as, VertexId v) {
+  std::vector<VertexId> out;
+  for (const Arc& a : g.arcs(v)) {
+    if (rg.alive(a.to) && !as.active(a.to)) out.push_back(a.to);
+  }
+  return out;
+}
+
+std::vector<VertexId> to_vec(std::span<const VertexId> s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(ActiveArcsTest, StartsAllActive) {
+  const Graph g = graph_family("gnp_sparse", 64, 7);
+  ResidualGraph rg(g);
+  ActiveSet as(g.num_vertices());
+  ActiveArcs aa(rg, as);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(aa.active_degree(v), g.degree(v));
+    EXPECT_EQ(to_vec(aa.active_neighbors(v)), naive_active(g, rg, as, v));
+    EXPECT_TRUE(aa.frozen_neighbors(v).empty());
+  }
+}
+
+TEST(ActiveArcsTest, FreezeMovesNeighborToFrozenList) {
+  const Graph g = graph_family("grid", 16, 1);
+  ResidualGraph rg(g);
+  ActiveSet as(g.num_vertices());
+  ActiveArcs aa(rg, as);
+
+  const VertexId x = 5;
+  as.deactivate(x);
+  for (const Arc& a : g.arcs(x)) {
+    if (as.active(a.to)) aa.neighbor_left_frontier(a.to);
+  }
+  for (const Arc& a : g.arcs(x)) {
+    const VertexId u = a.to;
+    const auto act = to_vec(aa.active_neighbors(u));
+    EXPECT_EQ(std::count(act.begin(), act.end(), x), 0);
+    const auto fro = to_vec(aa.frozen_neighbors(u));
+    EXPECT_EQ(std::count(fro.begin(), fro.end(), x), 1);
+    EXPECT_EQ(aa.active_degree(u), g.degree(u) - 1);
+  }
+}
+
+TEST(ActiveArcsTest, UpperNeighborsIsSuffixAboveV) {
+  const Graph g = graph_family("gnp_dense", 128, 3);
+  ResidualGraph rg(g);
+  ActiveSet as(g.num_vertices());
+  ActiveArcs aa(rg, as);
+  // Freeze a few vertices so the lists are non-trivial.
+  for (const VertexId x : {VertexId{3}, VertexId{40}, VertexId{77}}) {
+    as.deactivate(x);
+  }
+  aa.notify_left(std::array<VertexId, 3>{3, 40, 77});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!as.active(v)) continue;
+    const auto all = to_vec(aa.active_neighbors(v));
+    const auto upper = to_vec(aa.active_upper_neighbors(v));
+    std::vector<VertexId> expect;
+    for (const VertexId u : all) {
+      if (u > v) expect.push_back(u);
+    }
+    EXPECT_EQ(upper, expect) << "vertex " << v;
+  }
+}
+
+TEST(ActiveArcsTest, RemovalDropsFromBothLists) {
+  const Graph g = graph_family("cliques", 32, 2);
+  ResidualGraph rg(g);
+  ActiveSet as(g.num_vertices());
+  ActiveArcs aa(rg, as);
+
+  // Freeze 1 (clique {0..7} internally connected), then remove it; also
+  // remove the still-active 2. Protocol: notify, then kill.
+  as.deactivate(1);
+  for (const Arc& a : g.arcs(1)) {
+    if (as.active(a.to)) aa.neighbor_left_frontier(a.to);
+  }
+  for (const Arc& a : rg.alive_arcs(1)) {
+    aa.frozen_neighbor_removed(a.to);
+  }
+  as.deactivate(1);  // removal keeps it off the frontier
+  rg.kill(1);
+
+  as.deactivate(2);
+  for (const Arc& a : rg.alive_arcs(2)) {
+    aa.neighbor_left_frontier(a.to);
+  }
+  rg.kill(2);
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!as.active(v)) continue;
+    EXPECT_EQ(to_vec(aa.active_neighbors(v)), naive_active(g, rg, as, v))
+        << "vertex " << v;
+    EXPECT_EQ(to_vec(aa.frozen_neighbors(v)), naive_frozen(g, rg, as, v))
+        << "vertex " << v;
+    EXPECT_EQ(aa.active_degree(v), naive_active(g, rg, as, v).size());
+  }
+}
+
+/// Randomized coupling: drive the full event protocol (freeze batches,
+/// removals of active and frozen vertices) and compare every active
+/// vertex's partition against the naive model after each batch.
+TEST(ActiveArcsTest, RandomizedCouplingAgainstNaiveModel) {
+  for (const char* family : {"gnp_sparse", "rmat", "power_law", "star"}) {
+    const Graph g = graph_family(family, 256, 11);
+    const std::size_t n = g.num_vertices();
+    ResidualGraph rg(g);
+    ActiveSet as(n);
+    ActiveArcs aa(rg, as);
+    Rng rng(mix64(0xa2c, std::size_t{0}, n));
+
+    for (int batch = 0; batch < 40; ++batch) {
+      // Random event: mostly freezes, some removals.
+      const std::size_t kind = rng.next_below(4);
+      const auto v = static_cast<VertexId>(rng.next_below(n));
+      if (kind < 3) {
+        // Freeze batch: v and maybe a neighbor leave the frontier.
+        std::vector<VertexId> leavers;
+        if (as.active(v)) leavers.push_back(v);
+        const auto arcs = g.arcs(v);
+        if (!arcs.empty()) {
+          const VertexId u = arcs[rng.next_below(arcs.size())].to;
+          if (as.active(u) && u != v) leavers.push_back(u);
+        }
+        for (const VertexId x : leavers) as.deactivate(x);
+        aa.notify_left(leavers);
+      } else if (rg.alive(v)) {
+        // Removal (of an active or frozen vertex): notify, then kill.
+        const bool was_active = as.active(v);
+        as.deactivate(v);
+        for (const Arc& a : rg.alive_arcs(v)) {
+          if (was_active) {
+            aa.neighbor_left_frontier(a.to);
+          } else {
+            aa.frozen_neighbor_removed(a.to);
+          }
+        }
+        rg.kill(v);
+      }
+
+      // Spot-check a window of vertices (full sweep every few batches).
+      const bool full = batch % 8 == 7;
+      for (VertexId u = 0; u < n; ++u) {
+        if (!full && u % 16 != static_cast<VertexId>(batch % 16)) continue;
+        if (!as.active(u)) continue;
+        ASSERT_EQ(to_vec(aa.active_neighbors(u)), naive_active(g, rg, as, u))
+            << family << " batch " << batch << " vertex " << u;
+        ASSERT_EQ(to_vec(aa.frozen_neighbors(u)), naive_frozen(g, rg, as, u))
+            << family << " batch " << batch << " vertex " << u;
+        ASSERT_EQ(aa.active_degree(u), naive_active(g, rg, as, u).size());
+        // Ascending order invariant.
+        const auto act = to_vec(aa.active_neighbors(u));
+        ASSERT_TRUE(std::is_sorted(act.begin(), act.end()));
+      }
+    }
+  }
+}
+
+TEST(ThresholdBatchTest, MatchesCentralThresholdBitForBit) {
+  const std::uint64_t seed = 0xfeed;
+  const double eps = 0.07;
+  const std::size_t n = 300;
+  const ThresholdBatch batch(seed, eps, /*random=*/true, n);
+  std::vector<VertexId> vertices;
+  for (VertexId v = 0; v < n; v += 3) vertices.push_back(v);
+  std::vector<double> out;
+  for (const std::uint64_t t : {0ULL, 1ULL, 17ULL, 129ULL}) {
+    batch.fill(vertices, t, out);
+    ASSERT_EQ(out.size(), vertices.size());
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      const double expect =
+          central_threshold(seed, vertices[i], t, eps, true);
+      EXPECT_EQ(out[i], expect) << "v=" << vertices[i] << " t=" << t;
+      EXPECT_EQ(batch.threshold(vertices[i], t), expect);
+      // The floor is a true lower bound of the stream.
+      EXPECT_GE(out[i], batch.lower_bound());
+    }
+  }
+}
+
+TEST(ThresholdBatchTest, FixedThresholdMode) {
+  const double eps = 0.1;
+  const ThresholdBatch batch(1, eps, /*random=*/false, 8);
+  std::vector<double> out;
+  const std::vector<VertexId> vs = {0, 3, 7};
+  batch.fill(vs, 5, out);
+  for (const double t : out) EXPECT_EQ(t, 1.0 - 2.0 * eps);
+  EXPECT_EQ(batch.lower_bound(), 1.0 - 2.0 * eps);
+  EXPECT_EQ(batch.threshold(2, 9), 1.0 - 2.0 * eps);
+}
+
+}  // namespace
+}  // namespace mpcg

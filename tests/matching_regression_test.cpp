@@ -12,7 +12,10 @@
 // which must be deliberate. Sizes 2^12-2^14 exercise multiple phases, the
 // direct-simulation tail, heavy removals (gnp_dense), skewed degrees
 // (rmat), and the adversarial-hub profile (star, which freezes the hub and
-// ends with an empty tail).
+// ends with an empty tail). The 2^14 rmat/star/power_law rows (captured
+// from the PR 3 binary) mirror the frontier-decay workloads bench_e06 runs
+// — the shapes whose early-departing frontier the ActiveArcs compaction is
+// charged against.
 #include <gtest/gtest.h>
 
 #include "core/matching_mpc.h"
@@ -71,6 +74,15 @@ constexpr GoldenRow kGolden[] = {
     {"gnp_sparse", 16384, 105, 49223U, 12830451449563884107ULL,
      9U, 93U, 33U, 12062U, 16332650029927574920ULL, 16105157543872013877ULL,
      {94U, 130781U, 4263U, 4263U, 0U, 1720711U}},
+    {"rmat", 16384, 106, 65250U, 2563023080484348523ULL,
+     9U, 93U, 33U, 8084U, 9578512890068855466ULL, 6008087138223456623ULL,
+     {113U, 49530U, 4003U, 4003U, 0U, 1215021U}},
+    {"star", 16384, 107, 16383U, 7843570663484516046ULL,
+     9U, 60U, 0U, 1U, 3554543661169652019ULL, 7582004460640005095ULL,
+     {29U, 276U, 2782U, 17693U, 0U, 148853U}},
+    {"power_law", 16384, 108, 65121U, 1758653876198549565ULL,
+     9U, 93U, 33U, 9113U, 17506492605985892107ULL, 6727799963475301973ULL,
+     {121U, 59309U, 3907U, 3907U, 0U, 1343290U}},
 };
 
 class MatchingRegression : public ::testing::TestWithParam<std::size_t> {};
@@ -104,7 +116,7 @@ TEST_P(MatchingRegression, BitIdenticalToPreActiveSetPath) {
   EXPECT_EQ(r.metrics.violations, row.metrics.violations);
   EXPECT_EQ(r.metrics.total_words, row.metrics.total_words);
 
-  // Structural sanity of the new frontier telemetry: one entry per phase,
+  // Structural sanity of the frontier telemetry: one entry per phase,
   // non-increasing (the frontier only shrinks), starting at n.
   ASSERT_EQ(r.active_per_phase.size(), r.phases);
   for (std::size_t p = 0; p + 1 < r.active_per_phase.size(); ++p) {
@@ -112,6 +124,17 @@ TEST_P(MatchingRegression, BitIdenticalToPreActiveSetPath) {
   }
   if (!r.active_per_phase.empty()) {
     EXPECT_EQ(r.active_per_phase.front(), g.num_vertices());
+  }
+  // Same for the frontier-internal edge counts (what the ActiveArcs-based
+  // distribute loop actually scans): per phase, non-increasing, starting
+  // at the full edge count while everything is active.
+  ASSERT_EQ(r.frontier_edges_per_phase.size(), r.phases);
+  for (std::size_t p = 0; p + 1 < r.frontier_edges_per_phase.size(); ++p) {
+    EXPECT_GE(r.frontier_edges_per_phase[p],
+              r.frontier_edges_per_phase[p + 1]);
+  }
+  if (!r.frontier_edges_per_phase.empty()) {
+    EXPECT_EQ(r.frontier_edges_per_phase.front(), g.num_edges());
   }
 }
 

@@ -1,19 +1,26 @@
-// Re-tunes Config::dense_machine_limit for this box.
+// Re-tunes the dense/flat exchange choice for this box.
 //
 // The engine has two exchange representations: the dense per-(sender,
 // receiver) box matrix (O(m^2) storage, delivery by pure bulk copies) and
 // the flat per-sender outboxes (O(words) storage, counting-sort delivery).
-// The crossover between them is a per-machine-count wall-clock race on a
-// scattered all-to-all workload: both representations move the same words
-// through the same Engine API, only Config::dense_machine_limit differs.
+// By default the engine picks the path per flush from the traffic shape it
+// just delivered (Config::kAdaptive); an explicit Config::dense_machine_limit
+// pins the old static rule instead. This tool races all three on the two
+// canonical traffic shapes:
+//
+//   scattered — every machine sprays single words at random destinations
+//               (per-edge driver traffic: rank phases, sparsified rounds);
+//   bulk      — every machine sends its whole budget to a handful of
+//               destinations in long runs (collectives, shard migration).
+//
+// Each cell is a wall-clock race over identical pushes through the same
+// Engine API; the adaptive column should track the better of the two
+// forced columns within noise on both shapes (validating the adapt_path
+// thresholds), and the printed suggestion is the largest machine count at
+// which dense still wins the scattered shape — the value to pin if you
+// want the static rule.
 //
 // Usage: bench_exchange_crossover [rounds] [words_per_machine]
-//   rounds            exchange rounds per timed cell (default 8)
-//   words_per_machine unicast words each machine scatters per round
-//                     (default 4096)
-//
-// Output: one row per machine count with both timings and the winner, then
-// the suggested dense_machine_limit (largest m where dense still wins).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -29,8 +36,30 @@ using namespace mpcg;
 using mpc::Engine;
 using mpc::Word;
 
+/// Destination pattern for one machine's pushes per round.
+std::vector<std::uint32_t> make_dests(std::size_t machines,
+                                      std::size_t words_per_machine,
+                                      bool bulk) {
+  Rng rng(0x0c4055);
+  std::vector<std::uint32_t> dests(words_per_machine);
+  if (bulk) {
+    // Long same-destination runs to few partners.
+    const std::size_t partners = 4;
+    const std::size_t run = (words_per_machine + partners - 1) / partners;
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+      dests[i] = static_cast<std::uint32_t>((i / run) % machines);
+    }
+  } else {
+    for (auto& d : dests) {
+      d = static_cast<std::uint32_t>(rng() % machines);
+    }
+  }
+  return dests;
+}
+
 double run_cell(std::size_t machines, std::size_t dense_limit,
-                std::size_t rounds, std::size_t words_per_machine) {
+                std::size_t rounds, std::size_t words_per_machine,
+                bool bulk) {
   mpc::Config cfg;
   cfg.num_machines = machines;
   cfg.words_per_machine = std::max<std::size_t>(words_per_machine * 2, 1024);
@@ -38,15 +67,7 @@ double run_cell(std::size_t machines, std::size_t dense_limit,
   cfg.dense_machine_limit = dense_limit;
   Engine engine(cfg);
 
-  // Deterministic scattered destinations, the shape of per-edge driver
-  // traffic (rank phases, sparsified iterations): many senders, many
-  // destinations, short same-destination runs.
-  Rng rng(0x0c4055);
-  std::vector<std::uint32_t> dests(words_per_machine);
-  for (auto& d : dests) {
-    d = static_cast<std::uint32_t>(rng() % machines);
-  }
-
+  const auto dests = make_dests(machines, words_per_machine, bulk);
   const auto start = std::chrono::steady_clock::now();
   for (std::size_t r = 0; r < rounds; ++r) {
     for (std::size_t from = 0; from < machines; ++from) {
@@ -62,6 +83,25 @@ double run_cell(std::size_t machines, std::size_t dense_limit,
       .count();
 }
 
+void sweep(const char* label, std::size_t rounds, std::size_t words,
+           bool bulk, std::size_t* suggested) {
+  std::printf("# %s traffic\n", label);
+  std::printf("%10s %12s %12s %12s %8s\n", "machines", "dense_ms", "flat_ms",
+              "adaptive_ms", "winner");
+  // The dense matrix allocates m^2 boxes — cap that side of the race at
+  // 4096 machines (the flat side keeps going in real use anyway).
+  for (std::size_t m = 64; m <= 4096; m *= 2) {
+    const double dense = run_cell(m, m, rounds, words, bulk);   // force dense
+    const double flat = run_cell(m, 0, rounds, words, bulk);    // force flat
+    const double adaptive =
+        run_cell(m, mpc::Config::kAdaptive, rounds, words, bulk);
+    const bool dense_wins = dense <= flat;
+    if (suggested != nullptr && dense_wins) *suggested = m;
+    std::printf("%10zu %12.2f %12.2f %12.2f %8s\n", m, dense, flat, adaptive,
+                dense_wins ? "dense" : "flat");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,24 +112,18 @@ int main(int argc, char** argv) {
 
   std::printf("# exchange crossover: %zu rounds x %zu words/machine/round\n",
               rounds, words);
-  std::printf("%10s %14s %14s %8s\n", "machines", "dense_ms", "flat_ms",
-              "winner");
-
   std::size_t suggested = 0;
-  // The dense matrix allocates m^2 boxes — cap that side of the race at
-  // 4096 machines (the flat side keeps going in real use anyway).
-  for (std::size_t m = 64; m <= 4096; m *= 2) {
-    const double dense = run_cell(m, m, rounds, words);       // force dense
-    const double flat = run_cell(m, 0, rounds, words);        // force flat
-    const bool dense_wins = dense <= flat;
-    if (dense_wins) suggested = m;
-    std::printf("%10zu %14.2f %14.2f %8s\n", m, dense, flat,
-                dense_wins ? "dense" : "flat");
-  }
+  sweep("scattered", rounds, words, /*bulk=*/false, &suggested);
+  sweep("bulk", rounds, words, /*bulk=*/true, nullptr);
   if (suggested == 0) {
-    std::printf("suggested dense_machine_limit: 0 (flat always won)\n");
+    std::printf(
+        "suggested static dense_machine_limit: 0 (flat always won "
+        "scattered)\n");
   } else {
-    std::printf("suggested dense_machine_limit: %zu\n", suggested);
+    std::printf("suggested static dense_machine_limit: %zu\n", suggested);
   }
+  std::printf(
+      "default Config::kAdaptive picks per flush; pin a static limit only "
+      "if the adaptive column loses both shapes above.\n");
   return 0;
 }

@@ -53,6 +53,14 @@ def family_of(name):
     return name.split("/", 1)[0]
 
 
+def workload_of(name):
+    """Non-numeric middle components of a row name: the workload label.
+
+    'E06_FrontierDecay/rmat/262144' -> 'rmat'; 'E06_PhasesVsN/4096' -> ''.
+    """
+    return "/".join(p for p in name.split("/")[1:] if not p.isdigit())
+
+
 def aggregate(rows):
     """(family -> name -> row with min wall_ms), preserving n per name."""
     best = defaultdict(dict)
@@ -68,7 +76,9 @@ def aggregate(rows):
 def print_table(series_by_file, families):
     # The first input file is the baseline: every later file's rows get a
     # per-PR speedup column (baseline wall_ms / this wall_ms for the same
-    # benchmark name, min-of-N on both sides).
+    # benchmark name, min-of-N on both sides). Rows are grouped by workload
+    # (the non-numeric middle of the name — e.g. the rmat/star rows of
+    # E06_FrontierDecay each form a group) with a separator per group.
     labels = list(series_by_file)
     baseline = series_by_file[labels[0]] if labels else {}
     header = f"{'family/name':<40} {'file':<20} {'n':>10} {'rounds':>8} " \
@@ -76,20 +86,29 @@ def print_table(series_by_file, families):
     print(header)
     print("-" * len(header))
     for fam in families:
-        for label, best in series_by_file.items():
-            for name, row in sorted(best.get(fam, {}).items(),
-                                    key=lambda kv: kv[1].get("n", 0)):
-                base_row = baseline.get(fam, {}).get(name)
-                wall = row.get("wall_ms", 0.0)
-                if label == labels[0] or base_row is None or wall <= 0.0:
-                    speedup = ""
-                else:
-                    speedup = f"{base_row.get('wall_ms', 0.0) / wall:.2f}x"
-                print(f"{name:<40} {label:<20} {row.get('n', 0):>10} "
-                      f"{row.get('rounds', 0):>8} "
-                      f"{wall:>12.3f} "
-                      f"{row.get('peak_words', 0):>12} "
-                      f"{speedup:>8}")
+        workloads = sorted({workload_of(name)
+                            for best in series_by_file.values()
+                            for name in best.get(fam, {})})
+        for workload in workloads:
+            if len(workloads) > 1:
+                title = f"{fam}/{workload}" if workload else fam
+                print(f"-- {title}")
+            for label, best in series_by_file.items():
+                rows = [(name, row) for name, row in best.get(fam, {}).items()
+                        if workload_of(name) == workload]
+                for name, row in sorted(rows,
+                                        key=lambda kv: kv[1].get("n", 0)):
+                    base_row = baseline.get(fam, {}).get(name)
+                    wall = row.get("wall_ms", 0.0)
+                    if label == labels[0] or base_row is None or wall <= 0.0:
+                        speedup = ""
+                    else:
+                        speedup = f"{base_row.get('wall_ms', 0.0) / wall:.2f}x"
+                    print(f"{name:<40} {label:<20} {row.get('n', 0):>10} "
+                          f"{row.get('rounds', 0):>8} "
+                          f"{wall:>12.3f} "
+                          f"{row.get('peak_words', 0):>12} "
+                          f"{speedup:>8}")
 
 
 def plot(series_by_file, families, out_dir):
