@@ -95,7 +95,7 @@ const std::vector<Message>& Engine::inbox(PlayerId player) const {
 }
 
 const std::vector<std::vector<Message>>& Engine::lenzen_route(
-    std::vector<Message> messages) {
+    const RouteStream& stream) {
   if (!pending_.empty() || !pending_broadcasts_.empty()) {
     throw std::logic_error(
         "lenzen_route: flush queued sends with exchange() first");
@@ -106,29 +106,46 @@ const std::vector<std::vector<Message>>& Engine::lenzen_route(
 
   // Split into batches, each feasible for Lenzen's scheme: at most n
   // messages per sender and per receiver. A message goes into the first
-  // batch where both its sender and receiver have budget left. The batch
-  // buffers and per-batch load counters are persistent; a new batch pays
-  // its O(n) counter allocation once, ever.
+  // batch where both its sender and receiver have budget left — and for a
+  // fixed (sender, receiver) pair that first-feasible index only moves
+  // forward as loads fill, so a whole run is assigned in greedy chunks of
+  // min(sender budget, receiver budget, remaining): exactly the batches
+  // per-message assignment would produce, at per-chunk bookkeeping cost.
+  // The batch buffers and per-batch load counters are persistent; a new
+  // batch pays its O(n) counter allocation once, ever.
   std::size_t batches_used = 0;
-  for (const Message& msg : messages) {
+  route_batch_words_.assign(route_batches_.size(), 0);
+  std::size_t word_pos = 0;
+  for (const RouteStream::Run& run : stream.runs_) {
+    std::uint32_t left = run.count;
     std::size_t b = 0;
-    for (;; ++b) {
-      if (b == batches_used) {
-        if (batches_used == route_batches_.size()) {
-          route_batches_.emplace_back();
-          route_send_load_.emplace_back(n_, 0);
-          route_recv_load_.emplace_back(n_, 0);
+    while (left > 0) {
+      for (;; ++b) {
+        if (b == batches_used) {
+          if (batches_used == route_batches_.size()) {
+            route_batches_.emplace_back();
+            route_batch_words_.push_back(0);
+            route_send_load_.emplace_back(n_, 0);
+            route_recv_load_.emplace_back(n_, 0);
+          }
+          ++batches_used;
         }
-        ++batches_used;
+        if (route_send_load_[b][run.from] < n_ &&
+            route_recv_load_[b][run.to] < n_) {
+          break;
+        }
       }
-      if (route_send_load_[b][msg.from] < n_ &&
-          route_recv_load_[b][msg.to] < n_) {
-        break;
-      }
+      const auto budget = static_cast<std::uint32_t>(
+          std::min<std::size_t>(n_ - route_send_load_[b][run.from],
+                                n_ - route_recv_load_[b][run.to]));
+      const std::uint32_t take = std::min(left, budget);
+      route_batches_[b].push_back(BatchRun{run.from, run.to, take, word_pos});
+      route_send_load_[b][run.from] += take;
+      route_recv_load_[b][run.to] += take;
+      route_batch_words_[b] += take;
+      word_pos += take;
+      left -= take;
     }
-    route_batches_[b].push_back(msg);
-    ++route_send_load_[b][msg.from];
-    ++route_recv_load_[b][msg.to];
   }
 
   // An overloaded routing request is not a model violation — it is just
@@ -139,23 +156,35 @@ const std::vector<std::vector<Message>>& Engine::lenzen_route(
     // the canonical 2 (distribute to intermediaries, forward to targets).
     metrics_.rounds += 2;
     ++metrics_.lenzen_batches;
-    metrics_.total_words += 2 * batch.size();
-    for (const Message& msg : batch) {
-      if (route_delivered_[msg.to].empty()) route_touched_.push_back(msg.to);
-      route_delivered_[msg.to].push_back(msg);
+    metrics_.total_words += 2 * route_batch_words_[b];
+    for (const BatchRun& br : batch) {
+      auto& dst = route_delivered_[br.to];
+      if (dst.empty()) route_touched_.push_back(br.to);
+      for (std::uint32_t i = 0; i < br.count; ++i) {
+        dst.push_back(Message{br.from, br.to, stream.words_[br.offset + i]});
+      }
       // The counter holds this receiver's full batch total by now, so the
-      // per-message max equals the old full post-count scan.
+      // per-chunk max equals the old full post-count scan.
       metrics_.max_player_received = std::max<std::size_t>(
-          metrics_.max_player_received, route_recv_load_[b][msg.to]);
+          metrics_.max_player_received, route_recv_load_[b][br.to]);
     }
     // Reset the touched load entries for the next call.
-    for (const Message& msg : batch) {
-      route_send_load_[b][msg.from] = 0;
-      route_recv_load_[b][msg.to] = 0;
+    for (const BatchRun& br : batch) {
+      route_send_load_[b][br.from] = 0;
+      route_recv_load_[b][br.to] = 0;
     }
     batch.clear();
   }
   return route_delivered_;
+}
+
+const std::vector<std::vector<Message>>& Engine::lenzen_route(
+    std::vector<Message> messages) {
+  route_restage_.clear();
+  for (const Message& msg : messages) {
+    route_restage_.append(msg.from, msg.to, msg.word);
+  }
+  return lenzen_route(route_restage_);
 }
 
 }  // namespace mpcg::cclique

@@ -22,6 +22,7 @@
 #define MPCG_CCLIQUE_ENGINE_H
 
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -41,6 +42,65 @@ struct Message {
   PlayerId from;
   PlayerId to;
   Word word;
+};
+
+/// Run-length staged message multiset for Engine::lenzen_route — the same
+/// span/run form the MPC engine's streamed outboxes use. A driver appends
+/// words (or whole word runs) instead of materializing 16-byte Message
+/// records; consecutive appends sharing a (from, to) pair extend one run
+/// descriptor over the contiguous word stream, so a vertex's burst to the
+/// leader stages as one descriptor + its words. Reusable: clear() between
+/// route calls keeps the buffers warm.
+class RouteStream {
+ public:
+  void clear() noexcept {
+    runs_.clear();
+    words_.clear();
+  }
+  [[nodiscard]] bool empty() const noexcept { return words_.empty(); }
+  /// Number of staged messages (words).
+  [[nodiscard]] std::size_t size() const noexcept { return words_.size(); }
+
+  void append(PlayerId from, PlayerId to, Word word) {
+    words_.push_back(word);
+    if (!runs_.empty() && runs_.back().from == from &&
+        runs_.back().to == to && runs_.back().count != kMaxCount) {
+      ++runs_.back().count;
+    } else {
+      runs_.push_back(Run{from, to, 1});
+    }
+  }
+
+  /// Stages a whole word run for one (from, to) pair: one bulk copy plus
+  /// one descriptor (merging with an open run to the same pair).
+  void append_run(PlayerId from, PlayerId to, std::span<const Word> words) {
+    if (words.empty()) return;
+    words_.insert(words_.end(), words.begin(), words.end());
+    std::size_t left = words.size();
+    if (!runs_.empty() && runs_.back().from == from &&
+        runs_.back().to == to) {
+      const std::size_t room = kMaxCount - runs_.back().count;
+      const std::size_t take = left < room ? left : room;
+      runs_.back().count += static_cast<std::uint32_t>(take);
+      left -= take;
+    }
+    while (left > 0) {
+      const std::size_t take = left < kMaxCount ? left : kMaxCount;
+      runs_.push_back(Run{from, to, static_cast<std::uint32_t>(take)});
+      left -= take;
+    }
+  }
+
+ private:
+  friend class Engine;
+  struct Run {
+    PlayerId from;
+    PlayerId to;
+    std::uint32_t count;
+  };
+  static constexpr std::uint32_t kMaxCount = 0xffffffffu;
+  std::vector<Run> runs_;
+  std::vector<Word> words_;
 };
 
 struct Metrics {
@@ -83,12 +143,20 @@ class Engine {
     return bcast_inbox_;
   }
 
-  /// Routes an arbitrary message multiset with Lenzen's scheme. Each
-  /// feasible batch (<= n per sender and per receiver) costs 2 rounds.
-  /// Returns the messages grouped per destination, in engine-owned
-  /// persistent scratch (valid until the next lenzen_route call) — a call
-  /// costs O(messages), not O(players), after warm-up. Any sends/broadcasts
+  /// Routes a run-length staged message multiset with Lenzen's scheme.
+  /// Each feasible batch (<= n per sender and per receiver) costs 2 rounds;
+  /// batching bookkeeping is paid per *run chunk*, not per word. Returns
+  /// the messages grouped per destination, in engine-owned persistent
+  /// scratch (valid until the next lenzen_route call) — a call costs
+  /// O(messages), not O(players), after warm-up. Any sends/broadcasts
   /// already queued must be flushed (exchange()d) first; mixing throws.
+  const std::vector<std::vector<Message>>& lenzen_route(
+      const RouteStream& stream);
+
+  /// Legacy form: restages `messages` as a run-length stream (adjacent
+  /// same-pair messages merge into runs) and routes it. Batch splits,
+  /// delivery order, and metrics are bit-identical to the pre-stream
+  /// per-message routing.
   const std::vector<std::vector<Message>>& lenzen_route(
       std::vector<Message> messages);
 
@@ -110,15 +178,26 @@ class Engine {
   /// Inboxes filled by the last exchange (the only ones that need
   /// clearing next round).
   std::vector<PlayerId> inbox_touched_;
+  /// One batch-assigned chunk of a staged run: `count` words starting at
+  /// `offset` in the routed stream, all from -> to.
+  struct BatchRun {
+    PlayerId from;
+    PlayerId to;
+    std::uint32_t count;
+    std::size_t offset;
+  };
   /// lenzen_route scratch, persistent across calls: per-destination
-  /// delivery buckets (touched-only clearing) and per-batch sender/receiver
-  /// load counters (touched entries reset after routing), so a call
-  /// allocates nothing after warm-up.
+  /// delivery buckets (touched-only clearing), per-batch run chunks, and
+  /// per-batch sender/receiver load counters (touched entries reset after
+  /// routing), so a call allocates nothing after warm-up.
   std::vector<std::vector<Message>> route_delivered_;
   std::vector<PlayerId> route_touched_;
-  std::vector<std::vector<Message>> route_batches_;
+  std::vector<std::vector<BatchRun>> route_batches_;
+  std::vector<std::size_t> route_batch_words_;
   std::vector<std::vector<std::uint32_t>> route_send_load_;
   std::vector<std::vector<std::uint32_t>> route_recv_load_;
+  /// Backs the legacy vector<Message> lenzen_route wrapper.
+  RouteStream route_restage_;
 };
 
 }  // namespace mpcg::cclique

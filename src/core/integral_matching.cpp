@@ -53,6 +53,7 @@ IntegralMatchingResult integral_matching(
     sim.eps = options.eps;
     sim.seed = mix64(options.seed, 0xa1, iter);
     sim.threshold_seed = mix64(options.seed, 0xa2, iter);
+    sim.collect_support = true;  // the rounding sweeps below run over it
     const MatchingMpcResult frac = matching_mpc(sub.graph, sim);
     result.total_rounds += frac.metrics.rounds;
     if (iter == 0) {
@@ -65,11 +66,17 @@ IntegralMatchingResult integral_matching(
     }
 
     // Round (Lemma 5.1) with C~ = loads >= 1 - 5 eps; retry with fresh
-    // seeds if a trial lands empty (each trial is independent).
-    const auto candidates =
-        heavy_vertices(sub.graph, frac.x, 1.0 - 5.0 * options.eps);
+    // seeds if a trial lands empty (each trial is independent). The heavy
+    // sweep runs over the surviving support matching_mpc hands back —
+    // the same frontier-proportional bookkeeping as its per-phase
+    // counters — instead of rescanning the residual's full edge list;
+    // an empty support (or empty C~) can never round an edge, so the
+    // retries are skipped outright.
+    const auto candidates = heavy_vertices(
+        sub.graph, frac.x, 1.0 - 5.0 * options.eps, frac.support);
     std::vector<EdgeId> rounded;
-    for (std::size_t retry = 0; retry < options.rounding_retries; ++retry) {
+    for (std::size_t retry = 0;
+         !candidates.empty() && retry < options.rounding_retries; ++retry) {
       rounded = round_fractional_matching(
           sub.graph, frac.x, candidates,
           mix64(options.seed, 0xb000 + retry, iter));

@@ -104,6 +104,7 @@ class MatchingMpcRun {
     dirty_.assign(n_, kLoadDirty);
     local_adj_.emplace(n_);
     announce_parts_.resize(machines_);
+    record_parts_.resize(machines_);
     phase_machine_.resize(n_);
     phase_machine8_.resize(n_);
 
@@ -153,6 +154,12 @@ class MatchingMpcRun {
     // 16-bit freeze mirror halves the scattered endpoint gathers (exact:
     // saturated entries min() to t_ just as their 32-bit values would).
     (void)weight_at(t_);
+    // The same sweep that derives x can collect its support (weights are
+    // strictly positive, so support == the alive-edge set, whose size the
+    // residual graph maintains). Opt-in: the store per surviving edge is
+    // measurable at bench scale, so only rounding callers pay it.
+    const bool collect = o_.collect_support;
+    if (collect) result.support.reserve(residual_.alive_edge_count());
     const std::span<const Edge> edges = g_.edges();
     if (t_ < kFrozen16Max) {
       const std::uint16_t* f16 = freeze16_.data();
@@ -166,6 +173,7 @@ class MatchingMpcRun {
         const std::uint16_t tf = std::min<std::uint16_t>(
             {f16[ed.u], f16[ed.v], t16});
         result.x[e] = weight_cache_[tf];
+        if (collect) result.support.push_back(e);
       }
     } else {
       for (EdgeId e = 0; e < edges.size(); ++e) {
@@ -174,6 +182,7 @@ class MatchingMpcRun {
         const std::uint64_t tf = std::min<std::uint64_t>(
             {freeze_at_[ed.u], freeze_at_[ed.v], t_});
         result.x[e] = weight_at(tf);
+        if (collect) result.support.push_back(e);
       }
     }
     for (VertexId v = 0; v < n_; ++v) {
@@ -417,6 +426,32 @@ class MatchingMpcRun {
     return repeated_sum(weight_at(now), deg);
   }
 
+  /// Streams `n` packed records through per-sender buckets so each
+  /// sender's batch drains sequentially through one outbox (the
+  /// flat-staging detour of the distribute records and freeze reports):
+  /// per-sender order is the iteration order, exactly as a direct push
+  /// loop would stage, so inboxes and Metrics are unchanged. `sender_of`
+  /// and `packed_of` are indexed by item; `append` unpacks one record
+  /// into the sender's outbox.
+  template <typename SenderOf, typename PackedOf, typename AppendFn>
+  void stream_by_sender(std::size_t n, SenderOf&& sender_of,
+                        PackedOf&& packed_of, AppendFn&& append) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t s = sender_of(i);
+      auto& part = record_parts_[s];
+      if (part.empty()) record_touched_.push_back(s);
+      part.push_back(packed_of(i));
+    }
+    for (const std::uint32_t s : record_touched_) {
+      mpc::Outbox ob = engine_->outbox(s);
+      auto& part = record_parts_[s];
+      ob.reserve(part.size());
+      for (const Word rec : part) append(ob, rec);
+      part.clear();
+    }
+    record_touched_.clear();
+  }
+
   /// Announces freshly decided vertices (frozen with their iteration, or
   /// removed) to the whole cluster: gather at the leader, broadcast the
   /// concatenation. Keeps freeze times common knowledge. ~3 rounds; skipped
@@ -512,16 +547,36 @@ class MatchingMpcRun {
     // Distribute the induced active subgraphs: each active edge with both
     // endpoints on the same simulation machine moves from its (lower
     // endpoint's) home shard to that machine; each active vertex's
-    // (id, y_old) record moves from its home. Real pushes, one round.
+    // (id, y_old) record moves from its home. Real traffic, one round.
     // Iterating the frontier in id order and each vertex's *active* upper
     // neighbors (ActiveArcs) visits the frontier-internal edges in edge-id
     // (lexicographic) order, exactly as the old alive-arc scan with its
     // activity filter did — but without ever touching frozen arcs, so this
     // loop's cost is proportional to the frontier-internal edge count.
+    //
+    // Every word of v's burst — the vertex record and the same-machine
+    // edges — flows home_[v] -> mv, so the burst goes through one streamed
+    // outbox and stages as a single run-length record (the engine's
+    // counting and delivery then cost O(bursts), not O(words)). Per-sender
+    // word totals and per-receiver totals are unchanged from the separate
+    // record/edge loops this replaces, so every Metrics field is
+    // bit-identical; nothing reads these inboxes (the simulation is
+    // local), so the within-stream order is free.
     machine_edges_.assign(m, 0);
     local_pairs_.clear();
+    matched_uppers_.clear();
     std::size_t frontier_edges = 0;
     const bool byte_exact = m <= 256;
+    // Flat staging rewards sender-sequential bursts (runs stage into each
+    // sender's contiguous stream), so the edge/record producers below take
+    // a collect-then-stream detour that groups traffic by sender — the
+    // scattered direct pushes would otherwise hop across two cache lines
+    // per word over `machines_` senders' staging tails. On the dense path
+    // the per-pair boxes make the direct push optimal and the detour is
+    // pure overhead. Both variants stage identical per-sender streams
+    // word for word — the choice, like the engine's own representation
+    // choice, is observable only as wall-clock.
+    const bool streamed_detour = !engine_->dense_staging_active();
     for (std::size_t i = 0; i < k; ++i) {
       const VertexId v = snapshot[i];
       const std::uint32_t mv = machine_of_[i];
@@ -532,7 +587,14 @@ class MatchingMpcRun {
         const VertexId u = uppers[idx];
         if (phase_machine8_[u] != mv8) continue;
         if (!byte_exact && phase_machine_[u] != mv) continue;
-        engine_->push(home_[v], mv, (static_cast<Word>(v) << 32) | u);
+        if (streamed_detour) {
+          // Match rate is ~1/m per arc: matches land in a flat sequential
+          // scratch so the filter scan stays free of staging machinery,
+          // and are streamed as per-vertex runs right below.
+          matched_uppers_.emplace_back(static_cast<VertexId>(i), u);
+        } else {
+          engine_->push(home_[v], mv, (static_cast<Word>(v) << 32) | u);
+        }
         if (phase_can_freeze) {
           local_pairs_.emplace_back(
               static_cast<VertexId>(i),
@@ -542,10 +604,45 @@ class MatchingMpcRun {
       }
     }
     result.frontier_edges_per_phase.push_back(frontier_edges);
-    // remap() assigns dense ids in ascending snapshot order, so the dense
-    // index of snapshot[i] is i — no lookup needed.
-    for (std::size_t i = 0; i < k; ++i) {
-      engine_->push(home_[snapshot[i]], machine_of_[i], snapshot[i]);
+    // Stream the matched edges home -> machine. Matches arrive v-major, so
+    // each vertex's burst shares one (home, machine) pair and stages as a
+    // single run through its home's outbox; per-sender push order is
+    // exactly the scan order, as before.
+    for (std::size_t idx = 0; idx < matched_uppers_.size();) {
+      const std::uint32_t i = matched_uppers_[idx].first;
+      const VertexId v = snapshot[i];
+      const std::uint32_t mv = machine_of_[i];
+      mpc::Outbox ob = engine_->outbox(home_[v]);
+      do {
+        ob.append(mv, (static_cast<Word>(v) << 32) |
+                          matched_uppers_[idx].second);
+        ++idx;
+      } while (idx < matched_uppers_.size() &&
+               matched_uppers_[idx].first == i);
+    }
+    // The per-vertex records. On the flat path they are bucketed by home
+    // first so each home's batch streams through one outbox in a single
+    // sequential burst — the engine-side staging writes stay
+    // cache-resident instead of hopping across a random sender's buffers
+    // per record. Bucket order preserves each home's snapshot order, so
+    // every sender's stream (and therefore every inbox and every Metrics
+    // field) is identical to the plain per-record push loop. (remap()
+    // assigns dense ids in ascending snapshot order, so the dense index
+    // of snapshot[i] is i — no lookup needed.)
+    if (streamed_detour) {
+      stream_by_sender(
+          k, [&](std::size_t i) { return home_[snapshot[i]]; },
+          [&](std::size_t i) {
+            return (static_cast<Word>(machine_of_[i]) << 32) | snapshot[i];
+          },
+          [](mpc::Outbox& ob, Word rec) {
+            ob.append(static_cast<std::size_t>(rec >> 32),
+                      rec & 0xffffffffULL);
+          });
+    } else {
+      for (std::size_t i = 0; i < k; ++i) {
+        engine_->push(home_[snapshot[i]], machine_of_[i], snapshot[i]);
+      }
     }
     engine_->exchange();
 
@@ -663,9 +760,28 @@ class MatchingMpcRun {
     if (!phase_can_freeze) t_ += iters;
 
     // Machines report the freeze decisions; they become common knowledge.
-    for (const auto& [v, tf] : frozen_this_phase_) {
-      engine_->push(machine_of_[active_.dense_index(v)], home_[v],
-                    (static_cast<Word>(v) << 32) | tf);
+    // Same sender-grouping detour as the records above: on big flat
+    // clusters the reports are bucketed by their simulation machine so
+    // each sender's batch streams sequentially (identical per-sender
+    // order and Metrics either way).
+    if (streamed_detour) {
+      stream_by_sender(
+          frozen_this_phase_.size(),
+          [&](std::size_t i) {
+            return machine_of_[active_.dense_index(frozen_this_phase_[i].first)];
+          },
+          [&](std::size_t i) {
+            const auto& [v, tf] = frozen_this_phase_[i];
+            return (static_cast<Word>(v) << 32) | tf;
+          },
+          [this](mpc::Outbox& ob, Word rec) {
+            ob.append(home_[static_cast<VertexId>(rec >> 32)], rec);
+          });
+    } else {
+      for (const auto& [v, tf] : frozen_this_phase_) {
+        engine_->push(machine_of_[active_.dense_index(v)], home_[v],
+                      (static_cast<Word>(v) << 32) | tf);
+      }
     }
     engine_->exchange();
 
@@ -923,6 +1039,10 @@ class MatchingMpcRun {
   std::vector<double> local_frozen_sum_;
   std::optional<CsrScratch> local_adj_;
   std::vector<std::pair<VertexId, VertexId>> local_pairs_;
+  /// Per-phase scratch: matched frontier arcs as (dense index, upper
+  /// neighbor), collected sequentially by the distribute scan and streamed
+  /// to the engine afterwards (see run_phase).
+  std::vector<std::pair<std::uint32_t, VertexId>> matched_uppers_;
   std::vector<std::size_t> machine_edges_;
   std::vector<std::pair<VertexId, std::uint64_t>> frozen_this_phase_;
   std::vector<VertexId> newly_frozen_;
@@ -937,6 +1057,11 @@ class MatchingMpcRun {
   // Persistent announce staging (one vector per home machine).
   std::vector<std::vector<Word>> announce_parts_;
   std::vector<std::uint32_t> announce_touched_;
+  // Persistent sender-bucket staging for the distribute records and the
+  // freeze reports (one vector per machine, touched-only clearing; the
+  // two uses never overlap in time).
+  std::vector<std::vector<Word>> record_parts_;
+  std::vector<std::uint32_t> record_touched_;
 
   /// Flat neighbor-id CSR over the full graph (see constructor): the
   /// 4-byte stream behind the load rescans and departure walks.

@@ -60,6 +60,11 @@ struct MatchingMpcOptions {
   bool use_random_thresholds = true;
   /// Record per-iteration load estimates (coupling experiment E7).
   bool record_trace = false;
+  /// Collect MatchingMpcResult::support (the nonzero-x edge ids) during
+  /// the output sweep. Off by default: callers that never round (vertex
+  /// cover, the benches) should not pay the extra store per surviving
+  /// edge; the integral pipeline turns it on.
+  bool collect_support = false;
   /// Words of memory per machine; 0 = auto (8n).
   std::size_t words_per_machine = 0;
   bool strict = true;
@@ -68,6 +73,14 @@ struct MatchingMpcOptions {
 struct MatchingMpcResult {
   /// Fractional matching on G (0 on edges incident to removed vertices).
   std::vector<double> x;
+  /// The surviving support of x: the edge ids with x > 0 (exactly the
+  /// edges with neither endpoint removed), ascending. Collected during the
+  /// output sweep (only with MatchingMpcOptions::collect_support), so
+  /// downstream rounding sweeps (integral_matching's heavy-vertex and
+  /// proposal passes) can stop at the support instead of rescanning the
+  /// full edge list — the same frontier-proportional bookkeeping the
+  /// per-phase counters below expose.
+  std::vector<EdgeId> support;
   /// Vertex cover: all frozen vertices plus all removed (load > 1)
   /// vertices.
   std::vector<VertexId> cover;

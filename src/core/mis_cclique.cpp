@@ -159,18 +159,21 @@ class MisCcliqueRun {
   /// Window-induced residual edges routed to the leader (Lenzen), greedy
   /// through the window ranks at the leader.
   void rank_phase(std::size_t lo, std::size_t hi, MisCcliqueResult& result) {
-    std::vector<Message> messages;
+    // Run-length staging: each vertex's window edges all flow v -> leader,
+    // so a burst is one run descriptor over the word stream instead of a
+    // 16-byte Message record per edge.
+    route_stream_.clear();
     for (std::size_t r = lo; r < hi; ++r) {
       const VertexId v = perm_[r];
       if (!residual_.alive(v)) continue;
       for (const Arc& a : residual_.alive_upper_arcs(v)) {
         if (rank_of_[a.to] >= lo && rank_of_[a.to] < hi) {
-          messages.push_back(Message{v, 0, encode_pair(v, a.to)});
+          route_stream_.append(v, 0, encode_pair(v, a.to));
         }
       }
     }
-    result.window_edges_per_phase.push_back(messages.size());
-    const auto& delivered = engine_.lenzen_route(std::move(messages));
+    result.window_edges_per_phase.push_back(route_stream_.size());
+    const auto& delivered = engine_.lenzen_route(route_stream_);
 
     std::unordered_map<VertexId, std::vector<VertexId>> adj;
     for (const Message& msg : delivered[0]) {
@@ -215,15 +218,15 @@ class MisCcliqueRun {
   void final_gather(MisCcliqueResult& result) {
     // Canonical-edge iteration over the residual: (u ascending, v
     // ascending) is exactly the alive-alive filter of g_.edges() in edge-id
-    // order, touching only surviving arcs.
-    std::vector<Message> messages;
+    // order, touching only surviving arcs. Staged as one run per vertex.
+    route_stream_.clear();
     for (const VertexId u : residual_.alive_vertices()) {
       for (const Arc& a : residual_.alive_upper_arcs(u)) {
-        messages.push_back(Message{u, 0, encode_pair(u, a.to)});
+        route_stream_.append(u, 0, encode_pair(u, a.to));
       }
     }
-    result.final_gather_edges = messages.size();
-    const auto& delivered = engine_.lenzen_route(std::move(messages));
+    result.final_gather_edges = route_stream_.size();
+    const auto& delivered = engine_.lenzen_route(route_stream_);
 
     std::unordered_map<VertexId, std::vector<VertexId>> adj;
     for (const Message& msg : delivered[0]) {
@@ -256,6 +259,8 @@ class MisCcliqueRun {
   std::vector<std::uint32_t> rank_of_;
   /// Scratch for commit_via_broadcasts; zeroed after each commit.
   std::vector<char> dying_;
+  /// Run-length staging for the Lenzen gathers (persistent across phases).
+  cclique::RouteStream route_stream_;
   std::vector<VertexId> mis_;
 };
 

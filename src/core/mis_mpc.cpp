@@ -209,14 +209,16 @@ class MisMpcRun {
   /// One rank phase: gather the window-induced residual subgraph at the
   /// leader, play greedy through the window ranks, commit the members.
   void rank_phase(std::size_t lo, std::size_t hi, MisMpcResult& result) {
-    // Homes push alive window-induced edges (deduped at the lower vertex
-    // id) to the leader.
+    // Homes stream alive window-induced edges (deduped at the lower vertex
+    // id) to the leader: one outbox per vertex burst — every word flows
+    // home_[v] -> 0, so a burst stages as a single run.
     for (std::size_t r = lo; r < hi; ++r) {
       const VertexId v = perm_[r];
       if (!residual_.alive(v)) continue;
+      mpc::Outbox ob = engine_->outbox(home_[v]);
       for (const Arc& a : residual_.alive_upper_arcs(v)) {
         if (rank_of_[a.to] >= lo && rank_of_[a.to] < hi) {
-          engine_->push(home_[v], 0, encode_pair(v, a.to));
+          ob.append(0, encode_pair(v, a.to));
         }
       }
     }
@@ -239,10 +241,13 @@ class MisMpcRun {
     LocalMisState state(residual_, mix64(options_.seed, 0x5fa1, 1));
     while (count_alive_edges() > gather_budget_) {
       // Neighbors exchange their mark bit and desire level: one word each
-      // way per alive edge.
+      // way per alive edge. The forward words all leave home_[v], so they
+      // ride one outbox per vertex; the replies come from the neighbor's
+      // home and stay on the per-word wrapper.
       for (const VertexId v : residual_.alive_vertices()) {
+        mpc::Outbox ob = engine_->outbox(home_[v]);
         for (const Arc& a : residual_.alive_upper_arcs(v)) {
-          engine_->push(home_[v], home_[a.to], encode_pair(v, a.to));
+          ob.append(home_[a.to], encode_pair(v, a.to));
           engine_->push(home_[a.to], home_[v], encode_pair(a.to, v));
         }
       }
@@ -258,8 +263,9 @@ class MisMpcRun {
   /// the greedy process in rank order and commits the members.
   void final_gather(MisMpcResult& result) {
     for (const VertexId v : residual_.alive_vertices()) {
+      mpc::Outbox ob = engine_->outbox(home_[v]);
       for (const Arc& a : residual_.alive_upper_arcs(v)) {
-        engine_->push(home_[v], 0, encode_pair(v, a.to));
+        ob.append(0, encode_pair(v, a.to));
       }
     }
     engine_->exchange();

@@ -14,8 +14,6 @@ std::vector<EdgeId> round_fractional_matching(
   // draw walked down the CDF of v's incident weights.
   constexpr EdgeId kNoProposal = Graph::kNoEdge;
   std::vector<EdgeId> proposal(n, kNoProposal);
-  std::vector<char> in_candidates(n, 0);
-  for (const VertexId v : candidates) in_candidates[v] = 1;
 
   for (const VertexId v : candidates) {
     double u01 = stateless_uniform(seed, v, 0x505);
@@ -30,16 +28,21 @@ std::vector<EdgeId> round_fractional_matching(
   }
 
   // H as an edge set (mutual proposals collapse to one copy); good = no
-  // adjacent H-edge.
+  // adjacent H-edge. An edge can only be proposed by its two endpoints, so
+  // the duplicate test is "did my partner already contribute this edge" —
+  // per-vertex state, no O(edges) membership array.
   std::vector<std::uint32_t> h_degree(n, 0);
   std::vector<EdgeId> h_edges;
-  std::vector<char> edge_in_h(g.num_edges(), 0);
+  std::vector<char> contributed(n, 0);
   for (const VertexId v : candidates) {
     const EdgeId e = proposal[v];
-    if (e == kNoProposal || edge_in_h[e]) continue;
-    edge_in_h[e] = 1;
-    h_edges.push_back(e);
+    if (e == kNoProposal || contributed[v]) continue;
     const Edge ed = g.edge(e);
+    const VertexId partner = ed.u == v ? ed.v : ed.u;
+    const bool duplicate = contributed[partner] && proposal[partner] == e;
+    contributed[v] = 1;
+    if (duplicate) continue;
+    h_edges.push_back(e);
     ++h_degree[ed.u];
     ++h_degree[ed.v];
   }
@@ -55,6 +58,18 @@ std::vector<VertexId> heavy_vertices(const Graph& g,
                                      const std::vector<double>& x,
                                      double min_load) {
   const auto loads = vertex_loads(g, x);
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (loads[v] >= min_load) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<VertexId> heavy_vertices(const Graph& g,
+                                     const std::vector<double>& x,
+                                     double min_load,
+                                     std::span<const EdgeId> support) {
+  const auto loads = vertex_loads(g, x, support);
   std::vector<VertexId> out;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     if (loads[v] >= min_load) out.push_back(v);

@@ -54,12 +54,16 @@ WeightedMatchingResult weighted_matching(const Graph& g,
 
   // Heaviest class first: maximal matching among still-free vertices via
   // the filtering subroutine on the class subgraph. The free frontier only
-  // shrinks; once fewer than two vertices remain free, no lighter class
-  // can contribute an edge and the sweep stops early.
+  // shrinks; the sweep stops at the surviving support — `support_bound`
+  // tracks sum of deg_g(v) over free vertices (an upper bound on twice the
+  // usable edges left, maintained O(1) per matched vertex), so once it
+  // falls below 2 no lighter class can contribute an edge and the sweep
+  // ends without rescanning the remaining class edge lists.
   ActiveSet free_set(n);
+  std::size_t support_bound = 2 * g.num_edges();  // handshake: sum of degrees
   for (std::size_t j = 0; j < classes.size(); ++j) {
     if (classes[j].empty()) continue;
-    if (free_set.size() < 2) break;
+    if (free_set.size() < 2 || support_bound < 2) break;
     GraphBuilder builder(n);
     std::size_t usable = 0;
     for (const EdgeId e : classes[j]) {
@@ -87,6 +91,8 @@ WeightedMatchingResult weighted_matching(const Graph& g,
       const Edge ed = class_graph.edge(ce);
       free_set.deactivate(ed.u);
       free_set.deactivate(ed.v);
+      support_bound -= std::min<std::size_t>(
+          support_bound, g.degree(ed.u) + g.degree(ed.v));
       const EdgeId parent = g.find_edge(ed.u, ed.v);
       result.matching.push_back(parent);
       result.weight += weights[parent];

@@ -99,6 +99,17 @@ std::vector<double> vertex_loads(const Graph& g, const std::vector<double>& x) {
   return y;
 }
 
+std::vector<double> vertex_loads(const Graph& g, const std::vector<double>& x,
+                                 std::span<const EdgeId> support) {
+  std::vector<double> y(g.num_vertices(), 0.0);
+  for (const EdgeId e : support) {
+    const Edge ed = g.edge(e);
+    y[ed.u] += x[e];
+    y[ed.v] += x[e];
+  }
+  return y;
+}
+
 std::vector<bool> matched_flags(const Graph& g,
                                 const std::vector<EdgeId>& matching) {
   std::vector<bool> used(g.num_vertices(), false);

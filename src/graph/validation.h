@@ -47,6 +47,15 @@ namespace mpcg {
 [[nodiscard]] std::vector<double> vertex_loads(const Graph& g,
                                                const std::vector<double>& x);
 
+/// Per-vertex loads restricted to a support edge list (ascending edge ids
+/// whose x may be nonzero — e.g. MatchingMpcResult::support). Bit-identical
+/// to the full-edge sweep whenever every skipped edge has x == 0: loads
+/// start at +0.0 and x is nonnegative, so adding the skipped zeros would
+/// not change a single bit. Costs O(n + |support|) instead of O(n + m).
+[[nodiscard]] std::vector<double> vertex_loads(
+    const Graph& g, const std::vector<double>& x,
+    std::span<const EdgeId> support);
+
 /// Flags of vertices covered by `matching`.
 [[nodiscard]] std::vector<bool> matched_flags(const Graph& g,
                                               const std::vector<EdgeId>& matching);

@@ -1,8 +1,53 @@
 #include "mpc/engine.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace mpcg::mpc {
+
+namespace {
+
+/// Bulk word copy with a short-run fast path: scattered traffic stages
+/// mostly single-word runs, and a libc memmove call per word would cost
+/// more than the copy itself.
+inline void copy_run(Word* dst, const Word* src, std::size_t count) {
+  if (count <= 4) {
+    for (std::size_t i = 0; i < count; ++i) dst[i] = src[i];
+  } else {
+    std::memcpy(dst, src, count * sizeof(Word));
+  }
+}
+
+/// Decodes one sender's run-tag/count streams, invoking fn(to, count) per
+/// run in staging order — the single source for the side-effecting count
+/// cursor walk (extended tags consume the next side-stream count;
+/// singleton tags are a run of one).
+template <typename Fn>
+inline void for_each_run(const std::vector<std::uint32_t>& tos,
+                         const std::uint32_t* counts, Fn&& fn) {
+  std::size_t ci = 0;
+  for (const std::uint32_t tag : tos) {
+    fn(static_cast<std::size_t>(tag & RunTag::kDestMask),
+       (tag & RunTag::kExtFlag) != 0
+           ? static_cast<std::size_t>(counts[ci++])
+           : std::size_t{1});
+  }
+}
+
+/// Appends a run to an inbox whose exact capacity was reserved up front
+/// (the append can never reallocate — segment spans alias the buffer).
+/// Single-word runs — the bulk of scattered traffic — skip the insert
+/// machinery.
+inline void append_run_to(std::vector<Word>& in, const Word* src,
+                          std::size_t count) {
+  if (count == 1) {
+    in.push_back(*src);
+    return;
+  }
+  in.insert(in.end(), src, src + count);
+}
+
+}  // namespace
 
 Engine::Engine(Config config) : config_(config) {
   if (config_.num_machines == 0) {
@@ -19,8 +64,10 @@ Engine::Engine(Config config) : config_(config) {
   if (dense_active_) {
     boxes_.assign(m * m, {});
   } else {
-    out_dests_.assign(m, {});
+    out_tos_.assign(m, {});
+    out_counts_.assign(m, {});
     out_words_.assign(m, {});
+    out_open_to_.assign(m, RunTag::kNoDest);
   }
   inbox_.assign(m, {});
   in_segs_.assign(m, {});
@@ -28,6 +75,12 @@ Engine::Engine(Config config) : config_(config) {
   inbox_cache_.assign(m, {});
   inbox_cache_valid_.assign(m, 0);
   recv_count_.assign(m, 0);
+}
+
+void Outbox::throw_bad_dest(std::size_t to) const {
+  throw std::out_of_range("Outbox: machine id " + std::to_string(to) +
+                          " out of range (have " +
+                          std::to_string(num_machines_) + ")");
 }
 
 void Engine::check_machine(std::size_t machine) const {
@@ -47,9 +100,11 @@ void Engine::set_path(bool dense) {
   if (dense == dense_active_) return;
   const std::size_t m = config_.num_machines;
   if (dense && boxes_.empty()) boxes_.assign(m * m, {});
-  if (!dense && out_dests_.empty()) {
-    out_dests_.assign(m, {});
+  if (!dense && out_tos_.empty()) {
+    out_tos_.assign(m, {});
+    out_counts_.assign(m, {});
     out_words_.assign(m, {});
+    out_open_to_.assign(m, RunTag::kNoDest);
   }
   dense_active_ = dense;
 }
@@ -61,25 +116,26 @@ void Engine::adapt_path(std::size_t words, std::size_t runs) {
   if (words == 0) return;             // no unicast traffic: no signal
   // Bulky per-pair traffic amortizes the O(m^2) matrix scan and enjoys the
   // pre-sorted bulk-copy delivery; scattered short runs pay the flat
-  // path's per-word cost anyway but skip the scan. Thresholds validated
+  // path's per-run cost anyway but skip the scan. Thresholds validated
   // with tools/bench_exchange_crossover (--adaptive column).
   const bool want_dense = words >= 8 * runs && 2 * words >= m * m;
-  set_path(want_dense);
+  // Two-flush hysteresis: a single odd-shaped round (a driver alternating
+  // bulk collectives with scattered per-edge rounds) must not thrash the
+  // representation — the flip waits for two consecutive flushes that agree
+  // against the active path.
+  if (want_dense == dense_active_) {
+    adapt_streak_ = 0;
+    return;
+  }
+  if (++adapt_streak_ >= 2) {
+    adapt_streak_ = 0;
+    set_path(want_dense);
+  }
 }
 
 void Engine::push(std::size_t from, std::size_t to,
                   std::span<const Word> words) {
-  check_machine(from);
-  check_machine(to);
-  if (dense_active_) {
-    auto& box = boxes_[from * config_.num_machines + to];
-    box.insert(box.end(), words.begin(), words.end());
-    return;
-  }
-  out_dests_[from].insert(out_dests_[from].end(), words.size(),
-                          static_cast<std::uint32_t>(to));
-  out_words_[from].insert(out_words_[from].end(), words.begin(),
-                          words.end());
+  outbox(from).append_run(to, words);
 }
 
 PayloadId Engine::stage_payload(std::span<const Word> words) {
@@ -102,7 +158,7 @@ void Engine::push_broadcast(std::size_t from,
     if (empty) continue;  // an empty payload delivers nothing, like push({})
     const std::uint64_t seq =
         dense_active_ ? boxes_[from * config_.num_machines + to].size()
-                      : out_dests_[from].size();
+                      : out_words_[from].size();
     shared_sends_.push_back(SharedSend{static_cast<std::uint32_t>(from),
                                        static_cast<std::uint32_t>(to), payload,
                                        seq});
@@ -125,7 +181,7 @@ void Engine::push_gather(std::size_t from, std::size_t to,
   const PayloadId pid = stage_payload(words);
   const std::uint64_t seq =
       dense_active_ ? boxes_[from * config_.num_machines + to].size()
-                    : out_dests_[from].size();
+                    : out_words_[from].size();
   shared_sends_.push_back(SharedSend{static_cast<std::uint32_t>(from),
                                      static_cast<std::uint32_t>(to), pid, seq});
 }
@@ -171,7 +227,7 @@ void Engine::exchange() {
 }
 
 void Engine::exchange_plain_dense(std::size_t m) {
-  // Dense path: pushes pre-sorted the words by (sender, receiver);
+  // Dense path: appends pre-sorted the words by (sender, receiver);
   // delivery is pure bulk copies.
   std::size_t flush_words = 0;
   std::size_t flush_runs = 0;
@@ -210,6 +266,70 @@ void Engine::exchange_plain_dense(std::size_t m) {
   adapt_path(flush_words, flush_runs);
 }
 
+void Engine::deliver_flat_sender(std::size_t from, std::size_t m,
+                                 bool emit_segs) {
+  const auto& tos = out_tos_[from];
+  const std::uint32_t* counts = out_counts_[from].data();
+  const Word* words = out_words_[from].data();
+  const std::size_t nw = out_words_[from].size();
+  if (nw >= 2 * m && 2 * tos.size() >= nw) {
+    // Scattered big sender (runs are mostly single words): a word-level
+    // counting sort through the scatter buffer, so each receiver gets one
+    // bulk append instead of one per run. Worth the O(machines)
+    // bookkeeping once the sender moved at least that many words.
+    bucket_count_.assign(m, 0);
+    for_each_run(tos, counts, [&](std::size_t to, std::size_t count) {
+      bucket_count_[to] += count;
+    });
+    bucket_cursor_.resize(m);
+    std::size_t acc = 0;
+    for (std::size_t to = 0; to < m; ++to) {
+      bucket_cursor_[to] = acc;
+      acc += bucket_count_[to];
+    }
+    scatter_.resize(nw);
+    std::size_t pos = 0;
+    for_each_run(tos, counts, [&](std::size_t to, std::size_t count) {
+      if (count == 1) {
+        scatter_[bucket_cursor_[to]++] = words[pos++];
+      } else {
+        copy_run(scatter_.data() + bucket_cursor_[to], words + pos, count);
+        bucket_cursor_[to] += count;
+        pos += count;
+      }
+    });
+    pos = 0;
+    for (std::size_t to = 0; to < m; ++to) {
+      const std::size_t count = bucket_count_[to];
+      if (count > 0) {
+        const std::size_t base = inbox_[to].size();
+        append_run_to(inbox_[to], scatter_.data() + pos, count);
+        if (emit_segs && shared_recv_[to] > 0) {
+          in_segs_[to].emplace_back(inbox_[to].data() + base, count);
+        }
+      }
+      pos += count;
+    }
+  } else {
+    // Run-length delivery: one bulk copy per descriptor. This is the whole
+    // point of the streamed staging — bulky record streams deliver in
+    // O(runs), never re-scanning per word.
+    std::size_t pos = 0;
+    for_each_run(tos, counts, [&](std::size_t to, std::size_t count) {
+      const std::size_t base = inbox_[to].size();
+      append_run_to(inbox_[to], words + pos, count);
+      if (emit_segs && shared_recv_[to] > 0) {
+        in_segs_[to].emplace_back(inbox_[to].data() + base, count);
+      }
+      pos += count;
+    });
+  }
+  out_tos_[from].clear();
+  out_counts_[from].clear();
+  out_words_[from].clear();
+  out_open_to_[from] = RunTag::kNoDest;
+}
+
 void Engine::exchange_plain_flat(std::size_t m) {
   // Flat path. Sending side first.
   std::size_t flush_words = 0;
@@ -221,68 +341,23 @@ void Engine::exchange_plain_flat(std::size_t m) {
     metrics_.total_words += sent;
     check_budget(from, sent, "sent");
   }
-  // Counting pass, then one stable delivery sweep in sender order (sender
-  // ids ascending, each sender's words in push order — the inbox
-  // contract).
+  // Counting pass over the run descriptors — O(runs + machines), not
+  // O(words) — then one stable delivery sweep in sender order (sender ids
+  // ascending, each sender's words in push order — the inbox contract).
   std::fill(recv_count_.begin(), recv_count_.end(), 0);
   for (std::size_t from = 0; from < m; ++from) {
-    const auto& dests = out_dests_[from];
-    for (std::size_t i = 0; i < dests.size();) {
-      const std::uint32_t to = dests[i];
-      std::size_t j = i + 1;
-      while (j < dests.size() && dests[j] == to) ++j;
-      recv_count_[to] += j - i;
-      ++flush_runs;
-      i = j;
-    }
+    for_each_run(out_tos_[from], out_counts_[from].data(),
+                 [&](std::size_t to, std::size_t count) {
+                   recv_count_[to] += count;
+                 });
+    flush_runs += out_tos_[from].size();
   }
   for (std::size_t to = 0; to < m; ++to) {
     inbox_[to].clear();
     inbox_[to].reserve(recv_count_[to]);
   }
   for (std::size_t from = 0; from < m; ++from) {
-    const auto& dests = out_dests_[from];
-    const Word* words = out_words_[from].data();
-    const std::size_t nw = dests.size();
-    if (nw >= 2 * m) {
-      // Counting-sort delivery: bucket this sender's words by destination
-      // (stable), then append each bucket to its inbox in one bulk copy.
-      // Worth the O(machines) bookkeeping once the sender moved at least
-      // that many words.
-      bucket_count_.assign(m, 0);
-      for (std::size_t i = 0; i < nw; ++i) ++bucket_count_[dests[i]];
-      bucket_cursor_.resize(m);
-      std::size_t run = 0;
-      for (std::size_t to = 0; to < m; ++to) {
-        bucket_cursor_[to] = run;
-        run += bucket_count_[to];
-      }
-      scatter_.resize(nw);
-      for (std::size_t i = 0; i < nw; ++i) {
-        scatter_[bucket_cursor_[dests[i]]++] = words[i];
-      }
-      std::size_t pos = 0;
-      for (std::size_t to = 0; to < m; ++to) {
-        const std::size_t count = bucket_count_[to];
-        if (count > 0) {
-          inbox_[to].insert(inbox_[to].end(), scatter_.data() + pos,
-                            scatter_.data() + pos + count);
-        }
-        pos += count;
-      }
-    } else {
-      // Few words from this sender: deliver maximal same-destination
-      // stretches directly.
-      for (std::size_t i = 0; i < nw;) {
-        const std::uint32_t to = dests[i];
-        std::size_t j = i + 1;
-        while (j < nw && dests[j] == to) ++j;
-        inbox_[to].insert(inbox_[to].end(), words + i, words + j);
-        i = j;
-      }
-    }
-    out_dests_[from].clear();
-    out_words_[from].clear();
+    deliver_flat_sender(from, m, /*emit_segs=*/false);
   }
   // Receiving side.
   for (std::size_t to = 0; to < m; ++to) {
@@ -373,7 +448,8 @@ void Engine::exchange_shared(std::size_t m) {
 
   // Unicast receive counts (for exact inbox reservation — segment spans
   // alias the inbox buffers, so they must never reallocate mid-delivery).
-  // The same pass measures the flush's unicast shape for adapt_path.
+  // The same pass measures the flush's unicast shape for adapt_path; on
+  // the flat path it walks run descriptors, not words.
   std::size_t flush_words = 0;
   std::size_t flush_runs = 0;
   std::fill(recv_count_.begin(), recv_count_.end(), 0);
@@ -388,16 +464,12 @@ void Engine::exchange_shared(std::size_t m) {
     }
   } else {
     for (std::size_t from = 0; from < m; ++from) {
-      const auto& dests = out_dests_[from];
-      flush_words += dests.size();
-      for (std::size_t i = 0; i < dests.size();) {
-        const std::uint32_t to = dests[i];
-        std::size_t j = i + 1;
-        while (j < dests.size() && dests[j] == to) ++j;
-        recv_count_[to] += j - i;
-        ++flush_runs;
-        i = j;
-      }
+      flush_words += out_words_[from].size();
+      for_each_run(out_tos_[from], out_counts_[from].data(),
+                   [&](std::size_t to, std::size_t count) {
+                     recv_count_[to] += count;
+                   });
+      flush_runs += out_tos_[from].size();
     }
   }
 
@@ -448,56 +520,22 @@ void Engine::exchange_shared(std::size_t m) {
     }
   } else {
     for (std::size_t from = 0; from < m; ++from) {
-      const auto& dests = out_dests_[from];
+      const auto& tos = out_tos_[from];
+      const std::uint32_t* counts = out_counts_[from].data();
       const Word* words = out_words_[from].data();
-      const std::size_t nw = dests.size();
+      const std::size_t nw = out_words_[from].size();
       const std::size_t first = send_idx;
       while (send_idx < ns && sends[send_idx].from == from) {
         ++send_idx;
       }
       if (first == send_idx) {
-        // No shared traffic from this sender: the plain delivery variants,
-        // plus segment emission for receivers that need segment lists.
-        if (nw >= 2 * m) {
-          bucket_count_.assign(m, 0);
-          for (std::size_t i = 0; i < nw; ++i) ++bucket_count_[dests[i]];
-          bucket_cursor_.resize(m);
-          std::size_t run = 0;
-          for (std::size_t to = 0; to < m; ++to) {
-            bucket_cursor_[to] = run;
-            run += bucket_count_[to];
-          }
-          scatter_.resize(nw);
-          for (std::size_t i = 0; i < nw; ++i) {
-            scatter_[bucket_cursor_[dests[i]]++] = words[i];
-          }
-          std::size_t pos = 0;
-          for (std::size_t to = 0; to < m; ++to) {
-            const std::size_t count = bucket_count_[to];
-            if (count > 0) {
-              const std::size_t base = inbox_[to].size();
-              inbox_[to].insert(inbox_[to].end(), scatter_.data() + pos,
-                                scatter_.data() + pos + count);
-              if (shared_recv_[to] > 0) {
-                in_segs_[to].emplace_back(inbox_[to].data() + base, count);
-              }
-            }
-            pos += count;
-          }
-        } else {
-          for (std::size_t i = 0; i < nw;) {
-            const std::uint32_t to = dests[i];
-            std::size_t j = i + 1;
-            while (j < nw && dests[j] == to) ++j;
-            const std::size_t base = inbox_[to].size();
-            inbox_[to].insert(inbox_[to].end(), words + i, words + j);
-            if (shared_recv_[to] > 0) {
-              in_segs_[to].emplace_back(inbox_[to].data() + base, j - i);
-            }
-            i = j;
-          }
-        }
-      } else if (nw == 0) {
+        // No shared traffic from this sender: the plain run-length
+        // delivery, plus segment emission for receivers that need segment
+        // lists.
+        deliver_flat_sender(from, m, /*emit_segs=*/true);
+        continue;
+      }
+      if (nw == 0) {
         // Broadcast-only sender (the relay-tree shape): no unicast words,
         // every splice is trivially 0 — skip the counting sort and emit
         // the payload segments directly, O(sends) instead of O(machines).
@@ -513,7 +551,7 @@ void Engine::exchange_shared(std::size_t m) {
           in_segs_[s.to].emplace_back(payload.data(), payload.size());
         }
       } else {
-        // Shared sender: counting-sort the unicast words so each pair is
+        // Shared sender: counting-sort the unicast runs so each pair is
         // one contiguous bucket, compute the within-pair splice offset of
         // every shared send, then deliver pair by pair.
         sender_sends_.assign(
@@ -526,36 +564,55 @@ void Engine::exchange_shared(std::size_t m) {
         bucket_count_.assign(m, 0);
         std::size_t sp = 0;
         const std::size_t nsend = sender_sends_.size();
-        for (std::size_t i = 0; i < nw; ++i) {
-          while (sp < nsend && sender_sends_[sp].seq <= i) {
-            // Flat seq was the sender-stream position; rewrite it to "how
-            // many unicast words to this dest came before", the splice.
-            sender_sends_[sp].seq = bucket_count_[sender_sends_[sp].to];
+        // Flat seq was the sender-stream position; rewrite it to "how many
+        // unicast words to this dest came before", the splice. One pass
+        // over the runs: a send splicing at stream position s (with
+        // word_pos <= s < word_pos + count) has bucket_count_[its dest]
+        // words of earlier runs before it, plus the s - word_pos words of
+        // the current run when that run shares its destination.
+        std::size_t word_pos = 0;
+        for_each_run(tos, counts, [&](std::size_t rto, std::size_t count) {
+          while (sp < nsend &&
+                 sender_sends_[sp].seq <
+                     static_cast<std::uint64_t>(word_pos) + count) {
+            SharedSend& s = sender_sends_[sp];
+            const std::size_t mid =
+                s.to == rto ? static_cast<std::size_t>(s.seq) - word_pos : 0;
+            s.seq = bucket_count_[s.to] + mid;
             ++sp;
           }
-          ++bucket_count_[dests[i]];
-        }
+          bucket_count_[rto] += count;
+          word_pos += count;
+        });
         while (sp < nsend) {
           sender_sends_[sp].seq = bucket_count_[sender_sends_[sp].to];
           ++sp;
         }
         bucket_cursor_.resize(m);
-        std::size_t run = 0;
+        std::size_t acc = 0;
         for (std::size_t to = 0; to < m; ++to) {
-          bucket_cursor_[to] = run;
-          run += bucket_count_[to];
+          bucket_cursor_[to] = acc;
+          acc += bucket_count_[to];
         }
         scatter_.resize(nw);
-        for (std::size_t i = 0; i < nw; ++i) {
-          scatter_[bucket_cursor_[dests[i]]++] = words[i];
-        }
+        std::size_t pos = 0;
+        for_each_run(tos, counts, [&](std::size_t rto, std::size_t count) {
+          if (count == 1) {
+            scatter_[bucket_cursor_[rto]++] = words[pos++];
+          } else {
+            copy_run(scatter_.data() + bucket_cursor_[rto], words + pos,
+                     count);
+            bucket_cursor_[rto] += count;
+            pos += count;
+          }
+        });
         // Stable by receiver: within a pair, splice offsets stay in
         // chronological (non-decreasing) order.
         std::stable_sort(sender_sends_.begin(), sender_sends_.end(),
                          [](const SharedSend& a, const SharedSend& b) {
                            return a.to < b.to;
                          });
-        std::size_t pos = 0;
+        pos = 0;
         std::size_t sidx = 0;
         for (std::size_t to = 0; to < m; ++to) {
           const std::size_t count = bucket_count_[to];
@@ -579,8 +636,10 @@ void Engine::exchange_shared(std::size_t m) {
           pos += count;
         }
       }
-      out_dests_[from].clear();
+      out_tos_[from].clear();
+      out_counts_[from].clear();
       out_words_[from].clear();
+      out_open_to_[from] = RunTag::kNoDest;
     }
   }
   adapt_path(flush_words, flush_runs);

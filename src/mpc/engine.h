@@ -6,15 +6,17 @@
 // may send and receive at most S words per round.
 //
 // This engine is the *accounting authority* for every algorithm in
-// `src/core`: algorithms move data only through `push`/`exchange` (or the
-// collectives in primitives.h built on them), the engine counts rounds and
-// enforces capacities, and the experiment harness reads the metrics from
-// here. Algorithms have no way to increment the round counter except by
-// actually communicating.
+// `src/core`: algorithms move data only through the staging API
+// (`outbox`/`push`/`exchange`, or the collectives in primitives.h built on
+// them), the engine counts rounds and enforces capacities, and the
+// experiment harness reads the metrics from here. Algorithms have no way to
+// increment the round counter except by actually communicating.
 //
 // Message plane. Two kinds of traffic flow through an exchange:
-//   * unicast words (`push`), buffered per (sender, receiver) and delivered
-//     by bulk copy, and
+//   * unicast words, staged through an `Outbox` (one handle per sender,
+//     one up-front machine check, run-length `(to, count)` descriptors over
+//     a contiguous per-sender word stream on the flat path) or the legacy
+//     per-word `push`, which is a thin wrapper over a one-entry outbox; and
 //   * shared payloads (`stage_payload` + `push_broadcast` / `push_gather`),
 //     stored ONCE per staging and delivered as (payload, offset, length)
 //     descriptors — a broadcast of k words to f machines costs O(k + f)
@@ -60,10 +62,10 @@ struct Config {
   /// algorithm runs to the budget).
   bool strict = true;
   /// Dense/flat exchange representation: the per-(sender, receiver) box
-  /// matrix (pushes pre-sort by destination, delivery is pure bulk copies,
+  /// matrix (appends pre-sort by destination, delivery is pure bulk copies,
   /// but O(machines^2) storage and a full matrix scan per round) versus
-  /// flat per-sender outboxes with counting-sort delivery (O(words)
-  /// storage, a few extra ops per word).
+  /// flat per-sender run-length outboxes with counting-sort delivery
+  /// (O(words) storage, per-*run* bookkeeping).
   ///
   /// With the default `kAdaptive`, the engine picks the path per flush
   /// from the traffic it just delivered — total unicast words versus
@@ -71,8 +73,11 @@ struct Config {
   /// amortizes the matrix scan switches to dense, scattered short-run
   /// traffic switches to flat (both representations deliver identical
   /// inboxes and metrics, so switching is observable only as wall-clock;
-  /// see `tools/bench_exchange_crossover --adaptive`). The dense matrix is
-  /// never chosen above kAdaptiveDenseCap machines.
+  /// see `tools/bench_exchange_crossover --adaptive`). A flip needs the
+  /// same verdict on two consecutive traffic-bearing flushes (hysteresis),
+  /// so alternating bulk/scattered rounds cannot thrash the
+  /// representation. The dense matrix is never chosen above
+  /// kAdaptiveDenseCap machines.
   ///
   /// Any explicit value overrides adaptivity with the old static rule:
   /// clusters up to the limit are dense, larger ones flat (0 forces flat
@@ -97,9 +102,145 @@ struct Metrics {
   std::size_t total_words = 0;
 };
 
+/// Run-length tag encoding of the flat staging. Each sender's staged words
+/// form one contiguous stream described by a stream of 4-byte *tags*, one
+/// per maximal same-destination stretch: a tag is the destination id, and
+/// its kExtFlag bit says whether the stretch is a single word (clear — the
+/// overwhelmingly common case in scattered traffic) or its length lives in
+/// the sender's side count stream (set). Singleton stretches therefore
+/// stage at exactly the cost of a per-word destination tag — one 4-byte
+/// store — while a burst of k words to one machine compresses to one tag +
+/// one count, and delivery is a counting sort over tags, not words.
+struct RunTag {
+  static constexpr std::uint32_t kExtFlag = 0x80000000u;
+  static constexpr std::uint32_t kDestMask = 0x7fffffffu;
+  /// Extended runs saturate at 2^32-1 words and spill into a fresh tag —
+  /// only reachable far beyond any realistic per-round budget (the split
+  /// is visible solely to the adaptive path chooser's run statistic).
+  static constexpr std::uint32_t kMaxCount = 0xffffffffu;
+  /// "No open run" marker for the per-sender open-destination table (it
+  /// has the high bit set, so it can never equal a masked destination).
+  static constexpr std::uint32_t kNoDest = 0xffffffffu;
+};
+
+/// Streamed outbox: a per-sender staging handle for unicast words. Open one
+/// per round (`Engine::outbox`) — the sender id is checked once there — and
+/// append words or whole runs; only the destination is range-checked per
+/// append (one compare). On the flat path appends write the contiguous word
+/// stream plus run-length descriptors; on the dense path they go straight
+/// into the per-destination boxes. A handle is valid until the next
+/// exchange(); several handles for the same sender may coexist (they stage
+/// into the same stream).
+class Outbox {
+ public:
+  Outbox() = default;
+
+  /// Appends one word for machine `to`.
+  ///
+  /// The run-merge test reads the per-sender *open destination* table
+  /// (`open_to_`, one word per sender — cache-resident), never the tag
+  /// stream's tail: scattered cross-sender traffic pays exactly the
+  /// stores a per-word destination tag costs (one 4-byte tag + the word),
+  /// while the (load-latency) run extension is reserved for actual
+  /// same-destination bursts.
+  void append(std::size_t to, Word word) {
+    if (to >= num_machines_) [[unlikely]] {
+      throw_bad_dest(to);
+    }
+    if (dense_row_ != nullptr) {
+      dense_row_[to].push_back(word);
+      return;
+    }
+    words_->push_back(word);
+    if (*open_to_ == to) {
+      std::uint32_t& back = tos_->back();
+      if ((back & RunTag::kExtFlag) == 0) {
+        // Second word of a stretch: promote the singleton tag to an
+        // extended run of 2.
+        back |= RunTag::kExtFlag;
+        counts_->push_back(2);
+        return;
+      }
+      if (counts_->back() != RunTag::kMaxCount) [[likely]] {
+        ++counts_->back();
+        return;
+      }
+    }
+    *open_to_ = static_cast<std::uint32_t>(to);
+    tos_->push_back(static_cast<std::uint32_t>(to));
+  }
+
+  /// Appends a whole word run for machine `to` (one tag + one count + one
+  /// bulk copy on the flat path; merges with an open run to the same
+  /// machine).
+  void append_run(std::size_t to, std::span<const Word> words) {
+    if (to >= num_machines_) [[unlikely]] {
+      throw_bad_dest(to);
+    }
+    if (words.empty()) return;
+    if (dense_row_ != nullptr) {
+      dense_row_[to].insert(dense_row_[to].end(), words.begin(), words.end());
+      return;
+    }
+    words_->insert(words_->end(), words.begin(), words.end());
+    std::size_t left = words.size();
+    if (*open_to_ == to) {
+      std::uint32_t& back = tos_->back();
+      if ((back & RunTag::kExtFlag) == 0) {
+        back |= RunTag::kExtFlag;
+        counts_->push_back(1);
+      }
+      const std::size_t room = RunTag::kMaxCount - counts_->back();
+      const std::size_t take = left < room ? left : room;
+      counts_->back() += static_cast<std::uint32_t>(take);
+      left -= take;
+    }
+    *open_to_ = static_cast<std::uint32_t>(to);
+    while (left > 0) {
+      if (left == 1) {
+        tos_->push_back(static_cast<std::uint32_t>(to));
+        break;
+      }
+      const std::size_t take =
+          left < RunTag::kMaxCount ? left : RunTag::kMaxCount;
+      tos_->push_back(static_cast<std::uint32_t>(to) | RunTag::kExtFlag);
+      counts_->push_back(static_cast<std::uint32_t>(take));
+      left -= take;
+    }
+  }
+
+  /// Pre-reserves stream capacity for `words` more words (flat path; the
+  /// dense path's per-destination boxes grow on their own).
+  void reserve(std::size_t words) {
+    if (words_ != nullptr) words_->reserve(words_->size() + words);
+  }
+
+ private:
+  friend class Engine;
+  Outbox(std::vector<Word>* dense_row, std::vector<std::uint32_t>* tos,
+         std::vector<std::uint32_t>* counts, std::vector<Word>* words,
+         std::uint32_t* open_to, std::size_t num_machines)
+      : dense_row_(dense_row), tos_(tos), counts_(counts), words_(words),
+        open_to_(open_to), num_machines_(num_machines) {}
+  /// Out of line: the exception-string construction must not be inlined
+  /// into every append call site (it bloats the hot staging loops).
+  [[noreturn]] void throw_bad_dest(std::size_t to) const;
+  /// Dense path: the sender's row of per-destination boxes (nullptr when
+  /// the flat representation is active).
+  std::vector<Word>* dense_row_ = nullptr;
+  /// Flat path: the sender's run-tag/count streams + contiguous word
+  /// stream + its slot in the engine's open-destination table (the masked
+  /// destination of tos_->back(), or RunTag::kNoDest when no run is open).
+  std::vector<std::uint32_t>* tos_ = nullptr;
+  std::vector<std::uint32_t>* counts_ = nullptr;
+  std::vector<Word>* words_ = nullptr;
+  std::uint32_t* open_to_ = nullptr;
+  std::size_t num_machines_ = 0;
+};
+
 /// Read-only, zero-copy view of one machine's inbox after an exchange: an
 /// ordered list of word segments whose concatenation is the inbox contents
-/// (sender ids ascending; each sender's pushes in push order, unicast and
+/// (sender ids ascending; each sender's words in push order, unicast and
 /// shared interleaved chronologically). Segments alias engine-owned storage:
 /// a view is valid until the next exchange() or clear_inboxes(), which
 /// invalidate it (dangling — do not hold across rounds).
@@ -200,23 +341,32 @@ class Engine {
   [[nodiscard]] bool strict() const noexcept { return config_.strict; }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
 
-  /// Queues one word from machine `from` to machine `to` for the next
-  /// exchange. Inline: per-edge simulation traffic makes this the hottest
-  /// call in the codebase.
-  void push(std::size_t from, std::size_t to, Word word) {
-    if (from >= config_.num_machines || to >= config_.num_machines)
-        [[unlikely]] {
-      throw_bad_machine(from >= config_.num_machines ? from : to);
+  /// Opens a streamed outbox for machine `from` — the one up-front sender
+  /// check; appends through the handle pay a single destination compare
+  /// each. Valid until the next exchange(). This is how the hot producers
+  /// stage their home->machine record streams; the per-word push below
+  /// wraps it.
+  [[nodiscard]] Outbox outbox(std::size_t from) {
+    if (from >= config_.num_machines) [[unlikely]] {
+      throw_bad_machine(from);
     }
     if (dense_active_) {
-      boxes_[from * config_.num_machines + to].push_back(word);
-    } else {
-      out_dests_[from].push_back(static_cast<std::uint32_t>(to));
-      out_words_[from].push_back(word);
+      return Outbox(boxes_.data() + from * config_.num_machines, nullptr,
+                    nullptr, nullptr, nullptr, config_.num_machines);
     }
+    return Outbox(nullptr, &out_tos_[from], &out_counts_[from],
+                  &out_words_[from], &out_open_to_[from],
+                  config_.num_machines);
   }
 
-  /// Queues a word span (one bulk fill + one bulk copy).
+  /// Queues one word from machine `from` to machine `to` for the next
+  /// exchange. Legacy entry point: a thin wrapper over a one-entry outbox
+  /// (baselines and tests compile unchanged; hot drivers hold an Outbox).
+  void push(std::size_t from, std::size_t to, Word word) {
+    outbox(from).append(to, word);
+  }
+
+  /// Queues a word span (one run descriptor + one bulk copy).
   void push(std::size_t from, std::size_t to, std::span<const Word> words);
 
   /// Stores one copy of `words` for the next exchange and returns a handle
@@ -246,8 +396,8 @@ class Engine {
 
   /// Executes one communication round: delivers all queued words, enforces
   /// per-machine send/receive budgets, updates metrics, and makes inboxes
-  /// readable. Queued outboxes are cleared; views and payloads from the
-  /// previous round are invalidated.
+  /// readable. Queued outboxes are cleared; views, payloads, and Outbox
+  /// handles from the previous round are invalidated.
   void exchange();
 
   /// Zero-copy view of the words delivered to `machine` by the most recent
@@ -279,6 +429,13 @@ class Engine {
   /// outstanding views.
   void clear_inboxes();
 
+  /// True while push()/outbox() stage into the dense per-pair box matrix
+  /// (observability hook for the adaptive-choice tests; the choice is
+  /// otherwise visible only as wall-clock).
+  [[nodiscard]] bool dense_staging_active() const noexcept {
+    return dense_active_;
+  }
+
  private:
   /// One queued shared-payload delivery. `seq` snapshots how many unicast
   /// words the sender had queued (to this receiver on the dense path; in
@@ -299,12 +456,21 @@ class Engine {
   void exchange_plain_dense(std::size_t m);
   void exchange_plain_flat(std::size_t m);
   void exchange_shared(std::size_t m);
+  /// Delivers one flat sender's staged runs into the inboxes (and, with
+  /// `emit_segs`, interleaved segment lists for shared-round receivers):
+  /// one bulk copy per run, except scattered big senders (many short runs)
+  /// which take a word-level counting sort through the scatter buffer so a
+  /// receiver gets one append instead of one per run. Clears the sender's
+  /// staging.
+  void deliver_flat_sender(std::size_t from, std::size_t m, bool emit_segs);
   /// Switches the staging representation (both are kept allocated once
   /// used; only callable between flushes, when all outboxes are empty).
   void set_path(bool dense);
   /// Per-flush adaptive path choice from the shape of the unicast traffic
   /// just delivered: `words` moved across `runs` maximal same-destination
-  /// stretches. No-op unless Config::dense_machine_limit is kAdaptive.
+  /// stretches. Two consecutive traffic-bearing flushes must agree before
+  /// the path flips (hysteresis). No-op unless Config::dense_machine_limit
+  /// is kAdaptive.
   void adapt_path(std::size_t words, std::size_t runs);
   /// Largest cluster the adaptive mode will ever give the dense matrix
   /// (its storage and per-round scan are O(machines^2)).
@@ -318,22 +484,35 @@ class Engine {
 
   Config config_;
   Metrics metrics_;
-  /// Which staging representation push() writes to. Fixed by
+  /// Which staging representation outbox()/push() writes to. Fixed by
   /// dense_machine_limit when that is explicit; re-decided per flush by
   /// adapt_path() in the default adaptive mode.
   bool dense_active_ = false;
+  /// Flushes in a row whose traffic shape voted against the active
+  /// representation (adaptive mode): the flip happens at 2. Starts at 1:
+  /// the startup representation is a size-based guess, not observed
+  /// history, so the first real traffic shape may override it immediately
+  /// — only after a flush has *confirmed* the active path does a flip
+  /// require two consecutive contrary votes.
+  std::uint8_t adapt_streak_ = 1;
   /// Dense representation (small clusters): boxes_[from * m + to] holds
   /// the unicast words queued from `from` to `to`, in push order. Empty
   /// when the flat representation is active.
   std::vector<std::vector<Word>> boxes_;
-  /// Flat per-sender outboxes (large clusters), in push order:
-  /// out_words_[from][i] goes to machine out_dests_[from][i]. A round of
-  /// exchange() costs O(words moved + machines): a counting pass over the
-  /// destination arrays, then a stable counting-sort delivery pass that
-  /// buckets each sender's words by destination and appends each bucket
-  /// with one bulk copy.
-  std::vector<std::vector<std::uint32_t>> out_dests_;
+  /// Flat per-sender outboxes (large clusters): out_words_[from] is the
+  /// sender's staged words in push order, described by the run tags in
+  /// out_tos_[from] (one per maximal same-destination stretch; extended
+  /// tags index into out_counts_[from] in order — see RunTag). A round of
+  /// exchange() costs O(tags + machines) bookkeeping plus one bulk copy
+  /// per run (scattered senders fall back to a word-level counting sort —
+  /// see deliver_flat_sender).
+  std::vector<std::vector<std::uint32_t>> out_tos_;
+  std::vector<std::vector<std::uint32_t>> out_counts_;
   std::vector<std::vector<Word>> out_words_;
+  /// Destination of each sender's open (last) run, or RunTag::kNoDest.
+  /// The compact mirror of out_tos_[from].back()'s destination that keeps
+  /// the append-side merge test off the tag vectors' scattered tails.
+  std::vector<std::uint32_t> out_open_to_;
   /// Unicast words delivered to each machine (shared payloads are viewed in
   /// place, never copied here).
   std::vector<std::vector<Word>> inbox_;
@@ -363,7 +542,7 @@ class Engine {
   /// Per-machine shared sent/received word totals (scratch, shared rounds).
   std::vector<std::size_t> shared_sent_;
   std::vector<std::size_t> shared_recv_;
-  /// Counting-sort scratch for scattered senders (see exchange()).
+  /// Counting-sort scratch for scattered senders (see deliver_flat_sender).
   std::vector<std::size_t> bucket_count_;
   std::vector<std::size_t> bucket_cursor_;
   std::vector<Word> scatter_;

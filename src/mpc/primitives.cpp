@@ -90,8 +90,10 @@ std::vector<std::vector<Word>> all_to_all(
     Engine& engine, const std::vector<std::vector<std::vector<Word>>>& out) {
   const std::size_t m = engine.num_machines();
   for (std::size_t i = 0; i < m && i < out.size(); ++i) {
+    // One streamed outbox per sender: each per-destination part is one run.
+    Outbox ob = engine.outbox(i);
     for (std::size_t j = 0; j < m && j < out[i].size(); ++j) {
-      engine.push(i, j, out[i][j]);
+      ob.append_run(j, out[i][j]);
     }
   }
   engine.exchange();

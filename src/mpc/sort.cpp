@@ -46,15 +46,19 @@ std::vector<std::vector<Word>> distributed_sort(
   const std::span<const Word> splitter_view =
       broadcast_view(engine, 0, splitters);
 
-  // Round 3: route each element to its bucket machine.
+  // Round 3: route each element to its bucket machine. Each machine's
+  // elements are locally sorted, so bucket ids are non-decreasing and the
+  // streamed outbox stages the whole route as one run per occupied bucket.
   const auto bucket_of = [&](Word w) {
     const auto it =
         std::upper_bound(splitter_view.begin(), splitter_view.end(), w);
     return static_cast<std::size_t>(it - splitter_view.begin());
   };
   for (std::size_t i = 0; i < m; ++i) {
+    Outbox ob = engine.outbox(i);
+    ob.reserve(local[i].size());
     for (const Word w : local[i]) {
-      engine.push(i, bucket_of(w), w);
+      ob.append(bucket_of(w), w);
     }
   }
   engine.exchange();

@@ -1,10 +1,13 @@
 // Zero-copy message plane: inbox-view lifetime/aliasing semantics, the
 // interleaving contract between unicast pushes and shared payloads, the
-// inbox() compatibility shim, and accounting equivalence between shared
-// and materialized delivery. Every scenario runs on both exchange
-// representations (dense box matrix and flat counting-sort), selected via
-// Config::dense_machine_limit.
+// inbox() compatibility shim, accounting equivalence between shared and
+// materialized delivery, and the streamed-outbox staging (run-length
+// record streams) coupled against the legacy per-word push path. Every
+// scenario runs on both exchange representations (dense box matrix and
+// flat counting-sort), selected via Config::dense_machine_limit; the
+// randomized staging coupling additionally runs the adaptive chooser.
 #include <numeric>
+#include <random>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -265,6 +268,199 @@ INSTANTIATE_TEST_SUITE_P(DenseAndFlat, MessagePlane, ::testing::Bool(),
                          [](const auto& info) {
                            return info.param ? "flat" : "dense";
                          });
+
+TEST_P(MessagePlane, OutboxMatchesPerWordPush) {
+  // The same logical traffic through a streamed outbox and through the
+  // legacy per-word wrapper must produce identical inboxes and metrics.
+  Engine streamed = make_engine(GetParam());
+  Engine legacy = make_engine(GetParam());
+  const std::vector<Word> run{7, 8, 9, 10};
+  {
+    Outbox ob = streamed.outbox(1);
+    ob.reserve(run.size() + 2);
+    ob.append(3, Word{1});
+    ob.append_run(3, run);   // extends the open run to 3
+    ob.append(0, Word{2});
+    ob.append_run(2, {});    // empty run is a no-op
+  }
+  legacy.push(1, 3, Word{1});
+  for (const Word w : run) legacy.push(1, 3, w);
+  legacy.push(1, 0, Word{2});
+  streamed.exchange();
+  legacy.exchange();
+  for (std::size_t machine = 0; machine < 4; ++machine) {
+    EXPECT_EQ(view_words(streamed.inbox_view(machine)),
+              legacy.inbox(machine))
+        << "machine " << machine;
+  }
+  EXPECT_EQ(streamed.metrics().total_words, legacy.metrics().total_words);
+  EXPECT_EQ(streamed.metrics().max_sent_words,
+            legacy.metrics().max_sent_words);
+  EXPECT_EQ(streamed.metrics().max_received_words,
+            legacy.metrics().max_received_words);
+}
+
+TEST_P(MessagePlane, OutboxChecksMachineIds) {
+  Engine e = make_engine(GetParam());
+  EXPECT_THROW((void)e.outbox(4), std::out_of_range);
+  Outbox ob = e.outbox(0);
+  EXPECT_THROW(ob.append(4, Word{1}), std::out_of_range);
+  EXPECT_THROW(ob.append_run(7, std::vector<Word>{1, 2}),
+               std::out_of_range);
+}
+
+TEST_P(MessagePlane, OutboxInterleavesWithSharedSplices) {
+  // Splice positions are snapshotted at the shared push, so a burst
+  // appended before the broadcast lands before the payload and a burst
+  // appended after lands after — same contract as per-word pushes.
+  Engine e = make_engine(GetParam());
+  const std::vector<Word> payload{100, 101};
+  Outbox ob = e.outbox(2);
+  ob.append_run(0, std::vector<Word>{1, 2});
+  e.push_broadcast(2, std::vector<std::size_t>{0}, payload);
+  ob.append(0, Word{3});
+  e.push_gather(2, 0, std::vector<Word>{200});
+  ob.append(0, Word{4});
+  e.exchange();
+  EXPECT_EQ(view_words(e.inbox_view(0)),
+            (std::vector<Word>{1, 2, 100, 101, 3, 200, 4}));
+  EXPECT_EQ(e.inbox(0), view_words(e.inbox_view(0)));
+}
+
+/// Randomized coupling of the streamed-outbox staging against the legacy
+/// per-word push path, interleaved with broadcast/gather splices, across
+/// the dense, flat, and adaptive configurations. Inbox views and every
+/// Metrics field must agree word for word after every round.
+class StagingCoupling : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StagingCoupling, RandomizedRunStreamsMatchPerWordPush) {
+  constexpr std::size_t kMachines = 6;
+  Config cfg;
+  cfg.num_machines = kMachines;
+  cfg.words_per_machine = 1 << 14;
+  cfg.strict = true;
+  cfg.dense_machine_limit = GetParam();
+  Engine streamed(cfg);
+  Engine legacy(cfg);
+  std::mt19937_64 rng(0xA11CE5);
+  std::vector<Word> run_buf;
+  std::vector<std::size_t> dests;
+  for (int round = 0; round < 60; ++round) {
+    const std::size_t bursts = rng() % 8;
+    for (std::size_t b = 0; b < bursts; ++b) {
+      const std::size_t from = rng() % kMachines;
+      Outbox ob = streamed.outbox(from);
+      const std::size_t ops = 1 + rng() % 5;
+      for (std::size_t op = 0; op < ops; ++op) {
+        const std::size_t to = rng() % kMachines;
+        switch (rng() % 4) {
+          case 0: {
+            const Word w = rng();
+            ob.append(to, w);
+            legacy.push(from, to, w);
+            break;
+          }
+          case 1: {
+            run_buf.clear();
+            const std::size_t len = 1 + rng() % 9;
+            for (std::size_t i = 0; i < len; ++i) run_buf.push_back(rng());
+            ob.append_run(to, run_buf);
+            for (const Word w : run_buf) legacy.push(from, to, w);
+            break;
+          }
+          case 2: {
+            run_buf.clear();
+            const std::size_t len = rng() % 4;
+            for (std::size_t i = 0; i < len; ++i) run_buf.push_back(rng());
+            dests.clear();
+            for (std::size_t d = 0; d < kMachines; ++d) {
+              if (rng() % 3 == 0) dests.push_back(d);
+            }
+            streamed.push_broadcast(from, dests, run_buf);
+            legacy.push_broadcast(from, dests, run_buf);
+            break;
+          }
+          default: {
+            run_buf.clear();
+            const std::size_t len = 1 + rng() % 3;
+            for (std::size_t i = 0; i < len; ++i) run_buf.push_back(rng());
+            streamed.push_gather(from, to, run_buf);
+            legacy.push_gather(from, to, run_buf);
+            break;
+          }
+        }
+      }
+    }
+    streamed.exchange();
+    legacy.exchange();
+    const Metrics& a = streamed.metrics();
+    const Metrics& b = legacy.metrics();
+    ASSERT_EQ(a.rounds, b.rounds) << "round " << round;
+    ASSERT_EQ(a.max_sent_words, b.max_sent_words) << "round " << round;
+    ASSERT_EQ(a.max_received_words, b.max_received_words)
+        << "round " << round;
+    ASSERT_EQ(a.peak_storage_words, b.peak_storage_words)
+        << "round " << round;
+    ASSERT_EQ(a.total_words, b.total_words) << "round " << round;
+    ASSERT_EQ(a.violations, b.violations) << "round " << round;
+    for (std::size_t machine = 0; machine < kMachines; ++machine) {
+      const InboxView view = streamed.inbox_view(machine);
+      ASSERT_EQ(view_words(view), legacy.inbox(machine))
+          << "round " << round << " machine " << machine;
+      ASSERT_EQ(view.size(), legacy.inbox(machine).size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DenseFlatAdaptive, StagingCoupling,
+                         ::testing::Values(std::size_t{512}, std::size_t{0},
+                                           Config::kAdaptive),
+                         [](const auto& info) {
+                           if (info.param == Config::kAdaptive) {
+                             return std::string("adaptive");
+                           }
+                           return info.param == 0 ? std::string("flat")
+                                                  : std::string("dense");
+                         });
+
+TEST(MessagePlaneConfig, AdaptiveFlipNeedsTwoAgreeingFlushes) {
+  // Two-flush hysteresis: one odd-shaped round must not flip the staging
+  // representation; two consecutive agreeing rounds must.
+  Config cfg;
+  cfg.num_machines = 4;
+  cfg.words_per_machine = 1 << 12;
+  cfg.dense_machine_limit = Config::kAdaptive;
+  Engine e(cfg);
+  const auto scattered = [&e] {
+    // words == runs == 4: votes flat (words < 8 * runs).
+    for (std::size_t from = 0; from < 4; ++from) {
+      e.push(from, (from + 1) % 4, Word{from});
+    }
+    e.exchange();
+  };
+  const auto bulky = [&e] {
+    // One 64-word run: votes dense (64 >= 8 runs, 128 >= 16).
+    const std::vector<Word> run(64, Word{7});
+    e.outbox(0).append_run(1, run);
+    e.exchange();
+  };
+  ASSERT_TRUE(e.dense_staging_active());  // 4 <= 512: starts dense
+  // The start is a guess, not history: the first real flush may override
+  // it without waiting out the hysteresis.
+  scattered();
+  EXPECT_FALSE(e.dense_staging_active());
+  bulky();
+  EXPECT_FALSE(e.dense_staging_active());  // one dense vote: no flip
+  scattered();
+  EXPECT_FALSE(e.dense_staging_active());  // streak reset
+  bulky();
+  bulky();
+  EXPECT_TRUE(e.dense_staging_active());  // two agreeing votes: flip
+  scattered();
+  EXPECT_TRUE(e.dense_staging_active());
+  scattered();
+  EXPECT_FALSE(e.dense_staging_active());  // and back
+}
 
 TEST(MessagePlaneConfig, DenseMachineLimitSelectsRepresentation) {
   // Observable difference is only in performance, but both representations

@@ -20,11 +20,20 @@
 // which dense still wins the scattered shape — the value to pin if you
 // want the static rule.
 //
+// A second set of tables races the *staging* APIs on the same shapes:
+// legacy per-word push versus a streamed Outbox (per-word append, one
+// up-front sender check) versus run-length append_run (one descriptor +
+// one bulk copy per maximal same-destination stretch). On the bulk shape
+// run-length staging should win clearly; on the scattered shape (runs of
+// one word) the three should be within noise of each other.
+//
 // Usage: bench_exchange_crossover [rounds] [words_per_machine]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "mpc/engine.h"
@@ -102,6 +111,84 @@ void sweep(const char* label, std::size_t rounds, std::size_t words,
   }
 }
 
+enum class Staging { kPush, kOutbox, kRuns };
+
+double run_staging_cell(std::size_t machines, std::size_t rounds,
+                        std::size_t words_per_machine, bool bulk,
+                        Staging staging) {
+  mpc::Config cfg;
+  cfg.num_machines = machines;
+  cfg.words_per_machine = std::max<std::size_t>(words_per_machine * 2, 1024);
+  cfg.strict = false;
+  Engine engine(cfg);  // default adaptive path, as production runs
+
+  const auto dests = make_dests(machines, words_per_machine, bulk);
+  // Maximal same-destination stretches of the pattern, for kRuns.
+  std::vector<std::pair<std::size_t, std::size_t>> runs;  // (start, len)
+  for (std::size_t i = 0; i < dests.size();) {
+    std::size_t j = i + 1;
+    while (j < dests.size() && dests[j] == dests[i]) ++j;
+    runs.emplace_back(i, j - i);
+    i = j;
+  }
+  std::vector<Word> payload(words_per_machine);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<Word>(i);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t from = 0; from < machines; ++from) {
+      switch (staging) {
+        case Staging::kPush:
+          for (std::size_t i = 0; i < dests.size(); ++i) {
+            engine.push(from, (dests[i] + from) % machines, payload[i]);
+          }
+          break;
+        case Staging::kOutbox: {
+          mpc::Outbox ob = engine.outbox(from);
+          for (std::size_t i = 0; i < dests.size(); ++i) {
+            ob.append((dests[i] + from) % machines, payload[i]);
+          }
+          break;
+        }
+        case Staging::kRuns: {
+          mpc::Outbox ob = engine.outbox(from);
+          for (const auto& [begin, len] : runs) {
+            ob.append_run((dests[begin] + from) % machines,
+                          std::span<const Word>{payload.data() + begin, len});
+          }
+          break;
+        }
+      }
+    }
+    engine.exchange();
+  }
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void sweep_staging(const char* label, std::size_t rounds, std::size_t words,
+                   bool bulk) {
+  std::printf("# staging race, %s traffic (adaptive exchange)\n", label);
+  std::printf("%10s %12s %12s %12s %8s\n", "machines", "push_ms",
+              "outbox_ms", "run_ms", "winner");
+  for (std::size_t m = 64; m <= 4096; m *= 2) {
+    const double push = run_staging_cell(m, rounds, words, bulk,
+                                         Staging::kPush);
+    const double outbox = run_staging_cell(m, rounds, words, bulk,
+                                           Staging::kOutbox);
+    const double run = run_staging_cell(m, rounds, words, bulk,
+                                        Staging::kRuns);
+    const char* winner = run <= push && run <= outbox ? "run"
+                         : outbox <= push             ? "outbox"
+                                                      : "push";
+    std::printf("%10zu %12.2f %12.2f %12.2f %8s\n", m, push, outbox, run,
+                winner);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -124,6 +211,8 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "default Config::kAdaptive picks per flush; pin a static limit only "
-      "if the adaptive column loses both shapes above.\n");
+      "if the adaptive column loses both shapes above.\n\n");
+  sweep_staging("bulk", rounds, words, /*bulk=*/true);
+  sweep_staging("scattered", rounds, words, /*bulk=*/false);
   return 0;
 }

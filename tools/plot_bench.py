@@ -9,6 +9,11 @@ Each input file is a JSON-lines log appended by the bench binaries:
 Usage:
     tools/plot_bench.py BENCH_pr1.json BENCH_pr2.json [-o out_dir]
                         [--families E01,E06] [--table]
+                        [--baseline BENCH_prN.json]
+
+--baseline pins the speedup column (and the first plot series) to an
+explicit file — equivalent to listing it first, but immune to argument
+order, so CI can always compare against the committed per-PR baseline.
 
 One figure per benchmark family (the name prefix before '/'), with wall_ms
 and rounds as separate stacked panels (never a dual axis) over n. Each input
@@ -167,10 +172,19 @@ def main():
                         help="comma-separated family filter (e.g. E01,E06)")
     parser.add_argument("--table", action="store_true",
                         help="print the text table instead of plotting")
+    parser.add_argument("--baseline", default=None, metavar="BENCH_prN.json",
+                        help="file to pin the speedup column against "
+                             "(placed first regardless of argument order)")
     args = parser.parse_args()
 
+    files = list(args.files)
+    if args.baseline:
+        files = [args.baseline] + [f for f in files
+                                   if os.path.abspath(f)
+                                   != os.path.abspath(args.baseline)]
+
     series_by_file = {}
-    for path in args.files:
+    for path in files:
         label = os.path.splitext(os.path.basename(path))[0]
         series_by_file[label] = aggregate(load_rows(path))
 
