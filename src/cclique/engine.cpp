@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "fault/checkpoint.h"
+#include "fault/fault_plan.h"
+
 namespace mpcg::cclique {
 
 Engine::Engine(std::size_t num_players, bool strict)
@@ -29,6 +32,24 @@ void Engine::broadcast(PlayerId from, Word word) {
 }
 
 void Engine::exchange() {
+  if (!delayed_.empty()) {
+    // Late flushes from a non-recovered delay land with this round's
+    // traffic — and count against its per-pair budget, like a real
+    // straggler hitting the next barrier.
+    pending_.insert(pending_.end(), delayed_.begin(), delayed_.end());
+    delayed_.clear();
+  }
+  if (fault_plan_ != nullptr) {
+    const auto events = fault_plan_->events_at(metrics_.rounds);
+    if (!events.empty()) {
+      exchange_faulty(events);
+      return;
+    }
+  }
+  exchange_impl();
+}
+
+void Engine::exchange_impl() {
   // Per-ordered-pair budget: sort point-to-point messages and detect
   // duplicates; broadcasts consume the (from, *) budget for every pair.
   // Scratch arrays are persistent and only the entries actually touched
@@ -44,8 +65,10 @@ void Engine::exchange() {
     if (broadcasting_[p]) {
       ++metrics_.violations;
       if (strict_) {
-        throw CongestionError("player " + std::to_string(p) +
-                              " broadcast twice in one round");
+        throw CongestionError(
+            "player " + std::to_string(p) + " broadcast twice in round " +
+            std::to_string(metrics_.rounds) +
+            ": requested 2 broadcasts, available 1");
       }
     }
     broadcasting_[p] = 1;
@@ -59,7 +82,10 @@ void Engine::exchange() {
       if (strict_) {
         throw CongestionError(
             "pair (" + std::to_string(msg.from) + "," +
-            std::to_string(msg.to) + ") used more than once in a round");
+            std::to_string(msg.to) + ") used more than once in round " +
+            std::to_string(metrics_.rounds) +
+            ": requested 2 or more words, available 1 word per ordered "
+            "pair per round");
       }
     }
     metrics_.max_player_sent =
@@ -154,6 +180,7 @@ const std::vector<std::vector<Message>>& Engine::lenzen_route(
     auto& batch = route_batches_[b];
     // Lenzen's scheme delivers a feasible batch in O(1) rounds; we charge
     // the canonical 2 (distribute to intermediaries, forward to targets).
+    lenzen_batch_faults(metrics_.rounds, b);
     metrics_.rounds += 2;
     ++metrics_.lenzen_batches;
     metrics_.total_words += 2 * route_batch_words_[b];
@@ -185,6 +212,190 @@ const std::vector<std::vector<Message>>& Engine::lenzen_route(
     route_restage_.append(msg.from, msg.to, msg.word);
   }
   return lenzen_route(route_restage_);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection & recovery (see set_fault_plan).
+
+std::size_t Engine::Snapshot::words() const noexcept {
+  constexpr std::size_t kMsgWords = sizeof(Message) / sizeof(Word);
+  return pending.size() * kMsgWords + bcast_staging.size() * kMsgWords +
+         (pending_broadcasts.size() + 1) / 2 + sizeof(Metrics) / sizeof(Word);
+}
+
+Engine::Snapshot Engine::snapshot() const {
+  Snapshot s;
+  s.pending = pending_;
+  s.pending_broadcasts = pending_broadcasts_;
+  s.bcast_staging = bcast_staging_;
+  s.metrics = metrics_;
+  return s;
+}
+
+void Engine::restore(const Snapshot& snap) {
+  pending_ = snap.pending;
+  pending_broadcasts_ = snap.pending_broadcasts;
+  bcast_staging_ = snap.bcast_staging;
+  metrics_ = snap.metrics;
+}
+
+void Engine::set_fault_plan(const fault::FaultPlan* plan,
+                            fault::CheckpointRegistry* registry,
+                            bool recover) {
+  fault_plan_ = (plan != nullptr && !plan->empty()) ? plan : nullptr;
+  registry_ = registry;
+  fault_recover_ = recover;
+}
+
+std::size_t Engine::staged_out_words(std::size_t player) const {
+  std::size_t w = 0;
+  for (const Message& msg : pending_) w += (msg.from == player);
+  for (const PlayerId p : pending_broadcasts_) {
+    if (p == player) w += n_ - 1;
+  }
+  return w;
+}
+
+void Engine::corrupt_player_staging(std::size_t player) {
+  std::erase_if(pending_, [player](const Message& msg) {
+    return msg.from == player;
+  });
+  std::erase(pending_broadcasts_, static_cast<PlayerId>(player));
+  std::erase_if(bcast_staging_, [player](const Message& msg) {
+    return msg.from == player;
+  });
+}
+
+void Engine::duplicate_player_staging(std::size_t player) {
+  // Duplicated point-to-point flush: every pair the player used is now
+  // used twice, which is exactly a congestion breach of the 1-word/pair
+  // budget — the model detects the fault on its own.
+  std::vector<Message> copy;
+  for (const Message& msg : pending_) {
+    if (msg.from == player) copy.push_back(msg);
+  }
+  pending_.insert(pending_.end(), copy.begin(), copy.end());
+}
+
+void Engine::delay_player_staging(std::size_t player) {
+  for (const Message& msg : pending_) {
+    if (msg.from == player) delayed_.push_back(msg);
+  }
+  std::erase_if(pending_, [player](const Message& msg) {
+    return msg.from == player;
+  });
+}
+
+void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
+  const std::size_t round = metrics_.rounds;
+  std::size_t ckpt_words = 0;
+  Snapshot ckpt;
+  if (fault_recover_) {
+    if (registry_ != nullptr) ckpt_words += registry_->capture();
+    ckpt = snapshot();
+    ckpt_words += ckpt.words();
+  }
+  std::size_t replays = 0;
+  std::size_t resent = 0;
+  std::size_t applied = 0;
+  crashed_scratch_.clear();
+  dark_scratch_.clear();
+  for (const fault::FaultEvent& ev : events) {
+    if (ev.machine >= n_) continue;
+    ++applied;
+    switch (ev.kind) {
+      case fault::FaultKind::kCrash:
+        if (fault_recover_) {
+          if (crashes_recovered_ >= fault_plan_->crash_budget) {
+            throw fault::FaultBudgetError(
+                "player " + std::to_string(ev.machine) +
+                " crashed in round " + std::to_string(round) +
+                ": crash budget of " +
+                std::to_string(fault_plan_->crash_budget) + " exhausted");
+          }
+          ++crashes_recovered_;
+          resent += staged_out_words(ev.machine);
+          corrupt_player_staging(ev.machine);
+          restore(ckpt);
+          if (registry_ != nullptr) registry_->restore();
+          ++replays;
+          crashed_scratch_.push_back(ev.machine);
+        } else {
+          corrupt_player_staging(ev.machine);
+          dark_scratch_.push_back(ev.machine);
+        }
+        break;
+      case fault::FaultKind::kDropFlush:
+        if (fault_recover_) {
+          resent += staged_out_words(ev.machine);
+          corrupt_player_staging(ev.machine);
+          restore(ckpt);
+          ++replays;
+        } else {
+          corrupt_player_staging(ev.machine);
+        }
+        break;
+      case fault::FaultKind::kDuplicateFlush:
+        if (!fault_recover_) duplicate_player_staging(ev.machine);
+        break;
+      case fault::FaultKind::kDelayFlush:
+        if (fault_recover_) {
+          ++replays;
+        } else {
+          delay_player_staging(ev.machine);
+        }
+        break;
+    }
+  }
+  exchange_impl();
+  for (const std::size_t player : crashed_scratch_) {
+    // The recovered player re-fetches what it missed: its point-to-point
+    // inbox plus the round's broadcasts (stored once, re-read from there).
+    resent += inbox_[player].size() + bcast_inbox_.size();
+  }
+  for (const std::size_t player : dark_scratch_) {
+    // Dark player: point-to-point deliveries are lost. The broadcast store
+    // is durable (one shared copy), matching the mpc engine's payload
+    // store semantics.
+    inbox_[player].clear();
+  }
+  metrics_.rounds_replayed += replays;
+  metrics_.words_resent += resent;
+  metrics_.checkpoint_bytes += ckpt_words * sizeof(Word);
+  metrics_.faults_injected += applied;
+}
+
+void Engine::lenzen_batch_faults(std::size_t first_round, std::size_t batch) {
+  if (fault_plan_ == nullptr) return;
+  bool captured = false;
+  for (std::size_t r = first_round; r < first_round + 2; ++r) {
+    for (const fault::FaultEvent& ev : fault_plan_->events_at(r)) {
+      if (ev.machine >= n_) continue;
+      ++metrics_.faults_injected;
+      if (ev.kind == fault::FaultKind::kDuplicateFlush) continue;
+      if (ev.kind == fault::FaultKind::kCrash) {
+        if (crashes_recovered_ >= fault_plan_->crash_budget) {
+          throw fault::FaultBudgetError(
+              "player " + std::to_string(ev.machine) +
+              " crashed in round " + std::to_string(r) +
+              " (lenzen batch): crash budget of " +
+              std::to_string(fault_plan_->crash_budget) + " exhausted");
+        }
+        ++crashes_recovered_;
+      }
+      if (!captured) {
+        // The sender-side retained batch is the checkpoint here; the batch
+        // structure is Lenzen's own retransmission unit.
+        std::size_t ckpt = route_batch_words_[batch];
+        if (registry_ != nullptr) ckpt += registry_->capture();
+        metrics_.checkpoint_bytes += ckpt * sizeof(Word);
+        captured = true;
+      }
+      metrics_.rounds_replayed += 2;  // the whole batch re-runs
+      metrics_.words_resent += route_send_load_[batch][ev.machine] +
+                               route_recv_load_[batch][ev.machine];
+    }
+  }
 }
 
 }  // namespace mpcg::cclique

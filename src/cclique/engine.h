@@ -27,6 +27,12 @@
 #include <string>
 #include <vector>
 
+namespace mpcg::fault {
+class FaultPlan;
+class CheckpointRegistry;
+struct FaultEvent;
+}  // namespace mpcg::fault
+
 namespace mpcg::cclique {
 
 using Word = std::uint64_t;
@@ -113,6 +119,14 @@ struct Metrics {
   std::size_t total_words = 0;
   /// Number of Lenzen batches executed.
   std::size_t lenzen_batches = 0;
+
+  // Fault-recovery accounting (all zero unless a FaultPlan is attached);
+  // overhead only — the logical fields above stay bit-identical to the
+  // fault-free run when recovery is on. Same semantics as mpc::Metrics.
+  std::size_t rounds_replayed = 0;
+  std::size_t words_resent = 0;
+  std::size_t checkpoint_bytes = 0;
+  std::size_t faults_injected = 0;
 };
 
 class Engine {
@@ -160,7 +174,48 @@ class Engine {
   const std::vector<std::vector<Message>>& lenzen_route(
       std::vector<Message> messages);
 
+  /// Opaque copy of the staged round (pending sends, broadcast queue) plus
+  /// Metrics; the cclique analogue of mpc::Engine::Snapshot.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+    [[nodiscard]] std::size_t words() const noexcept;
+
+   private:
+    friend class Engine;
+    std::vector<Message> pending;
+    std::vector<PlayerId> pending_broadcasts;
+    std::vector<Message> bcast_staging;
+    Metrics metrics{};
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
+  /// Attaches a deterministic fault schedule (see
+  /// mpc::Engine::set_fault_plan for the full contract — semantics are
+  /// identical, with "machine" meaning player here). lenzen_route treats
+  /// every fault in a batch's two rounds as recovered: the scheme's batch
+  /// structure is its own retransmission unit.
+  void set_fault_plan(const fault::FaultPlan* plan,
+                      fault::CheckpointRegistry* registry = nullptr,
+                      bool recover = true);
+
+  [[nodiscard]] std::size_t crashes_recovered() const noexcept {
+    return crashes_recovered_;
+  }
+
  private:
+  void exchange_impl();
+  void exchange_faulty(std::span<const fault::FaultEvent> events);
+  [[nodiscard]] std::size_t staged_out_words(std::size_t player) const;
+  void corrupt_player_staging(std::size_t player);
+  void duplicate_player_staging(std::size_t player);
+  void delay_player_staging(std::size_t player);
+  /// Charges recovery metrics for fault events scheduled inside a Lenzen
+  /// batch's two rounds.
+  void lenzen_batch_faults(std::size_t first_round, std::size_t batch);
+
   std::size_t n_;
   bool strict_;
   Metrics metrics_;
@@ -198,6 +253,17 @@ class Engine {
   std::vector<std::vector<std::uint32_t>> route_recv_load_;
   /// Backs the legacy vector<Message> lenzen_route wrapper.
   RouteStream route_restage_;
+
+  // Fault machinery (see set_fault_plan). Pointers are borrowed.
+  const fault::FaultPlan* fault_plan_ = nullptr;
+  fault::CheckpointRegistry* registry_ = nullptr;
+  bool fault_recover_ = true;
+  std::size_t crashes_recovered_ = 0;
+  /// Point-to-point sends held back by a non-recovered kDelayFlush,
+  /// re-staged at the next exchange.
+  std::vector<Message> delayed_;
+  std::vector<std::size_t> crashed_scratch_;
+  std::vector<std::size_t> dark_scratch_;
 };
 
 }  // namespace mpcg::cclique

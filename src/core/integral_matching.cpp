@@ -63,6 +63,7 @@ IntegralMatchingResult integral_matching(
       }
       result.first_fractional_weight = fractional_weight(frac.x);
       result.first_run_rounds = frac.metrics.rounds;
+      result.first_run_metrics = frac.metrics;
     }
 
     // Round (Lemma 5.1) with C~ = loads >= 1 - 5 eps; retry with fresh

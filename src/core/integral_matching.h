@@ -61,6 +61,9 @@ struct IntegralMatchingResult {
   /// Engine rounds of the *first* MPC-Simulation call alone — the per-call
   /// O(log log n) quantity of Lemma 4.2.
   std::size_t first_run_rounds = 0;
+  /// Full engine metrics of the first MPC-Simulation call (carries the
+  /// fault-recovery accounting when a FaultPlan is attached).
+  mpc::Metrics first_run_metrics;
   /// Fractional weight of the first run's x (for ratio reporting).
   double first_fractional_weight = 0.0;
 };

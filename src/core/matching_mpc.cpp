@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <stdexcept>
 
 #include "core/central.h"
+#include "fault/checkpoint.h"
+#include "fault/fault_plan.h"
 #include "graph/active_arcs.h"
 #include "graph/active_set.h"
 #include "graph/residual.h"
@@ -85,6 +88,11 @@ class MatchingMpcRun {
     engine_.emplace(mpc::Config{machines_, words_, o_.strict});
     for (std::size_t i = 0; i < machines_; ++i) {
       engine_->note_storage(i, shard_words[i] + fixed_words);
+    }
+    if (o_.fault_plan != nullptr && !o_.fault_plan->empty()) {
+      registry_.emplace();
+      register_checkpoint_state();
+      engine_->set_fault_plan(o_.fault_plan, &*registry_, o_.fault_recovery);
     }
 
     w0_ = (1.0 - 2.0 * o_.eps) / static_cast<double>(std::max<std::size_t>(n_, 1));
@@ -226,6 +234,99 @@ class MatchingMpcRun {
         std::min<std::uint32_t>(tf, kFrozen16Max));
     freeze8_[v] =
         static_cast<std::uint8_t>(std::min<std::uint32_t>(tf, kFrozen8Max));
+  }
+
+  /// Registers the driver's durable per-round state with the checkpoint
+  /// registry the engine captures/restores around injected faults. Capture
+  /// and restore happen inside one Engine::exchange() call, so everything
+  /// serialized here is quiescent; derived state (freeze16_/freeze8_
+  /// mirrors, ActiveArcs partitions, dirty-load caches) is either rebuilt
+  /// on restore (set_freeze) or stays valid because its inputs round-trip
+  /// bit-exactly.
+  void register_checkpoint_state() {
+    auto& reg = *registry_;
+    // Global iteration counter — doubles as the ThresholdBatch cursor
+    // (threshold draws are a stateless function of (threshold_seed, v, t)).
+    reg.register_state(
+        "progress",
+        [this](std::vector<Word>& out) { out.push_back(t_); },
+        [this](std::span<const Word> in) { t_ = in[0]; });
+    // Freeze iterations; restore routes through set_freeze so the narrow
+    // mirrors stay in sync.
+    reg.register_state(
+        "freeze",
+        [this](std::vector<Word>& out) {
+          for (VertexId v = 0; v < n_; ++v) out.push_back(freeze_at_[v]);
+        },
+        [this](std::span<const Word> in) {
+          for (VertexId v = 0; v < n_; ++v) {
+            set_freeze(v, static_cast<std::uint32_t>(in[v]));
+          }
+        });
+    // Heavy-removal flags, bit-packed.
+    reg.register_state(
+        "removed",
+        [this](std::vector<Word>& out) {
+          const std::size_t base = out.size();
+          out.resize(base + (n_ + 63) / 64, 0);
+          for (VertexId v = 0; v < n_; ++v) {
+            if (removed_[v]) out[base + v / 64] |= Word{1} << (v % 64);
+          }
+        },
+        [this](std::span<const Word> in) {
+          for (VertexId v = 0; v < n_; ++v) {
+            removed_[v] =
+                static_cast<char>((in[v / 64] >> (v % 64)) & Word{1});
+          }
+        });
+    // Home-side frozen-contribution sums (the y_old dirty-load cache's
+    // authoritative values), bit-cast so the round-trip is exact.
+    reg.register_state(
+        "y-old",
+        [this](std::vector<Word>& out) {
+          for (VertexId v = 0; v < n_; ++v) {
+            Word w;
+            std::memcpy(&w, &y_old_cache_[v], sizeof w);
+            out.push_back(w);
+          }
+        },
+        [this](std::span<const Word> in) {
+          for (VertexId v = 0; v < n_; ++v) {
+            double d;
+            std::memcpy(&d, &in[v], sizeof d);
+            y_old_cache_[v] = d;
+          }
+        });
+    // Active-frontier membership, bit-packed. ActiveSet only shrinks, so
+    // restore reconciles by deactivating any vertex active now but not in
+    // the checkpoint (the reverse cannot happen at a same-round restore).
+    reg.register_state(
+        "active-frontier",
+        [this](std::vector<Word>& out) {
+          const std::size_t base = out.size();
+          out.resize(base + (n_ + 63) / 64, 0);
+          for (VertexId v = 0; v < n_; ++v) {
+            if (active_.active(v)) out[base + v / 64] |= Word{1} << (v % 64);
+          }
+        },
+        [this](std::span<const Word> in) {
+          for (VertexId v = 0; v < n_; ++v) {
+            const bool want = ((in[v / 64] >> (v % 64)) & Word{1}) != 0;
+            if (!want && active_.active(v)) active_.deactivate(v);
+          }
+        });
+    // Previous phase-boundary freezes (still eligible for heavy removal).
+    reg.register_state(
+        "boundary",
+        [this](std::vector<Word>& out) {
+          out.push_back(boundary_frozen_.size());
+          for (const VertexId v : boundary_frozen_) out.push_back(v);
+        },
+        [this](std::span<const Word> in) {
+          boundary_frozen_.assign(in.begin() + 1,
+                                  in.begin() + 1 +
+                                      static_cast<std::ptrdiff_t>(in[0]));
+        });
   }
 
   [[nodiscard]] double weight_at(std::uint64_t iteration) const {
@@ -996,6 +1097,9 @@ class MatchingMpcRun {
   std::size_t machines_ = 0;
   std::size_t words_ = 0;
   std::optional<mpc::Engine> engine_;
+  /// Round-level checkpoint providers for the engine's fault recovery;
+  /// engaged only when a FaultPlan is attached (see constructor).
+  std::optional<fault::CheckpointRegistry> registry_;
 
   std::vector<std::uint32_t> home_;
   double w0_ = 0.0;

@@ -38,6 +38,10 @@
 #include "graph/graph.h"
 #include "mpc/engine.h"
 
+namespace mpcg::fault {
+class FaultPlan;
+}  // namespace mpcg::fault
+
 namespace mpcg {
 
 struct MatchingMpcOptions {
@@ -68,6 +72,13 @@ struct MatchingMpcOptions {
   /// Words of memory per machine; 0 = auto (8n).
   std::size_t words_per_machine = 0;
   bool strict = true;
+  /// Deterministic fault schedule consulted by the engine at round
+  /// boundaries (borrowed; must outlive the run). nullptr = fault-free.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// With a plan attached: recover crashes/drops by rolling back to the
+  /// round checkpoint and replaying (outputs stay bit-identical to the
+  /// fault-free run); false lets crashed machines go dark instead.
+  bool fault_recovery = true;
 };
 
 struct MatchingMpcResult {

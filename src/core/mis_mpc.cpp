@@ -5,6 +5,8 @@
 #include <optional>
 
 #include "baselines/local_mis.h"
+#include "fault/checkpoint.h"
+#include "fault/fault_plan.h"
 #include "graph/residual.h"
 #include "mpc/primitives.h"
 #include "util/permutation.h"
@@ -80,6 +82,12 @@ class MisMpcRun {
     for (std::size_t i = 0; i < machines_; ++i) {
       engine_->note_storage(i, shard_words[i] + fixed_words);
     }
+    if (options.fault_plan != nullptr && !options.fault_plan->empty()) {
+      registry_.emplace();
+      register_checkpoint_state();
+      engine_->set_fault_plan(options.fault_plan, &*registry_,
+                              options.fault_recovery);
+    }
   }
 
   MisMpcResult run() {
@@ -133,6 +141,61 @@ class MisMpcRun {
   }
 
  private:
+  /// Registers the driver's durable per-round state with the checkpoint
+  /// registry the engine captures/restores around injected faults (see
+  /// matching_mpc.cpp for the shared contract: capture and restore happen
+  /// at the same quiescent point inside one exchange, so derived state is
+  /// rebuilt on restore or stays valid because its inputs round-trip).
+  void register_checkpoint_state() {
+    auto& reg = *registry_;
+    // The shared random order; rank_of_ is derived, recomputed on restore.
+    // Empty until run() draws it — the first exchange (its own broadcast)
+    // captures it already assigned.
+    reg.register_state(
+        "permutation",
+        [this](std::vector<Word>& out) {
+          out.push_back(perm_.size());
+          for (const std::uint32_t r : perm_) out.push_back(r);
+        },
+        [this](std::span<const Word> in) {
+          perm_.assign(in.begin() + 1,
+                       in.begin() + 1 + static_cast<std::ptrdiff_t>(in[0]));
+          rank_of_ = perm_.empty() ? std::vector<std::uint32_t>{}
+                                   : invert_permutation(perm_);
+        });
+    // MIS members committed so far (append-only).
+    reg.register_state(
+        "mis-members",
+        [this](std::vector<Word>& out) {
+          out.push_back(mis_.size());
+          for (const VertexId v : mis_) out.push_back(v);
+        },
+        [this](std::span<const Word> in) {
+          mis_.assign(in.begin() + 1,
+                      in.begin() + 1 + static_cast<std::ptrdiff_t>(in[0]));
+        });
+    // Residual aliveness, bit-packed. Aliveness only shrinks, so restore
+    // reconciles by killing any vertex alive now but dead in the
+    // checkpoint (the reverse cannot happen at a same-round restore).
+    reg.register_state(
+        "aliveness",
+        [this](std::vector<Word>& out) {
+          const std::size_t base = out.size();
+          out.resize(base + (n_ + 63) / 64, 0);
+          for (VertexId v = 0; v < n_; ++v) {
+            if (residual_.alive(v)) out[base + v / 64] |= Word{1} << (v % 64);
+          }
+        },
+        [this](std::span<const Word> in) {
+          std::vector<VertexId> to_kill;
+          for (VertexId v = 0; v < n_; ++v) {
+            const bool want = ((in[v / 64] >> (v % 64)) & Word{1}) != 0;
+            if (!want && residual_.alive(v)) to_kill.push_back(v);
+          }
+          if (!to_kill.empty()) residual_.kill_batch(to_kill);
+        });
+  }
+
   /// Alive-alive edge count: every home contributes its local shard's
   /// count and the values are all-reduced (3 charged rounds — the engine
   /// sees one word per machine either way). The simulator reads the total
@@ -281,6 +344,9 @@ class MisMpcRun {
   std::size_t words_ = 0;
   std::size_t gather_budget_ = 0;
   std::optional<mpc::Engine> engine_;
+  /// Round-level checkpoint providers for the engine's fault recovery;
+  /// engaged only when a FaultPlan is attached (see constructor).
+  std::optional<fault::CheckpointRegistry> registry_;
 
   ResidualGraph residual_;
   CsrScratch window_csr_;

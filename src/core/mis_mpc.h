@@ -27,6 +27,10 @@
 #include "graph/graph.h"
 #include "mpc/engine.h"
 
+namespace mpcg::fault {
+class FaultPlan;
+}  // namespace mpcg::fault
+
 namespace mpcg {
 
 struct MisMpcOptions {
@@ -57,6 +61,14 @@ struct MisMpcOptions {
 
   /// Throw CapacityError on budget violations (else count them).
   bool strict = true;
+
+  /// Deterministic fault schedule consulted by the engine at round
+  /// boundaries (borrowed; must outlive the run). nullptr = fault-free.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// With a plan attached: recover crashes/drops by rolling back to the
+  /// round checkpoint and replaying (outputs stay bit-identical to the
+  /// fault-free run); false lets crashed machines go dark instead.
+  bool fault_recovery = true;
 };
 
 struct MisMpcResult {

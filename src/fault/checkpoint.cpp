@@ -1,0 +1,33 @@
+#include "fault/checkpoint.h"
+
+#include <utility>
+
+namespace mpcg::fault {
+
+void CheckpointRegistry::register_state(std::string name, SaveFn save,
+                                        RestoreFn restore) {
+  providers_.push_back(
+      {std::move(name), std::move(save), std::move(restore), 0, 0});
+}
+
+std::size_t CheckpointRegistry::capture() {
+  buffer_.clear();
+  for (Provider& p : providers_) {
+    p.offset = buffer_.size();
+    p.save(buffer_);
+    p.words = buffer_.size() - p.offset;
+  }
+  has_checkpoint_ = true;
+  ++captures_;
+  return buffer_.size();
+}
+
+void CheckpointRegistry::restore() {
+  if (!has_checkpoint_) return;
+  for (const Provider& p : providers_) {
+    p.restore(std::span<const Word>(buffer_.data() + p.offset, p.words));
+  }
+  ++restores_;
+}
+
+}  // namespace mpcg::fault

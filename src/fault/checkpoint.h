@@ -1,0 +1,78 @@
+// Driver-side round-level checkpointing.
+//
+// The engine's Snapshot covers the *message plane*; the driver's logical
+// state (y values, freeze levels, the active frontier, ...) lives outside
+// the engine and must be captured alongside it for a crash rollback to be
+// sound.  Drivers register named save/restore callbacks here; the engine
+// calls capture() just before applying a fault event and restore() when a
+// crash forces a round replay.
+//
+// Checkpoints are materialized copy-on-fault: because the FaultPlan is
+// deterministic and known up front, the engine only asks for a capture at
+// rounds that actually carry a fault event, so fault-free rounds pay one
+// branch and zero copies (see DESIGN.md, "Fault model & recovery").
+#ifndef MPCG_FAULT_CHECKPOINT_H
+#define MPCG_FAULT_CHECKPOINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mpcg::fault {
+
+/// A registry of named state providers.  capture() serializes every
+/// provider into one flat word buffer; restore() hands each provider back
+/// exactly the words it wrote.
+class CheckpointRegistry {
+ public:
+  using Word = std::uint64_t;
+  /// Appends the provider's state to the buffer.
+  using SaveFn = std::function<void(std::vector<Word>&)>;
+  /// Reinstates the provider's state from the words it saved.
+  using RestoreFn = std::function<void(std::span<const Word>)>;
+
+  void register_state(std::string name, SaveFn save, RestoreFn restore);
+
+  /// Serializes all providers (in registration order) into the retained
+  /// checkpoint.  Returns the total number of words captured.
+  std::size_t capture();
+
+  /// Replays the last capture() into every provider.  No-op if capture()
+  /// has never run.
+  void restore();
+
+  [[nodiscard]] bool has_checkpoint() const noexcept {
+    return has_checkpoint_;
+  }
+  /// Words held by the last capture().
+  [[nodiscard]] std::size_t checkpoint_words() const noexcept {
+    return buffer_.size();
+  }
+  [[nodiscard]] std::size_t captures() const noexcept { return captures_; }
+  [[nodiscard]] std::size_t restores() const noexcept { return restores_; }
+  [[nodiscard]] std::size_t num_providers() const noexcept {
+    return providers_.size();
+  }
+
+ private:
+  struct Provider {
+    std::string name;
+    SaveFn save;
+    RestoreFn restore;
+    std::size_t offset = 0;  ///< Into buffer_, valid after capture().
+    std::size_t words = 0;
+  };
+
+  std::vector<Provider> providers_;
+  std::vector<Word> buffer_;
+  bool has_checkpoint_ = false;
+  std::size_t captures_ = 0;
+  std::size_t restores_ = 0;
+};
+
+}  // namespace mpcg::fault
+
+#endif  // MPCG_FAULT_CHECKPOINT_H

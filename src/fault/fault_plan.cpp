@@ -1,0 +1,143 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "util/rng.h"
+
+namespace mpcg::fault {
+
+FaultPlan& FaultPlan::add(const FaultEvent& event) {
+  if (!events_.empty() && events_.back().round > event.round) sorted_ = false;
+  events_.push_back(event);
+  return *this;
+}
+
+void FaultPlan::ensure_sorted() const {
+  if (sorted_) return;
+  // Stable: events in the same round keep insertion order, which is part of
+  // the determinism contract (corrupt/restore order matters for metrics).
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.round < b.round;
+                   });
+  sorted_ = true;
+}
+
+std::span<const FaultEvent> FaultPlan::events_at(std::size_t round) const {
+  ensure_sorted();
+  const auto lo = std::lower_bound(
+      events_.begin(), events_.end(), round,
+      [](const FaultEvent& e, std::size_t r) { return e.round < r; });
+  const auto hi = std::upper_bound(
+      events_.begin(), events_.end(), round,
+      [](std::size_t r, const FaultEvent& e) { return r < e.round; });
+  return {events_.data() + (lo - events_.begin()),
+          static_cast<std::size_t>(hi - lo)};
+}
+
+std::span<const FaultEvent> FaultPlan::events() const {
+  ensure_sorted();
+  return {events_.data(), events_.size()};
+}
+
+std::size_t FaultPlan::crash_count() const noexcept {
+  std::size_t c = 0;
+  for (const FaultEvent& e : events_) c += (e.kind == FaultKind::kCrash);
+  return c;
+}
+
+std::size_t FaultPlan::last_round() const noexcept {
+  std::size_t r = 0;
+  for (const FaultEvent& e : events_) r = std::max(r, e.round);
+  return r;
+}
+
+namespace {
+
+std::size_t parse_size(std::string_view text, std::string_view what) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw std::invalid_argument("fault plan: bad " + std::string(what) +
+                                " '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+FaultKind parse_kind(std::string_view text) {
+  if (text == "crash") return FaultKind::kCrash;
+  if (text == "drop") return FaultKind::kDropFlush;
+  if (text == "dup" || text == "duplicate") return FaultKind::kDuplicateFlush;
+  if (text == "delay") return FaultKind::kDelayFlush;
+  throw std::invalid_argument(
+      "fault plan: unknown kind '" + std::string(text) +
+      "' (want crash|drop|dup|delay)");
+}
+
+const char* kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kDropFlush: return "drop";
+    case FaultKind::kDuplicateFlush: return "dup";
+    case FaultKind::kDelayFlush: return "delay";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view token = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) continue;
+    const std::size_t colon = token.find(':');
+    const std::size_t at = token.find('@');
+    if (colon == std::string_view::npos || at == std::string_view::npos ||
+        at < colon) {
+      throw std::invalid_argument("fault plan: bad token '" +
+                                  std::string(token) +
+                                  "' (want kind:machine@round)");
+    }
+    plan.add({parse_size(token.substr(at + 1), "round"),
+              parse_size(token.substr(colon + 1, at - colon - 1), "machine"),
+              parse_kind(token.substr(0, colon))});
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random_crashes(std::uint64_t seed,
+                                    std::size_t num_machines,
+                                    std::size_t max_round,
+                                    std::size_t count) {
+  FaultPlan plan;
+  if (num_machines == 0 || max_round == 0) return plan;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t machine = mix64(seed, i, 0x6d61ULL) % num_machines;
+    const std::size_t round = mix64(seed, i, 0x726fULL) % max_round;
+    plan.add_crash(machine, round);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  ensure_sorted();
+  std::string out;
+  for (const FaultEvent& e : events_) {
+    if (!out.empty()) out += ',';
+    out += kind_name(e.kind);
+    out += ':';
+    out += std::to_string(e.machine);
+    out += '@';
+    out += std::to_string(e.round);
+  }
+  return out;
+}
+
+}  // namespace mpcg::fault

@@ -1,0 +1,127 @@
+// Deterministic fault schedules for the simulated MPC cluster.
+//
+// A FaultPlan is a seeded, fully-deterministic list of fault events —
+// "crash machine i at round r", "drop machine i's flush at round r", and
+// so on — that the engines consult at every round boundary.  Because the
+// schedule is data (not wall-clock or signal driven), a faulty run is as
+// reproducible as a fault-free one, which is what lets the coupling tests
+// assert bit-identical recovery.
+//
+// The plan is engine-agnostic: "machine" means an mpc::Engine machine or a
+// cclique::Engine player depending on who consumes it.  This header has no
+// engine dependencies so either engine (and the drivers' option structs)
+// can include it without cycles.
+#ifndef MPCG_FAULT_FAULT_PLAN_H
+#define MPCG_FAULT_FAULT_PLAN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpcg::fault {
+
+/// What goes wrong.  All four model failures of the *message plane*; the
+/// round structure of the MPC model is exactly what makes each cheap to
+/// recover from (re-run one round from the last checkpoint).
+enum class FaultKind : std::uint8_t {
+  /// The machine dies mid-round: its staged outbox is lost and it never
+  /// receives this round's deliveries.  With recovery the round is rolled
+  /// back and replayed; without, the machine simply goes dark for the round.
+  kCrash,
+  /// The machine's outbound flush is lost in the shuffle; its local state
+  /// survives.  Recovery retransmits from the sender-side retained copy.
+  kDropFlush,
+  /// The machine's outbound flush arrives twice.  Recovery deduplicates by
+  /// (round, sequence) and delivers exactly once; without recovery the
+  /// duplicate hits receivers twice (and trips congestion accounting).
+  kDuplicateFlush,
+  /// The machine's outbound flush misses the round barrier and arrives one
+  /// round late.  Recovery stalls the barrier (one replayed round); without
+  /// recovery the words are injected at the head of the next round's flush.
+  kDelayFlush,
+};
+
+/// One scheduled fault.
+struct FaultEvent {
+  std::size_t round = 0;    ///< Engine round index (Metrics::rounds at entry).
+  std::size_t machine = 0;  ///< Machine / player id.
+  FaultKind kind = FaultKind::kCrash;
+};
+
+/// Thrown when a plan schedules more recoverable crashes than its
+/// `crash_budget` allows — the cluster is declared unrecoverable and the
+/// caller (e.g. run_with_reprovision) must reprovision or give up.
+class FaultBudgetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A deterministic schedule of fault events, sorted by round.
+class FaultPlan {
+ public:
+  static constexpr std::size_t kUnlimited =
+      std::numeric_limits<std::size_t>::max();
+
+  /// Maximum number of crashes the recovery machinery will absorb before
+  /// throwing FaultBudgetError.  Defaults to unlimited.
+  std::size_t crash_budget = kUnlimited;
+
+  FaultPlan& add_crash(std::size_t machine, std::size_t round) {
+    return add({round, machine, FaultKind::kCrash});
+  }
+  FaultPlan& add_drop(std::size_t machine, std::size_t round) {
+    return add({round, machine, FaultKind::kDropFlush});
+  }
+  FaultPlan& add_duplicate(std::size_t machine, std::size_t round) {
+    return add({round, machine, FaultKind::kDuplicateFlush});
+  }
+  FaultPlan& add_delay(std::size_t machine, std::size_t round) {
+    return add({round, machine, FaultKind::kDelayFlush});
+  }
+  FaultPlan& add(const FaultEvent& event);
+
+  /// All events scheduled for `round`, in insertion order.  The returned
+  /// span is valid until the next add().
+  [[nodiscard]] std::span<const FaultEvent> events_at(std::size_t round) const;
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] std::span<const FaultEvent> events() const;
+
+  /// Number of kCrash events in the plan.
+  [[nodiscard]] std::size_t crash_count() const noexcept;
+
+  /// Largest round index any event is scheduled at (0 if empty).
+  [[nodiscard]] std::size_t last_round() const noexcept;
+
+  /// Parses "crash:<machine>@<round>,drop:<machine>@<round>,..." — the
+  /// mpcg_run --faults syntax.  Kinds: crash, drop, dup (or duplicate),
+  /// delay.  Throws std::invalid_argument on malformed input.
+  [[nodiscard]] static FaultPlan parse(std::string_view text);
+
+  /// A seeded schedule of `count` crashes with machine ids below
+  /// `num_machines` and rounds below `max_round`, derived statelessly from
+  /// mix64(seed, ·) like every other random decision in the library.
+  [[nodiscard]] static FaultPlan random_crashes(std::uint64_t seed,
+                                                std::size_t num_machines,
+                                                std::size_t max_round,
+                                                std::size_t count);
+
+  /// Round-trips through parse(): "crash:3@7,drop:2@5".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<FaultEvent> events_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace mpcg::fault
+
+#endif  // MPCG_FAULT_FAULT_PLAN_H

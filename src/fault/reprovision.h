@@ -1,0 +1,92 @@
+// Graceful reprovisioning: retry an under-provisioned run with more
+// resources instead of failing.
+//
+// The cluster-sizing analogue of exponential backoff: when a run dies on a
+// capacity breach (strict CapacityError / CongestionError), exhausts its
+// crash budget (FaultBudgetError), or completes but is rejected by the
+// caller's acceptance predicate (e.g. non-strict violations > 0), retry
+// with the resource scale doubled, up to a bounded number of attempts.
+//
+// The wrapper is deliberately generic over *what* gets scaled: the caller's
+// run callback receives the current scale multiplier (1, 2, 4, ...) and
+// applies it to words_per_machine, machine count, or both.
+#ifndef MPCG_FAULT_REPROVISION_H
+#define MPCG_FAULT_REPROVISION_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "cclique/engine.h"
+#include "fault/fault_plan.h"
+#include "mpc/engine.h"
+
+namespace mpcg::fault {
+
+struct ReprovisionPolicy {
+  /// Total attempts, including the first; the schedule is bounded.
+  std::size_t max_attempts = 5;
+  /// Resource multiplier applied between attempts (scale *= growth).
+  std::size_t growth = 2;
+};
+
+template <typename Result>
+struct ReprovisionOutcome {
+  /// Engaged iff some attempt completed and was accepted.
+  std::optional<Result> result;
+  std::size_t attempts = 0;
+  /// Scale multiplier of the accepted attempt (or the next scale that
+  /// would have been tried, when no attempt succeeded).
+  std::size_t scale = 1;
+  /// One human-readable reason per failed attempt.
+  std::vector<std::string> failures;
+
+  [[nodiscard]] bool ok() const noexcept { return result.has_value(); }
+};
+
+/// Runs `run(scale)` with scale = 1, growth, growth^2, ... until `accept`
+/// approves the result or the attempt budget runs out.  Capacity breaches,
+/// congestion breaches, and blown crash budgets count as failed attempts;
+/// any other exception propagates (it is a bug, not under-provisioning).
+template <typename RunFn, typename AcceptFn>
+[[nodiscard]] auto run_with_reprovision(const ReprovisionPolicy& policy,
+                                        RunFn&& run, AcceptFn&& accept)
+    -> ReprovisionOutcome<
+        std::decay_t<decltype(run(std::declval<std::size_t>()))>> {
+  using Result = std::decay_t<decltype(run(std::declval<std::size_t>()))>;
+  ReprovisionOutcome<Result> outcome;
+  std::size_t scale = 1;
+  for (std::size_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    ++outcome.attempts;
+    try {
+      Result r = run(scale);
+      if (accept(r)) {
+        outcome.result = std::move(r);
+        outcome.scale = scale;
+        return outcome;
+      }
+      outcome.failures.push_back("scale " + std::to_string(scale) +
+                                 ": completed but rejected by acceptance "
+                                 "predicate");
+    } catch (const mpc::CapacityError& e) {
+      outcome.failures.push_back("scale " + std::to_string(scale) + ": " +
+                                 e.what());
+    } catch (const cclique::CongestionError& e) {
+      outcome.failures.push_back("scale " + std::to_string(scale) + ": " +
+                                 e.what());
+    } catch (const FaultBudgetError& e) {
+      outcome.failures.push_back("scale " + std::to_string(scale) + ": " +
+                                 e.what());
+    }
+    scale *= policy.growth;
+  }
+  outcome.scale = scale;
+  return outcome;
+}
+
+}  // namespace mpcg::fault
+
+#endif  // MPCG_FAULT_REPROVISION_H

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "fault/checkpoint.h"
+#include "fault/fault_plan.h"
+
 namespace mpcg::mpc {
 
 namespace {
@@ -192,7 +195,9 @@ void Engine::check_budget(std::size_t machine, std::size_t words,
     ++metrics_.violations;
     if (config_.strict) {
       throw CapacityError("machine " + std::to_string(machine) + " " + dir +
-                          " " + std::to_string(words) + " words, budget " +
+                          " " + std::to_string(words) + " words in round " +
+                          std::to_string(metrics_.rounds) + ": requested " +
+                          std::to_string(words) + ", available " +
                           std::to_string(config_.words_per_machine));
     }
   }
@@ -210,9 +215,29 @@ void Engine::drop_last_round() {
 }
 
 void Engine::exchange() {
+  if (!delayed_.empty()) inject_delayed();
+  if (fault_plan_ != nullptr) {
+    // Round index = rounds completed so far; events scheduled for it fire
+    // against this exchange's staged traffic.
+    const auto events = fault_plan_->events_at(metrics_.rounds);
+    if (!events.empty()) {
+      exchange_faulty(events);
+      return;
+    }
+  }
+  exchange_impl();
+}
+
+void Engine::exchange_impl() {
   const std::size_t m = config_.num_machines;
   drop_last_round();
-  if (shared_sends_.empty()) {
+  // Orphaned payloads — staged blobs whose every send descriptor was
+  // destroyed by unrecovered fault corruption — still publish through the
+  // shared path: the blob store is durable (receivers address blobs by
+  // PayloadId), only the inbox deliveries are lost. Unreachable without a
+  // fault plan: drivers never stage without pushing.
+  if (shared_sends_.empty() &&
+      (fault_plan_ == nullptr || staged_payloads_.empty())) {
     // Payloads staged but never pushed die here, per the lifetime contract.
     staged_payloads_.clear();
     if (dense_active_) {
@@ -256,6 +281,7 @@ void Engine::exchange_plain_dense(std::size_t m) {
       in.insert(in.end(), box.begin(), box.end());
       box.clear();
     }
+    recv_count_[to] = received;  // received_words() reads this (fault path)
     metrics_.max_received_words = std::max(metrics_.max_received_words,
                                            received);
     check_budget(to, received, "received");
@@ -682,6 +708,276 @@ void Engine::note_storage(std::size_t machine, std::size_t words) {
 void Engine::clear_inboxes() {
   drop_last_round();
   for (auto& in : inbox_) in.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection & round-level checkpoint/recovery (see set_fault_plan).
+
+std::size_t Engine::Snapshot::words() const noexcept {
+  std::size_t w = 0;
+  for (const auto& b : boxes) w += b.size();
+  for (const auto& v : out_words) w += v.size();
+  for (const auto& v : out_tos) w += (v.size() + 1) / 2;
+  for (const auto& v : out_counts) w += (v.size() + 1) / 2;
+  w += (out_open_to.size() + 1) / 2;
+  for (const auto& p : staged_payloads) w += p.size();
+  w += shared_sends.size() * (sizeof(SharedSend) / sizeof(Word));
+  w += sizeof(Metrics) / sizeof(Word);
+  return w;
+}
+
+Engine::Snapshot Engine::snapshot() const {
+  Snapshot s;
+  s.boxes = boxes_;
+  s.out_tos = out_tos_;
+  s.out_counts = out_counts_;
+  s.out_words = out_words_;
+  s.out_open_to = out_open_to_;
+  s.staged_payloads = staged_payloads_;
+  s.shared_sends = shared_sends_;
+  s.metrics = metrics_;
+  s.dense_active = dense_active_;
+  s.adapt_streak = adapt_streak_;
+  return s;
+}
+
+void Engine::restore(const Snapshot& snap) {
+  boxes_ = snap.boxes;
+  out_tos_ = snap.out_tos;
+  out_counts_ = snap.out_counts;
+  out_words_ = snap.out_words;
+  out_open_to_ = snap.out_open_to;
+  staged_payloads_ = snap.staged_payloads;
+  shared_sends_ = snap.shared_sends;
+  metrics_ = snap.metrics;
+  dense_active_ = snap.dense_active;
+  adapt_streak_ = snap.adapt_streak;
+}
+
+void Engine::set_fault_plan(const fault::FaultPlan* plan,
+                            fault::CheckpointRegistry* registry,
+                            bool recover) {
+  fault_plan_ = (plan != nullptr && !plan->empty()) ? plan : nullptr;
+  registry_ = registry;
+  fault_recover_ = recover;
+}
+
+std::size_t Engine::staged_out_words(std::size_t machine) const {
+  const std::size_t m = config_.num_machines;
+  std::size_t w = 0;
+  if (dense_active_) {
+    for (std::size_t to = 0; to < m; ++to) {
+      w += boxes_[machine * m + to].size();
+    }
+  } else if (!out_words_.empty()) {
+    w += out_words_[machine].size();
+  }
+  for (const SharedSend& s : shared_sends_) {
+    if (s.from == machine) w += staged_payloads_[s.payload].size();
+  }
+  return w;
+}
+
+std::size_t Engine::received_words(std::size_t machine) const {
+  return shared_round_ ? recv_total_[machine] : recv_count_[machine];
+}
+
+void Engine::corrupt_machine_staging(std::size_t machine) {
+  const std::size_t m = config_.num_machines;
+  if (dense_active_) {
+    for (std::size_t to = 0; to < m; ++to) {
+      boxes_[machine * m + to].clear();
+    }
+  } else if (!out_tos_.empty()) {
+    out_tos_[machine].clear();
+    out_counts_[machine].clear();
+    out_words_[machine].clear();
+    out_open_to_[machine] = RunTag::kNoDest;
+  }
+  std::erase_if(shared_sends_, [machine](const SharedSend& s) {
+    return s.from == machine;
+  });
+}
+
+void Engine::duplicate_machine_staging(std::size_t machine) {
+  const std::size_t m = config_.num_machines;
+  if (dense_active_) {
+    for (std::size_t to = 0; to < m; ++to) {
+      auto& box = boxes_[machine * m + to];
+      const std::vector<Word> copy = box;
+      box.insert(box.end(), copy.begin(), copy.end());
+    }
+    return;
+  }
+  if (out_tos_.empty()) return;
+  const std::vector<std::uint32_t> tos = out_tos_[machine];
+  const std::vector<std::uint32_t> counts = out_counts_[machine];
+  const std::vector<Word> words = out_words_[machine];
+  out_tos_[machine].insert(out_tos_[machine].end(), tos.begin(), tos.end());
+  out_counts_[machine].insert(out_counts_[machine].end(), counts.begin(),
+                              counts.end());
+  out_words_[machine].insert(out_words_[machine].end(), words.begin(),
+                             words.end());
+  // open_to_ still names the destination of the (duplicated) last run.
+}
+
+void Engine::delay_machine_staging(std::size_t machine) {
+  DelayedFlush d;
+  d.from = machine;
+  if (dense_active_) {
+    const std::size_t m = config_.num_machines;
+    for (std::size_t to = 0; to < m; ++to) {
+      auto& box = boxes_[machine * m + to];
+      std::size_t left = box.size();
+      if (left == 0) continue;
+      d.words.insert(d.words.end(), box.begin(), box.end());
+      while (left > 0) {
+        if (left == 1) {
+          d.tos.push_back(static_cast<std::uint32_t>(to));
+          break;
+        }
+        const std::size_t take =
+            left < RunTag::kMaxCount ? left : RunTag::kMaxCount;
+        d.tos.push_back(static_cast<std::uint32_t>(to) | RunTag::kExtFlag);
+        d.counts.push_back(static_cast<std::uint32_t>(take));
+        left -= take;
+      }
+      box.clear();
+    }
+  } else if (!out_tos_.empty()) {
+    d.tos = std::move(out_tos_[machine]);
+    d.counts = std::move(out_counts_[machine]);
+    d.words = std::move(out_words_[machine]);
+    out_tos_[machine].clear();
+    out_counts_[machine].clear();
+    out_words_[machine].clear();
+    out_open_to_[machine] = RunTag::kNoDest;
+  }
+  if (!d.words.empty()) delayed_.push_back(std::move(d));
+}
+
+void Engine::inject_delayed() {
+  // Late flushes are appended after the new round's own staging, so any
+  // splice offsets already recorded for this round's shared sends stay
+  // valid (the stream prefix is untouched).
+  for (DelayedFlush& d : delayed_) {
+    if (dense_active_) {
+      const std::size_t m = config_.num_machines;
+      const Word* words = d.words.data();
+      std::size_t pos = 0;
+      for_each_run(d.tos, d.counts.data(),
+                   [&](std::size_t to, std::size_t count) {
+                     auto& box = boxes_[d.from * m + to];
+                     box.insert(box.end(), words + pos, words + pos + count);
+                     pos += count;
+                   });
+    } else {
+      out_tos_[d.from].insert(out_tos_[d.from].end(), d.tos.begin(),
+                              d.tos.end());
+      out_counts_[d.from].insert(out_counts_[d.from].end(), d.counts.begin(),
+                                 d.counts.end());
+      out_words_[d.from].insert(out_words_[d.from].end(), d.words.begin(),
+                                d.words.end());
+      out_open_to_[d.from] = d.tos.back() & RunTag::kDestMask;
+    }
+  }
+  delayed_.clear();
+}
+
+void Engine::clear_delivered_for(std::size_t machine) {
+  inbox_[machine].clear();
+  if (shared_round_) {
+    in_segs_[machine].clear();
+    recv_total_[machine] = 0;
+  }
+  inbox_cache_valid_[machine] = 0;
+}
+
+void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
+  const std::size_t round = metrics_.rounds;
+  // Copy-on-fault checkpoint: materialized only because this round carries
+  // events. The capture happens before any corruption — it is the state a
+  // rollback returns to.
+  std::size_t ckpt_words = 0;
+  Snapshot ckpt;
+  if (fault_recover_) {
+    if (registry_ != nullptr) ckpt_words += registry_->capture();
+    ckpt = snapshot();
+    ckpt_words += ckpt.words();
+  }
+  std::size_t replays = 0;
+  std::size_t resent = 0;
+  std::size_t applied = 0;
+  crashed_scratch_.clear();
+  dark_scratch_.clear();
+  for (const fault::FaultEvent& ev : events) {
+    // Plans written for a larger cluster (reprovisioning shrinks nothing,
+    // but machine counts are derived) may name machines we don't have.
+    if (ev.machine >= config_.num_machines) continue;
+    ++applied;
+    switch (ev.kind) {
+      case fault::FaultKind::kCrash:
+        if (fault_recover_) {
+          if (crashes_recovered_ >= fault_plan_->crash_budget) {
+            throw fault::FaultBudgetError(
+                "machine " + std::to_string(ev.machine) +
+                " crashed in round " + std::to_string(round) +
+                ": crash budget of " +
+                std::to_string(fault_plan_->crash_budget) + " exhausted");
+          }
+          ++crashes_recovered_;
+          // The crash destroys the machine's flush and its local state;
+          // recovery retransmits from sender-side retention and reinstates
+          // the checkpoint. The corrupt-then-restore order makes the
+          // snapshot genuinely load-bearing: a broken restore() diverges
+          // the coupling tests.
+          resent += staged_out_words(ev.machine);
+          corrupt_machine_staging(ev.machine);
+          restore(ckpt);
+          if (registry_ != nullptr) registry_->restore();
+          ++replays;
+          crashed_scratch_.push_back(ev.machine);
+        } else {
+          corrupt_machine_staging(ev.machine);
+          dark_scratch_.push_back(ev.machine);
+        }
+        break;
+      case fault::FaultKind::kDropFlush:
+        if (fault_recover_) {
+          resent += staged_out_words(ev.machine);
+          corrupt_machine_staging(ev.machine);
+          restore(ckpt);
+          ++replays;
+        } else {
+          corrupt_machine_staging(ev.machine);
+        }
+        break;
+      case fault::FaultKind::kDuplicateFlush:
+        // With recovery, (round, sequence) deduplication discards the
+        // second copy before delivery — only the event count records it.
+        if (!fault_recover_) duplicate_machine_staging(ev.machine);
+        break;
+      case fault::FaultKind::kDelayFlush:
+        if (fault_recover_) {
+          ++replays;  // the barrier stalls one round for the late flush
+        } else {
+          delay_machine_staging(ev.machine);
+        }
+        break;
+    }
+  }
+  exchange_impl();
+  // A recovered crash also re-fetches the deliveries the machine lost.
+  for (const std::size_t machine : crashed_scratch_) {
+    resent += received_words(machine);
+  }
+  for (const std::size_t machine : dark_scratch_) {
+    clear_delivered_for(machine);
+  }
+  metrics_.rounds_replayed += replays;
+  metrics_.words_resent += resent;
+  metrics_.checkpoint_bytes += ckpt_words * sizeof(Word);
+  metrics_.faults_injected += applied;
 }
 
 }  // namespace mpcg::mpc

@@ -37,6 +37,12 @@
 #include <string>
 #include <vector>
 
+namespace mpcg::fault {
+class FaultPlan;
+class CheckpointRegistry;
+struct FaultEvent;
+}  // namespace mpcg::fault
+
 namespace mpcg::mpc {
 
 using Word = std::uint64_t;
@@ -100,6 +106,22 @@ struct Metrics {
   std::size_t violations = 0;
   /// Total words moved across the cluster over all rounds.
   std::size_t total_words = 0;
+
+  // Fault-recovery accounting (all zero unless a FaultPlan is attached).
+  // These are *overhead* counters: the logical fields above stay
+  // bit-identical to the fault-free run when recovery is on.
+  /// Rounds replayed by crash/drop recovery or stalled for a late flush
+  /// (not counted in `rounds`, which stays the logical round count).
+  std::size_t rounds_replayed = 0;
+  /// Words retransmitted during recovery: lost outbound flushes replayed
+  /// from sender-side retention, plus the deliveries a crashed machine
+  /// re-fetched after its rollback.
+  std::size_t words_resent = 0;
+  /// Bytes serialized into round-level checkpoints (engine snapshot +
+  /// registered driver state), materialized copy-on-fault.
+  std::size_t checkpoint_bytes = 0;
+  /// Fault events applied from the attached plan.
+  std::size_t faults_injected = 0;
 };
 
 /// Run-length tag encoding of the flat staging. Each sender's staged words
@@ -329,6 +351,18 @@ class InboxView {
 };
 
 class Engine {
+  /// One queued shared-payload delivery. `seq` snapshots how many unicast
+  /// words the sender had queued (to this receiver on the dense path; in
+  /// total on the flat path) when the shared push happened — the splice
+  /// position that keeps per-sender chronological order in the inbox.
+  /// (Declared ahead of the public section so Snapshot can hold them.)
+  struct SharedSend {
+    std::uint32_t from;
+    std::uint32_t to;
+    PayloadId payload;
+    std::uint64_t seq;
+  };
+
  public:
   explicit Engine(Config config);
 
@@ -436,23 +470,97 @@ class Engine {
     return dense_active_;
   }
 
- private:
-  /// One queued shared-payload delivery. `seq` snapshots how many unicast
-  /// words the sender had queued (to this receiver on the dense path; in
-  /// total on the flat path) when the shared push happened — the splice
-  /// position that keeps per-sender chronological order in the inbox.
-  struct SharedSend {
-    std::uint32_t from;
-    std::uint32_t to;
-    PayloadId payload;
-    std::uint64_t seq;
+  /// Opaque copy of the *staged* message plane — unicast boxes / run-tag
+  /// streams, the payload store, splice descriptors — plus Metrics and the
+  /// adaptive-path state, taken at a round boundary.  Restoring puts the
+  /// engine back exactly as it was about to exchange.  Delivered inboxes
+  /// are NOT captured: their segment views alias engine buffers and are
+  /// invalidated by a rollback anyway (drivers re-read them from the
+  /// replayed round).
+  class Snapshot {
+   public:
+    Snapshot() = default;
+    /// Words of checkpoint payload held — the engine's contribution to
+    /// Metrics::checkpoint_bytes.
+    [[nodiscard]] std::size_t words() const noexcept;
+
+   private:
+    friend class Engine;
+    std::vector<std::vector<Word>> boxes;
+    std::vector<std::vector<std::uint32_t>> out_tos;
+    std::vector<std::vector<std::uint32_t>> out_counts;
+    std::vector<std::vector<Word>> out_words;
+    std::vector<std::uint32_t> out_open_to;
+    std::vector<std::vector<Word>> staged_payloads;
+    std::vector<SharedSend> shared_sends;
+    Metrics metrics{};
+    bool dense_active = false;
+    std::uint8_t adapt_streak = 1;
   };
 
+  /// Captures the staged message plane (see Snapshot).  The fault
+  /// machinery takes one just before applying a scheduled event
+  /// (copy-on-fault — fault-free rounds never pay for it); tests may also
+  /// call it directly.
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Reinstates a snapshot taken on this engine (same machine count).
+  /// Outstanding views and Outbox handles are invalidated.
+  void restore(const Snapshot& snap);
+
+  /// Attaches a deterministic fault schedule, consulted at every round
+  /// boundary (round index = Metrics::rounds at entry).  `registry`, when
+  /// given, is the driver's checkpoint registry: it is captured alongside
+  /// the engine snapshot at faulty rounds and restored on crash rollback.
+  /// With `recover` false nothing rolls back — crashed machines simply go
+  /// dark for the round (lost flush, cleared inbox) and duplicated or
+  /// delayed flushes hit the wire as such.  Passing nullptr (or an empty
+  /// plan) detaches.  The plan must outlive the engine's use of it.
+  void set_fault_plan(const fault::FaultPlan* plan,
+                      fault::CheckpointRegistry* registry = nullptr,
+                      bool recover = true);
+
+  /// Crashes absorbed by recovery so far (checked against the plan's
+  /// crash_budget).
+  [[nodiscard]] std::size_t crashes_recovered() const noexcept {
+    return crashes_recovered_;
+  }
+
+ private:
   void check_budget(std::size_t machine, std::size_t words, const char* dir);
   void check_machine(std::size_t machine) const;
   [[noreturn]] void throw_bad_machine(std::size_t machine) const;
 
   void drop_last_round();
+  /// The actual round execution (the pre-fault exchange() body); exchange()
+  /// wraps it with the fault-plan consultation.
+  void exchange_impl();
+  /// exchange() when a fault plan is attached and schedules events for the
+  /// current round: checkpoint (copy-on-fault), apply each event —
+  /// corrupting staged state and, with recovery, rolling back and replaying
+  /// — then run the round and settle the recovery metrics.
+  void exchange_faulty(std::span<const fault::FaultEvent> events);
+  /// Words machine `m` has staged for the next exchange (unicast + its
+  /// share of shared payload deliveries) — what a lost flush costs.
+  [[nodiscard]] std::size_t staged_out_words(std::size_t machine) const;
+  /// Words machine `m` received in the round just executed.
+  [[nodiscard]] std::size_t received_words(std::size_t machine) const;
+  /// Destroys machine `m`'s staged outbound traffic (its unicast boxes or
+  /// run streams and its queued shared-payload sends). The payload *store*
+  /// survives: stage_payload models a durable blob store, the per-machine
+  /// flush is what a fault destroys.
+  void corrupt_machine_staging(std::size_t machine);
+  /// Doubles machine `m`'s staged unicast traffic (non-recovered duplicate
+  /// flush: receivers see every word twice and congestion accounting trips).
+  void duplicate_machine_staging(std::size_t machine);
+  /// Holds machine `m`'s staged unicast traffic back one round
+  /// (non-recovered delayed flush); inject_delayed() re-appends it to the
+  /// next round's staging.
+  void delay_machine_staging(std::size_t machine);
+  void inject_delayed();
+  /// Blanks what a dark (non-recovered crashed) machine received this
+  /// round. Send-side metrics keep the words — they were sent, they just
+  /// hit a dead host.
+  void clear_delivered_for(std::size_t machine);
   void exchange_plain_dense(std::size_t m);
   void exchange_plain_flat(std::size_t m);
   void exchange_shared(std::size_t m);
@@ -549,6 +657,26 @@ class Engine {
   /// Flat-path scratch: one sender's shared sends in chronological order,
   /// with seq rewritten to the within-pair splice offset.
   std::vector<SharedSend> sender_sends_;
+
+  // Fault machinery (see set_fault_plan). All pointers are borrowed.
+  const fault::FaultPlan* fault_plan_ = nullptr;
+  fault::CheckpointRegistry* registry_ = nullptr;
+  bool fault_recover_ = true;
+  std::size_t crashes_recovered_ = 0;
+  /// A flush held back by a non-recovered kDelayFlush, stored as run
+  /// descriptors (path-agnostic: it may be re-injected under either
+  /// staging representation).
+  struct DelayedFlush {
+    std::size_t from = 0;
+    std::vector<std::uint32_t> tos;
+    std::vector<std::uint32_t> counts;
+    std::vector<Word> words;
+  };
+  std::vector<DelayedFlush> delayed_;
+  /// Per-faulty-round scratch: machines whose lost deliveries recovery
+  /// re-fetches / machines that went dark without recovery.
+  std::vector<std::size_t> crashed_scratch_;
+  std::vector<std::size_t> dark_scratch_;
 };
 
 }  // namespace mpcg::mpc

@@ -17,7 +17,11 @@ std::span<const Word> broadcast_view(Engine& engine, std::size_t root,
   if (payload.size() > engine.capacity() && engine.strict()) {
     // Non-strict mode proceeds; the per-round exchange checks tally the
     // violations so under-provisioning is observable, not fatal.
-    throw CapacityError("broadcast payload exceeds machine memory");
+    throw CapacityError("machine " + std::to_string(root) +
+                        " broadcast payload exceeds machine memory in round " +
+                        std::to_string(engine.metrics().rounds) +
+                        ": requested " + std::to_string(payload.size()) +
+                        ", available " + std::to_string(engine.capacity()));
   }
   if (m == 1) return payload;
 
@@ -74,10 +78,15 @@ std::vector<Word> gather_to(Engine& engine, std::size_t root,
   std::vector<Word> gathered;
   gathered.reserve(in.size() + (root < parts.size() ? parts[root].size() : 0));
   std::size_t seg = 0;
+  const std::size_t segs_arrived = in.num_segments();
   for (std::size_t i = 0; i < m && i < parts.size(); ++i) {
     if (i == root) {
       gathered.insert(gathered.end(), parts[i].begin(), parts[i].end());
     } else if (!parts[i].empty()) {
+      // Fewer segments than expected senders happens only under
+      // unrecovered fault injection (a dark machine's flush is gone);
+      // take what arrived rather than walking off the inbox.
+      if (seg >= segs_arrived) break;
       const auto s = in.segment(seg++);
       gathered.insert(gathered.end(), s.begin(), s.end());
     }

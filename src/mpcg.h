@@ -33,6 +33,10 @@
 
 #include "cclique/engine.h"
 
+#include "fault/checkpoint.h"
+#include "fault/fault_plan.h"
+#include "fault/reprovision.h"
+
 #include "baselines/blossom.h"
 #include "baselines/brute_force.h"
 #include "baselines/greedy_matching.h"

@@ -3,13 +3,19 @@
 // In strict mode the engines must *refuse* to run past a capacity breach
 // (CapacityError / CongestionError); in non-strict mode they must complete
 // and report the violations — that is the contract the experiment harness
-// relies on to certify the paper's memory claims.
+// relies on to certify the paper's memory claims.  The error messages are
+// part of the contract too: they must name the machine, the round, and the
+// requested-vs-available words, so a breach in a long run is actionable.
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "cclique/engine.h"
 #include "core/matching_mpc.h"
 #include "core/mis_mpc.h"
 #include "gen/generators.h"
 #include "graph/validation.h"
+#include "mpc/engine.h"
 #include "test_util.h"
 
 namespace mpcg {
@@ -88,6 +94,86 @@ TEST(FailureInjection, AdequateBudgetReportsNoViolations) {
   ao.eps = 0.1;
   ao.seed = 3;
   EXPECT_EQ(matching_mpc(g, ao).metrics.violations, 0U);
+}
+
+TEST(FailureInjection, MpcCapacityErrorNamesMachineRoundAndWords) {
+  mpc::Engine eng(mpc::Config{2, 4, /*strict=*/true});
+  mpc::Outbox ob = eng.outbox(0);
+  for (mpc::Word w = 0; w < 8; ++w) ob.append(1, w);
+  try {
+    eng.exchange();
+    FAIL() << "expected CapacityError";
+  } catch (const mpc::CapacityError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("machine 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("in round 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("requested 8"), std::string::npos) << what;
+    EXPECT_NE(what.find("available 4"), std::string::npos) << what;
+  }
+}
+
+TEST(FailureInjection, CcliqueStrictThrowsOnPairReuse) {
+  cclique::Engine eng(4, /*strict=*/true);
+  eng.send(0, 1, 7);
+  eng.send(0, 1, 8);
+  try {
+    eng.exchange();
+    FAIL() << "expected CongestionError";
+  } catch (const cclique::CongestionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pair (0,1)"), std::string::npos) << what;
+    EXPECT_NE(what.find("in round 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("requested 2 or more words"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("available 1 word per ordered pair per round"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(FailureInjection, CcliqueStrictThrowsOnDoubleBroadcast) {
+  cclique::Engine eng(4, /*strict=*/true);
+  eng.broadcast(2, 1);
+  eng.broadcast(2, 2);
+  try {
+    eng.exchange();
+    FAIL() << "expected CongestionError";
+  } catch (const cclique::CongestionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("player 2 broadcast twice in round 0"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("requested 2 broadcasts, available 1"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(FailureInjection, CcliqueNonStrictCountsViolationsAndDelivers) {
+  cclique::Engine eng(4, /*strict=*/false);
+  eng.send(0, 1, 7);
+  eng.send(0, 1, 8);
+  eng.exchange();
+  EXPECT_GE(eng.metrics().violations, 1U);
+  // Both words still land — non-strict mode observes, it does not drop.
+  EXPECT_EQ(eng.inbox(1).size(), 2U);
+}
+
+TEST(FailureInjection, CcliqueRoundIndexAppearsInLaterRoundErrors) {
+  cclique::Engine eng(3, /*strict=*/true);
+  eng.send(0, 1, 1);
+  eng.exchange();
+  eng.send(0, 2, 2);
+  eng.exchange();
+  eng.send(1, 0, 3);
+  eng.send(1, 0, 4);
+  try {
+    eng.exchange();
+    FAIL() << "expected CongestionError";
+  } catch (const cclique::CongestionError& e) {
+    EXPECT_NE(std::string(e.what()).find("in round 2"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(FixedThresholdAblation, StillProducesValidOutputs) {

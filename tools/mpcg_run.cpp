@@ -8,10 +8,23 @@
 //   mpcg_run --algo mis|mis_cc|matching|vc|one_plus_eps|weighted|baselines
 //            [--family gnp_dense --n 4096 | --input graph.txt]
 //            [--seed 1] [--eps 0.1] [--check]
+//            [--faults "crash:<machine>@<round>,drop:1@4,..."] [--words W]
+//            [--reprovision]
+//
+// --faults attaches a deterministic fault schedule to the engine (mis,
+// matching, vc); recovery replays the faulted rounds from the round
+// checkpoint, so outputs are bit-identical to the fault-free run and the
+// overhead shows up in the fault metrics lines. --reprovision retries a
+// run that breaches capacity (or exhausts its crash budget) with doubled
+// per-machine memory, up to a bounded number of attempts.
+//
+// --check validates the output and exits 3 on an invalid solution.
 //
 // Examples:
 //   mpcg_run --algo mis --family power_law --n 20000 --seed 7
 //   mpcg_run --algo matching --input my_graph.txt --eps 0.05 --check
+//   mpcg_run --algo matching --n 4096 --faults crash:0@3,crash:2@7 --check
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -27,6 +40,26 @@ void print_kv(const char* key, double value) {
 }
 void print_kv(const char* key, std::size_t value) {
   std::printf("%s\t%zu\n", key, value);
+}
+
+void print_fault_metrics(const mpc::Metrics& m) {
+  print_kv("faults_injected", m.faults_injected);
+  print_kv("rounds_replayed", m.rounds_replayed);
+  print_kv("words_resent", m.words_resent);
+  print_kv("checkpoint_bytes", m.checkpoint_bytes);
+}
+
+void print_reprovision_failures(
+    const std::vector<std::string>& failures) {
+  for (const std::string& f : failures) {
+    std::fprintf(stderr, "reprovision: %s\n", f.c_str());
+  }
+}
+
+/// Auto-sizing base the drivers use for words_per_machine (8n), so the
+/// reprovision scale has a concrete number to multiply.
+std::size_t base_words(std::size_t requested, std::size_t n) {
+  return requested != 0 ? requested : 8 * std::max<std::size_t>(n, 64);
 }
 
 int run(const Flags& flags) {
@@ -51,9 +84,23 @@ int run(const Flags& flags) {
     weights = exponential_weights(g, 1.0, rng);
   }
 
+  const std::string faults_spec = flags.get_string("faults", "");
+  const bool reprovision = flags.get_bool("reprovision", false);
+  const auto words = static_cast<std::size_t>(flags.get_int("words", 0));
+
   const auto unused = flags.unused();
   if (!unused.empty()) {
     std::fprintf(stderr, "unknown flag: --%s\n", unused.front().c_str());
+    return 2;
+  }
+
+  fault::FaultPlan plan;
+  if (!faults_spec.empty()) plan = fault::FaultPlan::parse(faults_spec);
+  const fault::FaultPlan* plan_ptr = plan.empty() ? nullptr : &plan;
+  if (plan_ptr != nullptr && algo != "mis" && algo != "matching" &&
+      algo != "vc") {
+    std::fprintf(stderr, "--faults is only supported with --algo "
+                         "mis|matching|vc\n");
     return 2;
   }
 
@@ -64,14 +111,38 @@ int run(const Flags& flags) {
   if (algo == "mis") {
     MisMpcOptions opt;
     opt.seed = seed;
-    const auto r = mis_mpc(g, opt);
+    opt.words_per_machine = words;
+    opt.fault_plan = plan_ptr;
+    MisMpcResult r;
+    if (reprovision) {
+      auto outcome = fault::run_with_reprovision(
+          fault::ReprovisionPolicy{},
+          [&](std::size_t scale) {
+            MisMpcOptions o = opt;
+            o.words_per_machine =
+                base_words(o.words_per_machine, g.num_vertices()) * scale;
+            return mis_mpc(g, o);
+          },
+          [](const MisMpcResult& res) {
+            return res.metrics.violations == 0;
+          });
+      print_reprovision_failures(outcome.failures);
+      if (!outcome.ok()) return 1;
+      print_kv("reprovision_attempts", outcome.attempts);
+      print_kv("reprovision_scale", outcome.scale);
+      r = std::move(*outcome.result);
+    } else {
+      r = mis_mpc(g, opt);
+    }
     print_kv("mis_size", r.mis.size());
     print_kv("rank_phases", r.rank_phases);
     print_kv("engine_rounds", r.metrics.rounds);
     print_kv("peak_words", r.metrics.peak_storage_words);
+    if (plan_ptr != nullptr) print_fault_metrics(r.metrics);
     if (check) {
-      print_kv("valid", static_cast<std::size_t>(
-                            is_maximal_independent_set(g, r.mis)));
+      const bool valid = is_maximal_independent_set(g, r.mis);
+      print_kv("valid", static_cast<std::size_t>(valid));
+      if (!valid) return 3;
     }
     return 0;
   }
@@ -83,8 +154,9 @@ int run(const Flags& flags) {
     print_kv("clique_rounds", r.metrics.rounds);
     print_kv("lenzen_batches", r.metrics.lenzen_batches);
     if (check) {
-      print_kv("valid", static_cast<std::size_t>(
-                            is_maximal_independent_set(g, r.mis)));
+      const bool valid = is_maximal_independent_set(g, r.mis);
+      print_kv("valid", static_cast<std::size_t>(valid));
+      if (!valid) return 3;
     }
     return 0;
   }
@@ -92,15 +164,40 @@ int run(const Flags& flags) {
     IntegralMatchingOptions opt;
     opt.eps = eps;
     opt.seed = seed;
-    const auto r = integral_matching(g, opt);
+    opt.simulation.words_per_machine = words;
+    opt.simulation.fault_plan = plan_ptr;
+    IntegralMatchingResult r;
+    if (reprovision) {
+      auto outcome = fault::run_with_reprovision(
+          fault::ReprovisionPolicy{},
+          [&](std::size_t scale) {
+            IntegralMatchingOptions o = opt;
+            o.simulation.words_per_machine =
+                base_words(o.simulation.words_per_machine,
+                           g.num_vertices()) * scale;
+            return integral_matching(g, o);
+          },
+          [](const IntegralMatchingResult& res) {
+            return res.first_run_metrics.violations == 0;
+          });
+      print_reprovision_failures(outcome.failures);
+      if (!outcome.ok()) return 1;
+      print_kv("reprovision_attempts", outcome.attempts);
+      print_kv("reprovision_scale", outcome.scale);
+      r = std::move(*outcome.result);
+    } else {
+      r = integral_matching(g, opt);
+    }
     print_kv("matching_size", r.matching.size());
     print_kv("cover_size", r.cover.size());
     print_kv("total_rounds", r.total_rounds);
+    if (plan_ptr != nullptr) print_fault_metrics(r.first_run_metrics);
     if (check) {
-      print_kv("matching_valid",
-               static_cast<std::size_t>(is_matching(g, r.matching)));
-      print_kv("cover_valid",
-               static_cast<std::size_t>(is_vertex_cover(g, r.cover)));
+      const bool matching_valid = is_matching(g, r.matching);
+      const bool cover_valid = is_vertex_cover(g, r.cover);
+      print_kv("matching_valid", static_cast<std::size_t>(matching_valid));
+      print_kv("cover_valid", static_cast<std::size_t>(cover_valid));
+      if (!matching_valid || !cover_valid) return 3;
     }
     return 0;
   }
@@ -113,8 +210,9 @@ int run(const Flags& flags) {
     print_kv("augmenting_passes", r.augmenting_passes);
     print_kv("total_rounds", r.total_rounds);
     if (check) {
-      print_kv("matching_valid",
-               static_cast<std::size_t>(is_matching(g, r.matching)));
+      const bool valid = is_matching(g, r.matching);
+      print_kv("matching_valid", static_cast<std::size_t>(valid));
+      if (!valid) return 3;
     }
     return 0;
   }
@@ -128,8 +226,9 @@ int run(const Flags& flags) {
     print_kv("classes", r.num_classes);
     print_kv("rounds", r.total_rounds);
     if (check) {
-      print_kv("matching_valid",
-               static_cast<std::size_t>(is_matching(g, r.matching)));
+      const bool valid = is_matching(g, r.matching);
+      print_kv("matching_valid", static_cast<std::size_t>(valid));
+      if (!valid) return 3;
     }
     return 0;
   }
