@@ -219,6 +219,72 @@ BENCHMARK(E06_FaultRecovery)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// Integrity overhead: the same fault-free run with per-sender stream
+// checksums armed. The checksum is one xor-multiply folded at append time
+// plus one digest comparison per (sender, round) at delivery, so the
+// acceptance row (2^16) wants overhead_pct under ~5%; with integrity off
+// the cost is exactly one branch per flush (overhead_off_pct ~ 0).
+void E06_IntegrityOverhead(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = gnp_with_degree(n, 16.0, 13);
+  const MatchingMpcOptions clean_opt = opts(13);
+
+  MatchingMpcResult clean;
+  double clean_ms = 0.0;
+  {
+    const WallTimer timer;
+    clean = matching_mpc(g, clean_opt);
+    clean_ms = timer.elapsed_ms();
+  }
+
+  MatchingMpcOptions integrity_opt = clean_opt;
+  integrity_opt.integrity = true;
+  MatchingMpcResult r;
+  double wall_ms = 0.0;
+  for (auto _ : state) {
+    const WallTimer timer;
+    r = matching_mpc(g, integrity_opt);
+    wall_ms = timer.elapsed_ms();
+    benchmark::DoNotOptimize(r.x.data());
+  }
+  // A second clean pass bounds the no-integrity overhead (the single
+  // branch per flush) against run-to-run noise.
+  double off_ms = 0.0;
+  {
+    const WallTimer timer;
+    const auto again = matching_mpc(g, clean_opt);
+    off_ms = timer.elapsed_ms();
+    benchmark::DoNotOptimize(again.x.data());
+  }
+
+  const bool identical = r.x == clean.x && r.cover == clean.cover &&
+                         r.freeze_iteration == clean.freeze_iteration &&
+                         r.metrics.rounds == clean.metrics.rounds &&
+                         r.metrics.total_words == clean.metrics.total_words;
+  emit_json_line("E06_IntegrityOverhead/" + std::to_string(n), n,
+                 g.num_edges(), r.metrics.rounds, wall_ms,
+                 r.metrics.peak_storage_words);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["clean_ms"] = clean_ms;
+  state.counters["integrity_ms"] = wall_ms;
+  state.counters["overhead_pct"] =
+      clean_ms > 0.0 ? 100.0 * (wall_ms - clean_ms) / clean_ms : 0.0;
+  state.counters["overhead_off_pct"] =
+      clean_ms > 0.0 ? 100.0 * (off_ms - clean_ms) / clean_ms : 0.0;
+  state.counters["integrity_identical"] = identical ? 1.0 : 0.0;
+  // Clean runs under integrity must never charge the repair fields.
+  state.counters["corruptions_detected"] =
+      static_cast<double>(r.metrics.corruptions_detected);
+  state.counters["words_retransmitted"] =
+      static_cast<double>(r.metrics.words_retransmitted);
+}
+BENCHMARK(E06_IntegrityOverhead)
+    ->Arg(1 << 14)
+    // 2^16 is the acceptance row: checksum overhead under 5% wall-clock.
+    ->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 void register_all() {
   for (const char* family : family_names()) {
     benchmark::RegisterBenchmark(

@@ -4,15 +4,21 @@
 
 #include "fault/checkpoint.h"
 #include "fault/fault_plan.h"
+#include "util/rng.h"
 
 namespace mpcg::cclique {
 
-Engine::Engine(std::size_t num_players, bool strict)
-    : n_(num_players), strict_(strict), inbox_(num_players),
-      broadcasting_(num_players, 0), sent_(num_players, 0),
-      received_(num_players, 0) {
+Engine::Engine(std::size_t num_players, bool strict, bool integrity,
+               bool audit)
+    : n_(num_players), strict_(strict), integrity_(integrity), audit_(audit),
+      inbox_(num_players), broadcasting_(num_players, 0),
+      sent_(num_players, 0), received_(num_players, 0) {
   if (num_players == 0) {
     throw std::invalid_argument("Engine: need at least one player");
+  }
+  if (integrity_) {
+    csums_.assign(n_, Fnv::kOffset);
+    csum_check_.assign(n_, Fnv::kOffset);
   }
 }
 
@@ -21,6 +27,9 @@ void Engine::send(PlayerId from, PlayerId to, Word word) {
     throw std::out_of_range("cclique send: player out of range");
   }
   pending_.push_back(Message{from, to, word});
+  if (integrity_) [[unlikely]] {
+    csums_[from] = Fnv::fold(csums_[from], word);
+  }
 }
 
 void Engine::broadcast(PlayerId from, Word word) {
@@ -37,8 +46,16 @@ void Engine::exchange() {
     // traffic — and count against its per-pair budget, like a real
     // straggler hitting the next barrier.
     pending_.insert(pending_.end(), delayed_.begin(), delayed_.end());
+    if (integrity_) {
+      // The late words appended to their senders' streams; continue the
+      // folds.
+      for (const Message& msg : delayed_) {
+        csums_[msg.from] = Fnv::fold(csums_[msg.from], msg.word);
+      }
+    }
     delayed_.clear();
   }
+  if (audit_) begin_audit();
   if (fault_plan_ != nullptr) {
     const auto events = fault_plan_->events_at(metrics_.rounds);
     if (!events.empty()) {
@@ -50,6 +67,9 @@ void Engine::exchange() {
 }
 
 void Engine::exchange_impl() {
+  // The one integrity pass per exchange — before the sort below reorders
+  // pending_ away from send (fold) order.
+  if (integrity_) verify_streams();
   // Per-ordered-pair budget: sort point-to-point messages and detect
   // duplicates; broadcasts consume the (from, *) budget for every pair.
   // Scratch arrays are persistent and only the entries actually touched
@@ -113,6 +133,7 @@ void Engine::exchange_impl() {
   bcast_staging_.clear();
   pending_.clear();
   pending_broadcasts_.clear();
+  if (audit_) finish_audit();
   ++metrics_.rounds;
 }
 
@@ -174,6 +195,20 @@ const std::vector<std::vector<Message>>& Engine::lenzen_route(
     }
   }
 
+  // Lenzen audit: the greedy batch split must preserve the routed word
+  // total — a chunk that lands in no batch (or two) is a simulator bug.
+  if (audit_) {
+    std::size_t batched = 0;
+    for (std::size_t b = 0; b < batches_used; ++b) {
+      batched += route_batch_words_[b];
+    }
+    if (batched != stream.size()) {
+      throw AuditError("audit: lenzen batches hold " +
+                       std::to_string(batched) + " words, the routed "
+                       "stream staged " + std::to_string(stream.size()));
+    }
+  }
+
   // An overloaded routing request is not a model violation — it is just
   // slower; the extra batches show up in `rounds` and `lenzen_batches`.
   for (std::size_t b = 0; b < batches_used; ++b) {
@@ -220,7 +255,8 @@ const std::vector<std::vector<Message>>& Engine::lenzen_route(
 std::size_t Engine::Snapshot::words() const noexcept {
   constexpr std::size_t kMsgWords = sizeof(Message) / sizeof(Word);
   return pending.size() * kMsgWords + bcast_staging.size() * kMsgWords +
-         (pending_broadcasts.size() + 1) / 2 + sizeof(Metrics) / sizeof(Word);
+         (pending_broadcasts.size() + 1) / 2 + csums.size() +
+         sizeof(Metrics) / sizeof(Word);
 }
 
 Engine::Snapshot Engine::snapshot() const {
@@ -228,6 +264,7 @@ Engine::Snapshot Engine::snapshot() const {
   s.pending = pending_;
   s.pending_broadcasts = pending_broadcasts_;
   s.bcast_staging = bcast_staging_;
+  s.csums = csums_;
   s.metrics = metrics_;
   return s;
 }
@@ -236,6 +273,7 @@ void Engine::restore(const Snapshot& snap) {
   pending_ = snap.pending;
   pending_broadcasts_ = snap.pending_broadcasts;
   bcast_staging_ = snap.bcast_staging;
+  csums_ = snap.csums;
   metrics_ = snap.metrics;
 }
 
@@ -256,6 +294,18 @@ std::size_t Engine::staged_out_words(std::size_t player) const {
   return w;
 }
 
+std::size_t Engine::staged_p2p(std::size_t player) const {
+  std::size_t c = 0;
+  for (const Message& msg : pending_) c += (msg.from == player);
+  return c;
+}
+
+std::size_t Engine::staged_bcast(std::size_t player) const {
+  std::size_t c = 0;
+  for (const Message& msg : bcast_staging_) c += (msg.from == player);
+  return c;
+}
+
 void Engine::corrupt_player_staging(std::size_t player) {
   std::erase_if(pending_, [player](const Message& msg) {
     return msg.from == player;
@@ -264,9 +314,10 @@ void Engine::corrupt_player_staging(std::size_t player) {
   std::erase_if(bcast_staging_, [player](const Message& msg) {
     return msg.from == player;
   });
+  if (integrity_) csums_[player] = Fnv::kOffset;
 }
 
-void Engine::duplicate_player_staging(std::size_t player) {
+std::size_t Engine::duplicate_player_staging(std::size_t player) {
   // Duplicated point-to-point flush: every pair the player used is now
   // used twice, which is exactly a congestion breach of the 1-word/pair
   // budget — the model detects the fault on its own.
@@ -275,15 +326,128 @@ void Engine::duplicate_player_staging(std::size_t player) {
     if (msg.from == player) copy.push_back(msg);
   }
   pending_.insert(pending_.end(), copy.begin(), copy.end());
+  // The checksum accumulator covered only one copy.
+  if (integrity_) resync_player_checksum(player);
+  return copy.size();
 }
 
-void Engine::delay_player_staging(std::size_t player) {
+std::size_t Engine::delay_player_staging(std::size_t player) {
+  std::size_t held = 0;
   for (const Message& msg : pending_) {
-    if (msg.from == player) delayed_.push_back(msg);
+    if (msg.from == player) {
+      delayed_.push_back(msg);
+      ++held;
+    }
   }
   std::erase_if(pending_, [player](const Message& msg) {
     return msg.from == player;
   });
+  if (integrity_) csums_[player] = Fnv::kOffset;
+  return held;
+}
+
+void Engine::resync_player_checksum(std::size_t player) {
+  std::uint64_t h = Fnv::kOffset;
+  for (const Message& msg : pending_) {
+    if (msg.from == player) h = Fnv::fold(h, msg.word);
+  }
+  csums_[player] = h;
+}
+
+bool Engine::player_stream_ok(std::size_t player) const {
+  std::uint64_t h = Fnv::kOffset;
+  for (const Message& msg : pending_) {
+    if (msg.from == player) h = Fnv::fold(h, msg.word);
+  }
+  return h == csums_[player];
+}
+
+void Engine::verify_streams() {
+  // One sweep over pending_ in send order, folding into per-player scratch
+  // digests (touched-only, so a broadcast-heavy round costs O(messages)).
+  for (const Message& msg : pending_) {
+    if (csum_check_[msg.from] == Fnv::kOffset) {
+      csum_touched_.push_back(msg.from);
+    }
+    csum_check_[msg.from] = Fnv::fold(csum_check_[msg.from], msg.word);
+  }
+  for (const PlayerId p : csum_touched_) {
+    if (csum_check_[p] != csums_[p]) {
+      // Reset the scratch before throwing so a caught error leaves the
+      // engine consistent.
+      for (const PlayerId q : csum_touched_) csum_check_[q] = Fnv::kOffset;
+      csum_touched_.clear();
+      throw IntegrityError(
+          "player " + std::to_string(p) +
+          " flush fails its stream checksum in round " +
+          std::to_string(metrics_.rounds) +
+          ": corruption was not repaired before delivery");
+    }
+  }
+  for (const PlayerId p : csum_touched_) {
+    csum_check_[p] = Fnv::kOffset;
+    // pending_ delivers (and clears) this round; reset the accumulators.
+    csums_[p] = Fnv::kOffset;
+  }
+  csum_touched_.clear();
+}
+
+std::size_t Engine::corrupt_player_words(std::size_t player,
+                                         std::size_t round,
+                                         std::size_t ordinal) {
+  // Retain the player's pristine words (aligned with its messages in
+  // pending_ order) before flipping — the sender keeps its flush until the
+  // receiver acks, so a detected mismatch can be served from retention.
+  retained_words_.clear();
+  for (const Message& msg : pending_) {
+    if (msg.from == player) retained_words_.push_back(msg.word);
+  }
+  retained_from_ = player;
+  const std::size_t total = retained_words_.size();
+  if (total == 0) return 0;
+  // 1..3 distinct (word, bit) flips; deduplication guarantees the stream
+  // genuinely differs, so detected == injected whenever integrity is on.
+  const std::size_t flips = 1 + mix64(round, player, ordinal * 8 + 5) % 3;
+  std::size_t applied = 0;
+  for (std::size_t f = 0; f < flips; ++f) {
+    const std::size_t idx =
+        mix64(round, player * 8 + f, ordinal * 8 + 6) % total;
+    const std::size_t bit =
+        mix64(round, player * 8 + f, ordinal * 8 + 7) % 64;
+    bool fresh = true;
+    for (std::size_t g = 0; g < f; ++g) {
+      const std::size_t pidx =
+          mix64(round, player * 8 + g, ordinal * 8 + 6) % total;
+      const std::size_t pbit =
+          mix64(round, player * 8 + g, ordinal * 8 + 7) % 64;
+      if (pidx == idx && pbit == bit) {
+        fresh = false;
+        break;
+      }
+    }
+    if (!fresh) continue;
+    std::size_t seen = 0;
+    for (Message& msg : pending_) {
+      if (msg.from != player) continue;
+      if (seen++ == idx) {
+        msg.word ^= Word{1} << bit;
+        ++applied;
+        break;
+      }
+    }
+  }
+  return applied;
+}
+
+std::size_t Engine::retransmit_retained(std::size_t player) {
+  // Serve the ack-retained pristine words back into the staged messages.
+  // The accumulator already holds the pristine digest (corruption touched
+  // only the words), so no resync is needed.
+  std::size_t seen = 0;
+  for (Message& msg : pending_) {
+    if (msg.from == player) msg.word = retained_words_[seen++];
+  }
+  return seen;
 }
 
 void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
@@ -298,9 +462,13 @@ void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
   std::size_t replays = 0;
   std::size_t resent = 0;
   std::size_t applied = 0;
+  std::size_t corrupted = 0;
+  std::size_t detected = 0;
+  std::size_t retransmitted = 0;
   crashed_scratch_.clear();
   dark_scratch_.clear();
-  for (const fault::FaultEvent& ev : events) {
+  for (std::size_t ei = 0; ei < events.size(); ++ei) {
+    const fault::FaultEvent& ev = events[ei];
     if (ev.machine >= n_) continue;
     ++applied;
     switch (ev.kind) {
@@ -321,6 +489,10 @@ void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
           ++replays;
           crashed_scratch_.push_back(ev.machine);
         } else {
+          if (audit_) {
+            audit_dropped_ += staged_p2p(ev.machine);
+            audit_bcast_dropped_ += staged_bcast(ev.machine);
+          }
           corrupt_player_staging(ev.machine);
           dark_scratch_.push_back(ev.machine);
         }
@@ -332,19 +504,56 @@ void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
           restore(ckpt);
           ++replays;
         } else {
+          if (audit_) {
+            audit_dropped_ += staged_p2p(ev.machine);
+            audit_bcast_dropped_ += staged_bcast(ev.machine);
+          }
           corrupt_player_staging(ev.machine);
         }
         break;
       case fault::FaultKind::kDuplicateFlush:
-        if (!fault_recover_) duplicate_player_staging(ev.machine);
+        if (!fault_recover_) {
+          audit_duped_ += duplicate_player_staging(ev.machine);
+        }
         break;
       case fault::FaultKind::kDelayFlush:
         if (fault_recover_) {
           ++replays;
         } else {
-          delay_player_staging(ev.machine);
+          audit_delayed_ += delay_player_staging(ev.machine);
         }
         break;
+      case fault::FaultKind::kCorruptPayload: {
+        // Silent in-transit corruption of the player's staged words; the
+        // pristine flush is retained sender-side first.
+        if (corrupt_player_words(ev.machine, round, ei) == 0) break;
+        ++corrupted;
+        if (!integrity_) break;  // undetected: propagates silently
+        if (player_stream_ok(ev.machine)) break;  // 2^-64 digest collision
+        ++detected;
+        std::size_t attempt = 1;
+        for (std::size_t j = 0; j < ei; ++j) {
+          attempt += events[j].kind == fault::FaultKind::kCorruptPayload &&
+                     events[j].machine == ev.machine;
+        }
+        if (attempt > fault_plan_->retransmit_budget) {
+          if (!fault_recover_) {
+            throw IntegrityError(
+                "player " + std::to_string(ev.machine) +
+                " flush corrupted in round " + std::to_string(round) +
+                ": retransmit budget of " +
+                std::to_string(fault_plan_->retransmit_budget) +
+                " exhausted and recovery is off");
+          }
+          restore(ckpt);
+          if (registry_ != nullptr) registry_->restore();
+          ++replays;
+          retransmitted += staged_p2p(ev.machine);
+        } else {
+          retransmitted += retransmit_retained(ev.machine);
+        }
+        break;
+      }
     }
   }
   exchange_impl();
@@ -363,6 +572,46 @@ void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
   metrics_.words_resent += resent;
   metrics_.checkpoint_bytes += ckpt_words * sizeof(Word);
   metrics_.faults_injected += applied;
+  metrics_.corruptions_injected += corrupted;
+  metrics_.corruptions_detected += detected;
+  metrics_.words_retransmitted += retransmitted;
+}
+
+void Engine::begin_audit() {
+  audit_staged_ = pending_.size();
+  audit_bcast_staged_ = bcast_staging_.size();
+  audit_dropped_ = 0;
+  audit_bcast_dropped_ = 0;
+  audit_duped_ = 0;
+  audit_delayed_ = 0;
+}
+
+void Engine::finish_audit() const {
+  // Point-to-point conservation: every message staged this round (plus
+  // fault duplicates, minus fault drops and delays) surfaces in exactly
+  // one inbox.  Dark players' inboxes are cleared only after this check,
+  // so the equation holds over the wire.
+  std::size_t delivered = 0;
+  for (const PlayerId p : inbox_touched_) delivered += inbox_[p].size();
+  const std::size_t expect =
+      audit_staged_ + audit_duped_ - audit_dropped_ - audit_delayed_;
+  if (delivered != expect) {
+    throw AuditError(
+        "audit: round " + std::to_string(metrics_.rounds) + " delivered " +
+        std::to_string(delivered) + " point-to-point words, expected " +
+        std::to_string(expect) + " (staged " + std::to_string(audit_staged_) +
+        " + duped " + std::to_string(audit_duped_) + " - dropped " +
+        std::to_string(audit_dropped_) + " - delayed " +
+        std::to_string(audit_delayed_) + ")");
+  }
+  // Broadcast conservation: the shared store holds exactly the broadcasts
+  // staged this round, net of fault drops.
+  const std::size_t bcast_expect = audit_bcast_staged_ - audit_bcast_dropped_;
+  if (bcast_inbox_.size() != bcast_expect) {
+    throw AuditError("audit: round " + std::to_string(metrics_.rounds) +
+                     " delivered " + std::to_string(bcast_inbox_.size()) +
+                     " broadcasts, expected " + std::to_string(bcast_expect));
+  }
 }
 
 void Engine::lenzen_batch_faults(std::size_t first_round, std::size_t batch) {
@@ -373,6 +622,19 @@ void Engine::lenzen_batch_faults(std::size_t first_round, std::size_t batch) {
       if (ev.machine >= n_) continue;
       ++metrics_.faults_injected;
       if (ev.kind == fault::FaultKind::kDuplicateFlush) continue;
+      if (ev.kind == fault::FaultKind::kCorruptPayload) {
+        // The batch structure is its own retransmission unit: with
+        // integrity on, the corrupted sender's batch load re-delivers;
+        // without it the corruption is metrics-invisible (the scheme
+        // forwards whatever it was handed).
+        ++metrics_.corruptions_injected;
+        if (integrity_) {
+          ++metrics_.corruptions_detected;
+          metrics_.words_retransmitted +=
+              route_send_load_[batch][ev.machine];
+        }
+        continue;
+      }
       if (ev.kind == fault::FaultKind::kCrash) {
         if (crashes_recovered_ >= fault_plan_->crash_budget) {
           throw fault::FaultBudgetError(

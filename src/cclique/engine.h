@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "util/fnv.h"
+
 namespace mpcg::fault {
 class FaultPlan;
 class CheckpointRegistry;
@@ -42,6 +44,25 @@ class CongestionError : public std::runtime_error {
  public:
   explicit CongestionError(const std::string& what)
       : std::runtime_error(what) {}
+};
+
+/// A detected payload corruption could not be repaired (the retransmit
+/// budget was exhausted and checkpoint recovery is off).  Mirrors
+/// mpc::IntegrityError.
+class IntegrityError : public std::runtime_error {
+ public:
+  explicit IntegrityError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// The runtime audit found a conservation violation: point-to-point or
+/// broadcast words that vanished or appeared between staging and delivery,
+/// or a Lenzen batch split that lost words.  An AuditError is a simulator
+/// bug, never an expected outcome of an injected fault.  Mirrors
+/// mpc::AuditError.
+class AuditError : public std::logic_error {
+ public:
+  explicit AuditError(const std::string& what) : std::logic_error(what) {}
 };
 
 struct Message {
@@ -127,11 +148,29 @@ struct Metrics {
   std::size_t words_resent = 0;
   std::size_t checkpoint_bytes = 0;
   std::size_t faults_injected = 0;
+  /// kCorruptPayload events that flipped at least one staged bit.
+  std::size_t corruptions_injected = 0;
+  /// Corruptions caught by the per-player stream checksums; equals
+  /// corruptions_injected whenever integrity is on.
+  std::size_t corruptions_detected = 0;
+  /// Words re-delivered by the detect->retransmit protocol.
+  std::size_t words_retransmitted = 0;
 };
 
 class Engine {
  public:
-  explicit Engine(std::size_t num_players, bool strict = true);
+  /// `integrity` arms per-player FNV-1a checksums over the point-to-point
+  /// words, folded incrementally at send() time and verified before every
+  /// delivery; a mismatch triggers the detect->retransmit protocol (see
+  /// FaultKind::kCorruptPayload).  Broadcasts are excluded: the broadcast
+  /// store holds one durable shared copy, the cclique analogue of the MPC
+  /// engine's payload store.  `audit` checks conservation invariants every
+  /// round — staged point-to-point and broadcast words each equal their
+  /// deliveries (net of injected drops/dups/delays), and Lenzen batch
+  /// splits preserve the routed word total — throwing AuditError on any
+  /// violation.
+  explicit Engine(std::size_t num_players, bool strict = true,
+                  bool integrity = false, bool audit = false);
 
   [[nodiscard]] std::size_t num_players() const noexcept { return n_; }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
@@ -186,6 +225,7 @@ class Engine {
     std::vector<Message> pending;
     std::vector<PlayerId> pending_broadcasts;
     std::vector<Message> bcast_staging;
+    std::vector<std::uint64_t> csums;
     Metrics metrics{};
   };
 
@@ -209,15 +249,45 @@ class Engine {
   void exchange_impl();
   void exchange_faulty(std::span<const fault::FaultEvent> events);
   [[nodiscard]] std::size_t staged_out_words(std::size_t player) const;
+  /// Point-to-point messages currently staged by `player`.
+  [[nodiscard]] std::size_t staged_p2p(std::size_t player) const;
+  /// Broadcast words currently staged by `player` (n-1 per broadcast).
+  [[nodiscard]] std::size_t staged_bcast(std::size_t player) const;
   void corrupt_player_staging(std::size_t player);
-  void duplicate_player_staging(std::size_t player);
-  void delay_player_staging(std::size_t player);
+  /// Returns the point-to-point words appended (the duplicated copy).
+  std::size_t duplicate_player_staging(std::size_t player);
+  /// Returns the point-to-point words held back.
+  std::size_t delay_player_staging(std::size_t player);
+  /// Recomputes csums_[player] from the staged stream (after a fault path
+  /// mangled it behind the accumulator's back).
+  void resync_player_checksum(std::size_t player);
+  /// Does the player's staged point-to-point stream (in send order) match
+  /// its append-time checksum?
+  [[nodiscard]] bool player_stream_ok(std::size_t player) const;
+  /// The one integrity pass per exchange: folds every staged word into its
+  /// sender's scratch digest (one sweep over pending_, in send order) and
+  /// compares against the accumulators; throws IntegrityError on mismatch.
+  /// Resets the verified accumulators for the next round.
+  void verify_streams();
+  /// Flips 1..3 deterministic, deduplicated (word, bit) pairs in the
+  /// player's staged point-to-point words, retaining the pristine words
+  /// first.  Returns the number of bits flipped (0 if nothing staged).
+  std::size_t corrupt_player_words(std::size_t player, std::size_t round,
+                                   std::size_t ordinal);
+  /// Serves the retained pristine words back into pending_.  Returns the
+  /// word count re-delivered.
+  std::size_t retransmit_retained(std::size_t player);
+  void begin_audit();
+  /// Closes the conservation equations for the round just delivered.
+  void finish_audit() const;
   /// Charges recovery metrics for fault events scheduled inside a Lenzen
   /// batch's two rounds.
   void lenzen_batch_faults(std::size_t first_round, std::size_t batch);
 
   std::size_t n_;
   bool strict_;
+  bool integrity_;
+  bool audit_;
   Metrics metrics_;
   std::vector<Message> pending_;
   std::vector<PlayerId> pending_broadcasts_;
@@ -264,6 +334,29 @@ class Engine {
   std::vector<Message> delayed_;
   std::vector<std::size_t> crashed_scratch_;
   std::vector<std::size_t> dark_scratch_;
+
+  // Integrity layer (sized n_ only when integrity_ is on).
+  /// Per-player FNV-1a accumulator over point-to-point words, in send
+  /// order.
+  std::vector<std::uint64_t> csums_;
+  /// verify_streams scratch: per-player recomputed digest + touched list.
+  std::vector<std::uint64_t> csum_check_;
+  std::vector<PlayerId> csum_touched_;
+  /// Pristine words retained by corrupt_player_words, aligned with the
+  /// player's staged messages in pending_ order; valid for retained_from_
+  /// within one exchange_faulty.
+  std::vector<Word> retained_words_;
+  std::size_t retained_from_ = static_cast<std::size_t>(-1);
+
+  // Audit scratch: what this round staged (measured before fault events)
+  // plus fault-path adjustments, so finish_audit() can close the
+  // conservation equations.
+  std::size_t audit_staged_ = 0;
+  std::size_t audit_bcast_staged_ = 0;
+  std::size_t audit_dropped_ = 0;
+  std::size_t audit_bcast_dropped_ = 0;
+  std::size_t audit_duped_ = 0;
+  std::size_t audit_delayed_ = 0;
 };
 
 }  // namespace mpcg::cclique

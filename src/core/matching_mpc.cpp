@@ -85,7 +85,10 @@ class MatchingMpcRun {
       }
       machines_ *= 2;
     }
-    engine_.emplace(mpc::Config{machines_, words_, o_.strict});
+    mpc::Config cfg{machines_, words_, o_.strict};
+    cfg.integrity = o_.integrity;
+    cfg.audit = o_.audit;
+    engine_.emplace(cfg);
     for (std::size_t i = 0; i < machines_; ++i) {
       engine_->note_storage(i, shard_words[i] + fixed_words);
     }

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <span>
 #include <unordered_map>
 
 #include "baselines/local_mis.h"
+#include "fault/checkpoint.h"
+#include "fault/fault_plan.h"
 #include "graph/residual.h"
 #include "util/permutation.h"
 #include "util/rng.h"
@@ -38,9 +42,16 @@ class MisCcliqueRun {
  public:
   MisCcliqueRun(const Graph& g, const MisCcliqueOptions& options)
       : g_(g), options_(options), n_(g.num_vertices()),
-        engine_(std::max<std::size_t>(n_, 1), options.strict), residual_(g),
-        dying_(n_, 0) {
+        engine_(std::max<std::size_t>(n_, 1), options.strict,
+                options.integrity, options.audit),
+        residual_(g), dying_(n_, 0) {
     gather_budget_ = options.gather_budget != 0 ? options.gather_budget : n_;
+    if (options.fault_plan != nullptr && !options.fault_plan->empty()) {
+      registry_.emplace();
+      register_checkpoint_state();
+      engine_.set_fault_plan(options.fault_plan, &*registry_,
+                             options.fault_recovery);
+    }
   }
 
   MisCcliqueResult run() {
@@ -96,6 +107,56 @@ class MisCcliqueRun {
   }
 
  private:
+  /// Driver-side checkpoint providers, mirroring mis_mpc's set: the shared
+  /// permutation (rank_of_ derived on restore), the append-only member
+  /// list, and the residual aliveness bitmap (aliveness only shrinks, so
+  /// restore reconciles by killing).  The Lenzen batch unit needs no
+  /// provider of its own — the engine treats a batch as its own
+  /// retransmission unit and captures this registry when a fault lands
+  /// inside one.
+  void register_checkpoint_state() {
+    auto& reg = *registry_;
+    reg.register_state(
+        "permutation",
+        [this](std::vector<Word>& out) {
+          out.push_back(perm_.size());
+          for (const std::uint32_t r : perm_) out.push_back(r);
+        },
+        [this](std::span<const Word> in) {
+          perm_.assign(in.begin() + 1,
+                       in.begin() + 1 + static_cast<std::ptrdiff_t>(in[0]));
+          rank_of_ = perm_.empty() ? std::vector<std::uint32_t>{}
+                                   : invert_permutation(perm_);
+        });
+    reg.register_state(
+        "mis-members",
+        [this](std::vector<Word>& out) {
+          out.push_back(mis_.size());
+          for (const VertexId v : mis_) out.push_back(v);
+        },
+        [this](std::span<const Word> in) {
+          mis_.assign(in.begin() + 1,
+                      in.begin() + 1 + static_cast<std::ptrdiff_t>(in[0]));
+        });
+    reg.register_state(
+        "aliveness",
+        [this](std::vector<Word>& out) {
+          const std::size_t base = out.size();
+          out.resize(base + (n_ + 63) / 64, 0);
+          for (VertexId v = 0; v < n_; ++v) {
+            if (residual_.alive(v)) out[base + v / 64] |= Word{1} << (v % 64);
+          }
+        },
+        [this](std::span<const Word> in) {
+          std::vector<VertexId> to_kill;
+          for (VertexId v = 0; v < n_; ++v) {
+            const bool want = ((in[v / 64] >> (v % 64)) & Word{1}) != 0;
+            if (!want && residual_.alive(v)) to_kill.push_back(v);
+          }
+          if (!to_kill.empty()) residual_.kill_batch(to_kill);
+        });
+  }
+
   /// Every alive player broadcasts its alive degree; everybody can then
   /// compute the total edge count (one round). The degrees come from the
   /// residual graph's maintained counters — no adjacency scan.
@@ -253,6 +314,7 @@ class MisCcliqueRun {
   std::size_t n_;
   cclique::Engine engine_;
   ResidualGraph residual_;
+  std::optional<fault::CheckpointRegistry> registry_;
   std::size_t gather_budget_ = 0;
 
   std::vector<std::uint32_t> perm_;

@@ -26,6 +26,10 @@
 #include "cclique/engine.h"
 #include "graph/graph.h"
 
+namespace mpcg::fault {
+class FaultPlan;
+}  // namespace mpcg::fault
+
 namespace mpcg {
 
 struct MisCcliqueOptions {
@@ -36,6 +40,18 @@ struct MisCcliqueOptions {
   /// Final-gather threshold in edges. 0 = auto: n (one Lenzen batch).
   std::size_t gather_budget = 0;
   bool strict = true;
+  /// Deterministic fault schedule consulted by the engine at round
+  /// boundaries (borrowed; must outlive the run). nullptr = fault-free.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// With a plan attached: recover crashes/drops by rolling back to the
+  /// round checkpoint (driver state included — permutation, MIS members,
+  /// residual aliveness) and replaying; false lets crashed players go dark.
+  bool fault_recovery = true;
+  /// Per-player stream checksums + detect->retransmit for injected payload
+  /// corruption (see cclique::Engine).
+  bool integrity = false;
+  /// Per-round conservation-invariant audit (see cclique::Engine).
+  bool audit = false;
 };
 
 struct MisCcliqueResult {

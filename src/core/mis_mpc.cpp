@@ -78,7 +78,10 @@ class MisMpcRun {
       }
       machines_ *= 2;
     }
-    engine_.emplace(mpc::Config{machines_, words_, options.strict});
+    mpc::Config cfg{machines_, words_, options.strict};
+    cfg.integrity = options.integrity;
+    cfg.audit = options.audit;
+    engine_.emplace(cfg);
     for (std::size_t i = 0; i < machines_; ++i) {
       engine_->note_storage(i, shard_words[i] + fixed_words);
     }

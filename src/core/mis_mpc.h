@@ -69,6 +69,11 @@ struct MisMpcOptions {
   /// round checkpoint and replaying (outputs stay bit-identical to the
   /// fault-free run); false lets crashed machines go dark instead.
   bool fault_recovery = true;
+  /// Per-sender stream checksums + detect->retransmit for injected payload
+  /// corruption (see mpc::Config::integrity).
+  bool integrity = false;
+  /// Per-round conservation-invariant audit (see mpc::Config::audit).
+  bool audit = false;
 };
 
 struct MisMpcResult {

@@ -1,8 +1,35 @@
 #include "fault/checkpoint.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace mpcg::fault {
+
+namespace {
+
+/// Charge of shipping `now` given the provider's previous image `prev`
+/// (same length): two header words (offset, length) plus the payload per
+/// maximal dirty stretch, capped at a full re-serialization.
+std::size_t dirty_range_cost(const CheckpointRegistry::Word* prev,
+                             const CheckpointRegistry::Word* now,
+                             std::size_t words) {
+  std::size_t cost = 0;
+  std::size_t i = 0;
+  while (i < words) {
+    if (prev[i] == now[i]) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < words && prev[j] != now[j]) ++j;
+    cost += 2 + (j - i);
+    if (cost >= words) return words;  // delta lost; charge a full save
+    i = j;
+  }
+  return cost;
+}
+
+}  // namespace
 
 void CheckpointRegistry::register_state(std::string name, SaveFn save,
                                         RestoreFn restore) {
@@ -11,15 +38,34 @@ void CheckpointRegistry::register_state(std::string name, SaveFn save,
 }
 
 std::size_t CheckpointRegistry::capture() {
-  buffer_.clear();
+  std::size_t cost = 0;
+  bool all_deltas = has_checkpoint_ && !providers_.empty();
+  fresh_.clear();
   for (Provider& p : providers_) {
-    p.offset = buffer_.size();
-    p.save(buffer_);
-    p.words = buffer_.size() - p.offset;
+    const std::size_t offset = fresh_.size();
+    p.save(fresh_);
+    const std::size_t words = fresh_.size() - offset;
+    if (has_checkpoint_ && p.words == words) {
+      const std::size_t delta = dirty_range_cost(
+          buffer_.data() + p.offset, fresh_.data() + offset, words);
+      cost += delta;
+      if (delta >= words && words != 0) all_deltas = false;
+    } else {
+      // First capture, or the provider resized (frontier lists grow and
+      // shrink): dirty ranges against a differently-shaped image are
+      // meaningless, ship it whole.
+      cost += words;
+      all_deltas = false;
+    }
+    p.offset = offset;
+    p.words = words;
   }
+  buffer_.swap(fresh_);
   has_checkpoint_ = true;
   ++captures_;
-  return buffer_.size();
+  delta_captures_ += all_deltas;
+  last_capture_words_ = cost;
+  return cost;
 }
 
 void CheckpointRegistry::restore() {

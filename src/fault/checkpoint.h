@@ -11,6 +11,16 @@
 // deterministic and known up front, the engine only asks for a capture at
 // rounds that actually carry a fault event, so fault-free rounds pay one
 // branch and zero copies (see DESIGN.md, "Fault model & recovery").
+//
+// Captures after the first are charged *incrementally*: the registry keeps
+// each provider's previous image and diffs the fresh serialization against
+// it, so a capture costs (and reports) only the dirty ranges — two header
+// words plus the changed words per maximal differing stretch, never more
+// than a full re-serialization.  The retained image is always the full
+// fresh state, so restore() stays a bit-identical full reinstatement; the
+// delta encoding changes only what a capture is *charged* in
+// Metrics::checkpoint_bytes, which is exactly what a real system would
+// ship to stable storage.
 #ifndef MPCG_FAULT_CHECKPOINT_H
 #define MPCG_FAULT_CHECKPOINT_H
 
@@ -37,7 +47,10 @@ class CheckpointRegistry {
   void register_state(std::string name, SaveFn save, RestoreFn restore);
 
   /// Serializes all providers (in registration order) into the retained
-  /// checkpoint.  Returns the total number of words captured.
+  /// checkpoint.  Returns the number of words this capture is charged: the
+  /// full serialization the first time or whenever a provider's size
+  /// changes, and the dirty-range delta against the previous capture
+  /// otherwise (capped at a full save).
   std::size_t capture();
 
   /// Replays the last capture() into every provider.  No-op if capture()
@@ -47,9 +60,19 @@ class CheckpointRegistry {
   [[nodiscard]] bool has_checkpoint() const noexcept {
     return has_checkpoint_;
   }
-  /// Words held by the last capture().
+  /// Words held by the last capture() — the full retained image, not the
+  /// incremental charge capture() returned.
   [[nodiscard]] std::size_t checkpoint_words() const noexcept {
     return buffer_.size();
+  }
+  /// Words the most recent capture() was charged (0 before any capture).
+  [[nodiscard]] std::size_t last_capture_words() const noexcept {
+    return last_capture_words_;
+  }
+  /// Captures that were charged as dirty-range deltas rather than full
+  /// serializations.
+  [[nodiscard]] std::size_t delta_captures() const noexcept {
+    return delta_captures_;
   }
   [[nodiscard]] std::size_t captures() const noexcept { return captures_; }
   [[nodiscard]] std::size_t restores() const noexcept { return restores_; }
@@ -68,9 +91,14 @@ class CheckpointRegistry {
 
   std::vector<Provider> providers_;
   std::vector<Word> buffer_;
+  /// Scratch for the next capture's fresh serialization (swapped into
+  /// buffer_, so steady-state captures allocate nothing).
+  std::vector<Word> fresh_;
   bool has_checkpoint_ = false;
   std::size_t captures_ = 0;
   std::size_t restores_ = 0;
+  std::size_t last_capture_words_ = 0;
+  std::size_t delta_captures_ = 0;
 };
 
 }  // namespace mpcg::fault

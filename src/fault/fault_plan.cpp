@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <iterator>
 
 #include "util/rng.h"
 
@@ -47,6 +48,14 @@ std::size_t FaultPlan::crash_count() const noexcept {
   return c;
 }
 
+std::size_t FaultPlan::corrupt_count() const noexcept {
+  std::size_t c = 0;
+  for (const FaultEvent& e : events_) {
+    c += (e.kind == FaultKind::kCorruptPayload);
+  }
+  return c;
+}
+
 std::size_t FaultPlan::last_round() const noexcept {
   std::size_t r = 0;
   for (const FaultEvent& e : events_) r = std::max(r, e.round);
@@ -55,10 +64,21 @@ std::size_t FaultPlan::last_round() const noexcept {
 
 namespace {
 
-std::size_t parse_size(std::string_view text, std::string_view what) {
+std::size_t parse_size(std::string_view text, std::string_view what,
+                       std::string_view token) {
+  if (text.empty()) {
+    throw std::invalid_argument("fault plan: truncated token '" +
+                                std::string(token) + "' (missing " +
+                                std::string(what) + ")");
+  }
   std::size_t value = 0;
   const auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    throw std::invalid_argument("fault plan: " + std::string(what) +
+                                " out of range in '" + std::string(token) +
+                                "'");
+  }
   if (ec != std::errc{} || ptr != text.data() + text.size()) {
     throw std::invalid_argument("fault plan: bad " + std::string(what) +
                                 " '" + std::string(text) + "'");
@@ -71,9 +91,10 @@ FaultKind parse_kind(std::string_view text) {
   if (text == "drop") return FaultKind::kDropFlush;
   if (text == "dup" || text == "duplicate") return FaultKind::kDuplicateFlush;
   if (text == "delay") return FaultKind::kDelayFlush;
+  if (text == "corrupt") return FaultKind::kCorruptPayload;
   throw std::invalid_argument(
       "fault plan: unknown kind '" + std::string(text) +
-      "' (want crash|drop|dup|delay)");
+      "' (want crash|drop|dup|delay|corrupt)");
 }
 
 const char* kind_name(FaultKind kind) {
@@ -82,8 +103,14 @@ const char* kind_name(FaultKind kind) {
     case FaultKind::kDropFlush: return "drop";
     case FaultKind::kDuplicateFlush: return "dup";
     case FaultKind::kDelayFlush: return "delay";
+    case FaultKind::kCorruptPayload: return "corrupt";
   }
   return "?";
+}
+
+std::string event_text(const FaultEvent& e) {
+  return std::string(kind_name(e.kind)) + ':' + std::to_string(e.machine) +
+         '@' + std::to_string(e.round);
 }
 
 }  // namespace
@@ -105,9 +132,21 @@ FaultPlan FaultPlan::parse(std::string_view text) {
                                   std::string(token) +
                                   "' (want kind:machine@round)");
     }
-    plan.add({parse_size(token.substr(at + 1), "round"),
-              parse_size(token.substr(colon + 1, at - colon - 1), "machine"),
-              parse_kind(token.substr(0, colon))});
+    const FaultEvent event{
+        parse_size(token.substr(at + 1), "round", token),
+        parse_size(token.substr(colon + 1, at - colon - 1), "machine", token),
+        parse_kind(token.substr(0, colon))};
+    // The CLI syntax has no legitimate use for the same fault twice; a
+    // duplicate is almost always a typo'd machine or round, so reject it
+    // loudly rather than double-injecting.
+    for (const FaultEvent& prior : plan.events_) {
+      if (prior.round == event.round && prior.machine == event.machine &&
+          prior.kind == event.kind) {
+        throw std::invalid_argument("fault plan: duplicate event '" +
+                                    event_text(event) + "'");
+      }
+    }
+    plan.add(event);
   }
   return plan;
 }
@@ -122,6 +161,42 @@ FaultPlan FaultPlan::random_crashes(std::uint64_t seed,
     const std::size_t machine = mix64(seed, i, 0x6d61ULL) % num_machines;
     const std::size_t round = mix64(seed, i, 0x726fULL) % max_round;
     plan.add_crash(machine, round);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random_storm(std::uint64_t seed,
+                                  std::size_t num_machines,
+                                  std::size_t max_round,
+                                  std::size_t count) {
+  static constexpr FaultKind kKinds[] = {
+      FaultKind::kCrash, FaultKind::kDropFlush, FaultKind::kDuplicateFlush,
+      FaultKind::kDelayFlush, FaultKind::kCorruptPayload};
+  FaultPlan plan;
+  if (num_machines == 0 || max_round == 0) return plan;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Bounded re-draw on exact duplicates keeps the plan parse-round-trip
+    // clean; a tiny schedule space can exhaust the attempts, in which case
+    // the storm simply carries fewer events.
+    for (std::size_t attempt = 0; attempt < 64; ++attempt) {
+      const std::uint64_t draw = i * 64 + attempt;
+      const FaultEvent event{
+          mix64(seed, draw, 0x726fULL) % max_round,
+          mix64(seed, draw, 0x6d61ULL) % num_machines,
+          kKinds[mix64(seed, draw, 0x6b69ULL) % std::size(kKinds)]};
+      bool fresh = true;
+      for (const FaultEvent& prior : plan.events_) {
+        if (prior.round == event.round && prior.machine == event.machine &&
+            prior.kind == event.kind) {
+          fresh = false;
+          break;
+        }
+      }
+      if (fresh) {
+        plan.add(event);
+        break;
+      }
+    }
   }
   return plan;
 }

@@ -44,6 +44,15 @@ enum class FaultKind : std::uint8_t {
   /// round late.  Recovery stalls the barrier (one replayed round); without
   /// recovery the words are injected at the head of the next round's flush.
   kDelayFlush,
+  /// Silent in-transit corruption: deterministic bit flips in the machine's
+  /// staged word stream at the round boundary.  With integrity checking
+  /// (mpc::Config::integrity / the cclique analogue) the per-sender stream
+  /// checksum catches the mismatch at delivery and the sender's retained
+  /// stream is retransmitted — up to `retransmit_budget` times per
+  /// (machine, round), after which recovery escalates to the checkpoint
+  /// rollback path.  Without integrity checking the corruption propagates
+  /// undetected into the algorithm's output.
+  kCorruptPayload,
 };
 
 /// One scheduled fault.
@@ -71,6 +80,12 @@ class FaultPlan {
   /// throwing FaultBudgetError.  Defaults to unlimited.
   std::size_t crash_budget = kUnlimited;
 
+  /// Maximum detect->retransmit cycles per (machine, round) before a
+  /// detected corruption escalates to the checkpoint-recovery path (the
+  /// (retransmit_budget + 1)-th corruption of one machine's flush in one
+  /// round rolls the round back instead of retransmitting again).
+  std::size_t retransmit_budget = 2;
+
   FaultPlan& add_crash(std::size_t machine, std::size_t round) {
     return add({round, machine, FaultKind::kCrash});
   }
@@ -82,6 +97,9 @@ class FaultPlan {
   }
   FaultPlan& add_delay(std::size_t machine, std::size_t round) {
     return add({round, machine, FaultKind::kDelayFlush});
+  }
+  FaultPlan& add_corrupt(std::size_t machine, std::size_t round) {
+    return add({round, machine, FaultKind::kCorruptPayload});
   }
   FaultPlan& add(const FaultEvent& event);
 
@@ -96,12 +114,20 @@ class FaultPlan {
   /// Number of kCrash events in the plan.
   [[nodiscard]] std::size_t crash_count() const noexcept;
 
+  /// Number of kCorruptPayload events in the plan.
+  [[nodiscard]] std::size_t corrupt_count() const noexcept;
+
   /// Largest round index any event is scheduled at (0 if empty).
   [[nodiscard]] std::size_t last_round() const noexcept;
 
   /// Parses "crash:<machine>@<round>,drop:<machine>@<round>,..." — the
   /// mpcg_run --faults syntax.  Kinds: crash, drop, dup (or duplicate),
-  /// delay.  Throws std::invalid_argument on malformed input.
+  /// delay, corrupt.  Throws std::invalid_argument on malformed input:
+  /// truncated tokens, non-numeric or overflowing machine/round fields,
+  /// and exact duplicate (kind, machine, round) events are all rejected
+  /// with messages naming the offending token.  (Repeated corruption of
+  /// one flush — the retransmit-budget escalation — is built
+  /// programmatically via add_corrupt, not through this syntax.)
   [[nodiscard]] static FaultPlan parse(std::string_view text);
 
   /// A seeded schedule of `count` crashes with machine ids below
@@ -111,6 +137,16 @@ class FaultPlan {
                                                 std::size_t num_machines,
                                                 std::size_t max_round,
                                                 std::size_t count);
+
+  /// A seeded multi-fault storm: `count` events drawn over all five kinds
+  /// (crash/drop/dup/delay/corrupt), machines below `num_machines`, rounds
+  /// below `max_round` — the chaos harness's schedule generator.  Exact
+  /// (kind, machine, round) duplicates are re-drawn (bounded), so the
+  /// result round-trips through to_string()/parse().
+  [[nodiscard]] static FaultPlan random_storm(std::uint64_t seed,
+                                              std::size_t num_machines,
+                                              std::size_t max_round,
+                                              std::size_t count);
 
   /// Round-trips through parse(): "crash:3@7,drop:2@5".
   [[nodiscard]] std::string to_string() const;

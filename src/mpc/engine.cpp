@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
 
 #include "fault/checkpoint.h"
 #include "fault/fault_plan.h"
+#include "util/rng.h"
 
 namespace mpcg::mpc {
 
@@ -63,7 +65,11 @@ Engine::Engine(Config config) : config_(config) {
       config_.dense_machine_limit == Config::kAdaptive
           ? kAdaptiveDenseCap
           : config_.dense_machine_limit;
-  dense_active_ = m <= start_limit;
+  // Integrity checking pins the flat representation: its checksums are
+  // defined over the contiguous per-sender wire stream, which the dense
+  // matrix never materializes (metrics are representation-invariant, so
+  // the pin shows up only as wall-clock).
+  dense_active_ = !config_.integrity && m <= start_limit;
   if (dense_active_) {
     boxes_.assign(m * m, {});
   } else {
@@ -72,6 +78,7 @@ Engine::Engine(Config config) : config_(config) {
     out_words_.assign(m, {});
     out_open_to_.assign(m, RunTag::kNoDest);
   }
+  if (config_.integrity) out_csums_.assign(m, Fnv::kOffset);
   inbox_.assign(m, {});
   in_segs_.assign(m, {});
   recv_total_.assign(m, 0);
@@ -114,6 +121,7 @@ void Engine::set_path(bool dense) {
 
 void Engine::adapt_path(std::size_t words, std::size_t runs) {
   if (config_.dense_machine_limit != Config::kAdaptive) return;
+  if (config_.integrity) return;  // checksums pin the flat wire stream
   const std::size_t m = config_.num_machines;
   if (m > kAdaptiveDenseCap) return;  // matrix storage/scan out of budget
   if (words == 0) return;             // no unicast traffic: no signal
@@ -216,6 +224,7 @@ void Engine::drop_last_round() {
 
 void Engine::exchange() {
   if (!delayed_.empty()) inject_delayed();
+  if (config_.audit) begin_audit();
   if (fault_plan_ != nullptr) {
     // Round index = rounds completed so far; events scheduled for it fire
     // against this exchange's staged traffic.
@@ -230,6 +239,9 @@ void Engine::exchange() {
 
 void Engine::exchange_impl() {
   const std::size_t m = config_.num_machines;
+  // The one integrity branch per flush: every sender's staged stream is
+  // verified against its append-time checksum before anything delivers.
+  if (config_.integrity) verify_streams();
   drop_last_round();
   // Orphaned payloads — staged blobs whose every send descriptor was
   // destroyed by unrecovered fault corruption — still publish through the
@@ -248,6 +260,7 @@ void Engine::exchange_impl() {
   } else {
     exchange_shared(m);
   }
+  if (config_.audit) finish_audit();
   ++metrics_.rounds;
 }
 
@@ -350,10 +363,15 @@ void Engine::deliver_flat_sender(std::size_t from, std::size_t m,
       pos += count;
     });
   }
+  clear_sender_staging(from);
+}
+
+void Engine::clear_sender_staging(std::size_t from) {
   out_tos_[from].clear();
   out_counts_[from].clear();
   out_words_[from].clear();
   out_open_to_[from] = RunTag::kNoDest;
+  if (config_.integrity) out_csums_[from] = Fnv::kOffset;
 }
 
 void Engine::exchange_plain_flat(std::size_t m) {
@@ -662,10 +680,7 @@ void Engine::exchange_shared(std::size_t m) {
           pos += count;
         }
       }
-      out_tos_[from].clear();
-      out_counts_[from].clear();
-      out_words_[from].clear();
-      out_open_to_[from] = RunTag::kNoDest;
+      clear_sender_staging(from);
     }
   }
   adapt_path(flush_words, flush_runs);
@@ -720,6 +735,7 @@ std::size_t Engine::Snapshot::words() const noexcept {
   for (const auto& v : out_tos) w += (v.size() + 1) / 2;
   for (const auto& v : out_counts) w += (v.size() + 1) / 2;
   w += (out_open_to.size() + 1) / 2;
+  w += out_csums.size();
   for (const auto& p : staged_payloads) w += p.size();
   w += shared_sends.size() * (sizeof(SharedSend) / sizeof(Word));
   w += sizeof(Metrics) / sizeof(Word);
@@ -733,6 +749,7 @@ Engine::Snapshot Engine::snapshot() const {
   s.out_counts = out_counts_;
   s.out_words = out_words_;
   s.out_open_to = out_open_to_;
+  s.out_csums = out_csums_;
   s.staged_payloads = staged_payloads_;
   s.shared_sends = shared_sends_;
   s.metrics = metrics_;
@@ -747,6 +764,7 @@ void Engine::restore(const Snapshot& snap) {
   out_counts_ = snap.out_counts;
   out_words_ = snap.out_words;
   out_open_to_ = snap.out_open_to;
+  out_csums_ = snap.out_csums;
   staged_payloads_ = snap.staged_payloads;
   shared_sends_ = snap.shared_sends;
   metrics_ = snap.metrics;
@@ -789,27 +807,26 @@ void Engine::corrupt_machine_staging(std::size_t machine) {
       boxes_[machine * m + to].clear();
     }
   } else if (!out_tos_.empty()) {
-    out_tos_[machine].clear();
-    out_counts_[machine].clear();
-    out_words_[machine].clear();
-    out_open_to_[machine] = RunTag::kNoDest;
+    clear_sender_staging(machine);
   }
   std::erase_if(shared_sends_, [machine](const SharedSend& s) {
     return s.from == machine;
   });
 }
 
-void Engine::duplicate_machine_staging(std::size_t machine) {
+std::size_t Engine::duplicate_machine_staging(std::size_t machine) {
   const std::size_t m = config_.num_machines;
   if (dense_active_) {
+    std::size_t added = 0;
     for (std::size_t to = 0; to < m; ++to) {
       auto& box = boxes_[machine * m + to];
       const std::vector<Word> copy = box;
       box.insert(box.end(), copy.begin(), copy.end());
+      added += copy.size();
     }
-    return;
+    return added;
   }
-  if (out_tos_.empty()) return;
+  if (out_tos_.empty()) return 0;
   const std::vector<std::uint32_t> tos = out_tos_[machine];
   const std::vector<std::uint32_t> counts = out_counts_[machine];
   const std::vector<Word> words = out_words_[machine];
@@ -819,9 +836,12 @@ void Engine::duplicate_machine_staging(std::size_t machine) {
   out_words_[machine].insert(out_words_[machine].end(), words.begin(),
                              words.end());
   // open_to_ still names the destination of the (duplicated) last run.
+  // The checksum accumulator, however, covered only one copy.
+  if (config_.integrity) resync_sender_checksum(machine);
+  return words.size();
 }
 
-void Engine::delay_machine_staging(std::size_t machine) {
+std::size_t Engine::delay_machine_staging(std::size_t machine) {
   DelayedFlush d;
   d.from = machine;
   if (dense_active_) {
@@ -848,12 +868,11 @@ void Engine::delay_machine_staging(std::size_t machine) {
     d.tos = std::move(out_tos_[machine]);
     d.counts = std::move(out_counts_[machine]);
     d.words = std::move(out_words_[machine]);
-    out_tos_[machine].clear();
-    out_counts_[machine].clear();
-    out_words_[machine].clear();
-    out_open_to_[machine] = RunTag::kNoDest;
+    clear_sender_staging(machine);
   }
-  if (!d.words.empty()) delayed_.push_back(std::move(d));
+  const std::size_t held = d.words.size();
+  if (held != 0) delayed_.push_back(std::move(d));
+  return held;
 }
 
 void Engine::inject_delayed() {
@@ -879,6 +898,12 @@ void Engine::inject_delayed() {
       out_words_[d.from].insert(out_words_[d.from].end(), d.words.begin(),
                                 d.words.end());
       out_open_to_[d.from] = d.tos.back() & RunTag::kDestMask;
+      if (config_.integrity) {
+        // The late words appended to the stream tail; continue the fold.
+        std::uint64_t h = out_csums_[d.from];
+        for (const Word w : d.words) h = Fnv::fold(h, w);
+        out_csums_[d.from] = h;
+      }
     }
   }
   delayed_.clear();
@@ -908,9 +933,13 @@ void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
   std::size_t replays = 0;
   std::size_t resent = 0;
   std::size_t applied = 0;
+  std::size_t corrupted = 0;
+  std::size_t detected = 0;
+  std::size_t retransmitted = 0;
   crashed_scratch_.clear();
   dark_scratch_.clear();
-  for (const fault::FaultEvent& ev : events) {
+  for (std::size_t ei = 0; ei < events.size(); ++ei) {
+    const fault::FaultEvent& ev = events[ei];
     // Plans written for a larger cluster (reprovisioning shrinks nothing,
     // but machine counts are derived) may name machines we don't have.
     if (ev.machine >= config_.num_machines) continue;
@@ -938,6 +967,7 @@ void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
           ++replays;
           crashed_scratch_.push_back(ev.machine);
         } else {
+          if (config_.audit) audit_dropped_ += staged_out_words(ev.machine);
           corrupt_machine_staging(ev.machine);
           dark_scratch_.push_back(ev.machine);
         }
@@ -949,21 +979,61 @@ void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
           restore(ckpt);
           ++replays;
         } else {
+          if (config_.audit) audit_dropped_ += staged_out_words(ev.machine);
           corrupt_machine_staging(ev.machine);
         }
         break;
       case fault::FaultKind::kDuplicateFlush:
         // With recovery, (round, sequence) deduplication discards the
         // second copy before delivery — only the event count records it.
-        if (!fault_recover_) duplicate_machine_staging(ev.machine);
+        if (!fault_recover_) {
+          audit_duped_ += duplicate_machine_staging(ev.machine);
+        }
         break;
       case fault::FaultKind::kDelayFlush:
         if (fault_recover_) {
           ++replays;  // the barrier stalls one round for the late flush
         } else {
-          delay_machine_staging(ev.machine);
+          audit_delayed_ += delay_machine_staging(ev.machine);
         }
         break;
+      case fault::FaultKind::kCorruptPayload: {
+        // Silent in-transit corruption of the staged wire stream.  The
+        // sender retains its pristine stream first (real shuffle layers
+        // keep the flush until the receiver acks), then mix64-derived bits
+        // flip in the live staged words.
+        if (corrupt_staged_words(ev.machine, round, ei) == 0) break;
+        ++corrupted;
+        if (!config_.integrity) break;  // undetected: propagates silently
+        if (sender_stream_ok(ev.machine)) break;  // 2^-64 digest collision
+        ++detected;
+        // The detect->retransmit protocol: attempt ordinal = how many
+        // times this machine's flush has been corrupted this round.
+        std::size_t attempt = 1;
+        for (std::size_t j = 0; j < ei; ++j) {
+          attempt += events[j].kind == fault::FaultKind::kCorruptPayload &&
+                     events[j].machine == ev.machine;
+        }
+        if (attempt > fault_plan_->retransmit_budget) {
+          // Budget blown: the link is hopeless, escalate to the PR 6
+          // checkpoint-recovery path (roll the round back and replay).
+          if (!fault_recover_) {
+            throw IntegrityError(
+                "machine " + std::to_string(ev.machine) +
+                " flush corrupted in round " + std::to_string(round) +
+                ": retransmit budget of " +
+                std::to_string(fault_plan_->retransmit_budget) +
+                " exhausted and recovery is off");
+          }
+          restore(ckpt);
+          if (registry_ != nullptr) registry_->restore();
+          ++replays;
+          retransmitted += out_words_[ev.machine].size();
+        } else {
+          retransmitted += retransmit_retained(ev.machine);
+        }
+        break;
+      }
     }
   }
   exchange_impl();
@@ -978,6 +1048,213 @@ void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
   metrics_.words_resent += resent;
   metrics_.checkpoint_bytes += ckpt_words * sizeof(Word);
   metrics_.faults_injected += applied;
+  metrics_.corruptions_injected += corrupted;
+  metrics_.corruptions_detected += detected;
+  metrics_.words_retransmitted += retransmitted;
+}
+
+// ---------------------------------------------------------------------------
+// Message integrity: per-sender FNV-1a stream checksums (see Config::integrity).
+
+bool Engine::sender_stream_ok(std::size_t from) const {
+  return Fnv::digest({out_words_[from].data(), out_words_[from].size()}) ==
+         out_csums_[from];
+}
+
+void Engine::verify_streams() const {
+  const std::size_t m = config_.num_machines;
+  for (std::size_t from = 0; from < m; ++from) {
+    if (!sender_stream_ok(from)) {
+      throw IntegrityError(
+          "machine " + std::to_string(from) + " flush (" +
+          std::to_string(out_words_[from].size()) +
+          " words) fails its stream checksum in round " +
+          std::to_string(metrics_.rounds) +
+          ": corruption was not repaired before delivery");
+    }
+  }
+}
+
+void Engine::resync_sender_checksum(std::size_t from) {
+  out_csums_[from] =
+      Fnv::digest({out_words_[from].data(), out_words_[from].size()});
+}
+
+std::size_t Engine::corrupt_staged_words(std::size_t machine,
+                                         std::size_t round,
+                                         std::size_t ordinal) {
+  if (dense_active_) {
+    // Dense path exists only with integrity off (the ctor and adapt_path
+    // pin the flat representation when checksums are on): flip bits across
+    // the machine's boxes with no retention — nobody can ask for a
+    // retransmit it would serve.
+    const std::size_t m = config_.num_machines;
+    std::size_t total = 0;
+    for (std::size_t to = 0; to < m; ++to) {
+      total += boxes_[machine * m + to].size();
+    }
+    if (total == 0) return 0;
+    const std::size_t flips =
+        1 + mix64(round, machine, ordinal * 8 + 5) % 3;
+    std::size_t applied = 0;
+    for (std::size_t f = 0; f < flips; ++f) {
+      std::size_t idx =
+          mix64(round, machine * 8 + f, ordinal * 8 + 6) % total;
+      const std::size_t bit =
+          mix64(round, machine * 8 + f, ordinal * 8 + 7) % 64;
+      for (std::size_t to = 0; to < m; ++to) {
+        auto& box = boxes_[machine * m + to];
+        if (idx < box.size()) {
+          box[idx] ^= Word{1} << bit;
+          ++applied;
+          break;
+        }
+        idx -= box.size();
+      }
+    }
+    return applied;
+  }
+  auto& words = out_words_[machine];
+  if (words.empty()) return 0;
+  // Retain the pristine stream before touching it — the sender keeps its
+  // flush until the receiver acks, so a detected mismatch can be served
+  // from retention.
+  retained_.tos = out_tos_[machine];
+  retained_.counts = out_counts_[machine];
+  retained_.words = words;
+  retained_.open_to = out_open_to_[machine];
+  retained_.csum = config_.integrity ? out_csums_[machine] : Fnv::kOffset;
+  retained_from_ = machine;
+  // 1..3 distinct (word, bit) flips.  Deduplication matters: an even number
+  // of flips of the same bit would cancel, and the contract is that every
+  // injected corruption genuinely differs from the pristine stream (so
+  // detected == injected whenever integrity is on).
+  const std::size_t flips = 1 + mix64(round, machine, ordinal * 8 + 5) % 3;
+  std::size_t applied = 0;
+  for (std::size_t f = 0; f < flips; ++f) {
+    const std::size_t idx =
+        mix64(round, machine * 8 + f, ordinal * 8 + 6) % words.size();
+    const std::size_t bit =
+        mix64(round, machine * 8 + f, ordinal * 8 + 7) % 64;
+    bool fresh = true;
+    for (std::size_t g = 0; g < f; ++g) {
+      const std::size_t pidx =
+          mix64(round, machine * 8 + g, ordinal * 8 + 6) % words.size();
+      const std::size_t pbit =
+          mix64(round, machine * 8 + g, ordinal * 8 + 7) % 64;
+      if (pidx == idx && pbit == bit) {
+        fresh = false;
+        break;
+      }
+    }
+    if (!fresh) continue;
+    words[idx] ^= Word{1} << bit;
+    ++applied;
+  }
+  return applied;
+}
+
+std::size_t Engine::retransmit_retained(std::size_t machine) {
+  // Serve the ack-retained pristine flush back into staging, replacing the
+  // corrupted stream wholesale.
+  out_tos_[machine] = retained_.tos;
+  out_counts_[machine] = retained_.counts;
+  out_words_[machine] = retained_.words;
+  out_open_to_[machine] = retained_.open_to;
+  if (config_.integrity) out_csums_[machine] = retained_.csum;
+  return retained_.words.size();
+}
+
+// ---------------------------------------------------------------------------
+// Runtime audit: conservation invariants checked every round (Config::audit).
+
+void Engine::begin_audit() {
+  const std::size_t m = config_.num_machines;
+  std::size_t staged = 0;
+  if (dense_active_) {
+    for (const auto& box : boxes_) staged += box.size();
+  } else {
+    for (std::size_t from = 0; from < m; ++from) {
+      staged += out_words_[from].size();
+    }
+  }
+  for (const SharedSend& s : shared_sends_) {
+    staged += staged_payloads_[s.payload].size();
+  }
+  audit_staged_ = staged;
+  audit_dropped_ = 0;
+  audit_duped_ = 0;
+  audit_delayed_ = 0;
+  audit_violations_at_ = metrics_.violations;
+}
+
+void Engine::finish_audit() const {
+  const std::size_t m = config_.num_machines;
+  // Conservation: every word staged this round (plus fault duplicates,
+  // minus fault drops and delays) must surface in exactly one inbox.
+  std::size_t delivered = 0;
+  for (std::size_t to = 0; to < m; ++to) delivered += received_words(to);
+  const std::size_t expect =
+      audit_staged_ + audit_duped_ - audit_dropped_ - audit_delayed_;
+  if (delivered != expect) {
+    throw AuditError(
+        "audit: round " + std::to_string(metrics_.rounds) + " delivered " +
+        std::to_string(delivered) + " words, expected " +
+        std::to_string(expect) + " (staged " + std::to_string(audit_staged_) +
+        " + duped " + std::to_string(audit_duped_) + " - dropped " +
+        std::to_string(audit_dropped_) + " - delayed " +
+        std::to_string(audit_delayed_) + ")");
+  }
+  // Capacity accounting: in non-strict mode breaches must still have been
+  // tallied — a breach the engine failed to count is an accounting bug.
+  if (!config_.strict) {
+    for (std::size_t to = 0; to < m; ++to) {
+      if (received_words(to) > config_.words_per_machine &&
+          metrics_.violations == audit_violations_at_) {
+        throw AuditError("audit: machine " + std::to_string(to) +
+                         " received " + std::to_string(received_words(to)) +
+                         " words over its budget of " +
+                         std::to_string(config_.words_per_machine) +
+                         " without a violations tally");
+      }
+    }
+  }
+  // Inbox-view segment bounds: every segment of a shared-round receiver
+  // must alias either its inbox buffer or a delivered payload, and the
+  // segment words must sum to the recorded receive total.
+  if (!shared_round_) return;
+  const std::less<const Word*> before;  // defined ordering across buffers
+  for (const std::size_t to : seg_touched_) {
+    std::size_t seg_words = 0;
+    for (const auto seg : in_segs_[to]) {
+      seg_words += seg.size();
+      if (seg.empty()) continue;
+      const Word* lo = seg.data();
+      const Word* hi = seg.data() + seg.size();
+      const auto& in = inbox_[to];
+      bool inside = !before(lo, in.data()) &&
+                    !before(in.data() + in.size(), hi);
+      for (std::size_t p = 0; !inside && p < delivered_payloads_.size();
+           ++p) {
+        const auto& pay = delivered_payloads_[p];
+        inside = !before(lo, pay.data()) &&
+                 !before(pay.data() + pay.size(), hi);
+      }
+      if (!inside) {
+        throw AuditError("audit: machine " + std::to_string(to) +
+                         " has an inbox-view segment outside every "
+                         "delivered buffer in round " +
+                         std::to_string(metrics_.rounds));
+      }
+    }
+    if (seg_words != recv_total_[to]) {
+      throw AuditError(
+          "audit: machine " + std::to_string(to) + " segment words (" +
+          std::to_string(seg_words) + ") disagree with its receive total (" +
+          std::to_string(recv_total_[to]) + ") in round " +
+          std::to_string(metrics_.rounds));
+    }
+  }
 }
 
 }  // namespace mpcg::mpc

@@ -37,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "util/fnv.h"
+
 namespace mpcg::fault {
 class FaultPlan;
 class CheckpointRegistry;
@@ -56,6 +58,26 @@ using PayloadId = std::uint32_t;
 class CapacityError : public std::runtime_error {
  public:
   explicit CapacityError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when integrity checking (Config::integrity) detects a stream
+/// checksum mismatch it cannot repair: a corruption whose retransmit budget
+/// is exhausted with recovery disabled, or a mismatch at delivery that no
+/// detect->retransmit cycle handled.
+class IntegrityError : public std::runtime_error {
+ public:
+  explicit IntegrityError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown when audit mode (Config::audit) finds a broken invariant — a
+/// conservation violation, an untallied capacity breach, or an inbox view
+/// whose segments disagree with the delivered word count.  An AuditError is
+/// a simulator bug (or memory corruption), never an expected outcome of an
+/// injected fault.
+class AuditError : public std::logic_error {
+ public:
+  explicit AuditError(const std::string& what) : std::logic_error(what) {}
 };
 
 struct Config {
@@ -90,6 +112,27 @@ struct Config {
   /// everywhere — how tests pin one representation).
   static constexpr std::size_t kAdaptive = static_cast<std::size_t>(-1);
   std::size_t dense_machine_limit = kAdaptive;
+  /// End-to-end message integrity: every sender's staged word stream
+  /// carries a 64-bit FNV-1a checksum, folded in incrementally at append
+  /// time (one xor-multiply per word behind a null-pointer test that is
+  /// perfectly predicted when this is off) and verified against a
+  /// recomputation at every flush (one branch per flush when off).  A
+  /// mismatch — a kCorruptPayload fault, or real memory corruption — is
+  /// detected before delivery and repaired by retransmitting the sender's
+  /// retained stream (see FaultPlan::retransmit_budget for the escalation
+  /// contract).  Pins the flat staging representation: the checksum is
+  /// defined over the contiguous per-sender wire stream, which the dense
+  /// per-pair matrix does not materialize.  Metrics are representation-
+  /// invariant, so the pin is observable only as wall-clock.
+  bool integrity = false;
+  /// Runtime audit mode: after every exchange the engine checks
+  /// conservation (words staged == delivered + dropped - duplicated
+  /// + delayed, with fault adjustments), that capacity breaches were
+  /// tallied, and that inbox-view segments cover exactly the delivered
+  /// words inside engine-owned buffers.  Costs one staging sweep per round
+  /// (O(machines + shared sends); O(machines^2) on the dense path); throws
+  /// AuditError on any violation.
+  bool audit = false;
 };
 
 struct Metrics {
@@ -122,6 +165,17 @@ struct Metrics {
   std::size_t checkpoint_bytes = 0;
   /// Fault events applied from the attached plan.
   std::size_t faults_injected = 0;
+  /// kCorruptPayload events that flipped at least one staged bit (events
+  /// landing on an empty stream corrupt nothing and are not counted here,
+  /// though they still count in faults_injected).
+  std::size_t corruptions_injected = 0;
+  /// Corruptions caught by the integrity layer's checksum verification.
+  /// Equals corruptions_injected whenever Config::integrity is on.
+  std::size_t corruptions_detected = 0;
+  /// Words re-delivered from sender-side retention by the detect->
+  /// retransmit protocol (including the re-delivery after a budget-blown
+  /// corruption escalated to checkpoint rollback).
+  std::size_t words_retransmitted = 0;
 };
 
 /// Run-length tag encoding of the flat staging. Each sender's staged words
@@ -133,6 +187,10 @@ struct Metrics {
 /// stage at exactly the cost of a per-word destination tag — one 4-byte
 /// store — while a burst of k words to one machine compresses to one tag +
 /// one count, and delivery is a counting sort over tags, not words.
+/// The per-sender stream checksum of the integrity layer (see
+/// Config::integrity) — shared with the congested-clique engine.
+using Fnv = mpcg::Fnv;
+
 struct RunTag {
   static constexpr std::uint32_t kExtFlag = 0x80000000u;
   static constexpr std::uint32_t kDestMask = 0x7fffffffu;
@@ -174,6 +232,12 @@ class Outbox {
       return;
     }
     words_->push_back(word);
+    // Integrity layer: fold the word into the sender's stream checksum.
+    // With integrity off csum_ is null and this branch is never taken —
+    // a perfectly predicted test, the staging cost the bench pins at 0%.
+    if (csum_ != nullptr) [[unlikely]] {
+      *csum_ = Fnv::fold(*csum_, word);
+    }
     if (*open_to_ == to) {
       std::uint32_t& back = tos_->back();
       if ((back & RunTag::kExtFlag) == 0) {
@@ -205,6 +269,11 @@ class Outbox {
       return;
     }
     words_->insert(words_->end(), words.begin(), words.end());
+    if (csum_ != nullptr) [[unlikely]] {
+      std::uint64_t h = *csum_;
+      for (const Word w : words) h = Fnv::fold(h, w);
+      *csum_ = h;
+    }
     std::size_t left = words.size();
     if (*open_to_ == to) {
       std::uint32_t& back = tos_->back();
@@ -241,9 +310,10 @@ class Outbox {
   friend class Engine;
   Outbox(std::vector<Word>* dense_row, std::vector<std::uint32_t>* tos,
          std::vector<std::uint32_t>* counts, std::vector<Word>* words,
-         std::uint32_t* open_to, std::size_t num_machines)
+         std::uint32_t* open_to, std::size_t num_machines,
+         std::uint64_t* csum = nullptr)
       : dense_row_(dense_row), tos_(tos), counts_(counts), words_(words),
-        open_to_(open_to), num_machines_(num_machines) {}
+        open_to_(open_to), num_machines_(num_machines), csum_(csum) {}
   /// Out of line: the exception-string construction must not be inlined
   /// into every append call site (it bloats the hot staging loops).
   [[noreturn]] void throw_bad_dest(std::size_t to) const;
@@ -258,6 +328,9 @@ class Outbox {
   std::vector<Word>* words_ = nullptr;
   std::uint32_t* open_to_ = nullptr;
   std::size_t num_machines_ = 0;
+  /// The sender's incremental stream-checksum accumulator, or nullptr when
+  /// integrity checking is off (the hot-path appends test this once).
+  std::uint64_t* csum_ = nullptr;
 };
 
 /// Read-only, zero-copy view of one machine's inbox after an exchange: an
@@ -390,7 +463,8 @@ class Engine {
     }
     return Outbox(nullptr, &out_tos_[from], &out_counts_[from],
                   &out_words_[from], &out_open_to_[from],
-                  config_.num_machines);
+                  config_.num_machines,
+                  config_.integrity ? &out_csums_[from] : nullptr);
   }
 
   /// Queues one word from machine `from` to machine `to` for the next
@@ -491,6 +565,7 @@ class Engine {
     std::vector<std::vector<std::uint32_t>> out_counts;
     std::vector<std::vector<Word>> out_words;
     std::vector<std::uint32_t> out_open_to;
+    std::vector<std::uint64_t> out_csums;
     std::vector<std::vector<Word>> staged_payloads;
     std::vector<SharedSend> shared_sends;
     Metrics metrics{};
@@ -550,17 +625,49 @@ class Engine {
   /// flush is what a fault destroys.
   void corrupt_machine_staging(std::size_t machine);
   /// Doubles machine `m`'s staged unicast traffic (non-recovered duplicate
-  /// flush: receivers see every word twice and congestion accounting trips).
-  void duplicate_machine_staging(std::size_t machine);
+  /// flush: receivers see every word twice and congestion accounting
+  /// trips).  Returns the words added (the audit-mode adjustment).
+  std::size_t duplicate_machine_staging(std::size_t machine);
   /// Holds machine `m`'s staged unicast traffic back one round
   /// (non-recovered delayed flush); inject_delayed() re-appends it to the
-  /// next round's staging.
-  void delay_machine_staging(std::size_t machine);
+  /// next round's staging.  Returns the words held back.
+  std::size_t delay_machine_staging(std::size_t machine);
   void inject_delayed();
   /// Blanks what a dark (non-recovered crashed) machine received this
   /// round. Send-side metrics keep the words — they were sent, they just
   /// hit a dead host.
   void clear_delivered_for(std::size_t machine);
+  /// Clears one flat sender's staged stream (tags, counts, words, open-run
+  /// table, checksum accumulator).
+  void clear_sender_staging(std::size_t from);
+  /// Resets the sender's checksum accumulator to the digest of its current
+  /// staged stream (after a non-append mutation: duplicate, delayed
+  /// re-injection, restore).
+  void resync_sender_checksum(std::size_t from);
+  /// True iff the sender's accumulated checksum matches a recomputation
+  /// over its staged stream — the receiver-side verification.
+  [[nodiscard]] bool sender_stream_ok(std::size_t from) const;
+  /// Flush-time verification of every sender's stream (one branch per
+  /// flush reaches here only with Config::integrity on).  A mismatch at
+  /// this point escaped the detect->retransmit protocol — real memory
+  /// corruption, not an injected fault — and throws IntegrityError.
+  void verify_streams() const;
+  /// Copies machine `m`'s staged flat stream aside (sender-side retention)
+  /// and flips 1-3 mix64-derived bits in the live staged words; on the
+  /// dense path flips bits in the per-pair boxes without retention
+  /// (integrity cannot be on there).  Returns the number of bits flipped
+  /// (0 when nothing is staged).
+  std::size_t corrupt_staged_words(std::size_t machine, std::size_t round,
+                                   std::size_t ordinal);
+  /// Reinstates the retained pristine stream (the retransmission) and
+  /// returns the number of words re-delivered.
+  std::size_t retransmit_retained(std::size_t machine);
+  /// Audit mode: records the staged word total (post delayed-injection,
+  /// pre fault events) and the fault adjustments baseline for this round.
+  void begin_audit();
+  /// Audit mode: checks conservation, capacity tallies, and segment bounds
+  /// for the round just delivered; throws AuditError on violation.
+  void finish_audit() const;
   void exchange_plain_dense(std::size_t m);
   void exchange_plain_flat(std::size_t m);
   void exchange_shared(std::size_t m);
@@ -621,6 +728,9 @@ class Engine {
   /// The compact mirror of out_tos_[from].back()'s destination that keeps
   /// the append-side merge test off the tag vectors' scattered tails.
   std::vector<std::uint32_t> out_open_to_;
+  /// Per-sender incremental FNV-1a stream checksums (allocated only with
+  /// Config::integrity; reset to Fnv::kOffset whenever the stream clears).
+  std::vector<std::uint64_t> out_csums_;
   /// Unicast words delivered to each machine (shared payloads are viewed in
   /// place, never copied here).
   std::vector<std::vector<Word>> inbox_;
@@ -677,6 +787,28 @@ class Engine {
   /// re-fetches / machines that went dark without recovery.
   std::vector<std::size_t> crashed_scratch_;
   std::vector<std::size_t> dark_scratch_;
+  /// Sender-side retention for the detect->retransmit protocol: the
+  /// pristine copy of the stream a kCorruptPayload event is about to
+  /// mangle (valid for the machine named by retained_from_ within one
+  /// exchange_faulty).
+  struct RetainedStream {
+    std::vector<std::uint32_t> tos;
+    std::vector<std::uint32_t> counts;
+    std::vector<Word> words;
+    std::uint32_t open_to = RunTag::kNoDest;
+    std::uint64_t csum = 0;
+  };
+  RetainedStream retained_;
+  std::size_t retained_from_ = static_cast<std::size_t>(-1);
+
+  // Audit-mode per-round scratch (see Config::audit): the staged total at
+  // round entry and the word-count adjustments unrecovered faults made to
+  // the staging, so finish_audit() can close the conservation equation.
+  std::size_t audit_staged_ = 0;
+  std::size_t audit_dropped_ = 0;
+  std::size_t audit_duped_ = 0;
+  std::size_t audit_delayed_ = 0;
+  std::size_t audit_violations_at_ = 0;
 };
 
 }  // namespace mpcg::mpc

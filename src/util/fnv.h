@@ -1,0 +1,31 @@
+// Word-granular 64-bit FNV-1a — the stream checksum of the integrity
+// layer in both engines (mpc::Config::integrity, cclique::Engine).
+// Folding whole 64-bit words instead of bytes keeps the hot-path cost at
+// one xor-multiply per appended word; a single flipped bit anywhere in the
+// stream still changes the digest.
+#ifndef MPCG_UTIL_FNV_H
+#define MPCG_UTIL_FNV_H
+
+#include <cstdint>
+#include <span>
+
+namespace mpcg {
+
+struct Fnv {
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  static constexpr std::uint64_t fold(std::uint64_t h,
+                                      std::uint64_t w) noexcept {
+    return (h ^ w) * kPrime;
+  }
+  [[nodiscard]] static constexpr std::uint64_t digest(
+      std::span<const std::uint64_t> words) noexcept {
+    std::uint64_t h = kOffset;
+    for (const std::uint64_t w : words) h = fold(h, w);
+    return h;
+  }
+};
+
+}  // namespace mpcg
+
+#endif  // MPCG_UTIL_FNV_H

@@ -56,6 +56,81 @@ TEST(FaultPlan, ParseRejectsMalformedSpecs) {
                std::invalid_argument);
 }
 
+// Asserts that parsing `spec` throws std::invalid_argument whose message
+// contains `needle` — the error must name the offending token.
+void expect_parse_error(const std::string& spec, const std::string& needle) {
+  try {
+    (void)fault::FaultPlan::parse(spec);
+    FAIL() << "parse(\"" << spec << "\") did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message \"" << e.what() << "\" lacks \"" << needle << "\" for \""
+        << spec << "\"";
+  }
+}
+
+TEST(FaultPlan, ParseNamesTheOffendingToken) {
+  // Truncated specs: missing round, missing machine, empty fields.
+  expect_parse_error("crash:1", "crash:1");
+  expect_parse_error("corrupt:2", "corrupt:2");
+  expect_parse_error("drop@4", "drop@4");
+  expect_parse_error("crash:@2", "crash:@2");
+  expect_parse_error("crash:1@", "crash:1@");
+  // Overflowing numerals must be rejected, not wrapped.
+  expect_parse_error("crash:1@999999999999999999999999",
+                     "999999999999999999999999");
+  expect_parse_error("corrupt:888888888888888888888888@1",
+                     "888888888888888888888888");
+  // Duplicate (kind, machine, round) triples are schedule bugs.
+  expect_parse_error("crash:1@2,drop:0@3,crash:1@2", "duplicate");
+}
+
+TEST(FaultPlan, RandomStormRoundTripsThroughParse) {
+  // Property test: every seeded storm is duplicate-free, in-range, and
+  // survives to_string()/parse() verbatim.
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const auto storm =
+        fault::FaultPlan::random_storm(mix64(seed, 0, 0x570f), 6, 24, 10);
+    EXPECT_EQ(storm.size(), 10U) << seed;
+    for (const auto& ev : storm.events()) {
+      EXPECT_LT(ev.machine, 6U) << seed;
+      EXPECT_LT(ev.round, 24U) << seed;
+    }
+    const auto again = fault::FaultPlan::parse(storm.to_string());
+    EXPECT_EQ(again.to_string(), storm.to_string()) << seed;
+    ASSERT_EQ(again.size(), storm.size()) << seed;
+    for (std::size_t i = 0; i < storm.size(); ++i) {
+      EXPECT_EQ(again.events()[i].round, storm.events()[i].round) << seed;
+      EXPECT_EQ(again.events()[i].machine, storm.events()[i].machine)
+          << seed;
+      EXPECT_EQ(again.events()[i].kind, storm.events()[i].kind) << seed;
+    }
+  }
+  // Seed-determinism and seed-sensitivity.
+  const auto a = fault::FaultPlan::random_storm(7, 4, 16, 8);
+  const auto b = fault::FaultPlan::random_storm(7, 4, 16, 8);
+  const auto c = fault::FaultPlan::random_storm(8, 4, 16, 8);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_NE(a.to_string(), c.to_string());
+}
+
+TEST(FaultPlan, RandomStormMixesFaultKinds) {
+  // Over a few seeds the storm generator must exercise every kind,
+  // including payload corruption.
+  std::size_t corrupt = 0;
+  std::size_t crash = 0;
+  std::size_t other = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto storm = fault::FaultPlan::random_storm(seed, 8, 32, 12);
+    corrupt += storm.corrupt_count();
+    crash += storm.crash_count();
+    other += storm.size() - storm.corrupt_count() - storm.crash_count();
+  }
+  EXPECT_GT(corrupt, 0U);
+  EXPECT_GT(crash, 0U);
+  EXPECT_GT(other, 0U);
+}
+
 TEST(FaultPlan, EventsAtGroupsByRoundInInsertionOrder) {
   fault::FaultPlan plan;
   plan.add_drop(1, 4).add_crash(0, 2).add_delay(2, 4);
@@ -118,6 +193,87 @@ TEST(CheckpointRegistry, CaptureRestoreRoundTripsProviders) {
   EXPECT_EQ(state_b, 0.5);
   EXPECT_EQ(reg.captures(), 1U);
   EXPECT_EQ(reg.restores(), 1U);
+}
+
+TEST(CheckpointRegistry, IncrementalCapturesChargeDirtyRangesOnly) {
+  // Repeated captures of mostly-unchanged state are charged by dirty
+  // range (2 header words + payload per maximal dirty stretch), not by
+  // full size; restore stays bit-identical either way.
+  fault::CheckpointRegistry reg;
+  std::vector<std::uint64_t> vec(64);
+  for (std::size_t i = 0; i < vec.size(); ++i) vec[i] = i * 3 + 1;
+  std::uint64_t scalar = 99;
+  reg.register_state(
+      "vec",
+      [&](std::vector<fault::CheckpointRegistry::Word>& out) {
+        out.insert(out.end(), vec.begin(), vec.end());
+      },
+      [&](std::span<const fault::CheckpointRegistry::Word> in) {
+        vec.assign(in.begin(), in.end());
+      });
+  reg.register_state(
+      "scalar",
+      [&](std::vector<fault::CheckpointRegistry::Word>& out) {
+        out.push_back(scalar);
+      },
+      [&](std::span<const fault::CheckpointRegistry::Word> in) {
+        scalar = in[0];
+      });
+
+  // First capture is a full serialization of both providers.
+  EXPECT_EQ(reg.capture(), 65U);
+  EXPECT_EQ(reg.last_capture_words(), 65U);
+  EXPECT_EQ(reg.delta_captures(), 0U);
+
+  // One dirty word: 2 header + 1 payload; the untouched scalar is free.
+  vec[10] ^= 0xff;
+  EXPECT_EQ(reg.capture(), 3U);
+  EXPECT_EQ(reg.delta_captures(), 1U);
+
+  // Two separated dirty words: two stretches, (2+1) + (2+1).
+  vec[5] += 1;
+  vec[50] += 1;
+  EXPECT_EQ(reg.capture(), 6U);
+  EXPECT_EQ(reg.delta_captures(), 2U);
+
+  // Nothing changed: a capture costs nothing.
+  EXPECT_EQ(reg.capture(), 0U);
+  EXPECT_EQ(reg.delta_captures(), 3U);
+
+  // A resize falls back to a full save of that provider.
+  vec.resize(80, 7);
+  EXPECT_EQ(reg.capture(), 80U);
+  EXPECT_EQ(reg.delta_captures(), 3U);
+
+  // Restore after a delta capture is still bit-identical.
+  const auto want_vec = vec;
+  const auto want_scalar = scalar;
+  for (auto& w : vec) w = 0;
+  scalar = 0;
+  reg.restore();
+  EXPECT_EQ(vec, want_vec);
+  EXPECT_EQ(scalar, want_scalar);
+}
+
+TEST(CheckpointRegistry, DenseDirtStillCapsAtFullSaveCost) {
+  // When every word changes, the dirty-range encoding must cost no more
+  // than the full save it replaces.
+  fault::CheckpointRegistry reg;
+  std::vector<std::uint64_t> vec(32, 1);
+  reg.register_state(
+      "vec",
+      [&](std::vector<fault::CheckpointRegistry::Word>& out) {
+        out.insert(out.end(), vec.begin(), vec.end());
+      },
+      [&](std::span<const fault::CheckpointRegistry::Word> in) {
+        vec.assign(in.begin(), in.end());
+      });
+  EXPECT_EQ(reg.capture(), 32U);
+  for (auto& w : vec) w += 1;
+  EXPECT_LE(reg.capture(), 32U);
+  for (auto& w : vec) w = 0;
+  reg.restore();
+  EXPECT_EQ(vec, std::vector<std::uint64_t>(32, 2));
 }
 
 // ------------------------------------------------- engine Snapshot/restore

@@ -1,0 +1,220 @@
+// mpcg_chaos — randomized multi-fault soak harness for the data-integrity
+// layer.
+//
+// Each storm draws a seeded FaultPlan::random_storm (crashes, drops,
+// duplicates, delays, payload corruptions), runs one of the drivers — MIS,
+// fractional matching, vertex cover (MPC model) or MIS (congested clique)
+// — with checkpoint recovery, stream-checksum integrity, and audit mode
+// all armed, and cross-checks the result against a from-scratch fault-free
+// solve:
+//   * every observable output and every logical metric must be
+//     bit-identical (the coupling contract);
+//   * the solution must validate against the input graph from scratch
+//     (maximal independent set / fractional matching / vertex cover);
+//   * every injected corruption must have been detected
+//     (corruptions_detected == corruptions_injected).
+//
+// Usage:
+//   mpcg_chaos [--storms 20] [--seed 1] [--n 4096] [--verbose]
+//
+// Exits 0 iff every storm passes; any mismatch prints a FAIL line and
+// exits 1 — suitable for CI (including ASan jobs) as-is.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mpcg.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace mpcg;
+
+struct StormStats {
+  std::size_t faults = 0;
+  std::size_t corruptions = 0;
+  std::size_t retransmitted = 0;
+  std::size_t replayed = 0;
+};
+
+bool check(bool ok, const char* what, const std::string& label,
+           std::size_t& failures) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL %s: %s\n", label.c_str(), what);
+    ++failures;
+  }
+  return ok;
+}
+
+// One storm against matching_mpc (algo == "matching") or the vertex-cover
+// wrapper on top of it (algo == "vc").
+void storm_matching(const Graph& g, std::uint64_t seed, bool want_cover,
+                    const std::string& label, std::size_t& failures,
+                    StormStats& stats) {
+  MatchingMpcOptions opt;
+  opt.eps = 0.1;
+  opt.seed = seed;
+  const auto clean = matching_mpc(g, opt);
+
+  const auto plan = fault::FaultPlan::random_storm(
+      mix64(seed, 1, 0xc4a05), /*num_machines=*/2, clean.metrics.rounds, 8);
+  MatchingMpcOptions faulty = opt;
+  faulty.fault_plan = &plan;
+  faulty.integrity = true;
+  faulty.audit = true;
+  const auto stormy = matching_mpc(g, faulty);
+
+  check(stormy.x == clean.x, "x diverged", label, failures);
+  check(stormy.cover == clean.cover, "cover diverged", label, failures);
+  check(stormy.freeze_iteration == clean.freeze_iteration,
+        "freeze iterations diverged", label, failures);
+  check(stormy.metrics.rounds == clean.metrics.rounds, "rounds diverged",
+        label, failures);
+  check(stormy.metrics.total_words == clean.metrics.total_words,
+        "total_words diverged", label, failures);
+  check(stormy.metrics.corruptions_detected ==
+            stormy.metrics.corruptions_injected,
+        "undetected corruption", label, failures);
+  check(is_fractional_matching(g, stormy.x), "x is not a fractional matching",
+        label, failures);
+  if (want_cover) {
+    check(is_vertex_cover(g, stormy.cover), "cover does not cover", label,
+          failures);
+  }
+  stats.faults += stormy.metrics.faults_injected;
+  stats.corruptions += stormy.metrics.corruptions_injected;
+  stats.retransmitted += stormy.metrics.words_retransmitted;
+  stats.replayed += stormy.metrics.rounds_replayed;
+}
+
+void storm_mis(const Graph& g, std::uint64_t seed, const std::string& label,
+               std::size_t& failures, StormStats& stats) {
+  MisMpcOptions opt;
+  opt.seed = seed;
+  const auto clean = mis_mpc(g, opt);
+
+  const auto plan = fault::FaultPlan::random_storm(
+      mix64(seed, 2, 0xc4a05), /*num_machines=*/2, clean.metrics.rounds, 8);
+  MisMpcOptions faulty = opt;
+  faulty.fault_plan = &plan;
+  faulty.integrity = true;
+  faulty.audit = true;
+  const auto stormy = mis_mpc(g, faulty);
+
+  check(stormy.mis == clean.mis, "mis diverged", label, failures);
+  check(stormy.rank_phases == clean.rank_phases, "rank_phases diverged",
+        label, failures);
+  check(stormy.metrics.rounds == clean.metrics.rounds, "rounds diverged",
+        label, failures);
+  check(stormy.metrics.total_words == clean.metrics.total_words,
+        "total_words diverged", label, failures);
+  check(stormy.metrics.corruptions_detected ==
+            stormy.metrics.corruptions_injected,
+        "undetected corruption", label, failures);
+  check(is_maximal_independent_set(g, stormy.mis), "mis is not maximal",
+        label, failures);
+  stats.faults += stormy.metrics.faults_injected;
+  stats.corruptions += stormy.metrics.corruptions_injected;
+  stats.retransmitted += stormy.metrics.words_retransmitted;
+  stats.replayed += stormy.metrics.rounds_replayed;
+}
+
+void storm_mis_cclique(const Graph& g, std::uint64_t seed,
+                       const std::string& label, std::size_t& failures,
+                       StormStats& stats) {
+  MisCcliqueOptions opt;
+  opt.seed = seed;
+  const auto clean = mis_cclique(g, opt);
+
+  const auto plan = fault::FaultPlan::random_storm(
+      mix64(seed, 3, 0xc4a05), /*num_machines=*/4, clean.metrics.rounds, 8);
+  MisCcliqueOptions faulty = opt;
+  faulty.fault_plan = &plan;
+  faulty.integrity = true;
+  faulty.audit = true;
+  const auto stormy = mis_cclique(g, faulty);
+
+  check(stormy.mis == clean.mis, "mis diverged", label, failures);
+  check(stormy.rank_phases == clean.rank_phases, "rank_phases diverged",
+        label, failures);
+  check(stormy.metrics.rounds == clean.metrics.rounds, "rounds diverged",
+        label, failures);
+  check(stormy.metrics.total_words == clean.metrics.total_words,
+        "total_words diverged", label, failures);
+  check(stormy.metrics.lenzen_batches == clean.metrics.lenzen_batches,
+        "lenzen_batches diverged", label, failures);
+  check(stormy.metrics.corruptions_detected ==
+            stormy.metrics.corruptions_injected,
+        "undetected corruption", label, failures);
+  check(is_maximal_independent_set(g, stormy.mis), "mis is not maximal",
+        label, failures);
+  stats.faults += stormy.metrics.faults_injected;
+  stats.corruptions += stormy.metrics.corruptions_injected;
+  stats.retransmitted += stormy.metrics.words_retransmitted;
+  stats.replayed += stormy.metrics.rounds_replayed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const mpcg::Flags flags(argc, argv);
+    const std::size_t storms =
+        static_cast<std::size_t>(flags.get_int("storms", 20));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 4096));
+    const bool verbose = flags.get_bool("verbose", false);
+    if (const auto unused = flags.unused(); !unused.empty()) {
+      std::fprintf(stderr, "unknown flag --%s\n", unused.front().c_str());
+      return 2;
+    }
+
+    static constexpr const char* kDrivers[] = {"mis", "matching", "vc",
+                                               "mis_cc"};
+    static constexpr const char* kFamilies[] = {"gnp_sparse", "gnp_dense",
+                                                "rmat", "star"};
+    std::size_t failures = 0;
+    std::size_t clean_storms = 0;
+    StormStats stats;
+    for (std::size_t s = 0; s < storms; ++s) {
+      const char* driver = kDrivers[s % 4];
+      const char* family = kFamilies[(s / 4) % 4];
+      const std::uint64_t storm_seed = mpcg::mix64(seed, s, 0xc4a05);
+      const std::string label = "storm " + std::to_string(s) + " (" + driver +
+                                ", " + family + ")";
+      const mpcg::Graph g = mpcg::graph_family(family, n, storm_seed);
+      const std::size_t before = failures;
+      if (std::string(driver) == "mis") {
+        storm_mis(g, storm_seed, label, failures, stats);
+      } else if (std::string(driver) == "matching") {
+        storm_matching(g, storm_seed, /*want_cover=*/false, label, failures,
+                       stats);
+      } else if (std::string(driver) == "vc") {
+        storm_matching(g, storm_seed, /*want_cover=*/true, label, failures,
+                       stats);
+      } else {
+        storm_mis_cclique(g, storm_seed, label, failures, stats);
+      }
+      if (failures == before) {
+        ++clean_storms;
+        if (verbose) std::printf("ok   %s\n", label.c_str());
+      }
+    }
+
+    std::printf(
+        "%zu/%zu storms clean | faults %zu corruptions %zu "
+        "retransmitted %zu replays %zu\n",
+        clean_storms, storms, stats.faults, stats.corruptions,
+        stats.retransmitted, stats.replayed);
+    if (failures != 0) {
+      std::fprintf(stderr, "mpcg_chaos: %zu check(s) failed\n", failures);
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mpcg_chaos: %s\n", e.what());
+    return 1;
+  }
+}

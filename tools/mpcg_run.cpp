@@ -6,17 +6,25 @@
 //
 // Usage:
 //   mpcg_run --algo mis|mis_cc|matching|vc|one_plus_eps|weighted|baselines
+//                   |sort|route
 //            [--family gnp_dense --n 4096 | --input graph.txt]
 //            [--seed 1] [--eps 0.1] [--check]
-//            [--faults "crash:<machine>@<round>,drop:1@4,..."] [--words W]
-//            [--reprovision]
+//            [--faults "crash:<machine>@<round>,corrupt:1@4,..."]
+//            [--words W] [--reprovision] [--integrity] [--audit]
 //
 // --faults attaches a deterministic fault schedule to the engine (mis,
-// matching, vc); recovery replays the faulted rounds from the round
-// checkpoint, so outputs are bit-identical to the fault-free run and the
-// overhead shows up in the fault metrics lines. --reprovision retries a
-// run that breaches capacity (or exhausts its crash budget) with doubled
-// per-machine memory, up to a bounded number of attempts.
+// matching, vc, mis_cc, sort, route); recovery replays the faulted rounds
+// from the round checkpoint, so outputs are bit-identical to the
+// fault-free run and the overhead shows up in the fault metrics lines.
+// --reprovision retries a run that breaches capacity (or exhausts its
+// crash budget) with doubled per-machine memory, up to a bounded number of
+// attempts. --integrity arms the per-sender stream checksums (required for
+// corrupt faults to be detected and repaired); --audit checks conservation
+// invariants every round.
+//
+// `sort` runs the distributed sample sort on seeded words; `route` runs
+// Lenzen routing on the congested clique plus a ring exchange — both are
+// primitive-level fault surfaces with from-scratch --check validation.
 //
 // --check validates the output and exits 3 on an invalid solution.
 //
@@ -24,9 +32,11 @@
 //   mpcg_run --algo mis --family power_law --n 20000 --seed 7
 //   mpcg_run --algo matching --input my_graph.txt --eps 0.05 --check
 //   mpcg_run --algo matching --n 4096 --faults crash:0@3,crash:2@7 --check
+//   mpcg_run --algo sort --n 4096 --faults corrupt:1@2 --integrity --check
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <tuple>
 
 #include "mpcg.h"
 #include "util/flags.h"
@@ -47,6 +57,19 @@ void print_fault_metrics(const mpc::Metrics& m) {
   print_kv("rounds_replayed", m.rounds_replayed);
   print_kv("words_resent", m.words_resent);
   print_kv("checkpoint_bytes", m.checkpoint_bytes);
+  print_kv("corruptions_injected", m.corruptions_injected);
+  print_kv("corruptions_detected", m.corruptions_detected);
+  print_kv("words_retransmitted", m.words_retransmitted);
+}
+
+void print_fault_metrics(const cclique::Metrics& m) {
+  print_kv("faults_injected", m.faults_injected);
+  print_kv("rounds_replayed", m.rounds_replayed);
+  print_kv("words_resent", m.words_resent);
+  print_kv("checkpoint_bytes", m.checkpoint_bytes);
+  print_kv("corruptions_injected", m.corruptions_injected);
+  print_kv("corruptions_detected", m.corruptions_detected);
+  print_kv("words_retransmitted", m.words_retransmitted);
 }
 
 void print_reprovision_failures(
@@ -86,6 +109,8 @@ int run(const Flags& flags) {
 
   const std::string faults_spec = flags.get_string("faults", "");
   const bool reprovision = flags.get_bool("reprovision", false);
+  const bool integrity = flags.get_bool("integrity", false);
+  const bool audit = flags.get_bool("audit", false);
   const auto words = static_cast<std::size_t>(flags.get_int("words", 0));
 
   const auto unused = flags.unused();
@@ -98,9 +123,10 @@ int run(const Flags& flags) {
   if (!faults_spec.empty()) plan = fault::FaultPlan::parse(faults_spec);
   const fault::FaultPlan* plan_ptr = plan.empty() ? nullptr : &plan;
   if (plan_ptr != nullptr && algo != "mis" && algo != "matching" &&
-      algo != "vc") {
+      algo != "vc" && algo != "mis_cc" && algo != "sort" &&
+      algo != "route") {
     std::fprintf(stderr, "--faults is only supported with --algo "
-                         "mis|matching|vc\n");
+                         "mis|matching|vc|mis_cc|sort|route\n");
     return 2;
   }
 
@@ -113,6 +139,8 @@ int run(const Flags& flags) {
     opt.seed = seed;
     opt.words_per_machine = words;
     opt.fault_plan = plan_ptr;
+    opt.integrity = integrity;
+    opt.audit = audit;
     MisMpcResult r;
     if (reprovision) {
       auto outcome = fault::run_with_reprovision(
@@ -149,12 +177,106 @@ int run(const Flags& flags) {
   if (algo == "mis_cc") {
     MisCcliqueOptions opt;
     opt.seed = seed;
+    opt.fault_plan = plan_ptr;
+    opt.integrity = integrity;
+    opt.audit = audit;
     const auto r = mis_cclique(g, opt);
     print_kv("mis_size", r.mis.size());
     print_kv("clique_rounds", r.metrics.rounds);
     print_kv("lenzen_batches", r.metrics.lenzen_batches);
+    if (plan_ptr != nullptr) print_fault_metrics(r.metrics);
     if (check) {
       const bool valid = is_maximal_independent_set(g, r.mis);
+      print_kv("valid", static_cast<std::size_t>(valid));
+      if (!valid) return 3;
+    }
+    return 0;
+  }
+  if (algo == "sort") {
+    // Primitive-level fault surface: distributed sample sort of seeded
+    // words, cross-checked against a from-scratch std::sort.
+    const std::size_t n_words = std::max<std::size_t>(g.num_vertices(), 64);
+    const std::size_t machines = std::clamp<std::size_t>(n_words / 64, 2, 64);
+    mpc::Config cfg{machines, base_words(words, n_words), true};
+    cfg.integrity = integrity;
+    cfg.audit = audit;
+    mpc::Engine engine(cfg);
+    fault::CheckpointRegistry registry;
+    if (plan_ptr != nullptr) engine.set_fault_plan(plan_ptr, &registry);
+    std::vector<std::vector<mpc::Word>> input(machines);
+    for (std::size_t i = 0; i < n_words; ++i) {
+      input[i % machines].push_back(mix64(seed, i, 0x5047ULL));
+    }
+    const auto slices = mpc::distributed_sort(engine, input);
+    print_kv("sorted_words", n_words);
+    print_kv("machines", machines);
+    print_kv("engine_rounds", engine.metrics().rounds);
+    if (plan_ptr != nullptr) print_fault_metrics(engine.metrics());
+    if (check) {
+      std::vector<mpc::Word> got;
+      for (const auto& s : slices) got.insert(got.end(), s.begin(), s.end());
+      std::vector<mpc::Word> want;
+      for (const auto& in : input) want.insert(want.end(), in.begin(),
+                                               in.end());
+      std::sort(want.begin(), want.end());
+      const bool valid = got == want;
+      print_kv("valid", static_cast<std::size_t>(valid));
+      if (!valid) return 3;
+    }
+    return 0;
+  }
+  if (algo == "route") {
+    // Lenzen routing plus a ring exchange on the congested clique; the
+    // delivered multiset is checked against the staged one from scratch.
+    const std::size_t players = std::clamp<std::size_t>(g.num_vertices(),
+                                                        4, 4096);
+    cclique::Engine engine(players, /*strict=*/true, integrity, audit);
+    if (plan_ptr != nullptr) engine.set_fault_plan(plan_ptr);
+    for (std::size_t p = 0; p < players; ++p) {
+      engine.send(static_cast<cclique::PlayerId>(p),
+                  static_cast<cclique::PlayerId>((p + 1) % players),
+                  mix64(seed, p, 0x72ULL));
+    }
+    engine.exchange();
+    cclique::RouteStream stream;
+    std::vector<cclique::Message> staged;
+    for (std::size_t p = 0; p < players; ++p) {
+      const auto to = static_cast<cclique::PlayerId>(
+          mix64(seed, p, 0x746fULL) % players);
+      const std::size_t burst = 1 + mix64(seed, p, 0x6cULL) % 4;
+      for (std::size_t i = 0; i < burst; ++i) {
+        const cclique::Word w = mix64(seed, p * 8 + i, 0x77ULL);
+        stream.append(static_cast<cclique::PlayerId>(p), to, w);
+        staged.push_back({static_cast<cclique::PlayerId>(p), to, w});
+      }
+    }
+    const auto& delivered = engine.lenzen_route(stream);
+    print_kv("players", players);
+    print_kv("routed_words", stream.size());
+    print_kv("clique_rounds", engine.metrics().rounds);
+    print_kv("lenzen_batches", engine.metrics().lenzen_batches);
+    if (plan_ptr != nullptr) print_fault_metrics(engine.metrics());
+    if (check) {
+      std::vector<cclique::Message> got;
+      for (const auto& bucket : delivered) {
+        got.insert(got.end(), bucket.begin(), bucket.end());
+      }
+      const auto key = [](const cclique::Message& m) {
+        return std::make_tuple(m.from, m.to, m.word);
+      };
+      const auto less = [&key](const cclique::Message& a,
+                               const cclique::Message& b) {
+        return key(a) < key(b);
+      };
+      std::sort(got.begin(), got.end(), less);
+      std::sort(staged.begin(), staged.end(), less);
+      const bool valid =
+          got.size() == staged.size() &&
+          std::equal(got.begin(), got.end(), staged.begin(),
+                     [&key](const cclique::Message& a,
+                            const cclique::Message& b) {
+                       return key(a) == key(b);
+                     });
       print_kv("valid", static_cast<std::size_t>(valid));
       if (!valid) return 3;
     }
@@ -166,6 +288,8 @@ int run(const Flags& flags) {
     opt.seed = seed;
     opt.simulation.words_per_machine = words;
     opt.simulation.fault_plan = plan_ptr;
+    opt.simulation.integrity = integrity;
+    opt.simulation.audit = audit;
     IntegralMatchingResult r;
     if (reprovision) {
       auto outcome = fault::run_with_reprovision(
@@ -247,7 +371,7 @@ int run(const Flags& flags) {
   }
   std::fprintf(stderr,
                "unknown --algo '%s' (want mis|mis_cc|matching|vc|"
-               "one_plus_eps|weighted|baselines)\n",
+               "one_plus_eps|weighted|baselines|sort|route)\n",
                algo.c_str());
   return 2;
 }
