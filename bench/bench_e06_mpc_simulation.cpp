@@ -285,6 +285,76 @@ BENCHMARK(E06_IntegrityOverhead)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// Durable-store integrity overhead: the same workload with the per-blob
+// store digests, a round-boundary scrub, and an early-round store-rot
+// schedule armed.  Rot is detected by the publish-time digests and
+// repaired in place from the publisher's retained copy, so outputs stay
+// bit-identical (store_integrity_identical) and every injected rot is
+// caught (store detected == injected).  The acceptance row (2^16) wants
+// overhead at noise level: the digests fold at stage time and the repair
+// path only runs on faulted rounds.
+void E06_StoreIntegrityOverhead(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = gnp_with_degree(n, 16.0, 17);
+  const MatchingMpcOptions clean_opt = opts(17);
+
+  MatchingMpcResult clean;
+  double clean_ms = 0.0;
+  {
+    const WallTimer timer;
+    clean = matching_mpc(g, clean_opt);
+    clean_ms = timer.elapsed_ms();
+  }
+
+  // Store rot across the early rounds of both low machines; rounds with an
+  // empty store are no-ops.
+  fault::FaultPlan plan;
+  for (std::size_t r = 1; r + 1 < clean.metrics.rounds && r <= 6; ++r) {
+    plan.add_corrupt_store(0, r);
+    plan.add_corrupt_store(1, r);
+  }
+  MatchingMpcOptions store_opt = clean_opt;
+  store_opt.fault_plan = plan.empty() ? nullptr : &plan;
+  store_opt.integrity = true;
+  store_opt.scrub_interval = 4;
+  MatchingMpcResult r;
+  double wall_ms = 0.0;
+  for (auto _ : state) {
+    const WallTimer timer;
+    r = matching_mpc(g, store_opt);
+    wall_ms = timer.elapsed_ms();
+    benchmark::DoNotOptimize(r.x.data());
+  }
+
+  const bool identical = r.x == clean.x && r.cover == clean.cover &&
+                         r.freeze_iteration == clean.freeze_iteration &&
+                         r.metrics.rounds == clean.metrics.rounds &&
+                         r.metrics.total_words == clean.metrics.total_words;
+  emit_json_line("E06_StoreIntegrityOverhead/" + std::to_string(n), n,
+                 g.num_edges(), r.metrics.rounds, wall_ms,
+                 r.metrics.peak_storage_words);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["clean_ms"] = clean_ms;
+  state.counters["store_integrity_ms"] = wall_ms;
+  state.counters["overhead_pct"] =
+      clean_ms > 0.0 ? 100.0 * (wall_ms - clean_ms) / clean_ms : 0.0;
+  state.counters["store_integrity_identical"] = identical ? 1.0 : 0.0;
+  state.counters["store_corruptions_injected"] =
+      static_cast<double>(r.metrics.store_corruptions_injected);
+  state.counters["store_corruptions_detected"] =
+      static_cast<double>(r.metrics.store_corruptions_detected);
+  state.counters["store_words_repaired"] =
+      static_cast<double>(r.metrics.store_words_repaired);
+  state.counters["scrub_passes"] =
+      static_cast<double>(r.metrics.scrub_passes);
+}
+BENCHMARK(E06_StoreIntegrityOverhead)
+    ->Arg(1 << 14)
+    // 2^16 is the acceptance row: store digests + scrub at noise level.
+    ->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 void register_all() {
   for (const char* family : family_names()) {
     benchmark::RegisterBenchmark(

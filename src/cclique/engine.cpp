@@ -9,8 +9,9 @@
 namespace mpcg::cclique {
 
 Engine::Engine(std::size_t num_players, bool strict, bool integrity,
-               bool audit)
+               bool audit, std::size_t scrub_interval)
     : n_(num_players), strict_(strict), integrity_(integrity), audit_(audit),
+      scrub_interval_(scrub_interval),
       inbox_(num_players), broadcasting_(num_players, 0),
       sent_(num_players, 0), received_(num_players, 0) {
   if (num_players == 0) {
@@ -38,6 +39,11 @@ void Engine::broadcast(PlayerId from, Word word) {
   }
   pending_broadcasts_.push_back(from);
   bcast_staging_.push_back(Message{from, from, word});
+  if (integrity_) [[unlikely]] {
+    // The store half of the integrity layer: one digest over the shared
+    // broadcast store, folded at publish time.
+    bcast_csum_ = Fnv::fold(bcast_csum_, word);
+  }
 }
 
 void Engine::exchange() {
@@ -69,7 +75,22 @@ void Engine::exchange() {
 void Engine::exchange_impl() {
   // The one integrity pass per exchange — before the sort below reorders
   // pending_ away from send (fold) order.
-  if (integrity_) verify_streams();
+  if (integrity_) {
+    if (scrub_interval_ != 0 &&
+        (metrics_.rounds + 1) % scrub_interval_ == 0) {
+      scrub_pass();
+    }
+    verify_streams();
+    // The broadcast store ships (and aliases) below; rot that escaped the
+    // repair path must not reach the readers.
+    if (!bcast_store_ok()) {
+      throw IntegrityError(
+          "broadcast store (" + std::to_string(bcast_staging_.size()) +
+          " words) fails its digest in round " +
+          std::to_string(metrics_.rounds) +
+          ": corruption was not repaired before delivery");
+    }
+  }
   // Per-ordered-pair budget: sort point-to-point messages and detect
   // duplicates; broadcasts consume the (from, *) budget for every pair.
   // Scratch arrays are persistent and only the entries actually touched
@@ -131,6 +152,7 @@ void Engine::exchange_impl() {
   for (const PlayerId p : pending_broadcasts_) broadcasting_[p] = 0;
   bcast_inbox_ = std::move(bcast_staging_);
   bcast_staging_.clear();
+  if (integrity_) bcast_csum_ = Fnv::kOffset;
   pending_.clear();
   pending_broadcasts_.clear();
   if (audit_) finish_audit();
@@ -255,7 +277,7 @@ const std::vector<std::vector<Message>>& Engine::lenzen_route(
 std::size_t Engine::Snapshot::words() const noexcept {
   constexpr std::size_t kMsgWords = sizeof(Message) / sizeof(Word);
   return pending.size() * kMsgWords + bcast_staging.size() * kMsgWords +
-         (pending_broadcasts.size() + 1) / 2 + csums.size() +
+         (pending_broadcasts.size() + 1) / 2 + csums.size() + 1 +
          sizeof(Metrics) / sizeof(Word);
 }
 
@@ -265,6 +287,7 @@ Engine::Snapshot Engine::snapshot() const {
   s.pending_broadcasts = pending_broadcasts_;
   s.bcast_staging = bcast_staging_;
   s.csums = csums_;
+  s.bcast_csum = bcast_csum_;
   s.metrics = metrics_;
   return s;
 }
@@ -274,6 +297,7 @@ void Engine::restore(const Snapshot& snap) {
   pending_broadcasts_ = snap.pending_broadcasts;
   bcast_staging_ = snap.bcast_staging;
   csums_ = snap.csums;
+  bcast_csum_ = snap.bcast_csum;
   metrics_ = snap.metrics;
 }
 
@@ -314,7 +338,12 @@ void Engine::corrupt_player_staging(std::size_t player) {
   std::erase_if(bcast_staging_, [player](const Message& msg) {
     return msg.from == player;
   });
-  if (integrity_) csums_[player] = Fnv::kOffset;
+  if (integrity_) {
+    csums_[player] = Fnv::kOffset;
+    // The erased broadcasts were folded into the store digest at publish
+    // time; bring the accumulator back in line with the surviving store.
+    resync_bcast_checksum();
+  }
 }
 
 std::size_t Engine::duplicate_player_staging(std::size_t player) {
@@ -450,12 +479,155 @@ std::size_t Engine::retransmit_retained(std::size_t player) {
   return seen;
 }
 
+// ---------------------------------------------------------------------------
+// Durable-store integrity: the broadcast store's digest, retained-copy
+// repair, scrub, and verified checkpoint generations (see DESIGN.md,
+// "Durable-store integrity & verified checkpoints").
+
+std::size_t Engine::corrupt_bcast_words(std::size_t player, std::size_t round,
+                                        std::size_t ordinal) {
+  // Retain the player's pristine broadcast words (aligned with its entries
+  // in bcast_staging_ order) before flipping — the publisher's copy is the
+  // store's repair source.
+  retained_bcast_words_.clear();
+  for (const Message& msg : bcast_staging_) {
+    if (msg.from == player) retained_bcast_words_.push_back(msg.word);
+  }
+  retained_bcast_from_ = player;
+  const std::size_t total = retained_bcast_words_.size();
+  if (total == 0) return 0;
+  // Same 1..3 deduplicated (word, bit) flips as every other injected
+  // corruption, so store_corruptions_detected == store_corruptions_injected
+  // whenever integrity is on.
+  const std::size_t flips = 1 + mix64(round, player, ordinal * 8 + 5) % 3;
+  std::size_t applied = 0;
+  for (std::size_t f = 0; f < flips; ++f) {
+    const std::size_t idx =
+        mix64(round, player * 8 + f, ordinal * 8 + 6) % total;
+    const std::size_t bit =
+        mix64(round, player * 8 + f, ordinal * 8 + 7) % 64;
+    bool fresh = true;
+    for (std::size_t g = 0; g < f; ++g) {
+      const std::size_t pidx =
+          mix64(round, player * 8 + g, ordinal * 8 + 6) % total;
+      const std::size_t pbit =
+          mix64(round, player * 8 + g, ordinal * 8 + 7) % 64;
+      if (pidx == idx && pbit == bit) {
+        fresh = false;
+        break;
+      }
+    }
+    if (!fresh) continue;
+    std::size_t seen = 0;
+    for (Message& msg : bcast_staging_) {
+      if (msg.from != player) continue;
+      if (seen++ == idx) {
+        msg.word ^= Word{1} << bit;
+        ++applied;
+        break;
+      }
+    }
+  }
+  return applied;
+}
+
+bool Engine::bcast_store_ok() const {
+  std::uint64_t h = Fnv::kOffset;
+  for (const Message& msg : bcast_staging_) h = Fnv::fold(h, msg.word);
+  return h == bcast_csum_;
+}
+
+std::size_t Engine::repair_retained_bcast() {
+  std::size_t seen = 0;
+  for (Message& msg : bcast_staging_) {
+    if (msg.from == retained_bcast_from_) {
+      msg.word = retained_bcast_words_[seen++];
+    }
+  }
+  return seen;
+}
+
+void Engine::resync_bcast_checksum() {
+  std::uint64_t h = Fnv::kOffset;
+  for (const Message& msg : bcast_staging_) h = Fnv::fold(h, msg.word);
+  bcast_csum_ = h;
+}
+
+void Engine::scrub_pass() {
+  // Proactive verification sweep over everything the player set retains:
+  // the point-to-point streams, the broadcast store, and the checkpoint
+  // generation ring.  Rot that escaped the repair path is fatal here
+  // exactly as it would be at delivery.  Unlike verify_streams() this
+  // sweep is non-destructive — the accumulators keep folding until the
+  // round actually delivers.  Checkpoint rot is left for restore-time
+  // fallback (repairing it here would mask the ring's retention contract).
+  for (const Message& msg : pending_) {
+    if (csum_check_[msg.from] == Fnv::kOffset) {
+      csum_touched_.push_back(msg.from);
+    }
+    csum_check_[msg.from] = Fnv::fold(csum_check_[msg.from], msg.word);
+  }
+  for (const PlayerId p : csum_touched_) {
+    if (csum_check_[p] != csums_[p]) {
+      for (const PlayerId q : csum_touched_) csum_check_[q] = Fnv::kOffset;
+      csum_touched_.clear();
+      throw IntegrityError(
+          "player " + std::to_string(p) +
+          " flush fails its stream checksum in scrub at round " +
+          std::to_string(metrics_.rounds) +
+          ": corruption was not repaired before delivery");
+    }
+  }
+  for (const PlayerId p : csum_touched_) csum_check_[p] = Fnv::kOffset;
+  csum_touched_.clear();
+  if (!bcast_store_ok()) {
+    throw IntegrityError(
+        "broadcast store (" + std::to_string(bcast_staging_.size()) +
+        " words) fails its digest in scrub at round " +
+        std::to_string(metrics_.rounds) +
+        ": corruption was not repaired before delivery");
+  }
+  if (registry_ != nullptr) {
+    for (std::size_t age = 0; age < registry_->generations_held(); ++age) {
+      (void)registry_->generation_ok(age);
+    }
+  }
+  ++metrics_.scrub_passes;
+}
+
+void Engine::restore_registry(std::size_t player, std::size_t round,
+                              std::size_t& replays, std::size_t& fallbacks) {
+  if (registry_ == nullptr || !registry_->has_checkpoint()) return;
+  if (!registry_->generation_ok(0)) {
+    // The newest image rotted in retention.  Find the next older verified
+    // generation — the cluster's last good copy.
+    const std::size_t held = registry_->generations_held();
+    std::size_t age = 1;
+    while (age < held && !registry_->generation_ok(age)) ++age;
+    if (age == held) {
+      throw fault::CheckpointError(
+          "player " + std::to_string(player) + ": all " +
+          std::to_string(held) +
+          " retained checkpoint generation(s) fail verification in round " +
+          std::to_string(round) + ": the cluster is unrecoverable");
+    }
+    // Deterministic replay from the verified generation reconstructs
+    // exactly the live provider state (untouched since the capture at this
+    // round's entry); recapture it into the newest slot and charge the
+    // rounds between the two generation tags.
+    replays += round - registry_->generation_round(age);
+    ++fallbacks;
+    registry_->recapture_newest();
+  }
+  registry_->restore();
+}
+
 void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
   const std::size_t round = metrics_.rounds;
   std::size_t ckpt_words = 0;
   Snapshot ckpt;
   if (fault_recover_) {
-    if (registry_ != nullptr) ckpt_words += registry_->capture();
+    if (registry_ != nullptr) ckpt_words += registry_->capture(round);
     ckpt = snapshot();
     ckpt_words += ckpt.words();
   }
@@ -465,6 +637,11 @@ void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
   std::size_t corrupted = 0;
   std::size_t detected = 0;
   std::size_t retransmitted = 0;
+  std::size_t store_corrupted = 0;
+  std::size_t store_detected = 0;
+  std::size_t store_repaired = 0;
+  std::size_t fallbacks = 0;
+  std::size_t ckpt_rot = 0;
   crashed_scratch_.clear();
   dark_scratch_.clear();
   for (std::size_t ei = 0; ei < events.size(); ++ei) {
@@ -485,7 +662,7 @@ void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
           resent += staged_out_words(ev.machine);
           corrupt_player_staging(ev.machine);
           restore(ckpt);
-          if (registry_ != nullptr) registry_->restore();
+          restore_registry(ev.machine, round, replays, fallbacks);
           ++replays;
           crashed_scratch_.push_back(ev.machine);
         } else {
@@ -546,12 +723,56 @@ void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
                 " exhausted and recovery is off");
           }
           restore(ckpt);
-          if (registry_ != nullptr) registry_->restore();
+          restore_registry(ev.machine, round, replays, fallbacks);
           ++replays;
           retransmitted += staged_p2p(ev.machine);
         } else {
           retransmitted += retransmit_retained(ev.machine);
         }
+        break;
+      }
+      case fault::FaultKind::kCorruptStore: {
+        // Silent rot in the durable broadcast store — the one shared copy
+        // every player's broadcast_inbox() aliases.  The publisher retains
+        // its pristine words first (the store's repair source).
+        if (corrupt_bcast_words(ev.machine, round, ei) == 0) break;
+        ++store_corrupted;
+        if (!integrity_) break;  // undetected: every reader aliases rot
+        if (bcast_store_ok()) break;  // 2^-64 digest collision
+        ++store_detected;
+        // Same escalation contract as the wire: attempt ordinal = how many
+        // times this player's store entries have rotted this round.
+        std::size_t attempt = 1;
+        for (std::size_t j = 0; j < ei; ++j) {
+          attempt += events[j].kind == fault::FaultKind::kCorruptStore &&
+                     events[j].machine == ev.machine;
+        }
+        if (attempt > fault_plan_->retransmit_budget) {
+          if (!fault_recover_) {
+            throw IntegrityError(
+                "player " + std::to_string(ev.machine) +
+                " broadcast store corrupted in round " +
+                std::to_string(round) + ": retransmit budget of " +
+                std::to_string(fault_plan_->retransmit_budget) +
+                " exhausted and recovery is off");
+          }
+          restore(ckpt);
+          restore_registry(ev.machine, round, replays, fallbacks);
+          ++replays;
+        } else {
+          store_repaired += repair_retained_bcast();
+        }
+        break;
+      }
+      case fault::FaultKind::kCorruptCheckpoint: {
+        // Bit rot in a retained checkpoint image; nothing observable until
+        // the next restore verifies generations (see restore_registry).
+        // The first rot event of a round hits the newest generation,
+        // subsequent ones walk down the ring.
+        if (registry_ == nullptr || !registry_->has_checkpoint()) break;
+        registry_->corrupt_generation(
+            ckpt_rot % registry_->generations_held(), round, ev.machine, ei);
+        ++ckpt_rot;
         break;
       }
     }
@@ -575,6 +796,10 @@ void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
   metrics_.corruptions_injected += corrupted;
   metrics_.corruptions_detected += detected;
   metrics_.words_retransmitted += retransmitted;
+  metrics_.store_corruptions_injected += store_corrupted;
+  metrics_.store_corruptions_detected += store_detected;
+  metrics_.store_words_repaired += store_repaired;
+  metrics_.checkpoint_fallbacks += fallbacks;
 }
 
 void Engine::begin_audit() {
@@ -635,6 +860,26 @@ void Engine::lenzen_batch_faults(std::size_t first_round, std::size_t batch) {
         }
         continue;
       }
+      if (ev.kind == fault::FaultKind::kCorruptStore) {
+        // In a routing phase the batch itself is the durable store: with
+        // integrity on, the rotted sender's batch words are re-served from
+        // sender-side retention; without it the rot forwards silently.
+        ++metrics_.store_corruptions_injected;
+        if (integrity_) {
+          ++metrics_.store_corruptions_detected;
+          metrics_.store_words_repaired +=
+              route_send_load_[batch][ev.machine];
+        }
+        continue;
+      }
+      if (ev.kind == fault::FaultKind::kCorruptCheckpoint) {
+        // Rot the newest retained generation; the damage (if any survives
+        // the next capture) surfaces at the next verified restore.
+        if (registry_ != nullptr && registry_->has_checkpoint()) {
+          registry_->corrupt_generation(0, r, ev.machine, 0);
+        }
+        continue;
+      }
       if (ev.kind == fault::FaultKind::kCrash) {
         if (crashes_recovered_ >= fault_plan_->crash_budget) {
           throw fault::FaultBudgetError(
@@ -649,7 +894,7 @@ void Engine::lenzen_batch_faults(std::size_t first_round, std::size_t batch) {
         // The sender-side retained batch is the checkpoint here; the batch
         // structure is Lenzen's own retransmission unit.
         std::size_t ckpt = route_batch_words_[batch];
-        if (registry_ != nullptr) ckpt += registry_->capture();
+        if (registry_ != nullptr) ckpt += registry_->capture(r);
         metrics_.checkpoint_bytes += ckpt * sizeof(Word);
         captured = true;
       }

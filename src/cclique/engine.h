@@ -155,6 +155,18 @@ struct Metrics {
   std::size_t corruptions_detected = 0;
   /// Words re-delivered by the detect->retransmit protocol.
   std::size_t words_retransmitted = 0;
+  /// kCorruptStore events that flipped at least one broadcast-store bit.
+  std::size_t store_corruptions_injected = 0;
+  /// Store corruptions caught by the broadcast-store digest; equals
+  /// store_corruptions_injected whenever integrity is on.
+  std::size_t store_corruptions_detected = 0;
+  /// Words reinstated from the publisher's retained pristine copy by the
+  /// in-place broadcast-store repair.
+  std::size_t store_words_repaired = 0;
+  /// Checkpoint restores that fell back past a rotted newest generation.
+  std::size_t checkpoint_fallbacks = 0;
+  /// Proactive durable-store scrub sweeps executed (scrub_interval).
+  std::size_t scrub_passes = 0;
 };
 
 class Engine {
@@ -168,9 +180,14 @@ class Engine {
   /// round — staged point-to-point and broadcast words each equal their
   /// deliveries (net of injected drops/dups/delays), and Lenzen batch
   /// splits preserve the routed word total — throwing AuditError on any
-  /// violation.
+  /// violation.  `scrub_interval` arms the opt-in round-boundary scrub
+  /// (every scrub_interval-th round; 0 = never): a pure verification sweep
+  /// over the point-to-point streams, the broadcast store, and the
+  /// checkpoint generations, observable on a clean run only as
+  /// Metrics::scrub_passes.  Inert without `integrity` (no digests exist).
   explicit Engine(std::size_t num_players, bool strict = true,
-                  bool integrity = false, bool audit = false);
+                  bool integrity = false, bool audit = false,
+                  std::size_t scrub_interval = 0);
 
   [[nodiscard]] std::size_t num_players() const noexcept { return n_; }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
@@ -226,6 +243,7 @@ class Engine {
     std::vector<PlayerId> pending_broadcasts;
     std::vector<Message> bcast_staging;
     std::vector<std::uint64_t> csums;
+    std::uint64_t bcast_csum = 0;
     Metrics metrics{};
   };
 
@@ -277,6 +295,31 @@ class Engine {
   /// Serves the retained pristine words back into pending_.  Returns the
   /// word count re-delivered.
   std::size_t retransmit_retained(std::size_t player);
+  /// kCorruptStore injection: retains the player's staged broadcast-store
+  /// words (the pristine repair copy) and flips 1..3 deduplicated
+  /// (word, bit) pairs among them.  Returns the bits flipped (0 when the
+  /// player has no staged broadcasts).
+  std::size_t corrupt_bcast_words(std::size_t player, std::size_t round,
+                                  std::size_t ordinal);
+  /// Does the broadcast store (all staged broadcast words, in staging
+  /// order) match its publish-time digest accumulator?
+  [[nodiscard]] bool bcast_store_ok() const;
+  /// Reinstates the retained pristine broadcast words (in-place store
+  /// repair).  Returns the word count restored.
+  std::size_t repair_retained_bcast();
+  /// Recomputes bcast_csum_ from the staged broadcast store (after a fault
+  /// path mutated it behind the accumulator's back).
+  void resync_bcast_checksum();
+  /// The opt-in proactive scrub: re-digests the point-to-point streams and
+  /// the broadcast store (non-destructively) and re-verifies every
+  /// retained checkpoint generation.  Throws IntegrityError on rot that
+  /// escaped repair; otherwise observable only as Metrics::scrub_passes.
+  void scrub_pass();
+  /// Verified checkpoint restore with generation fallback; mirrors
+  /// mpc::Engine::restore_registry (CheckpointError when every generation
+  /// is bad, naming `player` and `round`).
+  void restore_registry(std::size_t player, std::size_t round,
+                        std::size_t& replays, std::size_t& fallbacks);
   void begin_audit();
   /// Closes the conservation equations for the round just delivered.
   void finish_audit() const;
@@ -288,6 +331,7 @@ class Engine {
   bool strict_;
   bool integrity_;
   bool audit_;
+  std::size_t scrub_interval_;
   Metrics metrics_;
   std::vector<Message> pending_;
   std::vector<PlayerId> pending_broadcasts_;
@@ -347,6 +391,15 @@ class Engine {
   /// within one exchange_faulty.
   std::vector<Word> retained_words_;
   std::size_t retained_from_ = static_cast<std::size_t>(-1);
+  /// FNV-1a accumulator over the broadcast store (all staged broadcast
+  /// words in staging order), folded at broadcast() time — the store half
+  /// of the integrity layer; reset when the staging ships.
+  std::uint64_t bcast_csum_ = Fnv::kOffset;
+  /// Pristine broadcast words retained by corrupt_bcast_words, aligned
+  /// with the player's entries in bcast_staging_ order; valid for
+  /// retained_bcast_from_ within one exchange_faulty.
+  std::vector<Word> retained_bcast_words_;
+  std::size_t retained_bcast_from_ = static_cast<std::size_t>(-1);
 
   // Audit scratch: what this round staged (measured before fault events)
   // plus fault-path adjustments, so finish_audit() can close the

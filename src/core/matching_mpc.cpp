@@ -88,6 +88,7 @@ class MatchingMpcRun {
     mpc::Config cfg{machines_, words_, o_.strict};
     cfg.integrity = o_.integrity;
     cfg.audit = o_.audit;
+    cfg.scrub_interval = o_.scrub_interval;
     engine_.emplace(cfg);
     for (std::size_t i = 0; i < machines_; ++i) {
       engine_->note_storage(i, shard_words[i] + fixed_words);

@@ -43,7 +43,7 @@ class MisCcliqueRun {
   MisCcliqueRun(const Graph& g, const MisCcliqueOptions& options)
       : g_(g), options_(options), n_(g.num_vertices()),
         engine_(std::max<std::size_t>(n_, 1), options.strict,
-                options.integrity, options.audit),
+                options.integrity, options.audit, options.scrub_interval),
         residual_(g), dying_(n_, 0) {
     gather_budget_ = options.gather_budget != 0 ? options.gather_budget : n_;
     if (options.fault_plan != nullptr && !options.fault_plan->empty()) {

@@ -52,6 +52,9 @@ struct MisCcliqueOptions {
   bool integrity = false;
   /// Per-round conservation-invariant audit (see cclique::Engine).
   bool audit = false;
+  /// Proactive durable-store scrub every `scrub_interval` rounds (0 =
+  /// never; requires integrity — see cclique::Engine).
+  std::size_t scrub_interval = 0;
 };
 
 struct MisCcliqueResult {

@@ -81,6 +81,7 @@ class MisMpcRun {
     mpc::Config cfg{machines_, words_, options.strict};
     cfg.integrity = options.integrity;
     cfg.audit = options.audit;
+    cfg.scrub_interval = options.scrub_interval;
     engine_.emplace(cfg);
     for (std::size_t i = 0; i < machines_; ++i) {
       engine_->note_storage(i, shard_words[i] + fixed_words);

@@ -74,6 +74,9 @@ struct MisMpcOptions {
   bool integrity = false;
   /// Per-round conservation-invariant audit (see mpc::Config::audit).
   bool audit = false;
+  /// Proactive durable-store scrub every `scrub_interval` rounds (0 =
+  /// never; requires integrity — see mpc::Config::scrub_interval).
+  std::size_t scrub_interval = 0;
 };
 
 struct MisMpcResult {

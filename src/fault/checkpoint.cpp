@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/fnv.h"
+#include "util/rng.h"
+
 namespace mpcg::fault {
 
 namespace {
@@ -33,21 +36,26 @@ std::size_t dirty_range_cost(const CheckpointRegistry::Word* prev,
 
 void CheckpointRegistry::register_state(std::string name, SaveFn save,
                                         RestoreFn restore) {
-  providers_.push_back(
-      {std::move(name), std::move(save), std::move(restore), 0, 0});
+  providers_.push_back({std::move(name), std::move(save), std::move(restore)});
 }
 
-std::size_t CheckpointRegistry::capture() {
+std::size_t CheckpointRegistry::capture(std::size_t round) {
   std::size_t cost = 0;
-  bool all_deltas = has_checkpoint_ && !providers_.empty();
+  bool all_deltas = !ring_.empty() && !providers_.empty();
+  const Generation* prev = ring_.empty() ? nullptr : &ring_.back();
   fresh_.clear();
-  for (Provider& p : providers_) {
+  std::vector<Image> images;
+  images.reserve(providers_.size());
+  for (std::size_t i = 0; i < providers_.size(); ++i) {
     const std::size_t offset = fresh_.size();
-    p.save(fresh_);
+    providers_[i].save(fresh_);
     const std::size_t words = fresh_.size() - offset;
-    if (has_checkpoint_ && p.words == words) {
-      const std::size_t delta = dirty_range_cost(
-          buffer_.data() + p.offset, fresh_.data() + offset, words);
+    const Word csum = Fnv::digest({fresh_.data() + offset, words});
+    if (prev != nullptr && i < prev->images.size() &&
+        prev->images[i].words == words) {
+      const std::size_t delta =
+          dirty_range_cost(prev->buffer.data() + prev->images[i].offset,
+                           fresh_.data() + offset, words);
       cost += delta;
       if (delta >= words && words != 0) all_deltas = false;
     } else {
@@ -57,11 +65,18 @@ std::size_t CheckpointRegistry::capture() {
       cost += words;
       all_deltas = false;
     }
-    p.offset = offset;
-    p.words = words;
+    images.push_back({offset, words, csum});
   }
-  buffer_.swap(fresh_);
-  has_checkpoint_ = true;
+  Generation g;
+  g.buffer.swap(fresh_);
+  g.images = std::move(images);
+  g.round = round;
+  ring_.push_back(std::move(g));
+  if (ring_.size() > generations_) {
+    // Recycle the evicted generation's allocation as the next scratch.
+    fresh_.swap(ring_.front().buffer);
+    ring_.erase(ring_.begin());
+  }
   ++captures_;
   delta_captures_ += all_deltas;
   last_capture_words_ = cost;
@@ -69,11 +84,78 @@ std::size_t CheckpointRegistry::capture() {
 }
 
 void CheckpointRegistry::restore() {
-  if (!has_checkpoint_) return;
-  for (const Provider& p : providers_) {
-    p.restore(std::span<const Word>(buffer_.data() + p.offset, p.words));
+  if (ring_.empty()) return;
+  for (std::size_t age = 0; age < ring_.size(); ++age) {
+    if (!generation_ok(age)) continue;
+    const Generation& g = gen(age);
+    const std::size_t n = std::min(providers_.size(), g.images.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      providers_[i].restore(std::span<const Word>(
+          g.buffer.data() + g.images[i].offset, g.images[i].words));
+    }
+    fallback_restores_ += age != 0;
+    last_restored_round_ = g.round;
+    ++restores_;
+    return;
   }
-  ++restores_;
+  throw CheckpointError("checkpoint restore: all " +
+                        std::to_string(ring_.size()) +
+                        " retained generation(s) fail verification");
+}
+
+bool CheckpointRegistry::generation_ok(std::size_t age) const {
+  const Generation& g = gen(age);
+  for (const Image& im : g.images) {
+    if (Fnv::digest({g.buffer.data() + im.offset, im.words}) != im.csum) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t CheckpointRegistry::corrupt_generation(std::size_t age,
+                                                   std::uint64_t a,
+                                                   std::uint64_t b,
+                                                   std::uint64_t c) {
+  Generation& g = gen(age);
+  if (g.buffer.empty()) return 0;
+  // Same flip pattern as the wire/store corruptions: 1–3 deduplicated
+  // (word, bit) positions drawn statelessly from mix64.
+  const std::size_t flips = 1 + mix64(a, b, c * 8 + 5) % 3;
+  std::size_t idxs[3];
+  std::size_t bits[3];
+  std::size_t applied = 0;
+  for (std::size_t f = 0; f < flips; ++f) {
+    const std::size_t idx = mix64(a, b * 8 + f, c * 8 + 6) % g.buffer.size();
+    const std::size_t bit = mix64(a, b * 8 + f, c * 8 + 7) % 64;
+    bool dup = false;
+    for (std::size_t s = 0; s < applied; ++s) {
+      dup |= idxs[s] == idx && bits[s] == bit;
+    }
+    if (dup) continue;
+    idxs[applied] = idx;
+    bits[applied] = bit;
+    ++applied;
+    g.buffer[idx] ^= Word{1} << bit;
+  }
+  return applied;
+}
+
+void CheckpointRegistry::recapture_newest() {
+  if (ring_.empty()) return;
+  Generation& g = ring_.back();
+  fresh_.clear();
+  std::vector<Image> images;
+  images.reserve(providers_.size());
+  for (Provider& p : providers_) {
+    const std::size_t offset = fresh_.size();
+    p.save(fresh_);
+    const std::size_t words = fresh_.size() - offset;
+    images.push_back(
+        {offset, words, Fnv::digest({fresh_.data() + offset, words})});
+  }
+  g.buffer.swap(fresh_);
+  g.images = std::move(images);
 }
 
 }  // namespace mpcg::fault

@@ -1,4 +1,4 @@
-// Driver-side round-level checkpointing.
+// Driver-side round-level checkpointing with verified generations.
 //
 // The engine's Snapshot covers the *message plane*; the driver's logical
 // state (y values, freeze levels, the active frontier, ...) lives outside
@@ -13,14 +13,25 @@
 // branch and zero copies (see DESIGN.md, "Fault model & recovery").
 //
 // Captures after the first are charged *incrementally*: the registry keeps
-// each provider's previous image and diffs the fresh serialization against
-// it, so a capture costs (and reports) only the dirty ranges — two header
-// words plus the changed words per maximal differing stretch, never more
-// than a full re-serialization.  The retained image is always the full
-// fresh state, so restore() stays a bit-identical full reinstatement; the
-// delta encoding changes only what a capture is *charged* in
-// Metrics::checkpoint_bytes, which is exactly what a real system would
-// ship to stable storage.
+// the newest generation's per-provider images and diffs the fresh
+// serialization against them, so a capture costs (and reports) only the
+// dirty ranges — two header words plus the changed words per maximal
+// differing stretch, never more than a full re-serialization.  Each
+// retained image is always the full fresh state, so restore() stays a
+// bit-identical full reinstatement; the delta encoding changes only what a
+// capture is *charged* in Metrics::checkpoint_bytes, which is exactly what
+// a real system would ship to stable storage.
+//
+// The registry retains a small ring of *generations* (default 2): every
+// capture() pushes a new newest generation and evicts the oldest past the
+// ring capacity.  Each generation carries per-provider FNV-1a checksums
+// folded at capture time, so the images themselves are no longer trusted
+// blindly: restore() verifies the newest generation and falls back to the
+// next older verified one when storage rot (FaultKind::kCorruptCheckpoint)
+// has flipped bits in it — a fallback restore hands back strictly older
+// state, so the caller owes the replay of the rounds in between.  Only
+// when *every* retained generation fails verification does restore() throw
+// CheckpointError: the cluster has lost its last good copy.
 #ifndef MPCG_FAULT_CHECKPOINT_H
 #define MPCG_FAULT_CHECKPOINT_H
 
@@ -28,14 +39,25 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace mpcg::fault {
 
+/// Thrown when a checkpoint restore finds no generation that passes its
+/// per-provider checksums — every retained image has rotted and the
+/// cluster is unrecoverable.  Engines decorate the message with the
+/// machine and round of the fault that forced the restore.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// A registry of named state providers.  capture() serializes every
-/// provider into one flat word buffer; restore() hands each provider back
-/// exactly the words it wrote.
+/// provider into one flat word buffer (a new ring generation); restore()
+/// hands each provider back exactly the words it wrote, from the newest
+/// generation that verifies.
 class CheckpointRegistry {
  public:
   using Word = std::uint64_t;
@@ -44,26 +66,68 @@ class CheckpointRegistry {
   /// Reinstates the provider's state from the words it saved.
   using RestoreFn = std::function<void(std::span<const Word>)>;
 
+  /// Generations retained by default: the newest image plus one fallback.
+  static constexpr std::size_t kDefaultGenerations = 2;
+
+  CheckpointRegistry() = default;
+  /// A ring holding up to `generations` images (clamped to at least 1).
+  explicit CheckpointRegistry(std::size_t generations)
+      : generations_(generations == 0 ? 1 : generations) {}
+
   void register_state(std::string name, SaveFn save, RestoreFn restore);
 
-  /// Serializes all providers (in registration order) into the retained
-  /// checkpoint.  Returns the number of words this capture is charged: the
+  /// Serializes all providers (in registration order) into a new newest
+  /// generation tagged with `round`, evicting the oldest past the ring
+  /// capacity.  Returns the number of words this capture is charged: the
   /// full serialization the first time or whenever a provider's size
-  /// changes, and the dirty-range delta against the previous capture
-  /// otherwise (capped at a full save).
-  std::size_t capture();
+  /// changes, and the dirty-range delta against the previous newest
+  /// generation otherwise (capped at a full save).
+  std::size_t capture(std::size_t round = 0);
 
-  /// Replays the last capture() into every provider.  No-op if capture()
-  /// has never run.
+  /// Replays the newest generation that passes verification into every
+  /// provider.  Restoring from an older generation (because newer ones
+  /// rotted) counts toward fallback_restores() and leaves the caller owing
+  /// the replay of the rounds between the two generation tags.  Throws
+  /// CheckpointError when every retained generation fails verification.
+  /// No-op if capture() has never run.
   void restore();
 
-  [[nodiscard]] bool has_checkpoint() const noexcept {
-    return has_checkpoint_;
+  /// Recomputes per-provider checksums of the generation `age` steps below
+  /// the newest (0 = newest).  False once kCorruptCheckpoint has flipped a
+  /// bit in the image.
+  [[nodiscard]] bool generation_ok(std::size_t age) const;
+
+  /// Deterministic bit rot (FaultKind::kCorruptCheckpoint): flips 1–3
+  /// deduplicated bits in generation `age`'s image, positions drawn from
+  /// mix64(a, b, c·) like every other injected corruption.  Returns the
+  /// number of bits flipped (0 when the image is empty).
+  std::size_t corrupt_generation(std::size_t age, std::uint64_t a,
+                                 std::uint64_t b, std::uint64_t c);
+
+  /// Re-serializes the live providers into the newest generation in place
+  /// (round tag kept), recomputing its checksums.  This is how an engine
+  /// repairs a rotted newest image after verifying an older generation:
+  /// deterministic replay from that older generation would reconstruct
+  /// exactly the live state, so the live state *is* the newest image.
+  void recapture_newest();
+
+  [[nodiscard]] bool has_checkpoint() const noexcept { return !ring_.empty(); }
+  /// Ring capacity.
+  [[nodiscard]] std::size_t generations() const noexcept {
+    return generations_;
   }
-  /// Words held by the last capture() — the full retained image, not the
-  /// incremental charge capture() returned.
+  /// Generations currently retained (≤ generations()).
+  [[nodiscard]] std::size_t generations_held() const noexcept {
+    return ring_.size();
+  }
+  /// Round tag of generation `age` (0 = newest).
+  [[nodiscard]] std::size_t generation_round(std::size_t age) const {
+    return gen(age).round;
+  }
+  /// Words held by the newest generation — the full retained image, not
+  /// the incremental charge capture() returned.
   [[nodiscard]] std::size_t checkpoint_words() const noexcept {
-    return buffer_.size();
+    return ring_.empty() ? 0 : ring_.back().buffer.size();
   }
   /// Words the most recent capture() was charged (0 before any capture).
   [[nodiscard]] std::size_t last_capture_words() const noexcept {
@@ -76,6 +140,15 @@ class CheckpointRegistry {
   }
   [[nodiscard]] std::size_t captures() const noexcept { return captures_; }
   [[nodiscard]] std::size_t restores() const noexcept { return restores_; }
+  /// Restores that skipped past at least one corrupt newer generation.
+  [[nodiscard]] std::size_t fallback_restores() const noexcept {
+    return fallback_restores_;
+  }
+  /// Round tag of the generation the last restore() replayed (0 before
+  /// any restore).
+  [[nodiscard]] std::size_t last_restored_round() const noexcept {
+    return last_restored_round_;
+  }
   [[nodiscard]] std::size_t num_providers() const noexcept {
     return providers_.size();
   }
@@ -85,18 +158,41 @@ class CheckpointRegistry {
     std::string name;
     SaveFn save;
     RestoreFn restore;
-    std::size_t offset = 0;  ///< Into buffer_, valid after capture().
+  };
+  /// One provider's slice of a generation's buffer, with the checksum
+  /// folded over it at capture time.
+  struct Image {
+    std::size_t offset = 0;
     std::size_t words = 0;
+    Word csum = 0;
+  };
+  /// One retained checkpoint: the full flat serialization of every
+  /// provider as of round `round`.
+  struct Generation {
+    std::vector<Word> buffer;
+    std::vector<Image> images;  ///< Parallel to providers_ at capture time.
+    std::size_t round = 0;
   };
 
+  [[nodiscard]] const Generation& gen(std::size_t age) const {
+    return ring_[ring_.size() - 1 - age];
+  }
+  [[nodiscard]] Generation& gen(std::size_t age) {
+    return ring_[ring_.size() - 1 - age];
+  }
+  void serialize_into(Generation& g);
+
+  std::size_t generations_ = kDefaultGenerations;
   std::vector<Provider> providers_;
-  std::vector<Word> buffer_;
-  /// Scratch for the next capture's fresh serialization (swapped into
-  /// buffer_, so steady-state captures allocate nothing).
+  /// ring_.back() is the newest generation; eviction pops the front.
+  std::vector<Generation> ring_;
+  /// Scratch recycled from evicted generations, so steady-state captures
+  /// allocate nothing.
   std::vector<Word> fresh_;
-  bool has_checkpoint_ = false;
   std::size_t captures_ = 0;
   std::size_t restores_ = 0;
+  std::size_t fallback_restores_ = 0;
+  std::size_t last_restored_round_ = 0;
   std::size_t last_capture_words_ = 0;
   std::size_t delta_captures_ = 0;
 };

@@ -92,9 +92,11 @@ FaultKind parse_kind(std::string_view text) {
   if (text == "dup" || text == "duplicate") return FaultKind::kDuplicateFlush;
   if (text == "delay") return FaultKind::kDelayFlush;
   if (text == "corrupt") return FaultKind::kCorruptPayload;
+  if (text == "corrupt_store") return FaultKind::kCorruptStore;
+  if (text == "corrupt_ckpt") return FaultKind::kCorruptCheckpoint;
   throw std::invalid_argument(
       "fault plan: unknown kind '" + std::string(text) +
-      "' (want crash|drop|dup|delay|corrupt)");
+      "' (want crash|drop|dup|delay|corrupt|corrupt_store|corrupt_ckpt)");
 }
 
 const char* kind_name(FaultKind kind) {
@@ -104,6 +106,8 @@ const char* kind_name(FaultKind kind) {
     case FaultKind::kDuplicateFlush: return "dup";
     case FaultKind::kDelayFlush: return "delay";
     case FaultKind::kCorruptPayload: return "corrupt";
+    case FaultKind::kCorruptStore: return "corrupt_store";
+    case FaultKind::kCorruptCheckpoint: return "corrupt_ckpt";
   }
   return "?";
 }
@@ -170,8 +174,10 @@ FaultPlan FaultPlan::random_storm(std::uint64_t seed,
                                   std::size_t max_round,
                                   std::size_t count) {
   static constexpr FaultKind kKinds[] = {
-      FaultKind::kCrash, FaultKind::kDropFlush, FaultKind::kDuplicateFlush,
-      FaultKind::kDelayFlush, FaultKind::kCorruptPayload};
+      FaultKind::kCrash,          FaultKind::kDropFlush,
+      FaultKind::kDuplicateFlush, FaultKind::kDelayFlush,
+      FaultKind::kCorruptPayload, FaultKind::kCorruptStore,
+      FaultKind::kCorruptCheckpoint};
   FaultPlan plan;
   if (num_machines == 0 || max_round == 0) return plan;
   for (std::size_t i = 0; i < count; ++i) {
@@ -188,6 +194,15 @@ FaultPlan FaultPlan::random_storm(std::uint64_t seed,
       for (const FaultEvent& prior : plan.events_) {
         if (prior.round == event.round && prior.machine == event.machine &&
             prior.kind == event.kind) {
+          fresh = false;
+          break;
+        }
+        // Checkpoint rot gets a round of its own (see the header): a
+        // restore sharing a round with rot of the just-captured newest
+        // generation can meet a ring with no verified generation left.
+        if (prior.round == event.round &&
+            (prior.kind == FaultKind::kCorruptCheckpoint ||
+             event.kind == FaultKind::kCorruptCheckpoint)) {
           fresh = false;
           break;
         }

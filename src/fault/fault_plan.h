@@ -53,6 +53,23 @@ enum class FaultKind : std::uint8_t {
   /// rollback path.  Without integrity checking the corruption propagates
   /// undetected into the algorithm's output.
   kCorruptPayload,
+  /// Silent rot in the *durable store*: deterministic bit flips in a
+  /// payload blob the machine published through stage_payload (mpc) or in
+  /// the machine's staged broadcast words (cclique) at the round boundary.
+  /// With integrity checking the per-blob store digest catches the
+  /// mismatch and the publisher's retained pristine copy repairs it in
+  /// place — budgeted by `retransmit_budget` exactly like kCorruptPayload,
+  /// escalating to checkpoint rollback past the budget.  Without integrity
+  /// the rot propagates into every reader's aliasing view.
+  kCorruptStore,
+  /// Bit rot in a *retained checkpoint image*: flips bits in one
+  /// generation of the driver's CheckpointRegistry ring.  Nothing is
+  /// touched at injection time beyond the stored image; the damage
+  /// surfaces (and is absorbed) at the next restore, which verifies
+  /// per-provider checksums and falls back to an older verified
+  /// generation — or throws CheckpointError when every generation is bad.
+  /// A no-op when no checkpoint has been retained yet.
+  kCorruptCheckpoint,
 };
 
 /// One scheduled fault.
@@ -101,6 +118,12 @@ class FaultPlan {
   FaultPlan& add_corrupt(std::size_t machine, std::size_t round) {
     return add({round, machine, FaultKind::kCorruptPayload});
   }
+  FaultPlan& add_corrupt_store(std::size_t machine, std::size_t round) {
+    return add({round, machine, FaultKind::kCorruptStore});
+  }
+  FaultPlan& add_corrupt_checkpoint(std::size_t machine, std::size_t round) {
+    return add({round, machine, FaultKind::kCorruptCheckpoint});
+  }
   FaultPlan& add(const FaultEvent& event);
 
   /// All events scheduled for `round`, in insertion order.  The returned
@@ -122,7 +145,8 @@ class FaultPlan {
 
   /// Parses "crash:<machine>@<round>,drop:<machine>@<round>,..." — the
   /// mpcg_run --faults syntax.  Kinds: crash, drop, dup (or duplicate),
-  /// delay, corrupt.  Throws std::invalid_argument on malformed input:
+  /// delay, corrupt, corrupt_store, corrupt_ckpt.  Throws
+  /// std::invalid_argument on malformed input:
   /// truncated tokens, non-numeric or overflowing machine/round fields,
   /// and exact duplicate (kind, machine, round) events are all rejected
   /// with messages naming the offending token.  (Repeated corruption of
@@ -138,11 +162,17 @@ class FaultPlan {
                                                 std::size_t max_round,
                                                 std::size_t count);
 
-  /// A seeded multi-fault storm: `count` events drawn over all five kinds
-  /// (crash/drop/dup/delay/corrupt), machines below `num_machines`, rounds
-  /// below `max_round` — the chaos harness's schedule generator.  Exact
-  /// (kind, machine, round) duplicates are re-drawn (bounded), so the
-  /// result round-trips through to_string()/parse().
+  /// A seeded multi-fault storm: `count` events drawn over all seven kinds
+  /// (crash/drop/dup/delay/corrupt/corrupt_store/corrupt_ckpt), machines
+  /// below `num_machines`, rounds below `max_round` — the chaos harness's
+  /// schedule generator.  Exact (kind, machine, round) duplicates are
+  /// re-drawn (bounded), so the result round-trips through
+  /// to_string()/parse().  kCorruptCheckpoint events are drawn onto rounds
+  /// of their own (no other event shares the round; re-drawn otherwise): a
+  /// restore in the same round as rot of the just-captured newest
+  /// generation can meet a not-yet-full ring with no verified generation
+  /// left — a legitimately unrecoverable cluster, which is a hand-authored
+  /// test scenario, not a soak scenario.
   [[nodiscard]] static FaultPlan random_storm(std::uint64_t seed,
                                               std::size_t num_machines,
                                               std::size_t max_round,

@@ -151,6 +151,10 @@ void Engine::push(std::size_t from, std::size_t to,
 
 PayloadId Engine::stage_payload(std::span<const Word> words) {
   staged_payloads_.emplace_back(words.begin(), words.end());
+  // Store half of the integrity layer: the publisher folds the blob's
+  // digest at stage time; readers re-verify it before any view aliases
+  // the stored words (verify_store).
+  if (config_.integrity) staged_digests_.push_back(Fnv::digest(words));
   return static_cast<PayloadId>(staged_payloads_.size() - 1);
 }
 
@@ -240,8 +244,16 @@ void Engine::exchange() {
 void Engine::exchange_impl() {
   const std::size_t m = config_.num_machines;
   // The one integrity branch per flush: every sender's staged stream is
-  // verified against its append-time checksum before anything delivers.
-  if (config_.integrity) verify_streams();
+  // verified against its append-time checksum — and every staged payload
+  // blob against its stage-time digest — before anything delivers.
+  if (config_.integrity) {
+    if (config_.scrub_interval != 0 &&
+        (metrics_.rounds + 1) % config_.scrub_interval == 0) {
+      scrub_pass();
+    }
+    verify_streams();
+    verify_store();
+  }
   drop_last_round();
   // Orphaned payloads — staged blobs whose every send descriptor was
   // destroyed by unrecovered fault corruption — still publish through the
@@ -252,6 +264,7 @@ void Engine::exchange_impl() {
       (fault_plan_ == nullptr || staged_payloads_.empty())) {
     // Payloads staged but never pushed die here, per the lifetime contract.
     staged_payloads_.clear();
+    staged_digests_.clear();
     if (dense_active_) {
       exchange_plain_dense(m);
     } else {
@@ -453,6 +466,10 @@ void Engine::exchange_shared(std::size_t m) {
   shared_round_ = true;
   delivered_payloads_ = std::move(staged_payloads_);
   staged_payloads_.clear();
+  // The blobs were verified against these digests just above
+  // (verify_store); delivered blobs cannot rot afterwards — faults fire
+  // only at round boundaries — so the digests die with the staging.
+  staged_digests_.clear();
   // Take the queue by value first: a strict-mode CapacityError below must
   // not leave stale sends behind — their payload ids would dangle into a
   // later round's payload store.
@@ -737,6 +754,7 @@ std::size_t Engine::Snapshot::words() const noexcept {
   w += (out_open_to.size() + 1) / 2;
   w += out_csums.size();
   for (const auto& p : staged_payloads) w += p.size();
+  w += staged_digests.size();
   w += shared_sends.size() * (sizeof(SharedSend) / sizeof(Word));
   w += sizeof(Metrics) / sizeof(Word);
   return w;
@@ -751,6 +769,7 @@ Engine::Snapshot Engine::snapshot() const {
   s.out_open_to = out_open_to_;
   s.out_csums = out_csums_;
   s.staged_payloads = staged_payloads_;
+  s.staged_digests = staged_digests_;
   s.shared_sends = shared_sends_;
   s.metrics = metrics_;
   s.dense_active = dense_active_;
@@ -766,6 +785,7 @@ void Engine::restore(const Snapshot& snap) {
   out_open_to_ = snap.out_open_to;
   out_csums_ = snap.out_csums;
   staged_payloads_ = snap.staged_payloads;
+  staged_digests_ = snap.staged_digests;
   shared_sends_ = snap.shared_sends;
   metrics_ = snap.metrics;
   dense_active_ = snap.dense_active;
@@ -926,7 +946,7 @@ void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
   std::size_t ckpt_words = 0;
   Snapshot ckpt;
   if (fault_recover_) {
-    if (registry_ != nullptr) ckpt_words += registry_->capture();
+    if (registry_ != nullptr) ckpt_words += registry_->capture(round);
     ckpt = snapshot();
     ckpt_words += ckpt.words();
   }
@@ -936,6 +956,11 @@ void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
   std::size_t corrupted = 0;
   std::size_t detected = 0;
   std::size_t retransmitted = 0;
+  std::size_t store_corrupted = 0;
+  std::size_t store_detected = 0;
+  std::size_t store_repaired = 0;
+  std::size_t fallbacks = 0;
+  std::size_t ckpt_rot = 0;
   crashed_scratch_.clear();
   dark_scratch_.clear();
   for (std::size_t ei = 0; ei < events.size(); ++ei) {
@@ -963,7 +988,7 @@ void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
           resent += staged_out_words(ev.machine);
           corrupt_machine_staging(ev.machine);
           restore(ckpt);
-          if (registry_ != nullptr) registry_->restore();
+          restore_registry(ev.machine, round, replays, fallbacks);
           ++replays;
           crashed_scratch_.push_back(ev.machine);
         } else {
@@ -1026,12 +1051,61 @@ void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
                 " exhausted and recovery is off");
           }
           restore(ckpt);
-          if (registry_ != nullptr) registry_->restore();
+          restore_registry(ev.machine, round, replays, fallbacks);
           ++replays;
           retransmitted += out_words_[ev.machine].size();
         } else {
           retransmitted += retransmit_retained(ev.machine);
         }
+        break;
+      }
+      case fault::FaultKind::kCorruptStore: {
+        // Silent rot in the durable payload store.  The publisher retains
+        // a pristine copy of the targeted blob first (the store's repair
+        // source), then mix64-derived bits flip in the stored words — and
+        // every reader's inbox_view / broadcast_view splice would alias
+        // the rot.
+        if (corrupt_store_blob(ev.machine, round, ei) == 0) break;
+        ++store_corrupted;
+        if (!config_.integrity) break;  // undetected: every view aliases rot
+        if (store_blob_ok(retained_blob_id_)) break;  // 2^-64 collision
+        ++store_detected;
+        // Same escalation contract as the wire: attempt ordinal = how many
+        // times this machine's published blobs have rotted this round.
+        std::size_t attempt = 1;
+        for (std::size_t j = 0; j < ei; ++j) {
+          attempt += events[j].kind == fault::FaultKind::kCorruptStore &&
+                     events[j].machine == ev.machine;
+        }
+        if (attempt > fault_plan_->retransmit_budget) {
+          if (!fault_recover_) {
+            throw IntegrityError(
+                "machine " + std::to_string(ev.machine) +
+                " payload store corrupted in round " + std::to_string(round) +
+                ": retransmit budget of " +
+                std::to_string(fault_plan_->retransmit_budget) +
+                " exhausted and recovery is off");
+          }
+          restore(ckpt);
+          restore_registry(ev.machine, round, replays, fallbacks);
+          ++replays;
+        } else {
+          store_repaired += repair_retained_blob();
+        }
+        break;
+      }
+      case fault::FaultKind::kCorruptCheckpoint: {
+        // Bit rot in a retained checkpoint image.  Nothing observable
+        // happens at injection time; the damage surfaces at the next
+        // restore, which verifies generations and falls back (see
+        // restore_registry).  The first rot event of a round hits the
+        // newest generation, subsequent ones walk down the ring — so a
+        // single event models newest-image rot (the fallback headline)
+        // and stacked events can rot the whole ring.
+        if (registry_ == nullptr || !registry_->has_checkpoint()) break;
+        registry_->corrupt_generation(
+            ckpt_rot % registry_->generations_held(), round, ev.machine, ei);
+        ++ckpt_rot;
         break;
       }
     }
@@ -1051,6 +1125,10 @@ void Engine::exchange_faulty(std::span<const fault::FaultEvent> events) {
   metrics_.corruptions_injected += corrupted;
   metrics_.corruptions_detected += detected;
   metrics_.words_retransmitted += retransmitted;
+  metrics_.store_corruptions_injected += store_corrupted;
+  metrics_.store_corruptions_detected += store_detected;
+  metrics_.store_words_repaired += store_repaired;
+  metrics_.checkpoint_fallbacks += fallbacks;
 }
 
 // ---------------------------------------------------------------------------
@@ -1163,6 +1241,127 @@ std::size_t Engine::retransmit_retained(std::size_t machine) {
   out_open_to_[machine] = retained_.open_to;
   if (config_.integrity) out_csums_[machine] = retained_.csum;
   return retained_.words.size();
+}
+
+// ---------------------------------------------------------------------------
+// Durable-store integrity: per-blob digests, retained-copy repair, scrub,
+// and verified checkpoint generations (see DESIGN.md, "Durable-store
+// integrity & verified checkpoints").
+
+std::size_t Engine::corrupt_store_blob(std::size_t machine, std::size_t round,
+                                       std::size_t ordinal) {
+  std::size_t total = 0;
+  for (const auto& p : staged_payloads_) total += p.size();
+  if (total == 0) return 0;
+  // Word-weighted blob choice: pick a word uniformly across the store and
+  // rot the blob holding it, so a non-empty store always takes a hit and
+  // big blobs rot proportionally more often.
+  std::size_t pick = mix64(round, machine, ordinal * 8 + 3) % total;
+  PayloadId blob = 0;
+  while (pick >= staged_payloads_[blob].size()) {
+    pick -= staged_payloads_[blob].size();
+    ++blob;
+  }
+  auto& words = staged_payloads_[blob];
+  // The publisher retains the pristine blob before the rot lands — the
+  // repair source the detect path serves from.
+  retained_blob_ = words;
+  retained_blob_id_ = blob;
+  // Same 1..3 deduplicated (word, bit) flips as the wire corruption: every
+  // injected rot genuinely differs from the pristine blob, so
+  // store_corruptions_detected == store_corruptions_injected whenever
+  // integrity is on.
+  const std::size_t flips = 1 + mix64(round, machine, ordinal * 8 + 5) % 3;
+  std::size_t applied = 0;
+  for (std::size_t f = 0; f < flips; ++f) {
+    const std::size_t idx =
+        mix64(round, machine * 8 + f, ordinal * 8 + 6) % words.size();
+    const std::size_t bit =
+        mix64(round, machine * 8 + f, ordinal * 8 + 7) % 64;
+    bool fresh = true;
+    for (std::size_t g = 0; g < f; ++g) {
+      const std::size_t pidx =
+          mix64(round, machine * 8 + g, ordinal * 8 + 6) % words.size();
+      const std::size_t pbit =
+          mix64(round, machine * 8 + g, ordinal * 8 + 7) % 64;
+      if (pidx == idx && pbit == bit) {
+        fresh = false;
+        break;
+      }
+    }
+    if (!fresh) continue;
+    words[idx] ^= Word{1} << bit;
+    ++applied;
+  }
+  return applied;
+}
+
+bool Engine::store_blob_ok(PayloadId id) const {
+  const auto& words = staged_payloads_[id];
+  return Fnv::digest({words.data(), words.size()}) == staged_digests_[id];
+}
+
+std::size_t Engine::repair_retained_blob() {
+  staged_payloads_[retained_blob_id_] = retained_blob_;
+  return retained_blob_.size();
+}
+
+void Engine::verify_store() const {
+  for (std::size_t id = 0; id < staged_digests_.size(); ++id) {
+    if (!store_blob_ok(static_cast<PayloadId>(id))) {
+      throw IntegrityError(
+          "payload blob " + std::to_string(id) + " (" +
+          std::to_string(staged_payloads_[id].size()) +
+          " words) fails its store digest in round " +
+          std::to_string(metrics_.rounds) +
+          ": corruption was not repaired before delivery");
+    }
+  }
+}
+
+void Engine::scrub_pass() {
+  // Proactive verification sweep over everything the system retains: the
+  // payload store, every sender's wire stream, and the checkpoint
+  // generation ring.  Store or stream rot that escaped the repair path is
+  // fatal here exactly as it would be at delivery; checkpoint rot is left
+  // for restore-time fallback (repairing it in place would silently mask
+  // the generation ring's retention contract).
+  verify_store();
+  verify_streams();
+  if (registry_ != nullptr) {
+    for (std::size_t age = 0; age < registry_->generations_held(); ++age) {
+      (void)registry_->generation_ok(age);
+    }
+  }
+  ++metrics_.scrub_passes;
+}
+
+void Engine::restore_registry(std::size_t machine, std::size_t round,
+                              std::size_t& replays, std::size_t& fallbacks) {
+  if (registry_ == nullptr || !registry_->has_checkpoint()) return;
+  if (!registry_->generation_ok(0)) {
+    // The newest image rotted in retention.  Find the next older verified
+    // generation — the cluster's last good copy.
+    const std::size_t held = registry_->generations_held();
+    std::size_t age = 1;
+    while (age < held && !registry_->generation_ok(age)) ++age;
+    if (age == held) {
+      throw fault::CheckpointError(
+          "machine " + std::to_string(machine) + ": all " +
+          std::to_string(held) +
+          " retained checkpoint generation(s) fail verification in round " +
+          std::to_string(round) + ": the cluster is unrecoverable");
+    }
+    // Deterministic replay from the verified generation reconstructs
+    // exactly the state the newest capture serialized — which is the live
+    // provider state, untouched since the capture at this round's entry.
+    // Recapture it into the newest slot (the simulated replay's result)
+    // and charge the rounds between the two generation tags.
+    replays += round - registry_->generation_round(age);
+    ++fallbacks;
+    registry_->recapture_newest();
+  }
+  registry_->restore();
 }
 
 // ---------------------------------------------------------------------------

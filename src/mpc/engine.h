@@ -133,6 +133,16 @@ struct Config {
   /// (O(machines + shared sends); O(machines^2) on the dense path); throws
   /// AuditError on any violation.
   bool audit = false;
+  /// Opt-in round-boundary scrub of the durable stores: every
+  /// `scrub_interval`-th round (0 = never) the engine re-digests the
+  /// payload store and every sender's wire stream, and re-verifies the
+  /// retained checkpoint generations, *before* any reader touches the
+  /// round's deliveries.  Requires `integrity` (silently inert without it —
+  /// there are no digests to check).  The scrub is pure verification: on a
+  /// fault-free run its only observable is Metrics::scrub_passes, and rot
+  /// that escaped the repair path throws IntegrityError (see DESIGN.md,
+  /// "Determinism contract").
+  std::size_t scrub_interval = 0;
 };
 
 struct Metrics {
@@ -176,6 +186,23 @@ struct Metrics {
   /// retransmit protocol (including the re-delivery after a budget-blown
   /// corruption escalated to checkpoint rollback).
   std::size_t words_retransmitted = 0;
+  /// kCorruptStore events that flipped at least one stored bit (events
+  /// landing on an empty payload store corrupt nothing and are not counted
+  /// here, though they still count in faults_injected).
+  std::size_t store_corruptions_injected = 0;
+  /// Store corruptions caught by the per-blob digest verification.  Equals
+  /// store_corruptions_injected whenever Config::integrity is on.
+  std::size_t store_corruptions_detected = 0;
+  /// Words reinstated from the publisher's retained pristine copy by the
+  /// in-place store repair (budget-blown store corruptions roll the round
+  /// back instead and are charged to rounds_replayed).
+  std::size_t store_words_repaired = 0;
+  /// Checkpoint restores that found the newest generation rotted and fell
+  /// back to an older verified one (charging the replayed rounds between
+  /// the two generation tags to rounds_replayed).
+  std::size_t checkpoint_fallbacks = 0;
+  /// Proactive durable-store scrub sweeps executed (Config::scrub_interval).
+  std::size_t scrub_passes = 0;
 };
 
 /// Run-length tag encoding of the flat staging. Each sender's staged words
@@ -567,6 +594,7 @@ class Engine {
     std::vector<std::uint32_t> out_open_to;
     std::vector<std::uint64_t> out_csums;
     std::vector<std::vector<Word>> staged_payloads;
+    std::vector<std::uint64_t> staged_digests;
     std::vector<SharedSend> shared_sends;
     Metrics metrics{};
     bool dense_active = false;
@@ -662,6 +690,39 @@ class Engine {
   /// Reinstates the retained pristine stream (the retransmission) and
   /// returns the number of words re-delivered.
   std::size_t retransmit_retained(std::size_t machine);
+  /// kCorruptStore injection: copies the targeted payload blob aside (the
+  /// publisher's retained pristine copy) and flips 1-3 mix64-derived bits
+  /// in the stored blob.  The blob is picked word-weighted across the
+  /// store, so a non-empty store always takes a hit.  Returns the number
+  /// of bits flipped (0 when the store holds no words).
+  std::size_t corrupt_store_blob(std::size_t machine, std::size_t round,
+                                 std::size_t ordinal);
+  /// True iff the blob's stored words still match the digest folded at
+  /// stage_payload time — the reader-side store verification.
+  [[nodiscard]] bool store_blob_ok(PayloadId id) const;
+  /// Reinstates the retained pristine blob (the in-place store repair) and
+  /// returns the number of words restored.
+  std::size_t repair_retained_blob();
+  /// Flush-time verification of every staged payload blob against its
+  /// stage-time digest (reached only with Config::integrity on) — the
+  /// reader-side guarantee that inbox_view / broadcast_view splices never
+  /// alias rotted store bytes.  A mismatch here escaped the repair
+  /// protocol and throws IntegrityError.
+  void verify_store() const;
+  /// The opt-in proactive scrub (Config::scrub_interval): re-digests the
+  /// payload store and the wire streams and re-verifies every retained
+  /// checkpoint generation.  Pure verification — inert on a clean run
+  /// except for Metrics::scrub_passes.
+  void scrub_pass();
+  /// Verified checkpoint restore with generation fallback: restores the
+  /// newest registry generation if it verifies; otherwise falls back to
+  /// the next older verified one — deterministic replay from it would
+  /// reconstruct exactly the live provider state, so the newest image is
+  /// recaptured from live state and the replayed rounds are charged —
+  /// and throws CheckpointError naming `machine` and `round` when every
+  /// generation is bad.
+  void restore_registry(std::size_t machine, std::size_t round,
+                        std::size_t& replays, std::size_t& fallbacks);
   /// Audit mode: records the staged word total (post delayed-injection,
   /// pre fault events) and the fault adjustments baseline for this round.
   void begin_audit();
@@ -739,6 +800,10 @@ class Engine {
   // exchange and stay alive (aliased by views) until the next exchange or
   // clear_inboxes.
   std::vector<std::vector<Word>> staged_payloads_;
+  /// Per-blob FNV-1a digests folded at stage_payload time (parallel to
+  /// staged_payloads_; maintained only with Config::integrity on) — the
+  /// store half of the integrity layer.
+  std::vector<std::uint64_t> staged_digests_;
   std::vector<std::vector<Word>> delivered_payloads_;
   std::vector<SharedSend> shared_sends_;
   /// Per-machine ordered segments for the current round; only filled for
@@ -800,6 +865,12 @@ class Engine {
   };
   RetainedStream retained_;
   std::size_t retained_from_ = static_cast<std::size_t>(-1);
+  /// Publisher-side retention for the store-repair protocol: the pristine
+  /// copy of the payload blob a kCorruptStore event is about to mangle
+  /// (valid for the blob named by retained_blob_id_ within one
+  /// exchange_faulty).
+  std::vector<Word> retained_blob_;
+  PayloadId retained_blob_id_ = static_cast<PayloadId>(-1);
 
   // Audit-mode per-round scratch (see Config::audit): the staged total at
   // round entry and the word-count adjustments unrecovered faults made to

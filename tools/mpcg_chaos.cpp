@@ -2,22 +2,24 @@
 // layer.
 //
 // Each storm draws a seeded FaultPlan::random_storm (crashes, drops,
-// duplicates, delays, payload corruptions), runs one of the drivers — MIS,
-// fractional matching, vertex cover (MPC model) or MIS (congested clique)
-// — with checkpoint recovery, stream-checksum integrity, and audit mode
-// all armed, and cross-checks the result against a from-scratch fault-free
+// duplicates, delays, payload/store corruptions, checkpoint rot), runs one
+// of the drivers — MIS, fractional matching, vertex cover (MPC model) or
+// MIS (congested clique) — with checkpoint recovery, stream-checksum +
+// durable-store integrity, audit mode, and the round-boundary scrub all
+// armed, and cross-checks the result against a from-scratch fault-free
 // solve:
 //   * every observable output and every logical metric must be
 //     bit-identical (the coupling contract);
 //   * the solution must validate against the input graph from scratch
 //     (maximal independent set / fractional matching / vertex cover);
-//   * every injected corruption must have been detected
-//     (corruptions_detected == corruptions_injected).
+//   * every injected corruption must have been detected, on the wire and
+//     in the durable store (detected == injected for both).
 //
 // Usage:
 //   mpcg_chaos [--storms 20] [--seed 1] [--n 4096] [--verbose]
 //
-// Exits 0 iff every storm passes; any mismatch prints a FAIL line and
+// Exits 0 iff every storm passes; any mismatch prints a FAIL line plus one
+// greppable DIVERGED line naming the (seed, driver, family) tuple, and
 // exits 1 — suitable for CI (including ASan jobs) as-is.
 #include <cstdio>
 #include <cstdlib>
@@ -36,7 +38,15 @@ struct StormStats {
   std::size_t corruptions = 0;
   std::size_t retransmitted = 0;
   std::size_t replayed = 0;
+  std::size_t store_corruptions = 0;
+  std::size_t store_repaired = 0;
+  std::size_t ckpt_fallbacks = 0;
+  std::size_t scrubs = 0;
 };
+
+/// Scrub cadence armed in every faulty run: frequent enough that multi-round
+/// storms cross several scrub boundaries, cheap enough for a soak.
+constexpr std::size_t kScrubInterval = 3;
 
 bool check(bool ok, const char* what, const std::string& label,
            std::size_t& failures) {
@@ -63,6 +73,7 @@ void storm_matching(const Graph& g, std::uint64_t seed, bool want_cover,
   faulty.fault_plan = &plan;
   faulty.integrity = true;
   faulty.audit = true;
+  faulty.scrub_interval = kScrubInterval;
   const auto stormy = matching_mpc(g, faulty);
 
   check(stormy.x == clean.x, "x diverged", label, failures);
@@ -76,6 +87,9 @@ void storm_matching(const Graph& g, std::uint64_t seed, bool want_cover,
   check(stormy.metrics.corruptions_detected ==
             stormy.metrics.corruptions_injected,
         "undetected corruption", label, failures);
+  check(stormy.metrics.store_corruptions_detected ==
+            stormy.metrics.store_corruptions_injected,
+        "undetected store corruption", label, failures);
   check(is_fractional_matching(g, stormy.x), "x is not a fractional matching",
         label, failures);
   if (want_cover) {
@@ -86,6 +100,10 @@ void storm_matching(const Graph& g, std::uint64_t seed, bool want_cover,
   stats.corruptions += stormy.metrics.corruptions_injected;
   stats.retransmitted += stormy.metrics.words_retransmitted;
   stats.replayed += stormy.metrics.rounds_replayed;
+  stats.store_corruptions += stormy.metrics.store_corruptions_injected;
+  stats.store_repaired += stormy.metrics.store_words_repaired;
+  stats.ckpt_fallbacks += stormy.metrics.checkpoint_fallbacks;
+  stats.scrubs += stormy.metrics.scrub_passes;
 }
 
 void storm_mis(const Graph& g, std::uint64_t seed, const std::string& label,
@@ -100,6 +118,7 @@ void storm_mis(const Graph& g, std::uint64_t seed, const std::string& label,
   faulty.fault_plan = &plan;
   faulty.integrity = true;
   faulty.audit = true;
+  faulty.scrub_interval = kScrubInterval;
   const auto stormy = mis_mpc(g, faulty);
 
   check(stormy.mis == clean.mis, "mis diverged", label, failures);
@@ -112,12 +131,19 @@ void storm_mis(const Graph& g, std::uint64_t seed, const std::string& label,
   check(stormy.metrics.corruptions_detected ==
             stormy.metrics.corruptions_injected,
         "undetected corruption", label, failures);
+  check(stormy.metrics.store_corruptions_detected ==
+            stormy.metrics.store_corruptions_injected,
+        "undetected store corruption", label, failures);
   check(is_maximal_independent_set(g, stormy.mis), "mis is not maximal",
         label, failures);
   stats.faults += stormy.metrics.faults_injected;
   stats.corruptions += stormy.metrics.corruptions_injected;
   stats.retransmitted += stormy.metrics.words_retransmitted;
   stats.replayed += stormy.metrics.rounds_replayed;
+  stats.store_corruptions += stormy.metrics.store_corruptions_injected;
+  stats.store_repaired += stormy.metrics.store_words_repaired;
+  stats.ckpt_fallbacks += stormy.metrics.checkpoint_fallbacks;
+  stats.scrubs += stormy.metrics.scrub_passes;
 }
 
 void storm_mis_cclique(const Graph& g, std::uint64_t seed,
@@ -133,6 +159,7 @@ void storm_mis_cclique(const Graph& g, std::uint64_t seed,
   faulty.fault_plan = &plan;
   faulty.integrity = true;
   faulty.audit = true;
+  faulty.scrub_interval = kScrubInterval;
   const auto stormy = mis_cclique(g, faulty);
 
   check(stormy.mis == clean.mis, "mis diverged", label, failures);
@@ -147,12 +174,19 @@ void storm_mis_cclique(const Graph& g, std::uint64_t seed,
   check(stormy.metrics.corruptions_detected ==
             stormy.metrics.corruptions_injected,
         "undetected corruption", label, failures);
+  check(stormy.metrics.store_corruptions_detected ==
+            stormy.metrics.store_corruptions_injected,
+        "undetected store corruption", label, failures);
   check(is_maximal_independent_set(g, stormy.mis), "mis is not maximal",
         label, failures);
   stats.faults += stormy.metrics.faults_injected;
   stats.corruptions += stormy.metrics.corruptions_injected;
   stats.retransmitted += stormy.metrics.words_retransmitted;
   stats.replayed += stormy.metrics.rounds_replayed;
+  stats.store_corruptions += stormy.metrics.store_corruptions_injected;
+  stats.store_repaired += stormy.metrics.store_words_repaired;
+  stats.ckpt_fallbacks += stormy.metrics.checkpoint_fallbacks;
+  stats.scrubs += stormy.metrics.scrub_passes;
 }
 
 }  // namespace
@@ -186,28 +220,47 @@ int main(int argc, char** argv) {
                                 ", " + family + ")";
       const mpcg::Graph g = mpcg::graph_family(family, n, storm_seed);
       const std::size_t before = failures;
-      if (std::string(driver) == "mis") {
-        storm_mis(g, storm_seed, label, failures, stats);
-      } else if (std::string(driver) == "matching") {
-        storm_matching(g, storm_seed, /*want_cover=*/false, label, failures,
-                       stats);
-      } else if (std::string(driver) == "vc") {
-        storm_matching(g, storm_seed, /*want_cover=*/true, label, failures,
-                       stats);
-      } else {
-        storm_mis_cclique(g, storm_seed, label, failures, stats);
+      try {
+        if (std::string(driver) == "mis") {
+          storm_mis(g, storm_seed, label, failures, stats);
+        } else if (std::string(driver) == "matching") {
+          storm_matching(g, storm_seed, /*want_cover=*/false, label, failures,
+                         stats);
+        } else if (std::string(driver) == "vc") {
+          storm_matching(g, storm_seed, /*want_cover=*/true, label, failures,
+                         stats);
+        } else {
+          storm_mis_cclique(g, storm_seed, label, failures, stats);
+        }
+      } catch (const std::exception& e) {
+        // A throwing storm (budget blown, unrepaired rot, audit breach) is
+        // a failure of that storm, not of the whole soak — record it and
+        // keep going so one line names every bad tuple.
+        std::fprintf(stderr, "FAIL %s: %s\n", label.c_str(), e.what());
+        ++failures;
       }
       if (failures == before) {
         ++clean_storms;
         if (verbose) std::printf("ok   %s\n", label.c_str());
+      } else {
+        // One greppable line per failing storm: everything needed to
+        // reproduce it (`--storms 1` won't land on the same tuple, so the
+        // full coordinates matter).
+        std::fprintf(stderr,
+                     "DIVERGED seed=%llu storm=%zu driver=%s family=%s "
+                     "n=%zu storm_seed=%llu\n",
+                     static_cast<unsigned long long>(seed), s, driver, family,
+                     n, static_cast<unsigned long long>(storm_seed));
       }
     }
 
     std::printf(
         "%zu/%zu storms clean | faults %zu corruptions %zu "
-        "retransmitted %zu replays %zu\n",
+        "retransmitted %zu replays %zu | store corruptions %zu "
+        "repaired %zu ckpt fallbacks %zu scrubs %zu\n",
         clean_storms, storms, stats.faults, stats.corruptions,
-        stats.retransmitted, stats.replayed);
+        stats.retransmitted, stats.replayed, stats.store_corruptions,
+        stats.store_repaired, stats.ckpt_fallbacks, stats.scrubs);
     if (failures != 0) {
       std::fprintf(stderr, "mpcg_chaos: %zu check(s) failed\n", failures);
       return 1;

@@ -9,8 +9,10 @@
 //                   |sort|route
 //            [--family gnp_dense --n 4096 | --input graph.txt]
 //            [--seed 1] [--eps 0.1] [--check]
-//            [--faults "crash:<machine>@<round>,corrupt:1@4,..."]
+//            [--faults "crash:<machine>@<round>,corrupt:1@4,
+//                       corrupt_store:0@5,corrupt_ckpt:2@6,..."]
 //            [--words W] [--reprovision] [--integrity] [--audit]
+//            [--scrub-interval K]
 //
 // --faults attaches a deterministic fault schedule to the engine (mis,
 // matching, vc, mis_cc, sort, route); recovery replays the faulted rounds
@@ -18,9 +20,12 @@
 // fault-free run and the overhead shows up in the fault metrics lines.
 // --reprovision retries a run that breaches capacity (or exhausts its
 // crash budget) with doubled per-machine memory, up to a bounded number of
-// attempts. --integrity arms the per-sender stream checksums (required for
-// corrupt faults to be detected and repaired); --audit checks conservation
-// invariants every round.
+// attempts. --integrity arms the per-sender stream checksums and the
+// durable-store digests (required for corrupt/corrupt_store faults to be
+// detected and repaired); --audit checks conservation invariants every
+// round. --scrub-interval K runs a proactive verification sweep over the
+// streams, the payload store, and the checkpoint generations every K
+// rounds (0 = never; requires --integrity).
 //
 // `sort` runs the distributed sample sort on seeded words; `route` runs
 // Lenzen routing on the congested clique plus a ring exchange — both are
@@ -60,6 +65,11 @@ void print_fault_metrics(const mpc::Metrics& m) {
   print_kv("corruptions_injected", m.corruptions_injected);
   print_kv("corruptions_detected", m.corruptions_detected);
   print_kv("words_retransmitted", m.words_retransmitted);
+  print_kv("store_corruptions_injected", m.store_corruptions_injected);
+  print_kv("store_corruptions_detected", m.store_corruptions_detected);
+  print_kv("store_words_repaired", m.store_words_repaired);
+  print_kv("checkpoint_fallbacks", m.checkpoint_fallbacks);
+  print_kv("scrub_passes", m.scrub_passes);
 }
 
 void print_fault_metrics(const cclique::Metrics& m) {
@@ -70,6 +80,11 @@ void print_fault_metrics(const cclique::Metrics& m) {
   print_kv("corruptions_injected", m.corruptions_injected);
   print_kv("corruptions_detected", m.corruptions_detected);
   print_kv("words_retransmitted", m.words_retransmitted);
+  print_kv("store_corruptions_injected", m.store_corruptions_injected);
+  print_kv("store_corruptions_detected", m.store_corruptions_detected);
+  print_kv("store_words_repaired", m.store_words_repaired);
+  print_kv("checkpoint_fallbacks", m.checkpoint_fallbacks);
+  print_kv("scrub_passes", m.scrub_passes);
 }
 
 void print_reprovision_failures(
@@ -111,6 +126,8 @@ int run(const Flags& flags) {
   const bool reprovision = flags.get_bool("reprovision", false);
   const bool integrity = flags.get_bool("integrity", false);
   const bool audit = flags.get_bool("audit", false);
+  const auto scrub_interval =
+      static_cast<std::size_t>(flags.get_int("scrub-interval", 0));
   const auto words = static_cast<std::size_t>(flags.get_int("words", 0));
 
   const auto unused = flags.unused();
@@ -141,6 +158,7 @@ int run(const Flags& flags) {
     opt.fault_plan = plan_ptr;
     opt.integrity = integrity;
     opt.audit = audit;
+    opt.scrub_interval = scrub_interval;
     MisMpcResult r;
     if (reprovision) {
       auto outcome = fault::run_with_reprovision(
@@ -180,6 +198,7 @@ int run(const Flags& flags) {
     opt.fault_plan = plan_ptr;
     opt.integrity = integrity;
     opt.audit = audit;
+    opt.scrub_interval = scrub_interval;
     const auto r = mis_cclique(g, opt);
     print_kv("mis_size", r.mis.size());
     print_kv("clique_rounds", r.metrics.rounds);
@@ -200,6 +219,7 @@ int run(const Flags& flags) {
     mpc::Config cfg{machines, base_words(words, n_words), true};
     cfg.integrity = integrity;
     cfg.audit = audit;
+    cfg.scrub_interval = scrub_interval;
     mpc::Engine engine(cfg);
     fault::CheckpointRegistry registry;
     if (plan_ptr != nullptr) engine.set_fault_plan(plan_ptr, &registry);
@@ -230,8 +250,10 @@ int run(const Flags& flags) {
     // delivered multiset is checked against the staged one from scratch.
     const std::size_t players = std::clamp<std::size_t>(g.num_vertices(),
                                                         4, 4096);
-    cclique::Engine engine(players, /*strict=*/true, integrity, audit);
-    if (plan_ptr != nullptr) engine.set_fault_plan(plan_ptr);
+    cclique::Engine engine(players, /*strict=*/true, integrity, audit,
+                           scrub_interval);
+    fault::CheckpointRegistry route_registry;
+    if (plan_ptr != nullptr) engine.set_fault_plan(plan_ptr, &route_registry);
     for (std::size_t p = 0; p < players; ++p) {
       engine.send(static_cast<cclique::PlayerId>(p),
                   static_cast<cclique::PlayerId>((p + 1) % players),
@@ -290,6 +312,7 @@ int run(const Flags& flags) {
     opt.simulation.fault_plan = plan_ptr;
     opt.simulation.integrity = integrity;
     opt.simulation.audit = audit;
+    opt.simulation.scrub_interval = scrub_interval;
     IntegralMatchingResult r;
     if (reprovision) {
       auto outcome = fault::run_with_reprovision(
