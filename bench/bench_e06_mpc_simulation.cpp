@@ -6,6 +6,10 @@
 // (approximation, with exact nu). Shape: `phases` grows ~additively as n is
 // squared; `matching_factor` stays well under 2+50eps (claimed_factor);
 // `cover_heavy_fraction` >= 1/3.
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
 #include "baselines/blossom.h"
 #include "bench_util.h"
 #include "core/matching_mpc.h"
@@ -351,6 +355,95 @@ void E06_StoreIntegrityOverhead(benchmark::State& state) {
 BENCHMARK(E06_StoreIntegrityOverhead)
     ->Arg(1 << 14)
     // 2^16 is the acceptance row: store digests + scrub at noise level.
+    ->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// On-disk checkpoint overhead: the same fault-free run persisting a
+// durable generation every 4th safe point (see fault/durable.h). A durable
+// generation is a fresh serialization of the registered providers plus the
+// engine section, written through the two-slot ring with an atomic rename,
+// so the acceptance row (2^16) wants overhead_pct under ~5% wall-clock —
+// and the outputs bit-identical to the non-persistent run
+// (durable_identical).
+void E06_DiskCheckpointOverhead(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = gnp_with_degree(n, 16.0, 13);
+  const MatchingMpcOptions clean_opt = opts(13);
+
+  MatchingMpcResult clean;
+  double clean_ms = 0.0;
+  {
+    const WallTimer timer;
+    clean = matching_mpc(g, clean_opt);
+    clean_ms = timer.elapsed_ms();
+  }
+
+  std::string dir;
+  {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl =
+        std::string(base != nullptr && *base != '\0' ? base : "/tmp") +
+        "/mpcg_bench_ck.XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (mkdtemp(buf.data()) == nullptr) {
+      state.SkipWithError("mkdtemp failed");
+      return;
+    }
+    dir = buf.data();
+  }
+  MatchingMpcOptions durable_opt = clean_opt;
+  durable_opt.durable.dir = dir + "/ck";
+  durable_opt.durable.every = 4;
+  MatchingMpcResult r;
+  double wall_ms = 0.0;
+  for (auto _ : state) {
+    const WallTimer timer;
+    r = matching_mpc(g, durable_opt);
+    wall_ms = timer.elapsed_ms();
+    benchmark::DoNotOptimize(r.x.data());
+  }
+  // A second clean pass bounds run-to-run noise, as in the other overhead
+  // rows.
+  double off_ms = 0.0;
+  {
+    const WallTimer timer;
+    const auto again = matching_mpc(g, clean_opt);
+    off_ms = timer.elapsed_ms();
+    benchmark::DoNotOptimize(again.x.data());
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  const bool identical = r.x == clean.x && r.cover == clean.cover &&
+                         r.freeze_iteration == clean.freeze_iteration &&
+                         r.metrics.rounds == clean.metrics.rounds &&
+                         r.metrics.total_words == clean.metrics.total_words;
+  emit_json_line("E06_DiskCheckpointOverhead/" + std::to_string(n), n,
+                 g.num_edges(), r.metrics.rounds, wall_ms,
+                 r.metrics.peak_storage_words);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["clean_ms"] = clean_ms;
+  state.counters["durable_ms"] = wall_ms;
+  state.counters["overhead_pct"] =
+      clean_ms > 0.0 ? 100.0 * (wall_ms - clean_ms) / clean_ms : 0.0;
+  state.counters["overhead_off_pct"] =
+      clean_ms > 0.0 ? 100.0 * (off_ms - clean_ms) / clean_ms : 0.0;
+  state.counters["durable_identical"] = identical ? 1.0 : 0.0;
+  state.counters["disk_checkpoints_written"] =
+      static_cast<double>(r.metrics.disk_checkpoints_written);
+  state.counters["disk_checkpoint_words"] =
+      static_cast<double>(r.metrics.disk_checkpoint_words);
+  // A clean persistent run never loads or falls back.
+  state.counters["resume_loads"] =
+      static_cast<double>(r.metrics.resume_loads);
+  state.counters["disk_fallbacks"] =
+      static_cast<double>(r.metrics.disk_fallbacks);
+}
+BENCHMARK(E06_DiskCheckpointOverhead)
+    ->Arg(1 << 14)
+    // 2^16 is the acceptance row: durable persistence under 5% wall-clock.
     ->Arg(1 << 16)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);

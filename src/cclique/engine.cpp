@@ -1,6 +1,8 @@
 #include "cclique/engine.h"
 
 #include <algorithm>
+#include <cstring>
+#include <type_traits>
 
 #include "fault/checkpoint.h"
 #include "fault/fault_plan.h"
@@ -304,9 +306,135 @@ void Engine::restore(const Snapshot& snap) {
 void Engine::set_fault_plan(const fault::FaultPlan* plan,
                             fault::CheckpointRegistry* registry,
                             bool recover) {
+  // The registry is kept even with a null/empty plan: durability persists
+  // provider state through it without any fault injection attached.
   fault_plan_ = (plan != nullptr && !plan->empty()) ? plan : nullptr;
   registry_ = registry;
   fault_recover_ = recover;
+}
+
+// ---------------------------------------------------------------------------
+// On-disk durability (see set_durability; mirrors mpc::Engine).
+
+void Engine::set_durability(const fault::DurableOptions& options,
+                            std::string scope) {
+  if (!options.enabled()) return;
+  if (options.every == 0) {
+    throw std::invalid_argument("Engine: checkpoint every must be >= 1");
+  }
+  durable_ = options;
+  durable_scope_ = std::move(scope);
+  dring_.emplace(durable_.dir);
+  if (!durable_.resume) dring_->reset();
+}
+
+void Engine::engine_section_into(fault::DurableSection& s) const {
+  static_assert(std::has_unique_object_representations_v<Metrics>);
+  static_assert(sizeof(Metrics) % sizeof(Word) == 0);
+  s.name = "__engine";
+  std::vector<Word>& out = s.payload;
+  out.clear();
+  out.resize(sizeof(Metrics) / sizeof(Word));
+  std::memcpy(out.data(), &metrics_, sizeof(Metrics));
+  out.push_back(crashes_recovered_);
+  // Delayed flushes straddle the round boundary; staging and the broadcast
+  // store do not (safe points are quiescent).
+  out.push_back(delayed_.size());
+  for (const Message& msg : delayed_) {
+    out.push_back(msg.from);
+    out.push_back(msg.to);
+    out.push_back(msg.word);
+  }
+}
+
+void Engine::install_engine_section(std::span<const Word> payload) {
+  const std::size_t mw = sizeof(Metrics) / sizeof(Word);
+  std::size_t at = 0;
+  const auto take = [&]() -> Word {
+    if (at >= payload.size()) {
+      throw fault::CheckpointError(
+          "durable checkpoint restore: truncated __engine section");
+    }
+    return payload[at++];
+  };
+  if (payload.size() < mw) {
+    throw fault::CheckpointError(
+        "durable checkpoint restore: truncated __engine section");
+  }
+  std::memcpy(static_cast<void*>(&metrics_), payload.data(), sizeof(Metrics));
+  at = mw;
+  crashes_recovered_ = static_cast<std::size_t>(take());
+  delayed_.clear();
+  const Word ndelayed = take();
+  for (Word i = 0; i < ndelayed; ++i) {
+    Message msg;
+    msg.from = static_cast<PlayerId>(take());
+    msg.to = static_cast<PlayerId>(take());
+    msg.word = take();
+    delayed_.push_back(msg);
+  }
+}
+
+void Engine::persist() {
+  // Scratch layout: provider sections, then one trailing "__engine"
+  // section; the buffers survive across persists (see mpc::Engine).
+  const std::size_t nprov =
+      registry_ != nullptr ? registry_->num_providers() : 0;
+  durable_scratch_.resize(nprov + 1);
+  if (registry_ != nullptr) registry_->save_sections_into(durable_scratch_);
+  engine_section_into(durable_scratch_[nprov]);
+  const std::size_t words =
+      dring_->save(metrics_.rounds, durable_scope_, durable_scratch_);
+  ++metrics_.disk_checkpoints_written;
+  metrics_.disk_checkpoint_words += words;
+}
+
+void Engine::checkpoint_boundary() {
+  if (!dring_) return;
+  ++safe_points_;
+  const bool stop =
+      (durable_.stop_flag != nullptr &&
+       durable_.stop_flag->load(std::memory_order_relaxed)) ||
+      (durable_.stop_after_safe_points != 0 &&
+       safe_points_ >= durable_.stop_after_safe_points);
+  if (stop) {
+    persist();
+    throw fault::ResumableInterrupt(
+        "stopped at a safe point after flushing a final durable generation "
+        "(relaunch with --resume)");
+  }
+  if (safe_points_ % durable_.every == 0) persist();
+}
+
+bool Engine::try_resume() {
+  if (!dring_ || !durable_.resume) return false;
+  std::optional<fault::DurableLoad> loaded;
+  if (registry_ != nullptr) {
+    loaded = registry_->load_from(*dring_, durable_scope_);
+  } else {
+    loaded = dring_->load(durable_scope_);
+  }
+  if (!loaded) return false;
+  const fault::DurableSection* engine = nullptr;
+  for (const fault::DurableSection& s : loaded->checkpoint.sections) {
+    if (s.name == "__engine") {
+      engine = &s;
+      break;
+    }
+  }
+  if (engine == nullptr) {
+    throw fault::CheckpointError(
+        "durable checkpoint restore: no __engine section");
+  }
+  install_engine_section(std::span<const Word>(engine->payload));
+  ++metrics_.resume_loads;
+  metrics_.disk_fallbacks += loaded->fallback ? 1 : 0;
+  if (fault_plan_ != nullptr) {
+    for (const fault::FaultEvent& ev : fault_plan_->events()) {
+      if (ev.round < metrics_.rounds) ++metrics_.faults_skipped_on_resume;
+    }
+  }
+  return true;
 }
 
 std::size_t Engine::staged_out_words(std::size_t player) const {
@@ -605,11 +733,26 @@ void Engine::restore_registry(std::size_t player, std::size_t round,
     std::size_t age = 1;
     while (age < held && !registry_->generation_ok(age)) ++age;
     if (age == held) {
+      // Name the rotted providers so the operator knows which state lost
+      // its last good copy.
+      std::vector<std::string> seen;
+      std::string rotted;
+      for (std::size_t a = 0; a < held; ++a) {
+        for (std::string& name : registry_->rotted_providers(a)) {
+          if (std::find(seen.begin(), seen.end(), name) != seen.end()) {
+            continue;
+          }
+          rotted += rotted.empty() ? "" : ", ";
+          rotted += name;
+          seen.push_back(std::move(name));
+        }
+      }
       throw fault::CheckpointError(
           "player " + std::to_string(player) + ": all " +
           std::to_string(held) +
           " retained checkpoint generation(s) fail verification in round " +
-          std::to_string(round) + ": the cluster is unrecoverable");
+          std::to_string(round) + " (rotted provider(s): " + rotted +
+          "): the cluster is unrecoverable");
     }
     // Deterministic replay from the verified generation reconstructs
     // exactly the live provider state (untouched since the capture at this

@@ -22,11 +22,13 @@
 #define MPCG_CCLIQUE_ENGINE_H
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "fault/durable.h"
 #include "util/fnv.h"
 
 namespace mpcg::fault {
@@ -167,6 +169,14 @@ struct Metrics {
   std::size_t checkpoint_fallbacks = 0;
   /// Proactive durable-store scrub sweeps executed (scrub_interval).
   std::size_t scrub_passes = 0;
+
+  // On-disk durability accounting (all zero unless durability is armed
+  // via set_durability). Same semantics as mpc::Metrics.
+  std::size_t disk_checkpoints_written = 0;
+  std::size_t disk_checkpoint_words = 0;
+  std::size_t resume_loads = 0;
+  std::size_t disk_fallbacks = 0;
+  std::size_t faults_skipped_on_resume = 0;
 };
 
 class Engine {
@@ -263,7 +273,25 @@ class Engine {
     return crashes_recovered_;
   }
 
+  /// Arms on-disk durability (see fault/durable.h and
+  /// mpc::Config::checkpoint_dir — semantics identical): a DurableRing is
+  /// opened (and wiped unless `options.resume`) under `options.dir`, and
+  /// `scope` becomes the configuration signature baked into every file.
+  /// No-op when `options.dir` is empty.
+  void set_durability(const fault::DurableOptions& options, std::string scope);
+
+  /// Driver-announced safe point; mirrors mpc::Engine::checkpoint_boundary
+  /// (stop-flag polling, every-K persistence, ResumableInterrupt).
+  void checkpoint_boundary();
+
+  /// Resume attempt; mirrors mpc::Engine::try_resume (call once, after
+  /// registering providers and attaching any fault plan).
+  bool try_resume();
+
  private:
+  void persist();
+  void engine_section_into(fault::DurableSection& s) const;
+  void install_engine_section(std::span<const Word> payload);
   void exchange_impl();
   void exchange_faulty(std::span<const fault::FaultEvent> events);
   [[nodiscard]] std::size_t staged_out_words(std::size_t player) const;
@@ -373,6 +401,13 @@ class Engine {
   fault::CheckpointRegistry* registry_ = nullptr;
   bool fault_recover_ = true;
   std::size_t crashes_recovered_ = 0;
+  // On-disk durability (see set_durability).
+  fault::DurableOptions durable_;
+  std::string durable_scope_;
+  std::optional<fault::DurableRing> dring_;
+  std::size_t safe_points_ = 0;
+  /// Serialization scratch recycled across persists (see mpc::Engine).
+  std::vector<fault::DurableSection> durable_scratch_;
   /// Point-to-point sends held back by a non-recovered kDelayFlush,
   /// re-staged at the next exchange.
   std::vector<Message> delayed_;

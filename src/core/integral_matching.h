@@ -42,6 +42,11 @@ struct IntegralMatchingOptions {
   MatchingMpcOptions simulation;
   /// LMSV memory budget for the small-matching path; 0 = auto (8n).
   std::size_t small_path_memory = 0;
+  /// On-disk durability: the outer A-iteration cursor persists under
+  /// <dir>/outer and every inner MPC-Simulation run checkpoints under
+  /// <dir>/inner (simulation.durable is overwritten per iteration — set
+  /// this instead). Off while `dir` is empty.
+  fault::DurableOptions durable;
 };
 
 struct IntegralMatchingResult {

@@ -1,6 +1,8 @@
 #include "core/matching_mpc.h"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <memory>
@@ -89,18 +91,52 @@ class MatchingMpcRun {
     cfg.integrity = o_.integrity;
     cfg.audit = o_.audit;
     cfg.scrub_interval = o_.scrub_interval;
+    const bool durable = o_.durable.enabled();
+    if (durable) {
+      cfg.checkpoint_dir = o_.durable.dir;
+      cfg.checkpoint_every = o_.durable.every;
+      // The scope is the configuration signature (see mis_mpc.cpp): a
+      // checkpoint written by any differently-shaped run reads as "no
+      // checkpoint" and resume starts fresh. The real-valued knobs enter
+      // bit-exactly — any drift in eps or beta changes every weight.
+      cfg.checkpoint_scope =
+          "matching:" + std::to_string(n_) + ":" +
+          std::to_string(g.num_edges()) + ":" + std::to_string(machines_) +
+          ":" + std::to_string(words_) + ":" + std::to_string(o_.seed) +
+          ":" + std::to_string(o_.threshold_seed) + ":" +
+          std::to_string(std::bit_cast<std::uint64_t>(o_.eps)) + ":" +
+          std::to_string(std::bit_cast<std::uint64_t>(o_.beta)) + ":" +
+          std::to_string(o_.tail_degree_switch) + ":" +
+          std::to_string(static_cast<int>(o_.paper_iteration_schedule)) +
+          ":" + std::to_string(static_cast<int>(o_.use_random_thresholds));
+      cfg.resume = o_.durable.resume;
+      cfg.stop_flag = o_.durable.stop_flag;
+      cfg.stop_after_safe_points = o_.durable.stop_after_safe_points;
+    }
     engine_.emplace(cfg);
     for (std::size_t i = 0; i < machines_; ++i) {
       engine_->note_storage(i, shard_words[i] + fixed_words);
     }
-    if (o_.fault_plan != nullptr && !o_.fault_plan->empty()) {
-      registry_.emplace();
+    const bool plan_active =
+        o_.fault_plan != nullptr && !o_.fault_plan->empty();
+    if (plan_active || durable) {
+      if (o_.durable.generations != 0) {
+        registry_.emplace(o_.durable.generations);
+      } else {
+        registry_.emplace();
+      }
       register_checkpoint_state();
-      engine_->set_fault_plan(o_.fault_plan, &*registry_, o_.fault_recovery);
+      // The loop provider exists only for durability: keeping it out of
+      // plan-only runs keeps their in-memory checkpoint accounting
+      // (Metrics::checkpoint_bytes) exactly as the fault tests pinned it.
+      if (durable) register_loop_state();
+      engine_->set_fault_plan(plan_active ? o_.fault_plan : nullptr,
+                              &*registry_, o_.fault_recovery);
     }
 
     w0_ = (1.0 - 2.0 * o_.eps) / static_cast<double>(std::max<std::size_t>(n_, 1));
     weight_cache_.push_back(w0_);
+    phase_rng_ = Rng(mix64(o_.seed, 0x9a5e, 2));
     freeze_at_.assign(n_, kActive);
     freeze16_.assign(n_, kFrozen16Max);
     freeze8_.assign(n_, kFrozen8Max);
@@ -141,26 +177,36 @@ class MatchingMpcRun {
   }
 
   MatchingMpcResult run() {
-    MatchingMpcResult result;
-    result.freeze_iteration.assign(n_, kActive);
-    result.removed_heavy.assign(n_, 0);
-    result.x.assign(g_.num_edges(), 0.0);
+    result_.freeze_iteration.assign(n_, kActive);
+    result_.removed_heavy.assign(n_, 0);
+    result_.x.assign(g_.num_edges(), 0.0);
     if (g_.num_edges() == 0) {
-      if (engine_) result.metrics = engine_->metrics();
-      return result;
+      if (engine_) result_.metrics = engine_->metrics();
+      return std::move(result_);
     }
 
-    Rng phase_rng(mix64(o_.seed, 0x9a5e, 2));
-    double d = static_cast<double>(n_);
-
-    while (d > static_cast<double>(o_.tail_degree_switch)) {
-      run_phase(d, phase_rng, result);
-      const std::size_t iters = last_phase_iterations_;
-      d *= std::pow(1.0 - o_.eps, static_cast<double>(iters));
-      ++result.phases;
+    // Resume reinstates every provider (progress, freeze times, removals,
+    // y_old, frontier, loop cursor) plus the engine state, then rebuilds
+    // the derived frontier bookkeeping; a fresh run starts the schedule.
+    if (engine_->try_resume()) {
+      rebuild_after_resume();
+    } else {
+      d_ = static_cast<double>(n_);
     }
 
-    run_tail(result);
+    while (d_ > static_cast<double>(o_.tail_degree_switch)) {
+      // Safe point: provider state is self-consistent and the message
+      // plane is quiescent at the phase boundary, so this is where
+      // durable generations persist (and where a resumed process
+      // re-enters).
+      engine_->checkpoint_boundary();
+      run_phase(d_, phase_rng_, result_);
+      d_ *= std::pow(1.0 - o_.eps,
+                     static_cast<double>(last_phase_iterations_));
+      ++result_.phases;
+    }
+
+    run_tail(result_);
 
     // Outputs: weights from freeze times; cover = frozen + removed. The
     // 16-bit freeze mirror halves the scattered endpoint gathers (exact:
@@ -171,7 +217,7 @@ class MatchingMpcRun {
     // residual graph maintains). Opt-in: the store per surviving edge is
     // measurable at bench scale, so only rounding callers pay it.
     const bool collect = o_.collect_support;
-    if (collect) result.support.reserve(residual_.alive_edge_count());
+    if (collect) result_.support.reserve(residual_.alive_edge_count());
     const std::span<const Edge> edges = g_.edges();
     if (t_ < kFrozen16Max) {
       const std::uint16_t* f16 = freeze16_.data();
@@ -184,8 +230,8 @@ class MatchingMpcRun {
         if (removed_[ed.u] || removed_[ed.v]) continue;  // x stays 0
         const std::uint16_t tf = std::min<std::uint16_t>(
             {f16[ed.u], f16[ed.v], t16});
-        result.x[e] = weight_cache_[tf];
-        if (collect) result.support.push_back(e);
+        result_.x[e] = weight_cache_[tf];
+        if (collect) result_.support.push_back(e);
       }
     } else {
       for (EdgeId e = 0; e < edges.size(); ++e) {
@@ -193,22 +239,22 @@ class MatchingMpcRun {
         if (removed_[ed.u] || removed_[ed.v]) continue;  // x stays 0
         const std::uint64_t tf = std::min<std::uint64_t>(
             {freeze_at_[ed.u], freeze_at_[ed.v], t_});
-        result.x[e] = weight_at(tf);
-        if (collect) result.support.push_back(e);
+        result_.x[e] = weight_at(tf);
+        if (collect) result_.support.push_back(e);
       }
     }
     for (VertexId v = 0; v < n_; ++v) {
       if (removed_[v]) {
-        result.cover.push_back(v);
-        result.removed_heavy[v] = 1;
+        result_.cover.push_back(v);
+        result_.removed_heavy[v] = 1;
       } else if (freeze_at_[v] != kActive) {
-        result.cover.push_back(v);
+        result_.cover.push_back(v);
       }
-      result.freeze_iteration[v] = freeze_at_[v];
+      result_.freeze_iteration[v] = freeze_at_[v];
     }
-    result.total_iterations = t_;
-    result.metrics = engine_->metrics();
-    return result;
+    result_.total_iterations = t_;
+    result_.metrics = engine_->metrics();
+    return std::move(result_);
   }
 
  private:
@@ -260,7 +306,9 @@ class MatchingMpcRun {
     reg.register_state(
         "freeze",
         [this](std::vector<Word>& out) {
-          for (VertexId v = 0; v < n_; ++v) out.push_back(freeze_at_[v]);
+          const std::size_t base = out.size();
+          out.resize(base + n_);
+          for (VertexId v = 0; v < n_; ++v) out[base + v] = freeze_at_[v];
         },
         [this](std::span<const Word> in) {
           for (VertexId v = 0; v < n_; ++v) {
@@ -278,21 +326,27 @@ class MatchingMpcRun {
           }
         },
         [this](std::span<const Word> in) {
+          std::vector<VertexId> to_kill;
           for (VertexId v = 0; v < n_; ++v) {
             removed_[v] =
                 static_cast<char>((in[v / 64] >> (v % 64)) & Word{1});
+            if (removed_[v] && residual_.alive(v)) to_kill.push_back(v);
           }
+          // Same-round in-process restores find the kills already applied
+          // (aliveness only shrinks, and the capture happened this round);
+          // a fresh-process resume replays them here.
+          if (!to_kill.empty()) residual_.kill_batch(to_kill);
         });
     // Home-side frozen-contribution sums (the y_old dirty-load cache's
     // authoritative values), bit-cast so the round-trip is exact.
     reg.register_state(
         "y-old",
         [this](std::vector<Word>& out) {
-          for (VertexId v = 0; v < n_; ++v) {
-            Word w;
-            std::memcpy(&w, &y_old_cache_[v], sizeof w);
-            out.push_back(w);
-          }
+          static_assert(sizeof(double) == sizeof(Word));
+          const std::size_t base = out.size();
+          out.resize(base + n_);
+          std::memcpy(out.data() + base, y_old_cache_.data(),
+                      n_ * sizeof(Word));
         },
         [this](std::span<const Word> in) {
           for (VertexId v = 0; v < n_; ++v) {
@@ -331,6 +385,84 @@ class MatchingMpcRun {
                                   in.begin() + 1 +
                                       static_cast<std::ptrdiff_t>(in[0]));
         });
+  }
+
+  /// The run-loop cursor (registered only for durability — see ctor): the
+  /// phase driver's degree bound, the phase RNG, and the result counters
+  /// accumulated so far, so a resumed process re-enters the phase (or
+  /// tail) loop exactly where the persisted safe point left it. The
+  /// y_tilde trace is deliberately not persisted: record_trace is a
+  /// debugging aid and a resumed trace restarts at the resume point.
+  void register_loop_state() {
+    registry_->register_state(
+        "loop",
+        [this](std::vector<Word>& out) {
+          out.push_back(std::bit_cast<Word>(d_));
+          for (const std::uint64_t s : phase_rng_.state()) out.push_back(s);
+          out.push_back(result_.phases);
+          out.push_back(result_.tail_iterations);
+          out.push_back(last_phase_iterations_);
+          const auto put = [&out](const std::vector<std::size_t>& v) {
+            out.push_back(v.size());
+            for (const std::size_t e : v) out.push_back(e);
+          };
+          put(result_.machines_per_phase);
+          put(result_.max_local_edges_per_phase);
+          put(result_.active_per_phase);
+          put(result_.frontier_edges_per_phase);
+        },
+        [this](std::span<const Word> in) {
+          std::size_t at = 0;
+          d_ = std::bit_cast<double>(in[at++]);
+          std::array<std::uint64_t, 4> s;
+          for (auto& w : s) w = in[at++];
+          phase_rng_.set_state(s);
+          result_.phases = static_cast<std::size_t>(in[at++]);
+          result_.tail_iterations = static_cast<std::size_t>(in[at++]);
+          last_phase_iterations_ = static_cast<std::size_t>(in[at++]);
+          const auto take = [&in, &at](std::vector<std::size_t>& v) {
+            const auto len = static_cast<std::size_t>(in[at++]);
+            v.assign(in.begin() + static_cast<std::ptrdiff_t>(at),
+                     in.begin() + static_cast<std::ptrdiff_t>(at + len));
+            at += len;
+          };
+          take(result_.machines_per_phase);
+          take(result_.max_local_edges_per_phase);
+          take(result_.active_per_phase);
+          take(result_.frontier_edges_per_phase);
+        });
+  }
+
+  /// Reconciles derived state a fresh process cannot restore directly.
+  /// The providers reinstate the flags (freeze times, removals, frontier
+  /// membership) and replay the residual kills, but ActiveArcs was
+  /// constructed against an all-active, all-alive frontier. Every list is
+  /// still lazy (nothing has been queried yet), so the partitions
+  /// self-heal from the restored flags on first touch; only the O(1)
+  /// active-degree counters need the departure notifications replayed —
+  /// one per (inactive vertex, still-active neighbor) pair, exactly the
+  /// mark_frozen/mark_removed walks the interrupted process performed.
+  /// Caches cannot trust the restored values blindly: the checkpoint
+  /// stores y_old_cache_ verbatim, but the interrupted process's dirty_
+  /// bits are deliberately not persisted — entries whose owner had
+  /// kYOldDirty set there are *stale* snapshots awaiting the next
+  /// refresh_y_old rescan. A fresh process therefore marks every vertex
+  /// fully dirty: each refresh/load then recomputes from the restored
+  /// flags, which the dirty-cache invariants (reuse equals recomputation
+  /// bit for bit) make identical to what the interrupted process would
+  /// have produced — for clean entries the rescan reproduces the cached
+  /// value, for stale ones it produces the refresh that was pending.
+  void rebuild_after_resume() {
+    for (VertexId x = 0; x < n_; ++x) {
+      if (active_.active(x)) continue;
+      const VertexId* ids = nbr_ids_.get() + nbr_off_[x];
+      const std::size_t len = nbr_off_[x + 1] - nbr_off_[x];
+      for (std::size_t i = 0; i < len; ++i) {
+        const VertexId u = ids[i];
+        if (active_.active(u)) active_arcs_.neighbor_left_frontier(u);
+      }
+    }
+    dirty_.assign(n_, kBothDirty);
   }
 
   [[nodiscard]] double weight_at(std::uint64_t iteration) const {
@@ -1001,6 +1133,12 @@ class MatchingMpcRun {
     const auto frontier = active_.actives();
     tail_work_.assign(frontier.begin(), frontier.end());
     while (true) {
+      // Safe point: the tail's own loop boundary (see run()). A resumed
+      // process re-seeds the worklist from the restored frontier — a
+      // superset of the interrupted worklist whose re-added members all
+      // fail the floor check without drawing thresholds, so the replay
+      // stays bit-identical.
+      engine_->checkpoint_boundary();
       if (result.tail_iterations > guard) {
         throw std::logic_error("matching_mpc tail: did not terminate (bug)");
       }
@@ -1110,6 +1248,11 @@ class MatchingMpcRun {
   mutable std::vector<double> weight_cache_;
   std::uint64_t t_ = 0;
   std::size_t last_phase_iterations_ = 0;
+  /// Phase-loop cursor state, promoted to members so the "loop" durable
+  /// provider can serialize them at safe points (see register_loop_state).
+  double d_ = 0.0;
+  Rng phase_rng_;
+  MatchingMpcResult result_;
   std::vector<std::uint32_t> freeze_at_;
   /// Saturating 16-bit mirror of freeze_at_ — the gather target of the hot
   /// load/output scans (see set_freeze; exact wherever the capping

@@ -46,64 +46,85 @@ class MisCcliqueRun {
                 options.integrity, options.audit, options.scrub_interval),
         residual_(g), dying_(n_, 0) {
     gather_budget_ = options.gather_budget != 0 ? options.gather_budget : n_;
-    if (options.fault_plan != nullptr && !options.fault_plan->empty()) {
-      registry_.emplace();
+    const bool durable = options.durable.enabled();
+    if (durable) {
+      engine_.set_durability(
+          options.durable,
+          "mis_cc:" + std::to_string(n_) + ":" +
+              std::to_string(g.num_edges()) + ":" +
+              std::to_string(options.seed));
+    }
+    const bool plan_active =
+        options.fault_plan != nullptr && !options.fault_plan->empty();
+    if (plan_active || durable) {
+      if (options.durable.generations != 0) {
+        registry_.emplace(options.durable.generations);
+      } else {
+        registry_.emplace();
+      }
       register_checkpoint_state();
-      engine_.set_fault_plan(options.fault_plan, &*registry_,
-                             options.fault_recovery);
+      // Durability-only provider: kept out of plan-only runs so their
+      // in-memory checkpoint accounting stays as PR 6-8 pinned it.
+      if (durable) register_loop_state();
+      engine_.set_fault_plan(plan_active ? options.fault_plan : nullptr,
+                             &*registry_, options.fault_recovery);
     }
   }
 
   MisCcliqueResult run() {
-    MisCcliqueResult result;
-    if (n_ == 0) return result;
+    if (n_ == 0) return std::move(result_);
 
-    // Leader draws the order, tells each player its rank (one word each),
-    // and every player broadcasts its rank — the order becomes common
-    // knowledge in 2 rounds (paper, Section 3.2).
-    Rng rng(options_.seed);
-    perm_ = random_permutation(n_, rng);
-    rank_of_ = invert_permutation(perm_);
-    for (VertexId v = 1; v < n_; ++v) {
-      engine_.send(0, v, rank_of_[v]);
+    const bool resumed = engine_.try_resume();
+    if (!resumed) {
+      // Leader draws the order, tells each player its rank (one word each),
+      // and every player broadcasts its rank — the order becomes common
+      // knowledge in 2 rounds (paper, Section 3.2).
+      Rng rng(options_.seed);
+      perm_ = random_permutation(n_, rng);
+      rank_of_ = invert_permutation(perm_);
+      for (VertexId v = 1; v < n_; ++v) {
+        engine_.send(0, v, rank_of_[v]);
+      }
+      engine_.exchange();
+      for (VertexId v = 0; v < n_; ++v) {
+        engine_.broadcast(v, rank_of_[v]);
+      }
+      engine_.exchange();
     }
-    engine_.exchange();
-    for (VertexId v = 0; v < n_; ++v) {
-      engine_.broadcast(v, rank_of_[v]);
-    }
-    engine_.exchange();
 
     const double delta0 = std::max<double>(2.0, static_cast<double>(
                                                     g_.max_degree()));
     const double log_delta = std::log2(delta0);
 
-    std::size_t next_rank = 0;
     while (true) {
+      // Safe point: quiescent loop boundary where durable generations
+      // persist and a resumed process re-enters.
+      engine_.checkpoint_boundary();
       const std::uint64_t alive_edges = count_alive_edges();
       if (alive_edges <= gather_budget_) {
-        final_gather(result);
+        final_gather(result_);
         break;
       }
       if (options_.use_sparsified_stage &&
           max_alive_degree() <= options_.degree_switch) {
-        sparsified_stage(result);
-        final_gather(result);
+        sparsified_stage(result_);
+        final_gather(result_);
         break;
       }
-      ++result.rank_phases;
+      ++result_.rank_phases;
       const double exponent =
-          std::pow(options_.alpha, static_cast<double>(result.rank_phases));
+          std::pow(options_.alpha, static_cast<double>(result_.rank_phases));
       auto upper = static_cast<std::size_t>(
           std::llround(static_cast<double>(n_) *
                        std::pow(2.0, -exponent * log_delta)));
-      upper = std::clamp(upper, next_rank + 1, n_);
-      rank_phase(next_rank, upper, result);
-      next_rank = upper;
+      upper = std::clamp(upper, next_rank_ + 1, n_);
+      rank_phase(next_rank_, upper, result_);
+      next_rank_ = upper;
     }
 
-    result.metrics = engine_.metrics();
-    result.mis = std::move(mis_);
-    return result;
+    result_.metrics = engine_.metrics();
+    result_.mis = std::move(mis_);
+    return std::move(result_);
   }
 
  private:
@@ -154,6 +175,34 @@ class MisCcliqueRun {
             if (!want && residual_.alive(v)) to_kill.push_back(v);
           }
           if (!to_kill.empty()) residual_.kill_batch(to_kill);
+        });
+  }
+
+  /// The run-loop cursor (registered only for durability): the next rank
+  /// plus the result counters accumulated so far.
+  void register_loop_state() {
+    registry_->register_state(
+        "loop",
+        [this](std::vector<Word>& out) {
+          out.push_back(next_rank_);
+          out.push_back(result_.rank_phases);
+          out.push_back(result_.sparsified_iterations);
+          out.push_back(result_.final_gather_edges);
+          out.push_back(result_.window_edges_per_phase.size());
+          for (const std::size_t e : result_.window_edges_per_phase) {
+            out.push_back(e);
+          }
+        },
+        [this](std::span<const Word> in) {
+          std::size_t at = 0;
+          next_rank_ = static_cast<std::size_t>(in[at++]);
+          result_.rank_phases = static_cast<std::size_t>(in[at++]);
+          result_.sparsified_iterations = static_cast<std::size_t>(in[at++]);
+          result_.final_gather_edges = static_cast<std::size_t>(in[at++]);
+          const std::size_t phases = static_cast<std::size_t>(in[at++]);
+          result_.window_edges_per_phase.assign(
+              in.begin() + static_cast<std::ptrdiff_t>(at),
+              in.begin() + static_cast<std::ptrdiff_t>(at + phases));
         });
   }
 
@@ -324,6 +373,10 @@ class MisCcliqueRun {
   /// Run-length staging for the Lenzen gathers (persistent across phases).
   cclique::RouteStream route_stream_;
   std::vector<VertexId> mis_;
+  /// Run-loop cursor + accumulating result, promoted to members so the
+  /// "loop" durable provider can serialize them at safe points.
+  std::size_t next_rank_ = 0;
+  MisCcliqueResult result_;
 };
 
 }  // namespace

@@ -55,6 +55,9 @@ struct MisCcliqueOptions {
   /// Proactive durable-store scrub every `scrub_interval` rounds (0 =
   /// never; requires integrity — see cclique::Engine).
   std::size_t scrub_interval = 0;
+  /// On-disk checkpoint persistence and resume (see fault/durable.h and
+  /// cclique::Engine::set_durability). Off while `durable.dir` is empty.
+  fault::DurableOptions durable;
 };
 
 struct MisCcliqueResult {

@@ -82,66 +82,100 @@ class MisMpcRun {
     cfg.integrity = options.integrity;
     cfg.audit = options.audit;
     cfg.scrub_interval = options.scrub_interval;
+    const bool durable = options.durable.enabled();
+    if (durable) {
+      cfg.checkpoint_dir = options.durable.dir;
+      cfg.checkpoint_every = options.durable.every;
+      // The scope is the configuration signature: a checkpoint written by
+      // any differently-shaped run (including a reprovisioned rescale)
+      // reads as "no checkpoint" and resume starts fresh.
+      cfg.checkpoint_scope = "mis:" + std::to_string(n_) + ":" +
+                             std::to_string(g.num_edges()) + ":" +
+                             std::to_string(machines_) + ":" +
+                             std::to_string(words_) + ":" +
+                             std::to_string(options.seed);
+      cfg.resume = options.durable.resume;
+      cfg.stop_flag = options.durable.stop_flag;
+      cfg.stop_after_safe_points = options.durable.stop_after_safe_points;
+    }
     engine_.emplace(cfg);
     for (std::size_t i = 0; i < machines_; ++i) {
       engine_->note_storage(i, shard_words[i] + fixed_words);
     }
-    if (options.fault_plan != nullptr && !options.fault_plan->empty()) {
-      registry_.emplace();
+    const bool plan_active =
+        options.fault_plan != nullptr && !options.fault_plan->empty();
+    if (plan_active || durable) {
+      if (options.durable.generations != 0) {
+        registry_.emplace(options.durable.generations);
+      } else {
+        registry_.emplace();
+      }
       register_checkpoint_state();
-      engine_->set_fault_plan(options.fault_plan, &*registry_,
-                              options.fault_recovery);
+      // The loop provider exists only for durability: keeping it out of
+      // plan-only runs keeps their in-memory checkpoint accounting
+      // (Metrics::checkpoint_bytes) exactly as PR 6-8 pinned it.
+      if (durable) register_loop_state();
+      engine_->set_fault_plan(plan_active ? options.fault_plan : nullptr,
+                              &*registry_, options.fault_recovery);
     }
   }
 
   MisMpcResult run() {
-    MisMpcResult result;
-    result.machines_used = machines_;
-    result.words_per_machine_used = words_;
-    if (n_ == 0) return result;
+    result_.machines_used = machines_;
+    result_.words_per_machine_used = words_;
+    if (n_ == 0) return std::move(result_);
 
-    // The leader draws the permutation and broadcasts it (paper: "all
-    // vertices agree on a uniform random order").
-    Rng rng(options_.seed);
-    perm_ = random_permutation(n_, rng);
-    {
-      std::vector<Word> payload(perm_.begin(), perm_.end());
-      mpc::broadcast_view(*engine_, 0, payload);
+    // Resume reinstates every provider (permutation, MIS members,
+    // aliveness, loop cursor) and the engine's metrics; the preamble
+    // below already happened in the interrupted process.
+    const bool resumed = engine_->try_resume();
+    if (!resumed) {
+      // The leader draws the permutation and broadcasts it (paper: "all
+      // vertices agree on a uniform random order").
+      Rng rng(options_.seed);
+      perm_ = random_permutation(n_, rng);
+      {
+        std::vector<Word> payload(perm_.begin(), perm_.end());
+        mpc::broadcast_view(*engine_, 0, payload);
+      }
+      rank_of_ = invert_permutation(perm_);
     }
-    rank_of_ = invert_permutation(perm_);
 
     const double delta0 = std::max<double>(2.0, static_cast<double>(
                                                     g_.max_degree()));
     const double log_delta = std::log2(delta0);
 
-    std::size_t next_rank = 0;
     while (true) {
+      // Safe point: provider state is self-consistent and the message
+      // plane is quiescent here, so this loop boundary is where durable
+      // generations persist (and where a resumed process re-enters).
+      engine_->checkpoint_boundary();
       const std::uint64_t alive_edges = count_alive_edges();
       if (alive_edges <= gather_budget_) {
-        final_gather(result);
+        final_gather(result_);
         break;
       }
       if (options_.use_sparsified_stage &&
           max_alive_degree() <= options_.degree_switch) {
-        sparsified_stage(result);
-        final_gather(result);
+        sparsified_stage(result_);
+        final_gather(result_);
         break;
       }
       // Next rank phase: process ranks [next_rank, n / Delta^{alpha^i}).
-      ++result.rank_phases;
+      ++result_.rank_phases;
       const double exponent =
-          std::pow(options_.alpha, static_cast<double>(result.rank_phases));
+          std::pow(options_.alpha, static_cast<double>(result_.rank_phases));
       auto upper = static_cast<std::size_t>(
           std::llround(static_cast<double>(n_) *
                        std::pow(2.0, -exponent * log_delta)));
-      upper = std::clamp(upper, next_rank + 1, n_);
-      rank_phase(next_rank, upper, result);
-      next_rank = upper;
+      upper = std::clamp(upper, next_rank_ + 1, n_);
+      rank_phase(next_rank_, upper, result_);
+      next_rank_ = upper;
     }
 
-    result.metrics = engine_->metrics();
-    result.mis = std::move(mis_);
-    return result;
+    result_.metrics = engine_->metrics();
+    result_.mis = std::move(mis_);
+    return std::move(result_);
   }
 
  private:
@@ -197,6 +231,36 @@ class MisMpcRun {
             if (!want && residual_.alive(v)) to_kill.push_back(v);
           }
           if (!to_kill.empty()) residual_.kill_batch(to_kill);
+        });
+  }
+
+  /// The run-loop cursor (registered only for durability — see ctor): the
+  /// next rank to process plus the result counters accumulated so far, so
+  /// a resumed process re-enters the phase loop exactly where the
+  /// persisted safe point left it.
+  void register_loop_state() {
+    registry_->register_state(
+        "loop",
+        [this](std::vector<Word>& out) {
+          out.push_back(next_rank_);
+          out.push_back(result_.rank_phases);
+          out.push_back(result_.sparsified_iterations);
+          out.push_back(result_.final_gather_edges);
+          out.push_back(result_.window_edges_per_phase.size());
+          for (const std::size_t e : result_.window_edges_per_phase) {
+            out.push_back(e);
+          }
+        },
+        [this](std::span<const Word> in) {
+          std::size_t at = 0;
+          next_rank_ = static_cast<std::size_t>(in[at++]);
+          result_.rank_phases = static_cast<std::size_t>(in[at++]);
+          result_.sparsified_iterations = static_cast<std::size_t>(in[at++]);
+          result_.final_gather_edges = static_cast<std::size_t>(in[at++]);
+          const std::size_t phases = static_cast<std::size_t>(in[at++]);
+          result_.window_edges_per_phase.assign(
+              in.begin() + static_cast<std::ptrdiff_t>(at),
+              in.begin() + static_cast<std::ptrdiff_t>(at + phases));
         });
   }
 
@@ -362,6 +426,10 @@ class MisMpcRun {
   std::vector<std::uint32_t> perm_;
   std::vector<std::uint32_t> rank_of_;
   std::vector<VertexId> mis_;
+  /// Run-loop cursor + accumulating result, promoted to members so the
+  /// "loop" durable provider can serialize them at safe points.
+  std::size_t next_rank_ = 0;
+  MisMpcResult result_;
 };
 
 }  // namespace

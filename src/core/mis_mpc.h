@@ -77,6 +77,9 @@ struct MisMpcOptions {
   /// Proactive durable-store scrub every `scrub_interval` rounds (0 =
   /// never; requires integrity — see mpc::Config::scrub_interval).
   std::size_t scrub_interval = 0;
+  /// On-disk checkpoint persistence and resume (see fault/durable.h and
+  /// mpc::Config::checkpoint_dir). Off while `durable.dir` is empty.
+  fault::DurableOptions durable;
 };
 
 struct MisMpcResult {

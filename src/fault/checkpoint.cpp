@@ -98,9 +98,36 @@ void CheckpointRegistry::restore() {
     ++restores_;
     return;
   }
+  // Name the rotted providers (union over the whole ring) so the operator
+  // knows *which* state lost its last good copy, not just that one did.
+  std::vector<std::string> seen;
+  std::string rotted;
+  for (std::size_t age = 0; age < ring_.size(); ++age) {
+    for (std::string& name : rotted_providers(age)) {
+      if (std::find(seen.begin(), seen.end(), name) != seen.end()) continue;
+      rotted += rotted.empty() ? "" : ", ";
+      rotted += name;
+      seen.push_back(std::move(name));
+    }
+  }
   throw CheckpointError("checkpoint restore: all " +
                         std::to_string(ring_.size()) +
-                        " retained generation(s) fail verification");
+                        " retained generation(s) fail verification" +
+                        " (rotted provider(s): " + rotted + ")");
+}
+
+std::vector<std::string> CheckpointRegistry::rotted_providers(
+    std::size_t age) const {
+  std::vector<std::string> rotted;
+  const Generation& g = gen(age);
+  const std::size_t n = std::min(providers_.size(), g.images.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Image& im = g.images[i];
+    if (Fnv::digest({g.buffer.data() + im.offset, im.words}) != im.csum) {
+      rotted.push_back(providers_[i].name);
+    }
+  }
+  return rotted;
 }
 
 bool CheckpointRegistry::generation_ok(std::size_t age) const {
@@ -139,6 +166,56 @@ std::size_t CheckpointRegistry::corrupt_generation(std::size_t age,
     g.buffer[idx] ^= Word{1} << bit;
   }
   return applied;
+}
+
+std::vector<DurableSection> CheckpointRegistry::save_sections() {
+  std::vector<DurableSection> sections;
+  sections.resize(providers_.size());
+  save_sections_into(sections);
+  return sections;
+}
+
+void CheckpointRegistry::save_sections_into(std::vector<DurableSection>& out) {
+  if (out.size() < providers_.size()) out.resize(providers_.size());
+  for (std::size_t i = 0; i < providers_.size(); ++i) {
+    out[i].name = providers_[i].name;
+    out[i].payload.clear();
+    providers_[i].save(out[i].payload);
+  }
+}
+
+void CheckpointRegistry::install_sections(
+    std::span<const DurableSection> sections) {
+  for (Provider& p : providers_) {
+    const DurableSection* found = nullptr;
+    for (const DurableSection& s : sections) {
+      if (s.name == p.name) {
+        found = &s;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      throw CheckpointError(
+          "durable checkpoint restore: no section for provider '" + p.name +
+          "'");
+    }
+    p.restore(std::span<const Word>(found->payload));
+  }
+}
+
+std::size_t CheckpointRegistry::save_to(DurableRing& ring, std::uint64_t round,
+                                        const std::string& scope,
+                                        std::vector<DurableSection> extra) {
+  std::vector<DurableSection> sections = save_sections();
+  for (DurableSection& s : extra) sections.push_back(std::move(s));
+  return ring.save(round, scope, std::move(sections));
+}
+
+std::optional<DurableLoad> CheckpointRegistry::load_from(
+    const DurableRing& ring, const std::string& scope) {
+  std::optional<DurableLoad> loaded = ring.load(scope);
+  if (loaded) install_sections(loaded->checkpoint.sections);
+  return loaded;
 }
 
 void CheckpointRegistry::recapture_newest() {

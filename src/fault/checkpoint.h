@@ -38,10 +38,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "fault/durable.h"
 
 namespace mpcg::fault {
 
@@ -110,6 +113,46 @@ class CheckpointRegistry {
   /// deterministic replay from that older generation would reconstruct
   /// exactly the live state, so the live state *is* the newest image.
   void recapture_newest();
+
+  /// Fresh-serializes every provider into one named DurableSection each
+  /// (registration order).  Independent of capture(): it touches neither
+  /// the generation ring nor the capture/delta counters, so persisting to
+  /// disk never perturbs the in-memory checkpoint accounting that PR 6–8
+  /// tests pin.
+  [[nodiscard]] std::vector<DurableSection> save_sections();
+
+  /// save_sections() into a caller-owned scratch vector: the first
+  /// num_providers() entries are (re)filled in registration order, reusing
+  /// their payload capacity, and entries beyond that (e.g. an engine's
+  /// trailing "__engine" section) are left untouched. Steady-state
+  /// persists therefore allocate nothing on the serialization side.
+  void save_sections_into(std::vector<DurableSection>& out);
+
+  /// Reinstates every registered provider from the same-named section.
+  /// Sections with no matching provider (e.g. an engine's "__engine"
+  /// payload) are ignored; a registered provider with no section means the
+  /// file was written by a differently-shaped run and throws
+  /// CheckpointError naming the missing provider.
+  void install_sections(std::span<const DurableSection> sections);
+
+  /// Persists one durable generation: save_sections() plus `extra`
+  /// (engine-owned sections), written through `ring`.  Returns the words
+  /// written to disk.
+  std::size_t save_to(DurableRing& ring, std::uint64_t round,
+                      const std::string& scope,
+                      std::vector<DurableSection> extra);
+
+  /// Loads the newest verified on-disk generation for `scope` and installs
+  /// the provider sections.  Returns the full load (so the caller can
+  /// consume engine-owned sections and the round tag), or nullopt on a
+  /// clean fresh start.  Propagates DurableRing::load's typed errors.
+  std::optional<DurableLoad> load_from(const DurableRing& ring,
+                                       const std::string& scope);
+
+  /// Names of the providers whose images fail verification in generation
+  /// `age` (0 = newest); empty when the generation verifies.
+  [[nodiscard]] std::vector<std::string> rotted_providers(
+      std::size_t age) const;
 
   [[nodiscard]] bool has_checkpoint() const noexcept { return !ring_.empty(); }
   /// Ring capacity.

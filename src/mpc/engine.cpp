@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <functional>
+#include <type_traits>
 
 #include "fault/checkpoint.h"
 #include "fault/fault_plan.h"
@@ -85,6 +86,15 @@ Engine::Engine(Config config) : config_(config) {
   inbox_cache_.assign(m, {});
   inbox_cache_valid_.assign(m, 0);
   recv_count_.assign(m, 0);
+  if (!config_.checkpoint_dir.empty()) {
+    if (config_.checkpoint_every == 0) {
+      throw std::invalid_argument("Engine: checkpoint_every must be >= 1");
+    }
+    dring_.emplace(config_.checkpoint_dir);
+    // A fresh durable run must never let a previous run's same-scope files
+    // outrank its own checkpoints by sequence number.
+    if (!config_.resume) dring_->reset();
+  }
 }
 
 void Outbox::throw_bad_dest(std::size_t to) const {
@@ -795,9 +805,154 @@ void Engine::restore(const Snapshot& snap) {
 void Engine::set_fault_plan(const fault::FaultPlan* plan,
                             fault::CheckpointRegistry* registry,
                             bool recover) {
+  // The registry is kept even with a null/empty plan: durability persists
+  // provider state through it without any fault injection attached.
   fault_plan_ = (plan != nullptr && !plan->empty()) ? plan : nullptr;
   registry_ = registry;
   fault_recover_ = recover;
+}
+
+// ---------------------------------------------------------------------------
+// On-disk durability (Config::checkpoint_dir; see fault/durable.h).
+
+void Engine::engine_section_into(fault::DurableSection& s) const {
+  // Metrics is raw-copyable by construction (all std::size_t counters);
+  // the guard keeps a future padded/non-trivial field from silently
+  // breaking the on-disk format.
+  static_assert(std::has_unique_object_representations_v<Metrics>);
+  static_assert(sizeof(Metrics) % sizeof(Word) == 0);
+  s.name = "__engine";
+  std::vector<Word>& out = s.payload;
+  const std::size_t mw = sizeof(Metrics) / sizeof(Word);
+  out.clear();
+  out.resize(mw);
+  std::memcpy(out.data(), &metrics_, sizeof(Metrics));
+  out.push_back(dense_active_ ? 1 : 0);
+  out.push_back(adapt_streak_);
+  out.push_back(crashes_recovered_);
+  // Delayed flushes straddle the round boundary (a kDelayFlush holds a
+  // flush back into the *next* round), so they are part of the safe-point
+  // state.  Staging and the payload store are not: safe points are
+  // quiescent, and a fresh process's empty staging is exactly right.
+  out.push_back(delayed_.size());
+  for (const DelayedFlush& d : delayed_) {
+    out.push_back(d.from);
+    out.push_back(d.tos.size());
+    out.push_back(d.counts.size());
+    out.push_back(d.words.size());
+    for (const std::uint32_t t : d.tos) out.push_back(t);
+    for (const std::uint32_t c : d.counts) out.push_back(c);
+    out.insert(out.end(), d.words.begin(), d.words.end());
+  }
+}
+
+void Engine::install_engine_section(std::span<const Word> payload) {
+  const std::size_t mw = sizeof(Metrics) / sizeof(Word);
+  std::size_t at = 0;
+  const auto take = [&]() -> Word {
+    if (at >= payload.size()) {
+      throw fault::CheckpointError(
+          "durable checkpoint restore: truncated __engine section");
+    }
+    return payload[at++];
+  };
+  if (payload.size() < mw) {
+    throw fault::CheckpointError(
+        "durable checkpoint restore: truncated __engine section");
+  }
+  std::memcpy(static_cast<void*>(&metrics_), payload.data(), sizeof(Metrics));
+  at = mw;
+  set_path(take() != 0);
+  adapt_streak_ = static_cast<std::uint8_t>(take());
+  crashes_recovered_ = static_cast<std::size_t>(take());
+  delayed_.clear();
+  const Word ndelayed = take();
+  for (Word i = 0; i < ndelayed; ++i) {
+    DelayedFlush d;
+    d.from = static_cast<std::size_t>(take());
+    const Word ntos = take();
+    const Word ncounts = take();
+    const Word nwords = take();
+    d.tos.reserve(ntos);
+    for (Word k = 0; k < ntos; ++k) {
+      d.tos.push_back(static_cast<std::uint32_t>(take()));
+    }
+    d.counts.reserve(ncounts);
+    for (Word k = 0; k < ncounts; ++k) {
+      d.counts.push_back(static_cast<std::uint32_t>(take()));
+    }
+    d.words.reserve(nwords);
+    for (Word k = 0; k < nwords; ++k) d.words.push_back(take());
+    delayed_.push_back(std::move(d));
+  }
+}
+
+void Engine::persist() {
+  // Scratch layout: provider sections, then one trailing "__engine"
+  // section. The buffers survive across persists, so the steady state
+  // reserializes in place instead of reallocating the provider state.
+  const std::size_t nprov =
+      registry_ != nullptr ? registry_->num_providers() : 0;
+  durable_scratch_.resize(nprov + 1);
+  if (registry_ != nullptr) registry_->save_sections_into(durable_scratch_);
+  engine_section_into(durable_scratch_[nprov]);
+  const std::size_t words = dring_->save(
+      metrics_.rounds, config_.checkpoint_scope, durable_scratch_);
+  ++metrics_.disk_checkpoints_written;
+  metrics_.disk_checkpoint_words += words;
+}
+
+void Engine::checkpoint_boundary() {
+  if (!dring_) return;
+  ++safe_points_;
+  const bool stop =
+      (config_.stop_flag != nullptr &&
+       config_.stop_flag->load(std::memory_order_relaxed)) ||
+      (config_.stop_after_safe_points != 0 &&
+       safe_points_ >= config_.stop_after_safe_points);
+  if (stop) {
+    // Graceful stop: the in-flight round already finished (we are at a
+    // driver loop boundary) — flush one final generation and unwind.
+    persist();
+    throw fault::ResumableInterrupt(
+        "stopped at a safe point after flushing a final durable generation "
+        "(relaunch with --resume)");
+  }
+  if (safe_points_ % config_.checkpoint_every == 0) persist();
+}
+
+bool Engine::try_resume() {
+  if (!dring_ || !config_.resume) return false;
+  std::optional<fault::DurableLoad> loaded;
+  if (registry_ != nullptr) {
+    loaded = registry_->load_from(*dring_, config_.checkpoint_scope);
+  } else {
+    loaded = dring_->load(config_.checkpoint_scope);
+  }
+  if (!loaded) return false;  // nothing on disk (or another run's): fresh
+  const fault::DurableSection* engine = nullptr;
+  for (const fault::DurableSection& s : loaded->checkpoint.sections) {
+    if (s.name == "__engine") {
+      engine = &s;
+      break;
+    }
+  }
+  if (engine == nullptr) {
+    throw fault::CheckpointError(
+        "durable checkpoint restore: no __engine section");
+  }
+  install_engine_section(std::span<const Word>(engine->payload));
+  ++metrics_.resume_loads;
+  metrics_.disk_fallbacks += loaded->fallback ? 1 : 0;
+  // Plan events scheduled before the resume point already fired (and were
+  // absorbed) before this checkpoint was persisted: the resumed process
+  // starts at round metrics_.rounds and never consults them again.
+  if (fault_plan_ != nullptr) {
+    for (const fault::FaultEvent& ev : fault_plan_->events()) {
+      if (ev.round < metrics_.rounds) ++metrics_.faults_skipped_on_resume;
+    }
+  }
+  return true;
 }
 
 std::size_t Engine::staged_out_words(std::size_t machine) const {
@@ -1346,11 +1501,26 @@ void Engine::restore_registry(std::size_t machine, std::size_t round,
     std::size_t age = 1;
     while (age < held && !registry_->generation_ok(age)) ++age;
     if (age == held) {
+      // Name the rotted providers so the operator knows which state lost
+      // its last good copy.
+      std::vector<std::string> seen;
+      std::string rotted;
+      for (std::size_t a = 0; a < held; ++a) {
+        for (std::string& name : registry_->rotted_providers(a)) {
+          if (std::find(seen.begin(), seen.end(), name) != seen.end()) {
+            continue;
+          }
+          rotted += rotted.empty() ? "" : ", ";
+          rotted += name;
+          seen.push_back(std::move(name));
+        }
+      }
       throw fault::CheckpointError(
           "machine " + std::to_string(machine) + ": all " +
           std::to_string(held) +
           " retained checkpoint generation(s) fail verification in round " +
-          std::to_string(round) + ": the cluster is unrecoverable");
+          std::to_string(round) + " (rotted provider(s): " + rotted +
+          "): the cluster is unrecoverable");
     }
     // Deterministic replay from the verified generation reconstructs
     // exactly the state the newest capture serialized — which is the live

@@ -31,12 +31,15 @@
 #ifndef MPCG_MPC_ENGINE_H
 #define MPCG_MPC_ENGINE_H
 
+#include <atomic>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "fault/durable.h"
 #include "util/fnv.h"
 
 namespace mpcg::fault {
@@ -143,6 +146,30 @@ struct Config {
   /// that escaped the repair path throws IntegrityError (see DESIGN.md,
   /// "Determinism contract").
   std::size_t scrub_interval = 0;
+  /// On-disk checkpoint durability (see fault/durable.h): every K-th safe
+  /// point the driver announces via checkpoint_boundary() is persisted as
+  /// one durable generation under `checkpoint_dir`.  Empty = off; the
+  /// remaining durability knobs are then ignored.
+  std::string checkpoint_dir{};
+  /// Persist every K-th safe point (must be >= 1).
+  std::size_t checkpoint_every = 1;
+  /// Configuration signature baked into every durable file.  A resume only
+  /// loads checkpoints whose scope matches exactly, so another run's
+  /// leftovers (different driver, graph, cluster shape, seed) read as "no
+  /// checkpoint" — a clean fresh start.  Drivers set this; an empty scope
+  /// with a non-empty dir is a driver bug.
+  std::string checkpoint_scope{};
+  /// Resume from the newest verified on-disk generation (try_resume());
+  /// false wipes stale same-scope files so they can never outrank this
+  /// run's own checkpoints by sequence number.
+  bool resume = false;
+  /// Graceful-stop flag (a SIGTERM/SIGINT handler sets it): polled at every
+  /// safe point; when set the engine flushes one final generation and
+  /// throws fault::ResumableInterrupt.
+  const std::atomic<bool>* stop_flag = nullptr;
+  /// Test hook: behave as if stop_flag was set at the N-th safe point
+  /// (0 = never) — deterministic kill points for resume tests.
+  std::size_t stop_after_safe_points = 0;
 };
 
 struct Metrics {
@@ -203,6 +230,22 @@ struct Metrics {
   std::size_t checkpoint_fallbacks = 0;
   /// Proactive durable-store scrub sweeps executed (Config::scrub_interval).
   std::size_t scrub_passes = 0;
+
+  // On-disk durability accounting (all zero unless Config::checkpoint_dir
+  // is set — clean non-persistent runs never touch the disk).
+  /// Durable generations persisted (checkpoint files atomically published).
+  std::size_t disk_checkpoints_written = 0;
+  /// Total 64-bit words written across those files (headers + payloads).
+  std::size_t disk_checkpoint_words = 0;
+  /// Successful --resume loads from an on-disk generation.
+  std::size_t resume_loads = 0;
+  /// Resume loads that skipped past a rotted/torn newer on-disk generation
+  /// to an older verified one.
+  std::size_t disk_fallbacks = 0;
+  /// FaultPlan events scheduled before the resume point and therefore not
+  /// re-injected by the resumed process (they already fired — and were
+  /// absorbed — before the persisted safe point).
+  std::size_t faults_skipped_on_resume = 0;
 };
 
 /// Run-length tag encoding of the flat staging. Each sender's staged words
@@ -628,7 +671,37 @@ class Engine {
     return crashes_recovered_;
   }
 
+  /// Driver-announced safe point (a driver loop boundary where the
+  /// registered providers' state is self-consistent and the message plane
+  /// is quiescent).  With Config::checkpoint_dir set: polls the stop flag
+  /// (flushing a final generation and throwing fault::ResumableInterrupt
+  /// when stopping) and persists one durable generation every
+  /// Config::checkpoint_every-th call.  No-op without durability — drivers
+  /// call it unconditionally at their loop tops.
+  void checkpoint_boundary();
+
+  /// Resume attempt (call once, after registering checkpoint providers and
+  /// before the first round): loads the newest verified on-disk generation
+  /// matching Config::checkpoint_scope, reinstates every provider and the
+  /// engine's own "__engine" section (metrics, adaptive-path state, delayed
+  /// flushes), and counts plan events at already-completed rounds into
+  /// Metrics::faults_skipped_on_resume.  Returns true when a checkpoint
+  /// was loaded (the driver skips its preamble and re-enters its loop);
+  /// false on a fresh start (durability off, --resume not given, nothing
+  /// on disk, or a scope mismatch).  Throws fault::CheckpointError when
+  /// files exist for this scope but every generation fails verification.
+  bool try_resume();
+
  private:
+  /// Persists one durable generation (provider sections + "__engine").
+  void persist();
+  /// Refills `s` with the engine's own durable section: Metrics,
+  /// adaptive-path state, crash/delayed-flush carryover.  Staging and the
+  /// payload store are NOT serialized — safe points are quiescent, a fresh
+  /// process's empty staging is exactly right.  Takes the section by
+  /// reference so persist() can recycle the buffer across safe points.
+  void engine_section_into(fault::DurableSection& s) const;
+  void install_engine_section(std::span<const Word> payload);
   void check_budget(std::size_t machine, std::size_t words, const char* dir);
   void check_machine(std::size_t machine) const;
   [[noreturn]] void throw_bad_machine(std::size_t machine) const;
@@ -838,6 +911,16 @@ class Engine {
   fault::CheckpointRegistry* registry_ = nullptr;
   bool fault_recover_ = true;
   std::size_t crashes_recovered_ = 0;
+  /// On-disk generation ring (engaged iff Config::checkpoint_dir is set).
+  std::optional<fault::DurableRing> dring_;
+  /// Safe points announced via checkpoint_boundary() this process (not
+  /// persisted: it only paces the persistence cadence).
+  std::size_t safe_points_ = 0;
+  /// Serialization scratch recycled across persists (provider sections
+  /// followed by one "__engine" section): steady-state saves reuse the
+  /// payload buffers instead of reallocating ~the full provider state at
+  /// every persisted safe point.
+  std::vector<fault::DurableSection> durable_scratch_;
   /// A flush held back by a non-recovered kDelayFlush, stored as run
   /// descriptors (path-agnostic: it may be re-injected under either
   /// staging representation).

@@ -108,6 +108,15 @@ class Rng {
     return Rng(mix64(state_[0] ^ state_[3], stream));
   }
 
+  /// The raw xoshiro state, for checkpoint serialization: restoring via
+  /// set_state() resumes the stream exactly where state() observed it.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const noexcept {
+    return state_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
     return (v << k) | (v >> (64 - k));

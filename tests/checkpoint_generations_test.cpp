@@ -11,6 +11,7 @@
 // a CheckpointError naming the machine and round).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -123,9 +124,44 @@ TEST(CheckpointGenerations, AllGenerationsBadThrowsTypedError) {
     EXPECT_NE(what.find("all 2 retained generation(s) fail verification"),
               std::string::npos)
         << what;
+    // The error names which provider image(s) rotted — the first thing an
+    // operator needs to know when a restore dies.
+    EXPECT_NE(what.find("rotted provider(s): s"), std::string::npos) << what;
   }
   // The live state was never touched by the failed restore.
   EXPECT_EQ(state, (std::vector<Word>{4, 5, 6}));
+}
+
+TEST(CheckpointGenerations, AllGenerationsBadNamesEveryRottedProvider) {
+  // Multi-provider registry: the typed error's provider list must cover
+  // every provider whose image fails verification, across the whole ring.
+  CheckpointRegistry reg;
+  std::vector<Word> alpha = {1, 2, 3, 4};
+  std::vector<Word> beta = {5, 6, 7, 8};
+  register_vector(reg, "alpha", alpha);
+  register_vector(reg, "beta", beta);
+  reg.capture(1);
+  reg.capture(2);
+  reg.corrupt_generation(0, 11, 0, 0);
+  reg.corrupt_generation(1, 12, 0, 0);
+  std::vector<std::string> rotted = reg.rotted_providers(0);
+  for (const auto& name : reg.rotted_providers(1)) {
+    if (std::find(rotted.begin(), rotted.end(), name) == rotted.end()) {
+      rotted.push_back(name);
+    }
+  }
+  ASSERT_FALSE(rotted.empty());
+  try {
+    reg.restore();
+    FAIL() << "restore with every generation rotted did not throw";
+  } catch (const CheckpointError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rotted provider(s): "), std::string::npos) << what;
+    for (const auto& name : rotted) {
+      EXPECT_NE(what.find(name), std::string::npos)
+          << what << " does not name rotted provider " << name;
+    }
+  }
 }
 
 TEST(CheckpointGenerations, RecaptureNewestRepairsRot) {
@@ -198,6 +234,7 @@ TEST(CheckpointGenerations, EngineAllGenerationsBadNamesMachineAndRound) {
         what.find("retained checkpoint generation(s) fail verification"),
         std::string::npos)
         << what;
+    EXPECT_NE(what.find("rotted provider(s): "), std::string::npos) << what;
     EXPECT_NE(what.find("unrecoverable"), std::string::npos) << what;
   }
 }

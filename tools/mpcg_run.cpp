@@ -38,7 +38,25 @@
 //   mpcg_run --algo matching --input my_graph.txt --eps 0.05 --check
 //   mpcg_run --algo matching --n 4096 --faults crash:0@3,crash:2@7 --check
 //   mpcg_run --algo sort --n 4096 --faults corrupt:1@2 --integrity --check
+//
+// On-disk durability (mis, matching, vc, mis_cc):
+//   --checkpoint-dir D       persist a verified two-slot generation ring
+//                            under D at driver safe points
+//   --checkpoint-every K     persist every K-th safe point (default 1)
+//   --checkpoint-generations N  in-memory checkpoint ring depth (>= 1)
+//   --resume                 resume from the newest verified generation in
+//                            D (scope mismatch or empty D = fresh start)
+//   --stop-after-safe-points N  deterministic stop hook: behave as if
+//                            SIGTERM arrived at the N-th safe point (CI
+//                            smokes use this to pin the interrupt point)
+// With --checkpoint-dir set, SIGTERM/SIGINT finish the in-flight round,
+// flush one final generation, and exit with status 75 ("resumable");
+// relaunching the identical command line with --resume continues to
+// bit-identical outputs. kill -9 survives too, losing at most the work
+// since the last persisted safe point.
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <tuple>
@@ -49,6 +67,18 @@
 namespace {
 
 using namespace mpcg;
+
+/// Set by the SIGTERM/SIGINT handler (installed only when --checkpoint-dir
+/// is given) and polled by the engines at safe points.
+std::atomic<bool> g_stop{false};
+
+}  // namespace
+
+extern "C" void mpcg_run_handle_stop(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+namespace {
 
 void print_kv(const char* key, double value) {
   std::printf("%s\t%.6g\n", key, value);
@@ -85,6 +115,22 @@ void print_fault_metrics(const cclique::Metrics& m) {
   print_kv("store_words_repaired", m.store_words_repaired);
   print_kv("checkpoint_fallbacks", m.checkpoint_fallbacks);
   print_kv("scrub_passes", m.scrub_passes);
+}
+
+void print_disk_metrics(const mpc::Metrics& m) {
+  print_kv("disk_checkpoints_written", m.disk_checkpoints_written);
+  print_kv("disk_checkpoint_words", m.disk_checkpoint_words);
+  print_kv("resume_loads", m.resume_loads);
+  print_kv("disk_fallbacks", m.disk_fallbacks);
+  print_kv("faults_skipped_on_resume", m.faults_skipped_on_resume);
+}
+
+void print_disk_metrics(const cclique::Metrics& m) {
+  print_kv("disk_checkpoints_written", m.disk_checkpoints_written);
+  print_kv("disk_checkpoint_words", m.disk_checkpoint_words);
+  print_kv("resume_loads", m.resume_loads);
+  print_kv("disk_fallbacks", m.disk_fallbacks);
+  print_kv("faults_skipped_on_resume", m.faults_skipped_on_resume);
 }
 
 void print_reprovision_failures(
@@ -130,10 +176,63 @@ int run(const Flags& flags) {
       static_cast<std::size_t>(flags.get_int("scrub-interval", 0));
   const auto words = static_cast<std::size_t>(flags.get_int("words", 0));
 
+  const std::string checkpoint_dir = flags.get_string("checkpoint-dir", "");
+  const std::int64_t checkpoint_every = flags.get_int("checkpoint-every", 1);
+  const std::int64_t checkpoint_generations =
+      flags.get_int("checkpoint-generations", 0);
+  const bool resume = flags.get_bool("resume", false);
+  const std::int64_t stop_after_safe_points =
+      flags.get_int("stop-after-safe-points", 0);
+
   const auto unused = flags.unused();
   if (!unused.empty()) {
     std::fprintf(stderr, "unknown flag: --%s\n", unused.front().c_str());
     return 2;
+  }
+
+  const bool durable = !checkpoint_dir.empty();
+  if (checkpoint_every < 1) {
+    std::fprintf(stderr, "--checkpoint-every must be >= 1 (got %lld)\n",
+                 static_cast<long long>(checkpoint_every));
+    return 2;
+  }
+  if (flags.has("checkpoint-generations") && checkpoint_generations < 1) {
+    std::fprintf(stderr, "--checkpoint-generations must be >= 1 (got %lld)\n",
+                 static_cast<long long>(checkpoint_generations));
+    return 2;
+  }
+  if (flags.has("stop-after-safe-points") && stop_after_safe_points < 1) {
+    std::fprintf(stderr,
+                 "--stop-after-safe-points must be >= 1 (got %lld)\n",
+                 static_cast<long long>(stop_after_safe_points));
+    return 2;
+  }
+  if (!durable && (resume || flags.has("checkpoint-every") ||
+                   flags.has("checkpoint-generations") ||
+                   flags.has("stop-after-safe-points"))) {
+    std::fprintf(stderr,
+                 "--resume/--checkpoint-every/--checkpoint-generations/"
+                 "--stop-after-safe-points require --checkpoint-dir\n");
+    return 2;
+  }
+  if (durable && algo != "mis" && algo != "matching" && algo != "vc" &&
+      algo != "mis_cc") {
+    std::fprintf(stderr, "--checkpoint-dir is only supported with --algo "
+                         "mis|matching|vc|mis_cc\n");
+    return 2;
+  }
+  fault::DurableOptions durable_opt;
+  if (durable) {
+    durable_opt.dir = checkpoint_dir;
+    durable_opt.every = static_cast<std::size_t>(checkpoint_every);
+    durable_opt.generations =
+        static_cast<std::size_t>(checkpoint_generations);
+    durable_opt.resume = resume;
+    durable_opt.stop_flag = &g_stop;
+    durable_opt.stop_after_safe_points =
+        static_cast<std::size_t>(stop_after_safe_points);
+    std::signal(SIGTERM, mpcg_run_handle_stop);
+    std::signal(SIGINT, mpcg_run_handle_stop);
   }
 
   fault::FaultPlan plan;
@@ -159,6 +258,7 @@ int run(const Flags& flags) {
     opt.integrity = integrity;
     opt.audit = audit;
     opt.scrub_interval = scrub_interval;
+    opt.durable = durable_opt;
     MisMpcResult r;
     if (reprovision) {
       auto outcome = fault::run_with_reprovision(
@@ -185,6 +285,7 @@ int run(const Flags& flags) {
     print_kv("engine_rounds", r.metrics.rounds);
     print_kv("peak_words", r.metrics.peak_storage_words);
     if (plan_ptr != nullptr) print_fault_metrics(r.metrics);
+    if (durable) print_disk_metrics(r.metrics);
     if (check) {
       const bool valid = is_maximal_independent_set(g, r.mis);
       print_kv("valid", static_cast<std::size_t>(valid));
@@ -199,11 +300,13 @@ int run(const Flags& flags) {
     opt.integrity = integrity;
     opt.audit = audit;
     opt.scrub_interval = scrub_interval;
+    opt.durable = durable_opt;
     const auto r = mis_cclique(g, opt);
     print_kv("mis_size", r.mis.size());
     print_kv("clique_rounds", r.metrics.rounds);
     print_kv("lenzen_batches", r.metrics.lenzen_batches);
     if (plan_ptr != nullptr) print_fault_metrics(r.metrics);
+    if (durable) print_disk_metrics(r.metrics);
     if (check) {
       const bool valid = is_maximal_independent_set(g, r.mis);
       print_kv("valid", static_cast<std::size_t>(valid));
@@ -313,6 +416,7 @@ int run(const Flags& flags) {
     opt.simulation.integrity = integrity;
     opt.simulation.audit = audit;
     opt.simulation.scrub_interval = scrub_interval;
+    opt.durable = durable_opt;
     IntegralMatchingResult r;
     if (reprovision) {
       auto outcome = fault::run_with_reprovision(
@@ -339,6 +443,7 @@ int run(const Flags& flags) {
     print_kv("cover_size", r.cover.size());
     print_kv("total_rounds", r.total_rounds);
     if (plan_ptr != nullptr) print_fault_metrics(r.first_run_metrics);
+    if (durable) print_disk_metrics(r.first_run_metrics);
     if (check) {
       const bool matching_valid = is_matching(g, r.matching);
       const bool cover_valid = is_vertex_cover(g, r.cover);
@@ -404,6 +509,12 @@ int run(const Flags& flags) {
 int main(int argc, char** argv) {
   try {
     return run(mpcg::Flags(argc, argv));
+  } catch (const mpcg::fault::ResumableInterrupt& ex) {
+    // Graceful stop at a safe point with a flushed final generation:
+    // distinct "resumable" status (EX_TEMPFAIL) so supervisors know a
+    // relaunch with --resume continues the run.
+    std::fprintf(stderr, "resumable: %s\n", ex.what());
+    return 75;
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());
     return 1;
