@@ -11,9 +11,9 @@
 namespace mpcg::cclique {
 
 Engine::Engine(std::size_t num_players, bool strict, bool integrity,
-               bool audit, std::size_t scrub_interval)
+               bool audit, std::size_t scrub_interval, std::size_t threads)
     : n_(num_players), strict_(strict), integrity_(integrity), audit_(audit),
-      scrub_interval_(scrub_interval),
+      scrub_interval_(scrub_interval), backend_(mpc::make_backend(threads)),
       inbox_(num_players), broadcasting_(num_players, 0),
       sent_(num_players, 0), received_(num_players, 0) {
   if (num_players == 0) {
@@ -165,14 +165,17 @@ const std::vector<Message>& Engine::inbox(PlayerId player) const {
   return inbox_.at(player);
 }
 
-const std::vector<std::vector<Message>>& Engine::lenzen_route(
+const std::vector<RouteView>& Engine::lenzen_route_view(
     const RouteStream& stream) {
   if (!pending_.empty() || !pending_broadcasts_.empty()) {
     throw std::logic_error(
         "lenzen_route: flush queued sends with exchange() first");
   }
-  if (route_delivered_.empty()) route_delivered_.resize(n_);
-  for (const PlayerId p : route_touched_) route_delivered_[p].clear();
+  if (route_view_.empty()) route_view_.resize(n_);
+  for (const PlayerId p : route_touched_) {
+    route_view_[p].segs_.clear();
+    route_view_[p].words_ = 0;
+  }
   route_touched_.clear();
 
   // Split into batches, each feasible for Lenzen's scheme: at most n
@@ -244,11 +247,13 @@ const std::vector<std::vector<Message>>& Engine::lenzen_route(
     ++metrics_.lenzen_batches;
     metrics_.total_words += 2 * route_batch_words_[b];
     for (const BatchRun& br : batch) {
-      auto& dst = route_delivered_[br.to];
+      // Segmented delivery: one descriptor per batch run aliasing the
+      // caller's stream words — never a per-word Message expansion.
+      RouteView& dst = route_view_[br.to];
       if (dst.empty()) route_touched_.push_back(br.to);
-      for (std::uint32_t i = 0; i < br.count; ++i) {
-        dst.push_back(Message{br.from, br.to, stream.words_[br.offset + i]});
-      }
+      dst.segs_.push_back(
+          RouteSegment{br.from, stream.words_.data() + br.offset, br.count});
+      dst.words_ += br.count;
       // The counter holds this receiver's full batch total by now, so the
       // per-chunk max equals the old full post-count scan.
       metrics_.max_player_received = std::max<std::size_t>(
@@ -260,6 +265,27 @@ const std::vector<std::vector<Message>>& Engine::lenzen_route(
       route_recv_load_[b][br.to] = 0;
     }
     batch.clear();
+  }
+  return route_view_;
+}
+
+const std::vector<std::vector<Message>>& Engine::lenzen_route(
+    const RouteStream& stream) {
+  const std::vector<RouteView>& views = lenzen_route_view(stream);
+  if (route_delivered_.empty()) route_delivered_.resize(n_);
+  for (const PlayerId p : route_mat_touched_) route_delivered_[p].clear();
+  route_mat_touched_.clear();
+  for (const PlayerId p : route_touched_) {
+    std::vector<Message>& dst = route_delivered_[p];
+    route_mat_touched_.push_back(p);
+    const RouteView& view = views[p];
+    dst.reserve(view.size());
+    for (const RouteSegment& seg : view.segments()) {
+      for (std::uint32_t i = 0; i < seg.count; ++i) {
+        dst.push_back(Message{seg.from, p, seg.words[i]});
+      }
+    }
+    route_words_materialized_ += view.size();
   }
   return route_delivered_;
 }
@@ -390,6 +416,10 @@ void Engine::persist() {
 }
 
 void Engine::checkpoint_boundary() {
+  // Park the pool before anything durable (or fatal) happens at this safe
+  // point — no worker may touch driver or provider state while a
+  // generation persists or a stop unwinds (see mpc::Engine's twin).
+  backend_->quiesce();
   if (!dring_) return;
   ++safe_points_;
   const bool stop =

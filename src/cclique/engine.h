@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "fault/durable.h"
+#include "mpc/backend.h"
 #include "util/fnv.h"
 
 namespace mpcg::fault {
@@ -120,6 +121,20 @@ class RouteStream {
     }
   }
 
+  /// Appends another stream's staged runs and words, merging across the
+  /// boundary when the last open run and the other stream's first run
+  /// share a (from, to) pair — so concatenating per-chunk streams built
+  /// over a contiguous partition of an iteration domain, in chunk order,
+  /// yields exactly the stream the sequential loop would have staged.
+  void append_stream(const RouteStream& other) {
+    std::size_t pos = 0;
+    for (const Run& run : other.runs_) {
+      append_run(run.from, run.to,
+                 std::span<const Word>(other.words_.data() + pos, run.count));
+      pos += run.count;
+    }
+  }
+
  private:
   friend class Engine;
   struct Run {
@@ -130,6 +145,37 @@ class RouteStream {
   static constexpr std::uint32_t kMaxCount = 0xffffffffu;
   std::vector<Run> runs_;
   std::vector<Word> words_;
+};
+
+/// One delivered stretch of a routed stream: `count` consecutive words
+/// from one sender, aliasing the caller's RouteStream word storage (valid
+/// while the stream outlives the view and is not mutated).
+struct RouteSegment {
+  PlayerId from;
+  const Word* words;
+  std::uint32_t count;
+};
+
+/// Segmented per-player delivery view for Engine::lenzen_route_view — the
+/// cclique analogue of mpc::InboxView. Where the legacy lenzen_route
+/// materializes one 16-byte Message per routed word, the view holds one
+/// RouteSegment per delivered batch run: O(runs) descriptors over the
+/// already-resident stream words, zero per-word expansion. Segments are in
+/// delivery order (batch-major, then batch-run order), which matches the
+/// legacy per-player Message order word for word.
+class RouteView {
+ public:
+  /// Words delivered to this player.
+  [[nodiscard]] std::size_t size() const noexcept { return words_; }
+  [[nodiscard]] bool empty() const noexcept { return words_ == 0; }
+  [[nodiscard]] std::span<const RouteSegment> segments() const noexcept {
+    return segs_;
+  }
+
+ private:
+  friend class Engine;
+  std::vector<RouteSegment> segs_;
+  std::size_t words_ = 0;
 };
 
 struct Metrics {
@@ -195,12 +241,23 @@ class Engine {
   /// over the point-to-point streams, the broadcast store, and the
   /// checkpoint generations, observable on a clean run only as
   /// Metrics::scrub_passes.  Inert without `integrity` (no digests exist).
+  /// `threads` selects the execution backend (see mpc/backend.h): 1 = the
+  /// sequential reference, > 1 = a shared-memory pool the drivers run
+  /// their per-player local loops through (outputs and all logical Metrics
+  /// are bit-identical across every value).
   explicit Engine(std::size_t num_players, bool strict = true,
                   bool integrity = false, bool audit = false,
-                  std::size_t scrub_interval = 0);
+                  std::size_t scrub_interval = 0, std::size_t threads = 1);
 
   [[nodiscard]] std::size_t num_players() const noexcept { return n_; }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+
+  /// The execution backend driver loops share with this engine (the
+  /// engine's own exchange and routing stay sequential — they are O(runs)
+  /// bookkeeping, never the hot surface).
+  [[nodiscard]] mpc::ExecutionBackend& backend() noexcept {
+    return *backend_;
+  }
 
   /// Queues one word from `from` to `to` for the next exchange. At most one
   /// word per ordered pair per round (checked at exchange()).
@@ -225,11 +282,21 @@ class Engine {
 
   /// Routes a run-length staged message multiset with Lenzen's scheme.
   /// Each feasible batch (<= n per sender and per receiver) costs 2 rounds;
-  /// batching bookkeeping is paid per *run chunk*, not per word. Returns
-  /// the messages grouped per destination, in engine-owned persistent
-  /// scratch (valid until the next lenzen_route call) — a call costs
-  /// O(messages), not O(players), after warm-up. Any sends/broadcasts
-  /// already queued must be flushed (exchange()d) first; mixing throws.
+  /// batching bookkeeping is paid per *run chunk*, not per word, and
+  /// delivery is segmented: each player's view holds O(batch runs)
+  /// descriptors aliasing the caller's stream words — no per-word Message
+  /// materialization at all. The views live in engine-owned persistent
+  /// scratch (valid until the next routing call, while `stream` is alive
+  /// and unmutated) — a call costs O(runs + batches), not O(words) or
+  /// O(players), after warm-up. Any sends/broadcasts already queued must
+  /// be flushed (exchange()d) first; mixing throws.
+  const std::vector<RouteView>& lenzen_route_view(const RouteStream& stream);
+
+  /// Materializing form: routes via lenzen_route_view and expands the
+  /// delivered views into per-destination Message buckets (16 bytes per
+  /// routed word — the expansion the view form exists to avoid; the words
+  /// expanded are tallied in route_words_materialized()). Batch splits,
+  /// delivery order, and metrics are bit-identical to the view form.
   const std::vector<std::vector<Message>>& lenzen_route(
       const RouteStream& stream);
 
@@ -239,6 +306,13 @@ class Engine {
   /// per-message routing.
   const std::vector<std::vector<Message>>& lenzen_route(
       std::vector<Message> messages);
+
+  /// Words expanded into Message records by the materializing lenzen_route
+  /// wrappers, cumulative. Stays 0 on the lenzen_route_view path — the E13
+  /// bench pins exactly that.
+  [[nodiscard]] std::size_t route_words_materialized() const noexcept {
+    return route_words_materialized_;
+  }
 
   /// Opaque copy of the staged round (pending sends, broadcast queue) plus
   /// Metrics; the cclique analogue of mpc::Engine::Snapshot.
@@ -360,6 +434,9 @@ class Engine {
   bool integrity_;
   bool audit_;
   std::size_t scrub_interval_;
+  /// Execution backend (ctor `threads` wide); shared with drivers via
+  /// backend(), quiesced at checkpoint_boundary().
+  std::unique_ptr<mpc::ExecutionBackend> backend_;
   Metrics metrics_;
   std::vector<Message> pending_;
   std::vector<PlayerId> pending_broadcasts_;
@@ -384,11 +461,17 @@ class Engine {
     std::size_t offset;
   };
   /// lenzen_route scratch, persistent across calls: per-destination
-  /// delivery buckets (touched-only clearing), per-batch run chunks, and
+  /// segmented views (touched-only clearing), per-batch run chunks, and
   /// per-batch sender/receiver load counters (touched entries reset after
   /// routing), so a call allocates nothing after warm-up.
-  std::vector<std::vector<Message>> route_delivered_;
+  std::vector<RouteView> route_view_;
   std::vector<PlayerId> route_touched_;
+  /// Materializing-wrapper scratch: per-destination Message buckets plus
+  /// their own touched list (the wrapper may be warm while view callers
+  /// run in between).
+  std::vector<std::vector<Message>> route_delivered_;
+  std::vector<PlayerId> route_mat_touched_;
+  std::size_t route_words_materialized_ = 0;
   std::vector<std::vector<BatchRun>> route_batches_;
   std::vector<std::size_t> route_batch_words_;
   std::vector<std::vector<std::uint32_t>> route_send_load_;

@@ -43,7 +43,8 @@ class MisCcliqueRun {
   MisCcliqueRun(const Graph& g, const MisCcliqueOptions& options)
       : g_(g), options_(options), n_(g.num_vertices()),
         engine_(std::max<std::size_t>(n_, 1), options.strict,
-                options.integrity, options.audit, options.scrub_interval),
+                options.integrity, options.audit, options.scrub_interval,
+                options.threads),
         residual_(g), dying_(n_, 0) {
     gather_budget_ = options.gather_budget != 0 ? options.gather_budget : n_;
     const bool durable = options.durable.enabled();
@@ -273,23 +274,62 @@ class MisCcliqueRun {
     // so a burst is one run descriptor over the word stream instead of a
     // 16-byte Message record per edge.
     route_stream_.clear();
-    for (std::size_t r = lo; r < hi; ++r) {
-      const VertexId v = perm_[r];
-      if (!residual_.alive(v)) continue;
-      for (const Arc& a : residual_.alive_upper_arcs(v)) {
-        if (rank_of_[a.to] >= lo && rank_of_[a.to] < hi) {
-          route_stream_.append(v, 0, encode_pair(v, a.to));
+    mpc::ExecutionBackend& backend = engine_.backend();
+    if (backend.parallel()) {
+      // Sequential pre-pass (the lazy alive_upper_arcs accessor mutates
+      // shared scratch), then per-chunk streams concatenated slot-ascending
+      // — append_stream's boundary merge makes that the sequential stream.
+      arc_spans_.assign(hi - lo, {});
+      for (std::size_t r = lo; r < hi; ++r) {
+        const VertexId v = perm_[r];
+        if (residual_.alive(v)) {
+          arc_spans_[r - lo] = residual_.alive_upper_arcs(v);
+        }
+      }
+      // Clear every slot up front: run_chunks skips empty chunks, which
+      // must not leak a previous phase's stream.
+      if (slot_streams_.size() < backend.threads()) {
+        slot_streams_.resize(backend.threads());
+      }
+      for (std::size_t s = 0; s < backend.threads(); ++s) {
+        slot_streams_[s].clear();
+      }
+      backend.run_chunks(
+          lo, hi, [&](std::size_t slot, std::size_t clo, std::size_t chi) {
+            cclique::RouteStream& out = slot_streams_[slot];
+            for (std::size_t r = clo; r < chi; ++r) {
+              const VertexId v = perm_[r];
+              for (const Arc& a : arc_spans_[r - lo]) {
+                if (rank_of_[a.to] >= lo && rank_of_[a.to] < hi) {
+                  out.append(v, 0, encode_pair(v, a.to));
+                }
+              }
+            }
+          });
+      for (std::size_t s = 0; s < backend.threads(); ++s) {
+        route_stream_.append_stream(slot_streams_[s]);
+      }
+    } else {
+      for (std::size_t r = lo; r < hi; ++r) {
+        const VertexId v = perm_[r];
+        if (!residual_.alive(v)) continue;
+        for (const Arc& a : residual_.alive_upper_arcs(v)) {
+          if (rank_of_[a.to] >= lo && rank_of_[a.to] < hi) {
+            route_stream_.append(v, 0, encode_pair(v, a.to));
+          }
         }
       }
     }
     result.window_edges_per_phase.push_back(route_stream_.size());
-    const auto& delivered = engine_.lenzen_route(route_stream_);
+    const auto& delivered = engine_.lenzen_route_view(route_stream_);
 
     std::unordered_map<VertexId, std::vector<VertexId>> adj;
-    for (const Message& msg : delivered[0]) {
-      const auto [u, v] = decode_pair(msg.word);
-      adj[u].push_back(v);
-      adj[v].push_back(u);
+    for (const cclique::RouteSegment& seg : delivered[0].segments()) {
+      for (std::uint32_t i = 0; i < seg.count; ++i) {
+        const auto [u, v] = decode_pair(seg.words[i]);
+        adj[u].push_back(v);
+        adj[v].push_back(u);
+      }
     }
     std::vector<VertexId> mis_new;
     std::unordered_map<VertexId, char> killed;
@@ -330,19 +370,50 @@ class MisCcliqueRun {
     // ascending) is exactly the alive-alive filter of g_.edges() in edge-id
     // order, touching only surviving arcs. Staged as one run per vertex.
     route_stream_.clear();
-    for (const VertexId u : residual_.alive_vertices()) {
-      for (const Arc& a : residual_.alive_upper_arcs(u)) {
-        route_stream_.append(u, 0, encode_pair(u, a.to));
+    mpc::ExecutionBackend& backend = engine_.backend();
+    if (backend.parallel()) {
+      const std::span<const VertexId> alive = residual_.alive_vertices();
+      arc_spans_.assign(alive.size(), {});
+      for (std::size_t i = 0; i < alive.size(); ++i) {
+        arc_spans_[i] = residual_.alive_upper_arcs(alive[i]);
+      }
+      if (slot_streams_.size() < backend.threads()) {
+        slot_streams_.resize(backend.threads());
+      }
+      for (std::size_t s = 0; s < backend.threads(); ++s) {
+        slot_streams_[s].clear();
+      }
+      backend.run_chunks(
+          0, alive.size(),
+          [&](std::size_t slot, std::size_t clo, std::size_t chi) {
+            cclique::RouteStream& out = slot_streams_[slot];
+            for (std::size_t i = clo; i < chi; ++i) {
+              const VertexId u = alive[i];
+              for (const Arc& a : arc_spans_[i]) {
+                out.append(u, 0, encode_pair(u, a.to));
+              }
+            }
+          });
+      for (std::size_t s = 0; s < backend.threads(); ++s) {
+        route_stream_.append_stream(slot_streams_[s]);
+      }
+    } else {
+      for (const VertexId u : residual_.alive_vertices()) {
+        for (const Arc& a : residual_.alive_upper_arcs(u)) {
+          route_stream_.append(u, 0, encode_pair(u, a.to));
+        }
       }
     }
     result.final_gather_edges = route_stream_.size();
-    const auto& delivered = engine_.lenzen_route(route_stream_);
+    const auto& delivered = engine_.lenzen_route_view(route_stream_);
 
     std::unordered_map<VertexId, std::vector<VertexId>> adj;
-    for (const Message& msg : delivered[0]) {
-      const auto [u, v] = decode_pair(msg.word);
-      adj[u].push_back(v);
-      adj[v].push_back(u);
+    for (const cclique::RouteSegment& seg : delivered[0].segments()) {
+      for (std::uint32_t i = 0; i < seg.count; ++i) {
+        const auto [u, v] = decode_pair(seg.words[i]);
+        adj[u].push_back(v);
+        adj[v].push_back(u);
+      }
     }
     std::vector<VertexId> mis_new;
     std::unordered_map<VertexId, char> killed;
@@ -372,6 +443,11 @@ class MisCcliqueRun {
   std::vector<char> dying_;
   /// Run-length staging for the Lenzen gathers (persistent across phases).
   cclique::RouteStream route_stream_;
+  /// Parallel-backend staging scratch: per-vertex alive-arc spans cached by
+  /// the sequential pre-pass, plus one RouteStream per chunk slot
+  /// (concatenated slot-ascending into route_stream_).
+  std::vector<std::span<const Arc>> arc_spans_;
+  std::vector<cclique::RouteStream> slot_streams_;
   std::vector<VertexId> mis_;
   /// Run-loop cursor + accumulating result, promoted to members so the
   /// "loop" durable provider can serialize them at safe points.

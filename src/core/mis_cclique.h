@@ -40,6 +40,10 @@ struct MisCcliqueOptions {
   /// Final-gather threshold in edges. 0 = auto: n (one Lenzen batch).
   std::size_t gather_budget = 0;
   bool strict = true;
+  /// Execution-backend width (see cclique::Engine's threads parameter):
+  /// 1 = the sequential reference; > 1 builds the Lenzen route streams
+  /// over a shared-memory pool, bit-identical to 1.
+  std::size_t threads = 1;
   /// Deterministic fault schedule consulted by the engine at round
   /// boundaries (borrowed; must outlive the run). nullptr = fault-free.
   const fault::FaultPlan* fault_plan = nullptr;

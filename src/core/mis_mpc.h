@@ -62,6 +62,12 @@ struct MisMpcOptions {
   /// Throw CapacityError on budget violations (else count them).
   bool strict = true;
 
+  /// Execution-backend width (see mpc::Config::threads): 1 = the
+  /// sequential reference; > 1 runs the engine flushes and the rank/
+  /// sparsified/final gather staging loops over a shared-memory pool,
+  /// bit-identical to 1.
+  std::size_t threads = 1;
+
   /// Deterministic fault schedule consulted by the engine at round
   /// boundaries (borrowed; must outlive the run). nullptr = fault-free.
   const fault::FaultPlan* fault_plan = nullptr;

@@ -59,6 +59,7 @@ Engine::Engine(Config config) : config_(config) {
   if (config_.num_machines == 0) {
     throw std::invalid_argument("Engine: need at least one machine");
   }
+  backend_ = make_backend(config_.threads);
   const std::size_t m = config_.num_machines;
   // Adaptive mode starts from the same shape the static rule would pick at
   // the tuned default, then re-decides per flush (see adapt_path).
@@ -276,11 +277,23 @@ void Engine::exchange_impl() {
     staged_payloads_.clear();
     staged_digests_.clear();
     if (dense_active_) {
-      exchange_plain_dense(m);
+      if (backend_->parallel()) {
+        exchange_parallel_dense(m);
+      } else {
+        exchange_plain_dense(m);
+      }
     } else {
-      exchange_plain_flat(m);
+      if (backend_->parallel()) {
+        exchange_parallel_flat(m);
+      } else {
+        exchange_plain_flat(m);
+      }
     }
   } else {
+    // Shared-payload rounds splice store-aliasing segments between unicast
+    // stretches per (sender, receiver) pair; the splice machinery stays
+    // sequential on every backend (broadcast/gather rounds move O(n)
+    // words through O(m) descriptors — never the hot surface).
     exchange_shared(m);
   }
   if (config_.audit) finish_audit();
@@ -433,6 +446,135 @@ void Engine::exchange_plain_flat(std::size_t m) {
                                            received);
     check_budget(to, received, "received");
     // Whatever a machine received is resident until it processes it.
+    metrics_.peak_storage_words = std::max(metrics_.peak_storage_words,
+                                           received);
+  }
+  adapt_path(flush_words, flush_runs);
+}
+
+void Engine::exchange_parallel_flat(std::size_t m) {
+  // Slot-sharded flat flush (backend().parallel() only). Four phases:
+  //   A (parallel)   per-slot receiver histograms over each slot's
+  //                  contiguous ascending sender range, plus per-slot run
+  //                  totals;
+  //   B (sequential) combine the histograms in ascending slot order into
+  //                  recv_count_ and per-(slot, receiver) write bases —
+  //                  the positional image of the sequential
+  //                  sender-ascending delivery — and size the inboxes;
+  //   C (parallel)   each slot bulk-copies its senders' runs to its
+  //                  precomputed positions (disjoint across slots by
+  //                  construction) and clears its senders' staging;
+  //   D (sequential) receiving-side budget checks, metrics, and the
+  //                  adaptive-path vote, ascending as always.
+  // The delivered inboxes are position-identical to exchange_plain_flat
+  // for any thread count: slots are ascending sender ranges, each slot
+  // writes its runs in sender-then-push order, and the bases concatenate
+  // the slots in order.
+  std::size_t flush_words = 0;
+  for (std::size_t from = 0; from < m; ++from) {
+    const std::size_t sent = out_words_[from].size();
+    flush_words += sent;
+    metrics_.max_sent_words = std::max(metrics_.max_sent_words, sent);
+    metrics_.total_words += sent;
+    check_budget(from, sent, "sent");
+  }
+  const std::size_t slots = backend_->threads();
+  slot_count_.assign(slots * m, 0);
+  slot_runs_.assign(slots, 0);
+  backend_->run_chunks(
+      0, m, [&](std::size_t slot, std::size_t lo, std::size_t hi) {
+        std::size_t* count = slot_count_.data() + slot * m;
+        std::size_t runs = 0;
+        for (std::size_t from = lo; from < hi; ++from) {
+          for_each_run(out_tos_[from], out_counts_[from].data(),
+                       [&](std::size_t to, std::size_t n) {
+                         count[to] += n;
+                       });
+          runs += out_tos_[from].size();
+        }
+        slot_runs_[slot] = runs;
+      });
+  std::size_t flush_runs = 0;
+  for (std::size_t s = 0; s < slots; ++s) flush_runs += slot_runs_[s];
+  slot_cursor_.resize(slots * m);
+  for (std::size_t to = 0; to < m; ++to) {
+    std::size_t acc = 0;
+    for (std::size_t s = 0; s < slots; ++s) {
+      slot_cursor_[s * m + to] = acc;
+      acc += slot_count_[s * m + to];
+    }
+    recv_count_[to] = acc;
+    inbox_[to].clear();
+    inbox_[to].resize(acc);
+  }
+  backend_->run_chunks(
+      0, m, [&](std::size_t slot, std::size_t lo, std::size_t hi) {
+        std::size_t* cursor = slot_cursor_.data() + slot * m;
+        for (std::size_t from = lo; from < hi; ++from) {
+          const Word* words = out_words_[from].data();
+          std::size_t pos = 0;
+          for_each_run(out_tos_[from], out_counts_[from].data(),
+                       [&](std::size_t to, std::size_t count) {
+                         copy_run(inbox_[to].data() + cursor[to], words + pos,
+                                  count);
+                         cursor[to] += count;
+                         pos += count;
+                       });
+          clear_sender_staging(from);
+        }
+      });
+  for (std::size_t to = 0; to < m; ++to) {
+    const std::size_t received = recv_count_[to];
+    metrics_.max_received_words = std::max(metrics_.max_received_words,
+                                           received);
+    check_budget(to, received, "received");
+    metrics_.peak_storage_words = std::max(metrics_.peak_storage_words,
+                                           received);
+  }
+  adapt_path(flush_words, flush_runs);
+}
+
+void Engine::exchange_parallel_dense(std::size_t m) {
+  // Dense path, receiver-parallel: each receiver owns its column of the
+  // box matrix (reads it, appends it, clears it), so receivers shard with
+  // no write sharing at all. Sender metrics stay sequential (O(m^2) box
+  // scans are the dense path's cost on every backend); the receiving-side
+  // budget checks move after the parallel region, still ascending, so the
+  // non-strict violation tally and all metrics match the sequential path.
+  std::size_t flush_words = 0;
+  std::size_t flush_runs = 0;
+  for (std::size_t from = 0; from < m; ++from) {
+    std::size_t sent = 0;
+    for (std::size_t to = 0; to < m; ++to) {
+      const std::size_t box_words = boxes_[from * m + to].size();
+      sent += box_words;
+      flush_runs += box_words != 0;
+    }
+    flush_words += sent;
+    metrics_.max_sent_words = std::max(metrics_.max_sent_words, sent);
+    metrics_.total_words += sent;
+    check_budget(from, sent, "sent");
+  }
+  backend_->parallel_for_machines(m, [&](std::size_t to) {
+    auto& in = inbox_[to];
+    in.clear();
+    std::size_t received = 0;
+    for (std::size_t from = 0; from < m; ++from) {
+      received += boxes_[from * m + to].size();
+    }
+    in.reserve(received);
+    for (std::size_t from = 0; from < m; ++from) {
+      auto& box = boxes_[from * m + to];
+      in.insert(in.end(), box.begin(), box.end());
+      box.clear();
+    }
+    recv_count_[to] = received;
+  });
+  for (std::size_t to = 0; to < m; ++to) {
+    const std::size_t received = recv_count_[to];
+    metrics_.max_received_words = std::max(metrics_.max_received_words,
+                                           received);
+    check_budget(to, received, "received");
     metrics_.peak_storage_words = std::max(metrics_.peak_storage_words,
                                            received);
   }
@@ -903,6 +1045,12 @@ void Engine::persist() {
 }
 
 void Engine::checkpoint_boundary() {
+  // Park the pool before anything durable (or fatal) can happen at this
+  // safe point: no worker may touch engine or provider state while a
+  // generation is persisted or a stop unwinds. No-op on the sequential
+  // backend, and cheap on the parallel one (run_chunks is blocking, so
+  // workers are already idle — this waits until they are *parked*).
+  backend_->quiesce();
   if (!dring_) return;
   ++safe_points_;
   const bool stop =
@@ -1296,6 +1444,29 @@ bool Engine::sender_stream_ok(std::size_t from) const {
 
 void Engine::verify_streams() const {
   const std::size_t m = config_.num_machines;
+  if (backend_->parallel()) {
+    // Re-digesting every sender's stream is the integrity layer's one
+    // O(words) pass — shard it. The throw stays sequential and ascending
+    // so the lowest failing sender is named, exactly as below.
+    verify_ok_.assign(m, 1);
+    backend_->run_chunks(
+        0, m, [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t from = lo; from < hi; ++from) {
+            verify_ok_[from] = sender_stream_ok(from) ? 1 : 0;
+          }
+        });
+    for (std::size_t from = 0; from < m; ++from) {
+      if (!verify_ok_[from]) {
+        throw IntegrityError(
+            "machine " + std::to_string(from) + " flush (" +
+            std::to_string(out_words_[from].size()) +
+            " words) fails its stream checksum in round " +
+            std::to_string(metrics_.rounds) +
+            ": corruption was not repaired before delivery");
+      }
+    }
+    return;
+  }
   for (std::size_t from = 0; from < m; ++from) {
     if (!sender_stream_ok(from)) {
       throw IntegrityError(
@@ -1462,6 +1633,28 @@ std::size_t Engine::repair_retained_blob() {
 }
 
 void Engine::verify_store() const {
+  const std::size_t blobs = staged_digests_.size();
+  if (backend_->parallel() && blobs > 1) {
+    verify_ok_.assign(blobs, 1);
+    backend_->run_chunks(
+        0, blobs, [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t id = lo; id < hi; ++id) {
+            verify_ok_[id] =
+                store_blob_ok(static_cast<PayloadId>(id)) ? 1 : 0;
+          }
+        });
+    for (std::size_t id = 0; id < blobs; ++id) {
+      if (!verify_ok_[id]) {
+        throw IntegrityError(
+            "payload blob " + std::to_string(id) + " (" +
+            std::to_string(staged_payloads_[id].size()) +
+            " words) fails its store digest in round " +
+            std::to_string(metrics_.rounds) +
+            ": corruption was not repaired before delivery");
+      }
+    }
+    return;
+  }
   for (std::size_t id = 0; id < staged_digests_.size(); ++id) {
     if (!store_blob_ok(static_cast<PayloadId>(id))) {
       throw IntegrityError(

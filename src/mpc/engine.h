@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "fault/durable.h"
+#include "mpc/backend.h"
 #include "util/fnv.h"
 
 namespace mpcg::fault {
@@ -170,6 +171,13 @@ struct Config {
   /// Test hook: behave as if stop_flag was set at the N-th safe point
   /// (0 = never) — deterministic kill points for resume tests.
   std::size_t stop_after_safe_points = 0;
+  /// Execution backend width (see mpc/backend.h): 1 = the sequential
+  /// reference (byte-for-byte the historical engine); > 1 = a shared-memory
+  /// pool of that many threads (caller included) running the contention-
+  /// free exchange surfaces and the drivers' per-machine local loops
+  /// concurrently.  Outputs and all logical Metrics are bit-identical
+  /// across every value (see DESIGN.md, "Execution backends").
+  std::size_t threads = 1;
 };
 
 struct Metrics {
@@ -518,6 +526,12 @@ class Engine {
   [[nodiscard]] bool strict() const noexcept { return config_.strict; }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
 
+  /// The execution backend this engine (and its drivers) run per-machine
+  /// work through — Config::threads wide. Drivers use
+  /// backend().parallel_for_machines / run_chunks for their local-phase
+  /// loops so engine and driver share one pool.
+  [[nodiscard]] ExecutionBackend& backend() noexcept { return *backend_; }
+
   /// Opens a streamed outbox for machine `from` — the one up-front sender
   /// check; appends through the handle pay a single destination compare
   /// each. Valid until the next exchange(). This is how the hot producers
@@ -804,6 +818,14 @@ class Engine {
   void finish_audit() const;
   void exchange_plain_dense(std::size_t m);
   void exchange_plain_flat(std::size_t m);
+  /// Slot-sharded unicast flushes used when backend().parallel(): per-slot
+  /// sender-range histograms, one sequential prefix/budget pass, then
+  /// positional run copies into exactly-sized inboxes — the delivered
+  /// inboxes and all Metrics are position-identical to the sequential
+  /// variants above for any thread count (see DESIGN.md, "Execution
+  /// backends").
+  void exchange_parallel_flat(std::size_t m);
+  void exchange_parallel_dense(std::size_t m);
   void exchange_shared(std::size_t m);
   /// Delivers one flat sender's staged runs into the inboxes (and, with
   /// `emit_segs`, interleaved segment lists for shared-round receivers):
@@ -832,6 +854,11 @@ class Engine {
   std::vector<std::span<const Word>>& touch_segs(std::size_t to);
 
   Config config_;
+  /// Execution backend (Config::threads wide); shared with the drivers via
+  /// backend(). Destroyed last-ish in reverse member order, after every
+  /// run_chunks has joined (run_chunks is blocking, so no chunk can
+  /// outlive the call that launched it).
+  std::unique_ptr<ExecutionBackend> backend_;
   Metrics metrics_;
   /// Which staging representation outbox()/push() writes to. Fixed by
   /// dense_machine_limit when that is explicit; re-decided per flush by
@@ -902,6 +929,16 @@ class Engine {
   std::vector<std::size_t> bucket_count_;
   std::vector<std::size_t> bucket_cursor_;
   std::vector<Word> scatter_;
+  /// Parallel-flush scratch (backend().parallel() only): per-slot receiver
+  /// histograms and write cursors, slot-major ([slot * m + to]), plus
+  /// per-slot run totals — merged in ascending slot order, which is what
+  /// makes the parallel flush position-identical to the sequential one.
+  std::vector<std::size_t> slot_count_;
+  std::vector<std::size_t> slot_cursor_;
+  std::vector<std::size_t> slot_runs_;
+  /// Parallel verify scratch: per-sender / per-blob ok flags (the throw,
+  /// which must name the lowest failing index, stays sequential).
+  mutable std::vector<char> verify_ok_;
   /// Flat-path scratch: one sender's shared sends in chronological order,
   /// with seq rewritten to the within-pair splice offset.
   std::vector<SharedSend> sender_sends_;
